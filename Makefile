@@ -1,0 +1,37 @@
+# Development targets for the ffwd reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures ablations coverage clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure plus native benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure as text tables (see also -format csv).
+figures:
+	$(GO) run ./cmd/ffwdbench -exp all
+
+ablations:
+	$(GO) run ./cmd/simexplore
+
+coverage:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+clean:
+	rm -f coverage.out test_output.txt bench_output.txt

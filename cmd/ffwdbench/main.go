@@ -1,0 +1,73 @@
+// Command ffwdbench regenerates the tables and figures of the ffwd paper
+// (SOSP 2017) from the machine models in internal/simarch.
+//
+// Usage:
+//
+//	ffwdbench -list
+//	ffwdbench -exp fig9 -machine broadwell
+//	ffwdbench -exp all
+//	ffwdbench -exp fig14 -duration 2e6 -seed 7
+//
+// Output is one aligned text table per experiment: the same rows/series
+// the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffwd/internal/bench"
+	"ffwd/internal/simarch"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (table1, fig1..fig18, or 'all')")
+		machine  = flag.String("machine", "broadwell", "machine model: broadwell, westmere, sandybridge, abudhabi")
+		duration = flag.Float64("duration", 1e6, "simulated nanoseconds per configuration")
+		seed     = flag.Uint64("seed", 1, "deterministic simulation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		format   = flag.String("format", "table", "output format: table, csv or plot")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nselect one with -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	m, err := simarch.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := bench.Options{Machine: m, DurationNS: *duration, Seed: *seed}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.IDs()
+	}
+	for _, id := range ids {
+		f, err := bench.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(bench.FormatCSV(f))
+		case "plot":
+			fmt.Println(bench.FormatPlot(f, 72, 20))
+		default:
+			fmt.Println(bench.Format(f))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command ffwdreport regenerates the full evaluation — every table and
+// figure on every modelled machine — into a directory of CSV files plus a
+// Markdown index, mirroring the paper's technical report ("for full
+// evaluation results on all four systems, please refer to our technical
+// report").
+//
+// Usage:
+//
+//	ffwdreport -out report/
+//	ffwdreport -out report/ -duration 2e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ffwd/internal/bench"
+	"ffwd/internal/simarch"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "report", "output directory")
+		duration = flag.Float64("duration", 1e6, "simulated nanoseconds per configuration")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if err := run(*out, *duration, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// machineSlug builds a filename-safe machine identifier.
+func machineSlug(m simarch.Machine) string {
+	s := strings.ToLower(m.Name)
+	s = strings.NewReplacer(" ", "", "-", "").Replace(s)
+	return s
+}
+
+func run(out string, duration float64, seed uint64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var index strings.Builder
+	index.WriteString("# ffwd evaluation report\n\n")
+	index.WriteString("Regenerated from the machine models in internal/simarch; ")
+	index.WriteString("one CSV per (experiment, machine).\n\n")
+	index.WriteString("| experiment | " + machineHeader() + " |\n")
+	index.WriteString("|---|" + strings.Repeat("---|", len(simarch.Machines)) + "\n")
+
+	for _, exp := range bench.Experiments() {
+		row := []string{exp.ID}
+		for _, m := range simarch.Machines {
+			fig, err := bench.Run(exp.ID, bench.Options{
+				Machine: m, DurationNS: duration, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("%s-%s.csv", exp.ID, machineSlug(m))
+			path := filepath.Join(out, name)
+			if err := os.WriteFile(path, []byte(bench.FormatCSV(fig)), 0o644); err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("[csv](%s)", name))
+			fmt.Printf("wrote %s\n", path)
+		}
+		index.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	indexPath := filepath.Join(out, "README.md")
+	if err := os.WriteFile(indexPath, []byte(index.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d experiments × %d machines)\n",
+		indexPath, len(bench.Experiments()), len(simarch.Machines))
+	return nil
+}
+
+func machineHeader() string {
+	names := make([]string, len(simarch.Machines))
+	for i, m := range simarch.Machines {
+		names[i] = m.Name
+	}
+	return strings.Join(names, " | ")
+}

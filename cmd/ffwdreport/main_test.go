@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ffwd/internal/simarch"
+)
+
+func TestMachineSlug(t *testing.T) {
+	for _, tc := range []struct{ name, want string }{
+		{"Broadwell", "broadwell"},
+		{"Westmere-EX", "westmereex"},
+		{"Sandy Bridge-EP", "sandybridgeep"},
+		{"Abu Dhabi", "abudhabi"},
+	} {
+		m, err := simarch.MachineByName(strings.ToLower(strings.Split(tc.name, " ")[0]))
+		if err != nil {
+			// Only some names map directly; construct by label.
+			for _, mm := range simarch.Machines {
+				if mm.Name == tc.name {
+					m = mm
+				}
+			}
+		}
+		if m.Name == "" {
+			t.Fatalf("no machine for %q", tc.name)
+		}
+		if got := machineSlug(m); got != tc.want {
+			t.Errorf("machineSlug(%s) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRunWritesFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation is slow")
+	}
+	dir := t.TempDir()
+	// A tiny horizon keeps the test fast; shapes are irrelevant here.
+	if err := run(dir, 5e4, 1); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig9-broadwell.csv", "fig17-abudhabi.csv", "table1-westmereex.csv"} {
+		if !strings.Contains(string(idx), want) {
+			t.Errorf("index missing %s", want)
+		}
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("file missing: %v", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 18 experiments × 4 machines + index.
+	if got, want := len(entries), 18*4+1; got != want {
+		t.Fatalf("report has %d files, want %d", got, want)
+	}
+	// Every CSV must have a header and at least one data row.
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := strings.Count(string(data), "\n"); lines < 2 {
+			t.Errorf("%s has only %d lines", e.Name(), lines)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ffwd/internal/apps"
+)
+
+// FuzzDispatch throws arbitrary command lines at the protocol handler:
+// it must never panic and must answer every line with exactly one
+// well-formed response.
+func FuzzDispatch(f *testing.F) {
+	for _, seed := range []string{
+		"get 1", "set 1 2", "del 1", "len", "", " ", "get", "set 1",
+		"set 1 2 3", "get -1", "set 1 18446744073709551615",
+		"GET 007", "sEt 5 5", "del\t9", "quit extra", "get 99999999999999999999",
+		"\x00", "set \x01 2", strings.Repeat("a ", 100),
+	} {
+		f.Add(seed)
+	}
+	kv := apps.NewLockedKV(1024, func() sync.Locker { return &sync.Mutex{} })
+	b := &mutexBackend{kv: kv}
+	f.Fuzz(func(t *testing.T, line string) {
+		out := b.handle(line)
+		if out == "" {
+			t.Fatalf("empty response for %q", line)
+		}
+		if strings.ContainsRune(out, '\n') {
+			t.Fatalf("multi-line response for %q: %q", line, out)
+		}
+		switch {
+		case strings.HasPrefix(out, "VALUE "), out == "NOT_FOUND",
+			out == "STORED", out == "DELETED",
+			strings.HasPrefix(out, "LEN "), strings.HasPrefix(out, "STATS "),
+			strings.HasPrefix(out, "ERROR "):
+		default:
+			t.Fatalf("malformed response for %q: %q", line, out)
+		}
+	})
+}

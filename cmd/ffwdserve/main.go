@@ -1,0 +1,191 @@
+// Command ffwdserve is a memcached-like TCP key-value server whose store
+// is served by a ffwd delegation server — the repository's end-to-end
+// demonstration that a real network service can put its entire shared
+// state behind delegation.
+//
+// Protocol (text, one command per line):
+//
+//	set <key> <value>   → STORED
+//	get <key>           → VALUE <v> | NOT_FOUND
+//	del <key>           → DELETED | NOT_FOUND
+//	len                 → LEN <n>
+//	stats               → STATS hits=<h> misses=<m> evictions=<e>
+//	quit                → closes the connection
+//
+// Keys and values are unsigned 64-bit integers (value 2^64-1 is reserved).
+//
+// Usage:
+//
+//	ffwdserve -addr :11211 -capacity 65536 -backend ffwd
+//	ffwdserve -backend mutex     # global-lock baseline, for comparison
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ffwd/internal/apps"
+)
+
+// backend abstracts the two store configurations.
+type backend interface {
+	handle(line string) string
+}
+
+type ffwdBackend struct {
+	d *apps.DelegatedKV
+	// Delegation client slots are a bounded resource, so they live in a
+	// fixed channel-based pool: a command borrows one and returns it.
+	// (sync.Pool is wrong here — it may drop items, leaking slots.)
+	clients chan *apps.KVClient
+}
+
+// newFFWDBackendPool preallocates every client slot.
+func newFFWDBackendPool(d *apps.DelegatedKV, n int) (*ffwdBackend, error) {
+	fb := &ffwdBackend{d: d, clients: make(chan *apps.KVClient, n)}
+	for i := 0; i < n; i++ {
+		c, err := d.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		fb.clients <- c
+	}
+	return fb, nil
+}
+
+type mutexBackend struct {
+	kv *apps.LockedKV
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
+		capacity = flag.Int("capacity", 1<<16, "store capacity (entries)")
+		kind     = flag.String("backend", "ffwd", "ffwd or mutex")
+		clients  = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend)")
+	)
+	flag.Parse()
+
+	var b backend
+	switch *kind {
+	case "ffwd":
+		d := apps.NewDelegatedKV(*capacity, *clients)
+		if err := d.Start(); err != nil {
+			log.Fatal(err)
+		}
+		fb, err := newFFWDBackendPool(d, *clients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b = fb
+	case "mutex":
+		b = &mutexBackend{kv: apps.NewLockedKV(*capacity, func() sync.Locker { return &sync.Mutex{} })}
+	default:
+		log.Fatalf("unknown backend %q", *kind)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ffwdserve: %s backend listening on %s", *kind, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			return
+		}
+		go serve(conn, b)
+	}
+}
+
+func serve(conn net.Conn, b backend) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			return
+		}
+		fmt.Fprintln(w, b.handle(line))
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// parse splits a command into op and numeric arguments.
+func parse(line string) (op string, args []uint64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil, fmt.Errorf("empty command")
+	}
+	op = strings.ToLower(fields[0])
+	for _, f := range fields[1:] {
+		v, perr := strconv.ParseUint(f, 10, 64)
+		if perr != nil {
+			return "", nil, fmt.Errorf("bad number %q", f)
+		}
+		args = append(args, v)
+	}
+	return op, args, nil
+}
+
+func (f *ffwdBackend) handle(line string) string {
+	c := <-f.clients
+	defer func() { f.clients <- c }()
+	return dispatchStats(line,
+		func(k uint64) (uint64, bool) { return c.Get(k) },
+		func(k, v uint64) { c.Set(k, v) },
+		func(k uint64) bool { return c.Delete(k) },
+		func() int { return c.Len() },
+		c.Stats,
+	)
+}
+
+func (m *mutexBackend) handle(line string) string {
+	return dispatchStats(line, m.kv.Get, m.kv.Set, m.kv.Delete, m.kv.Len, m.kv.Stats)
+}
+
+func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64, uint64),
+	del func(uint64) bool, length func() int, stats func() (h, m, e uint64)) string {
+	op, args, err := parse(line)
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	switch {
+	case op == "get" && len(args) == 1:
+		if v, ok := get(args[0]); ok {
+			return fmt.Sprintf("VALUE %d", v)
+		}
+		return "NOT_FOUND"
+	case op == "set" && len(args) == 2:
+		if args[1] == ^uint64(0) {
+			return "ERROR value reserved"
+		}
+		set(args[0], args[1])
+		return "STORED"
+	case op == "del" && len(args) == 1:
+		if del(args[0]) {
+			return "DELETED"
+		}
+		return "NOT_FOUND"
+	case op == "len" && len(args) == 0:
+		return fmt.Sprintf("LEN %d", length())
+	case op == "stats" && len(args) == 0 && stats != nil:
+		h, m, e := stats()
+		return fmt.Sprintf("STATS hits=%d misses=%d evictions=%d", h, m, e)
+	default:
+		return "ERROR usage: get k | set k v | del k | len | stats | quit"
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"ffwd/internal/apps"
+)
+
+func newFFWDBackend(t *testing.T, capacity, clients int) *ffwdBackend {
+	t.Helper()
+	d := apps.NewDelegatedKV(capacity, clients)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	fb, err := newFFWDBackendPool(d, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+func TestParse(t *testing.T) {
+	op, args, err := parse("set 1 42")
+	if err != nil || op != "set" || len(args) != 2 || args[0] != 1 || args[1] != 42 {
+		t.Fatalf("parse = %q %v %v", op, args, err)
+	}
+	if _, _, err := parse(""); err == nil {
+		t.Fatal("empty command parsed")
+	}
+	if _, _, err := parse("get abc"); err == nil {
+		t.Fatal("non-numeric arg parsed")
+	}
+	op, _, err = parse("GET 1")
+	if err != nil || op != "get" {
+		t.Fatalf("case-insensitive op broken: %q %v", op, err)
+	}
+}
+
+func TestDispatchProtocol(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		b    backend
+	}{
+		{"ffwd", newFFWDBackend(t, 128, 4)},
+		{"mutex", &mutexBackend{kv: apps.NewLockedKV(128, func() sync.Locker { return &sync.Mutex{} })}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			steps := []struct{ in, want string }{
+				{"get 1", "NOT_FOUND"},
+				{"set 1 42", "STORED"},
+				{"get 1", "VALUE 42"},
+				{"set 1 43", "STORED"},
+				{"get 1", "VALUE 43"},
+				{"len", "LEN 1"},
+				{"del 1", "DELETED"},
+				{"del 1", "NOT_FOUND"},
+				{"get 1", "NOT_FOUND"},
+				{"set 2 18446744073709551615", "ERROR value reserved"},
+				{"bogus", "ERROR usage: get k | set k v | del k | len | stats | quit"},
+				{"set x y", "ERROR bad number \"x\""},
+				{"get 1 2", "ERROR usage: get k | set k v | del k | len | stats | quit"},
+				{"stats", "STATS hits=2 misses=2 evictions=0"},
+			}
+			for _, s := range steps {
+				if got := tc.b.handle(s.in); got != s.want {
+					t.Fatalf("handle(%q) = %q, want %q", s.in, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	b := newFFWDBackend(t, 1024, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn, b)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(cmd string) string {
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return line[:len(line)-1]
+	}
+	if got := send("set 7 700"); got != "STORED" {
+		t.Fatalf("set: %q", got)
+	}
+	if got := send("get 7"); got != "VALUE 700" {
+		t.Fatalf("get: %q", got)
+	}
+	if got := send("del 7"); got != "DELETED" {
+		t.Fatalf("del: %q", got)
+	}
+	fmt.Fprintln(conn, "quit")
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection stayed open after quit")
+	}
+}
+
+func TestServeConcurrentConnections(t *testing.T) {
+	b := newFFWDBackend(t, 1<<12, 16)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn, b)
+		}
+	}()
+
+	const conns, opsEach = 8, 200
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		base := uint64(c * 1000)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := uint64(0); i < opsEach; i++ {
+				fmt.Fprintf(conn, "set %d %d\n", base+i, base+i+1)
+				if line, _ := r.ReadString('\n'); line != "STORED\n" {
+					t.Errorf("set: %q", line)
+					return
+				}
+				fmt.Fprintf(conn, "get %d\n", base+i)
+				want := fmt.Sprintf("VALUE %d\n", base+i+1)
+				if line, _ := r.ReadString('\n'); line != want {
+					t.Errorf("get: %q want %q", line, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

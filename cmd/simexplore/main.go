@@ -1,0 +1,89 @@
+// Command simexplore runs the ablation studies DESIGN.md calls out: it
+// isolates each of ffwd's design choices on the simulated machine and
+// reports what removing it costs.
+//
+// Usage:
+//
+//	simexplore                   # all ablations on Broadwell
+//	simexplore -machine abudhabi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffwd/internal/simarch"
+	"ffwd/internal/simsync"
+)
+
+func main() {
+	machine := flag.String("machine", "broadwell", "machine model")
+	clients := flag.Int("clients", 120, "client threads")
+	flag.Parse()
+
+	m, err := simarch.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cs := simsync.EmptyLoop(m, 1)
+	base := simsync.DelegSimConfig{
+		Machine: m, Method: simsync.FFWD, Clients: *clients, Servers: 1,
+		DelayPauses: 25, CS: cs, Seed: 1,
+	}
+
+	run := func(name string, mutate func(*simsync.DelegSimConfig)) {
+		cfg := base
+		mutate(&cfg)
+		r := simsync.SimulateDelegation(cfg)
+		ref := simsync.SimulateDelegation(base)
+		fmt.Printf("%-38s %8.1f Mops  (baseline %.1f, %+5.1f%%)\n",
+			name, r.Mops, ref.Mops, 100*(r.Mops-ref.Mops)/ref.Mops)
+	}
+
+	fmt.Printf("ffwd design ablations on %s, %d clients, 1-iteration CS\n\n", m.Name, *clients)
+	run("baseline (all optimizations on)", func(*simsync.DelegSimConfig) {})
+	run("1. response write-through (no batching)", func(c *simsync.DelegSimConfig) {
+		c.WriteThrough = true
+	})
+	run("2. server-side lock per request", func(c *simsync.DelegSimConfig) {
+		c.ServerLockNS = 20
+	})
+	run("3. private response line per client", func(c *simsync.DelegSimConfig) {
+		c.PrivateResponses = true
+	})
+	run("4. RCL-style request context+lock", func(c *simsync.DelegSimConfig) {
+		c.Method = simsync.RCL
+	})
+	run("5. NUMA-oblivious line allocation", func(c *simsync.DelegSimConfig) {
+		c.RemoteRequestLines = true
+	})
+
+	fmt.Printf("\nlatency-bound regime (15 clients, where per-message costs dominate):\n")
+	lat := base
+	lat.Clients = 15
+	runLat := func(name string, mutate func(*simsync.DelegSimConfig)) {
+		cfg := lat
+		mutate(&cfg)
+		r := simsync.SimulateDelegation(cfg)
+		ref := simsync.SimulateDelegation(lat)
+		fmt.Printf("%-38s %8.1f Mops  (baseline %.1f, %+5.1f%%)\n",
+			name, r.Mops, ref.Mops, 100*(r.Mops-ref.Mops)/ref.Mops)
+	}
+	runLat("5b. NUMA-oblivious line allocation", func(c *simsync.DelegSimConfig) {
+		c.RemoteRequestLines = true
+	})
+
+	fmt.Printf("\n6. store-buffer depth sweep (2 dependent miss stores per request):\n")
+	for _, depth := range []int{1, 2, 4, 8, 16, 32, 42, 64} {
+		mm := m
+		mm.StoreBufferEntries = depth
+		cfg := base
+		cfg.Machine = mm
+		cfg.CS = simsync.CS{BaseNS: 25, ServerMissStores: 2,
+			MissStoreLatNS: m.RemoteLLCNS, MissStoreWindow: depth}
+		r := simsync.SimulateDelegation(cfg)
+		fmt.Printf("   depth %-3d %8.1f Mops  stall %5.1f%%\n", depth, r.Mops, r.StallPct)
+	}
+}

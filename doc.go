@@ -1,0 +1,14 @@
+// Package ffwd is a comprehensive Go reproduction of "ffwd: delegation is
+// (much) faster than you think" (SOSP 2017): the fast fly-weight
+// delegation system, every baseline it is evaluated against, and a
+// benchmark harness regenerating each table and figure of the paper.
+//
+// Start with README.md for the tour, DESIGN.md for the system inventory
+// and substitution rationale, and EXPERIMENTS.md for paper-vs-reproduced
+// results. The delegation library itself lives in internal/core, with
+// ready-made delegated data structures in internal/delegated.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per table/figure plus native benchmarks of the real
+// delegation stack.
+package ffwd

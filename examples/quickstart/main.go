@@ -1,0 +1,63 @@
+// Quickstart: delegate a shared counter to a ffwd server.
+//
+// The counter has no lock and no atomics — it is owned outright by the
+// delegation server, and every goroutine that wants to touch it sends a
+// request over its private channel, exactly as in the paper's
+// FFWD_DELEGATE API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ffwd/internal/core"
+)
+
+func main() {
+	const workers = 8
+	const opsPerWorker = 200_000
+
+	// 1. Create a server with room for our clients.
+	srv := core.NewServer(core.Config{MaxClients: workers})
+
+	// 2. Register the function(s) the server may execute. They run on
+	//    the server goroutine, so the counter needs no synchronization.
+	var counter uint64
+	increment := srv.Register(func(args *[core.MaxArgs]uint64) uint64 {
+		counter += args[0]
+		return counter
+	})
+
+	// 3. Start the server (the paper's FFWD_Server_Init).
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// 4. Each goroutine gets its own client channel and delegates.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := srv.MustNewClient()
+			for i := 0; i < opsPerWorker; i++ {
+				client.Delegate(increment, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("counter = %d (want %d)\n", counter, workers*opsPerWorker)
+	fmt.Printf("%.2f M delegated ops/s across %d clients\n",
+		float64(workers*opsPerWorker)/elapsed.Seconds()/1e6, workers)
+	st := srv.Stats()
+	fmt.Printf("server: %d requests, %d response batches (%.1f responses/batch)\n",
+		st.Requests, st.Batches, float64(st.Requests)/float64(st.Batches))
+}

@@ -1,0 +1,54 @@
+// simfigure: regenerate a paper figure programmatically.
+//
+// The bench package is a library: this example reruns fig9 (fetch-and-add
+// scaling, the paper's headline micro-benchmark) on two of the modelled
+// machines and prints where delegation overtakes the atomic instruction on
+// each — the paper's "true testament to the high cost of sequential
+// communication".
+//
+// Run with: go run ./examples/simfigure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ffwd/internal/bench"
+	"ffwd/internal/simarch"
+)
+
+func main() {
+	for _, m := range []simarch.Machine{simarch.Broadwell, simarch.AbuDhabi} {
+		fig, err := bench.Run("fig9", bench.Options{Machine: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.Format(fig))
+
+		ffwd := series(fig, "FFWD")
+		atomic := series(fig, "ATOMIC")
+		cross := -1.0
+		for i := range ffwd.Points {
+			if ffwd.Points[i].Y > atomic.Points[i].Y {
+				cross = ffwd.Points[i].X
+				break
+			}
+		}
+		if cross >= 0 {
+			fmt.Printf("→ on %s, FFWD overtakes the hardware atomic at %v threads\n\n",
+				m.Name, cross)
+		} else {
+			fmt.Printf("→ on %s, the atomic held on at every thread count\n\n", m.Name)
+		}
+	}
+}
+
+func series(f bench.Figure, label string) bench.Series {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	log.Fatalf("figure %s has no series %q", f.ID, label)
+	return bench.Series{}
+}

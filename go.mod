@@ -1,0 +1,3 @@
+module ffwd
+
+go 1.22

@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"sync"
+
+	"ffwd/internal/ds"
+)
+
+// Hybrid demonstrates §5.1 of the paper — "Combining Delegation and
+// Locking": nothing prevents ffwd and locks from coexisting as long as
+// the structures they protect are independent. The canonical composition
+// is a central work queue behind delegation (serial, hot) feeding results
+// into a finely-striped hash table under spinlocks (parallel, partitioned).
+type Hybrid struct {
+	// Queue is the delegated central work queue.
+	Queue *DelegatedWorkQueue
+	// Results is the spinlock-striped output table.
+	Results *ds.StripedHashTable
+}
+
+// NewHybrid builds the composed system: a delegated queue for maxClients
+// workers and a table with buckets stripes locked by mkLock.
+func NewHybrid(maxClients, buckets int, mkLock func() sync.Locker) *Hybrid {
+	return &Hybrid{
+		Queue:   NewDelegatedWorkQueue(maxClients),
+		Results: ds.NewStripedHashTable(buckets, mkLock),
+	}
+}
+
+// Start launches the delegation server.
+func (h *Hybrid) Start() error { return h.Queue.Start() }
+
+// Stop halts the delegation server.
+func (h *Hybrid) Stop() { h.Queue.Stop() }
+
+// Run seeds the queue with tasks 1..n, then runs workers goroutines that
+// each pop a task, compute RenderTask on it, and insert the checksum into
+// the striped table. It returns how many results were stored (duplicates
+// collapse, so ≤ n).
+func (h *Hybrid) Run(workers, n, work int) (stored uint64, err error) {
+	clients := make([]*WQClient, workers)
+	for i := range clients {
+		c, cerr := h.Queue.NewClient()
+		if cerr != nil {
+			return 0, cerr
+		}
+		clients[i] = c
+	}
+	for i := 1; i <= n; i++ {
+		clients[0].Push(uint64(i))
+	}
+	var count sync.WaitGroup
+	storedN := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		count.Add(1)
+		go func(w int) {
+			defer count.Done()
+			c := clients[w]
+			for {
+				task, ok := c.Pop()
+				if !ok {
+					return // queue drained: no respawn in this kernel
+				}
+				sum, _ := RenderTask(task, work)
+				// Keys confined to avoid the list sentinels.
+				if h.Results.Insert(sum%(1<<32) + 1) {
+					storedN[w]++
+				}
+			}
+		}(w)
+	}
+	count.Wait()
+	for w := 0; w < workers; w++ {
+		stored += storedN[w]
+	}
+	return stored, nil
+}

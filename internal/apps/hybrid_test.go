@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"ffwd/internal/locks"
+)
+
+func TestHybridStoresEveryDistinctResult(t *testing.T) {
+	const workers, n = 8, 4000
+	h := NewHybrid(workers, 1024, func() sync.Locker { return new(locks.TAS) })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	stored, err := h.Run(workers, n, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored == 0 || stored > n {
+		t.Fatalf("stored = %d, want 1..%d", stored, n)
+	}
+	// Recompute the expected distinct checksums serially.
+	want := map[uint64]bool{}
+	for i := 1; i <= n; i++ {
+		sum, _ := RenderTask(uint64(i), 60)
+		want[sum%(1<<32)+1] = true
+	}
+	if int(stored) != len(want) {
+		t.Fatalf("stored %d distinct results, serial reference has %d", stored, len(want))
+	}
+	if got := h.Results.Len(); got != len(want) {
+		t.Fatalf("table Len = %d, want %d", got, len(want))
+	}
+	for k := range want {
+		if !h.Results.Contains(k) {
+			t.Fatalf("result %d missing from the striped table", k)
+		}
+	}
+}
+
+func TestHybridQueueAndTableIndependent(t *testing.T) {
+	// The delegation server must never touch the striped table and the
+	// table's locks must never appear in delegated functions; both are
+	// guaranteed by construction, but verify the composition restarts
+	// cleanly (no shared teardown state).
+	h := NewHybrid(2, 64, func() sync.Locker { return &sync.Mutex{} })
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(2, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+	h.Stop()
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Stop()
+	before := h.Results.Len()
+	if before == 0 {
+		t.Fatal("first run stored nothing")
+	}
+}

@@ -1,0 +1,309 @@
+package apps
+
+import (
+	"sync"
+
+	"ffwd/internal/core"
+)
+
+// This file holds the Phoenix-analog kernels (linear regression, string
+// match, matrix multiply): embarrassingly parallel compute with a shared
+// accumulator or dispenser as the synchronized resource, mirroring the
+// suite's synchronization footprint.
+
+// Accumulator is the shared reduction target: workers fold partial sums
+// into it. Backends: one lock, or a ffwd server.
+type Accumulator interface {
+	// Add folds one partial observation (x, y) into the sums.
+	Add(x, y uint64)
+	// Sums returns (sumX, sumY, sumXY, sumXX, n).
+	Sums() (sx, sy, sxy, sxx, n uint64)
+}
+
+// regSums is the unsynchronized reduction state.
+type regSums struct {
+	sx, sy, sxy, sxx, n uint64
+}
+
+func (r *regSums) add(x, y uint64) {
+	r.sx += x
+	r.sy += y
+	r.sxy += x * y
+	r.sxx += x * x
+	r.n++
+}
+
+// LockedAccumulator guards regSums with one lock.
+type LockedAccumulator struct {
+	mu sync.Locker
+	r  regSums
+}
+
+// NewLockedAccumulator returns an accumulator protected by mkLock().
+func NewLockedAccumulator(mkLock func() sync.Locker) *LockedAccumulator {
+	return &LockedAccumulator{mu: mkLock()}
+}
+
+// Add folds one observation under the lock.
+func (a *LockedAccumulator) Add(x, y uint64) {
+	a.mu.Lock()
+	a.r.add(x, y)
+	a.mu.Unlock()
+}
+
+// Sums reads the totals under the lock.
+func (a *LockedAccumulator) Sums() (sx, sy, sxy, sxx, n uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.r.sx, a.r.sy, a.r.sxy, a.r.sxx, a.r.n
+}
+
+// DelegatedAccumulator serves regSums through a ffwd server.
+type DelegatedAccumulator struct {
+	srv    *core.Server
+	r      regSums
+	fidAdd core.FuncID
+	fidGet [5]core.FuncID
+}
+
+// NewDelegatedAccumulator builds the accumulator and its (unstarted)
+// server.
+func NewDelegatedAccumulator(maxClients int) *DelegatedAccumulator {
+	d := &DelegatedAccumulator{srv: core.NewServer(core.Config{MaxClients: maxClients})}
+	d.fidAdd = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.r.add(a[0], a[1])
+		return 0
+	})
+	gets := []func() uint64{
+		func() uint64 { return d.r.sx },
+		func() uint64 { return d.r.sy },
+		func() uint64 { return d.r.sxy },
+		func() uint64 { return d.r.sxx },
+		func() uint64 { return d.r.n },
+	}
+	for i, g := range gets {
+		g := g
+		d.fidGet[i] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return g() })
+	}
+	return d
+}
+
+// Start launches the server.
+func (d *DelegatedAccumulator) Start() error { return d.srv.Start() }
+
+// Stop halts the server.
+func (d *DelegatedAccumulator) Stop() { d.srv.Stop() }
+
+// AccClient is a per-goroutine handle implementing Accumulator.
+type AccClient struct {
+	d *DelegatedAccumulator
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *DelegatedAccumulator) NewClient() (*AccClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &AccClient{d: d, c: c}, nil
+}
+
+// Add folds one observation via delegation.
+func (a *AccClient) Add(x, y uint64) { a.c.Delegate2(a.d.fidAdd, x, y) }
+
+// Sums reads the totals via delegation (five single-word reads; callers
+// quiesce writers first, as the Phoenix reduce phase does).
+func (a *AccClient) Sums() (sx, sy, sxy, sxx, n uint64) {
+	return a.c.Delegate0(a.d.fidGet[0]), a.c.Delegate0(a.d.fidGet[1]),
+		a.c.Delegate0(a.d.fidGet[2]), a.c.Delegate0(a.d.fidGet[3]),
+		a.c.Delegate0(a.d.fidGet[4])
+}
+
+// LinearRegression processes n synthetic points with workers goroutines,
+// folding every batchSize-th point into the shared accumulator (Phoenix
+// folds per chunk; batching models the chunk boundary). It returns the
+// accumulated sums, identical for every backend.
+func LinearRegression(acc func() Accumulator, workers, n, batch int) (sx, sy, sxy, sxx, cnt uint64) {
+	if batch < 1 {
+		batch = 1
+	}
+	accs := make([]Accumulator, workers)
+	for i := range accs {
+		accs[i] = acc()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := accs[w]
+			for i := w; i < n; i += workers {
+				// Synthetic point: y = 3x + 7 with deterministic x.
+				x := uint64(i)%1000 + 1
+				y := 3*x + 7
+				if i%batch == 0 {
+					a.Add(x, y)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return accs[0].Sums()
+}
+
+// StringMatch scans n synthetic "lines" for four fixed patterns with
+// workers goroutines, counting matches in a shared accumulator via Add
+// (x = pattern index, y = 1). It returns the per-pattern counts xor-folded
+// into the sums for verification.
+func StringMatch(acc func() Accumulator, workers, n int) (matches uint64) {
+	accs := make([]Accumulator, workers)
+	for i := range accs {
+		accs[i] = acc()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := accs[w]
+			for i := w; i < n; i += workers {
+				// A "line" matches pattern i%4 when its hash has
+				// the right residue — deterministic, ~25% match
+				// rate.
+				h := (uint64(i) * 0x9E3779B97F4A7C15) >> 32
+				if h%4 == 0 {
+					a.Add(h%4+1, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, _, _, _, cnt := accs[0].Sums()
+	return cnt
+}
+
+// RowDispenser hands out matrix rows to workers: the matrix multiply
+// suite's synchronized resource.
+type RowDispenser interface {
+	// NextRow returns the next row index, or ok=false when exhausted.
+	NextRow() (int, bool)
+}
+
+// LockedDispenser is a counter under a lock.
+type LockedDispenser struct {
+	mu   sync.Locker
+	next int
+	rows int
+}
+
+// NewLockedDispenser dispenses rows [0, rows) under mkLock().
+func NewLockedDispenser(rows int, mkLock func() sync.Locker) *LockedDispenser {
+	return &LockedDispenser{mu: mkLock(), rows: rows}
+}
+
+// NextRow returns the next undispensed row.
+func (d *LockedDispenser) NextRow() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.next >= d.rows {
+		return 0, false
+	}
+	r := d.next
+	d.next++
+	return r, true
+}
+
+// MatrixMultiply computes C = A·B for size×size deterministic matrices,
+// with rows handed out by the dispenser. It returns a checksum of C,
+// identical for every backend.
+func MatrixMultiply(disp func() RowDispenser, workers, size int) uint64 {
+	dispensers := make([]RowDispenser, workers)
+	for i := range dispensers {
+		dispensers[i] = disp()
+	}
+	a := func(i, j int) uint64 { return uint64(i*31+j*7) % 97 }
+	b := func(i, j int) uint64 { return uint64(i*17+j*13) % 89 }
+	sums := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := dispensers[w]
+			var local uint64
+			for {
+				row, ok := d.NextRow()
+				if !ok {
+					break
+				}
+				for j := 0; j < size; j++ {
+					var c uint64
+					for k := 0; k < size; k++ {
+						c += a(row, k) * b(k, j)
+					}
+					local ^= c * uint64(row*size+j+1)
+				}
+			}
+			sums[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var checksum uint64
+	for _, s := range sums {
+		checksum ^= s
+	}
+	return checksum
+}
+
+// DelegatedDispenser serves the row counter through a ffwd server.
+type DelegatedDispenser struct {
+	srv     *core.Server
+	next    int
+	rows    int
+	fidNext core.FuncID
+}
+
+// NewDelegatedDispenser dispenses rows [0, rows) via delegation.
+func NewDelegatedDispenser(rows, maxClients int) *DelegatedDispenser {
+	d := &DelegatedDispenser{srv: core.NewServer(core.Config{MaxClients: maxClients}), rows: rows}
+	d.fidNext = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		if d.next >= d.rows {
+			return ^uint64(0)
+		}
+		r := d.next
+		d.next++
+		return uint64(r)
+	})
+	return d
+}
+
+// Start launches the server.
+func (d *DelegatedDispenser) Start() error { return d.srv.Start() }
+
+// Stop halts the server.
+func (d *DelegatedDispenser) Stop() { d.srv.Stop() }
+
+// DispClient is a per-goroutine handle implementing RowDispenser.
+type DispClient struct {
+	d *DelegatedDispenser
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *DelegatedDispenser) NewClient() (*DispClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &DispClient{d: d, c: c}, nil
+}
+
+// NextRow returns the next undispensed row.
+func (dc *DispClient) NextRow() (int, bool) {
+	v := dc.c.Delegate0(dc.d.fidNext)
+	if v == ^uint64(0) {
+		return 0, false
+	}
+	return int(v), true
+}

@@ -1,0 +1,324 @@
+package apps
+
+import (
+	"sync"
+
+	"ffwd/internal/core"
+)
+
+// KVStore is the memcached-analog: a fixed-capacity hash table of word
+// keys and values with LRU eviction and hit/miss statistics. The sequential
+// core has no synchronization — wrap it in a LockedKV or serve it through
+// a DelegatedKV.
+type KVStore struct {
+	capacity int
+	table    map[uint64]*kvEntry
+	// LRU list: head = most recent, tail = least recent.
+	head, tail *kvEntry
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	expired    uint64
+}
+
+type kvEntry struct {
+	key   uint64
+	value uint64
+	// expiresAt is the logical expiry tick; 0 means no expiry.
+	expiresAt  uint64
+	prev, next *kvEntry
+}
+
+// NewKVStore returns a store bounded to capacity entries (≥1).
+func NewKVStore(capacity int) *KVStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &KVStore{capacity: capacity, table: make(map[uint64]*kvEntry, capacity)}
+}
+
+// Get looks up key, promoting it in the LRU order.
+func (s *KVStore) Get(key uint64) (uint64, bool) {
+	e, ok := s.table[key]
+	if !ok {
+		s.misses++
+		return 0, false
+	}
+	s.hits++
+	s.promote(e)
+	return e.value, true
+}
+
+// Set inserts or updates key, evicting the LRU entry at capacity.
+func (s *KVStore) Set(key, value uint64) {
+	if e, ok := s.table[key]; ok {
+		e.value = value
+		s.promote(e)
+		return
+	}
+	if len(s.table) >= s.capacity {
+		s.evictLRU()
+	}
+	e := &kvEntry{key: key, value: value}
+	s.table[key] = e
+	s.pushFront(e)
+}
+
+// Delete removes key; it reports whether it was present.
+func (s *KVStore) Delete(key uint64) bool {
+	e, ok := s.table[key]
+	if !ok {
+		return false
+	}
+	s.unlink(e)
+	delete(s.table, key)
+	return true
+}
+
+// Len returns the number of stored entries.
+func (s *KVStore) Len() int { return len(s.table) }
+
+// Stats returns hits, misses and evictions so far.
+func (s *KVStore) Stats() (hits, misses, evictions uint64) {
+	return s.hits, s.misses, s.evictions
+}
+
+func (s *KVStore) pushFront(e *kvEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *KVStore) unlink(e *kvEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *KVStore) promote(e *kvEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *KVStore) evictLRU() {
+	if s.tail == nil {
+		return
+	}
+	victim := s.tail
+	s.unlink(victim)
+	delete(s.table, victim.key)
+	s.evictions++
+}
+
+// KV is the common interface of the synchronized store variants.
+type KV interface {
+	Get(key uint64) (uint64, bool)
+	Set(key, value uint64)
+	Delete(key uint64) bool
+}
+
+// LockedKV is the memcached-1.4 structure: one global lock around the
+// whole store (the cache_lock).
+type LockedKV struct {
+	mu sync.Locker
+	s  *KVStore
+}
+
+// NewLockedKV wraps a fresh store of the given capacity in mkLock().
+func NewLockedKV(capacity int, mkLock func() sync.Locker) *LockedKV {
+	return &LockedKV{mu: mkLock(), s: NewKVStore(capacity)}
+}
+
+// Get looks up key under the lock.
+func (l *LockedKV) Get(key uint64) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Get(key)
+}
+
+// Set stores key under the lock.
+func (l *LockedKV) Set(key, value uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Set(key, value)
+}
+
+// Delete removes key under the lock.
+func (l *LockedKV) Delete(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Delete(key)
+}
+
+// Stats reads the counters under the lock.
+func (l *LockedKV) Stats() (hits, misses, evictions uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Stats()
+}
+
+// Len returns the number of stored entries, under the lock.
+func (l *LockedKV) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Len()
+}
+
+// DelegatedKV serves a KVStore through a ffwd delegation server: the
+// paper's memcached port, where every access to the delegated structure
+// is delegated.
+type DelegatedKV struct {
+	srv *core.Server
+	s   *KVStore
+
+	fidGet, fidSet, fidDelete, fidLen core.FuncID
+	fidGetAt, fidSetTTL, fidSweep     core.FuncID
+	fidStats                          [3]core.FuncID
+}
+
+// NewDelegatedKV builds the store and its server (not yet started).
+func NewDelegatedKV(capacity, maxClients int) *DelegatedKV {
+	d := &DelegatedKV{
+		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		s:   NewKVStore(capacity),
+	}
+	d.fidGet = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		v, ok := d.s.Get(a[0])
+		if !ok {
+			return kvMissSentinel
+		}
+		return v
+	})
+	d.fidSet = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.s.Set(a[0], a[1])
+		return 0
+	})
+	d.fidDelete = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		if d.s.Delete(a[0]) {
+			return 1
+		}
+		return 0
+	})
+	d.fidLen = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		return uint64(d.s.Len())
+	})
+	d.fidGetAt = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		v, ok := d.s.GetAt(a[0], a[1])
+		if !ok {
+			return kvMissSentinel
+		}
+		return v
+	})
+	d.fidSetTTL = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.s.SetTTL(a[0], a[1], a[2], a[3])
+		return 0
+	})
+	d.fidSweep = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		return uint64(d.s.SweepExpired(a[0]))
+	})
+	d.fidStats[0] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.hits })
+	d.fidStats[1] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.misses })
+	d.fidStats[2] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.evictions })
+	return d
+}
+
+// kvMissSentinel marks a missing key in the one-word response channel;
+// values equal to it cannot be stored via the delegated client.
+const kvMissSentinel = ^uint64(0)
+
+// Start launches the delegation server.
+func (d *DelegatedKV) Start() error { return d.srv.Start() }
+
+// Stop halts the delegation server.
+func (d *DelegatedKV) Stop() { d.srv.Stop() }
+
+// KVClient is a per-goroutine handle to a DelegatedKV.
+type KVClient struct {
+	d *DelegatedKV
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *DelegatedKV) NewClient() (*KVClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &KVClient{d: d, c: c}, nil
+}
+
+// Get looks up key.
+func (k *KVClient) Get(key uint64) (uint64, bool) {
+	v := k.c.Delegate1(k.d.fidGet, key)
+	if v == kvMissSentinel {
+		return 0, false
+	}
+	return v, true
+}
+
+// Set stores value under key. Values equal to the miss sentinel are
+// rejected by panicking — they would be indistinguishable from a miss.
+func (k *KVClient) Set(key, value uint64) {
+	if value == kvMissSentinel {
+		panic("apps: KVClient.Set of the sentinel value")
+	}
+	k.c.Delegate2(k.d.fidSet, key, value)
+}
+
+// Delete removes key; it reports whether it was present.
+func (k *KVClient) Delete(key uint64) bool {
+	return k.c.Delegate1(k.d.fidDelete, key) == 1
+}
+
+// Len returns the store size.
+func (k *KVClient) Len() int { return int(k.c.Delegate0(k.d.fidLen)) }
+
+// GetAt looks up key at logical time now, reclaiming it if expired.
+func (k *KVClient) GetAt(key, now uint64) (uint64, bool) {
+	v := k.c.Delegate2(k.d.fidGetAt, key, now)
+	if v == kvMissSentinel {
+		return 0, false
+	}
+	return v, true
+}
+
+// SetTTL stores value under key with expiry at tick now+ttl (ttl 0 means
+// no expiry).
+func (k *KVClient) SetTTL(key, value, now, ttl uint64) {
+	if value == kvMissSentinel {
+		panic("apps: KVClient.SetTTL of the sentinel value")
+	}
+	k.c.Delegate(k.d.fidSetTTL, key, value, now, ttl)
+}
+
+// SweepExpired reclaims every entry due at now, atomically, as one
+// delegated request. It returns the number reclaimed.
+func (k *KVClient) SweepExpired(now uint64) int {
+	return int(k.c.Delegate1(k.d.fidSweep, now))
+}
+
+// Stats reads the hit/miss/eviction counters (three single-word requests;
+// a consistent snapshot needs a quiescent store, as with any sharded
+// metric read).
+func (k *KVClient) Stats() (hits, misses, evictions uint64) {
+	return k.c.Delegate0(k.d.fidStats[0]),
+		k.c.Delegate0(k.d.fidStats[1]),
+		k.c.Delegate0(k.d.fidStats[2])
+}

@@ -1,0 +1,57 @@
+package apps
+
+// TTL (expiry) support for KVStore — the memcached feature that makes Get
+// misses on expired keys. Expiry is lazy, as in memcached: an expired
+// entry is reclaimed when an access touches it (plus whatever LRU eviction
+// reclaims). Time is a logical tick supplied by the caller, which keeps
+// the store deterministic and delegation-friendly (the server owns the
+// clock word; no time syscalls in delegated functions).
+
+// SetTTL inserts or updates key with an expiry at tick now+ttl. A ttl of
+// zero means no expiry (like Set).
+func (s *KVStore) SetTTL(key, value uint64, now, ttl uint64) {
+	s.expireIfDue(key, now)
+	s.Set(key, value)
+	if e, ok := s.table[key]; ok {
+		if ttl == 0 {
+			e.expiresAt = 0
+		} else {
+			e.expiresAt = now + ttl
+		}
+	}
+}
+
+// GetAt looks up key at logical time now, reclaiming it if expired.
+func (s *KVStore) GetAt(key, now uint64) (uint64, bool) {
+	s.expireIfDue(key, now)
+	return s.Get(key)
+}
+
+// expireIfDue reclaims key if its expiry has passed.
+func (s *KVStore) expireIfDue(key, now uint64) {
+	e, ok := s.table[key]
+	if !ok || e.expiresAt == 0 || now < e.expiresAt {
+		return
+	}
+	s.unlink(e)
+	delete(s.table, key)
+	s.expired++
+}
+
+// Expired returns how many entries lazy expiry has reclaimed.
+func (s *KVStore) Expired() uint64 { return s.expired }
+
+// SweepExpired scans the whole store and reclaims every entry due at now.
+// It is O(n); delegation makes it trivially safe to run as one atomic
+// request (the composite-operation advantage).
+func (s *KVStore) SweepExpired(now uint64) (reclaimed int) {
+	for key, e := range s.table {
+		if e.expiresAt != 0 && now >= e.expiresAt {
+			s.unlink(e)
+			delete(s.table, key)
+			s.expired++
+			reclaimed++
+		}
+	}
+	return reclaimed
+}

@@ -1,0 +1,94 @@
+// Package apps contains the application-level benchmarks of the ffwd
+// paper in two forms:
+//
+//   - simulation profiles (Profile) capturing each benchmark's
+//     synchronization footprint — how much parallel work an operation does
+//     between critical sections, how heavy the critical section is, and
+//     how many locks the application exposes. These drive figures 4–6
+//     through the method simulations, substituting for memcached/memslap,
+//     SPLASH-2 raytrace/radiosity, and the Phoenix kernels (DESIGN.md
+//     documents the substitution).
+//
+//   - real, runnable mini-applications (KVStore, WorkQueue, the Phoenix
+//     kernels in kernels.go) with interchangeable synchronization
+//     backends, exercised by the examples, the TCP server in
+//     cmd/ffwdserve, and the native test suite.
+package apps
+
+import "ffwd/internal/simsync"
+
+// Profile is an application benchmark's synchronization footprint.
+type Profile struct {
+	// Name as it appears in fig4.
+	Name string
+	// ThinkNS is the parallel (non-critical-section) work per operation.
+	ThinkNS float64
+	// CS is the critical section executed per operation.
+	CS simsync.CS
+	// Vars is the number of independent locks the application exposes
+	// (memcached 1.4's global cache lock ⇒ 1).
+	Vars int
+	// TotalOps converts throughput to runtime for figures 5 and 6.
+	TotalOps float64
+	// CapMops is the application's own throughput ceiling in Mops —
+	// memory bandwidth, input size, or task-graph width — that no
+	// synchronization method can exceed. It is what makes the Phoenix
+	// kernels tie across methods in fig4.
+	CapMops float64
+}
+
+// Profiles are the eleven application configurations of fig4, in the
+// paper's order. Think/CS values are calibrated to the paper's measured
+// speedups: lock-bound applications (memcached, raytrace-car) spend most
+// of their time contending on one lock; the Phoenix kernels are compute-
+// bound with tiny, rare critical sections, so every method ties.
+var Profiles = []Profile{
+	{Name: "Memcached Set", ThinkNS: 1200,
+		CS:   simsync.CS{BaseNS: 160, SharedLineAccesses: 4, WorkingSetLines: 1 << 16},
+		Vars: 1, TotalOps: 6e8, CapMops: 5.9},
+	{Name: "Memcached Get", ThinkNS: 1400,
+		CS:   simsync.CS{BaseNS: 90, SharedLineAccesses: 2, WorkingSetLines: 1 << 16},
+		Vars: 1, TotalOps: 6e8, CapMops: 7.9},
+	{Name: "Raytrace Balls4", ThinkNS: 2600,
+		CS:   simsync.CS{BaseNS: 60, SharedLineAccesses: 2, WorkingSetLines: 512},
+		Vars: 1, TotalOps: 4e8, CapMops: 4.7},
+	{Name: "Raytrace Car", ThinkNS: 700,
+		CS:   simsync.CS{BaseNS: 60, SharedLineAccesses: 2, WorkingSetLines: 512},
+		Vars: 1, TotalOps: 4e8, CapMops: 9.6},
+	{Name: "Radiosity", ThinkNS: 1100,
+		CS:   simsync.CS{BaseNS: 80, SharedLineAccesses: 2, WorkingSetLines: 2048},
+		Vars: 1, TotalOps: 5e8, CapMops: 4.4},
+	{Name: "Linear Regression 100MB", ThinkNS: 9000,
+		CS:   simsync.CS{BaseNS: 60, SharedLineAccesses: 1, WorkingSetLines: 64},
+		Vars: 1, TotalOps: 2e8, CapMops: 2.7},
+	{Name: "Linear Regression 2GB", ThinkNS: 40000,
+		CS:   simsync.CS{BaseNS: 60, SharedLineAccesses: 1, WorkingSetLines: 64},
+		Vars: 1, TotalOps: 2e8, CapMops: 2.2},
+	{Name: "Matrix Multiply 500", ThinkNS: 30000,
+		CS:   simsync.CS{BaseNS: 50, SharedLineAccesses: 1, WorkingSetLines: 64},
+		Vars: 1, TotalOps: 5e7, CapMops: 2.2},
+	{Name: "Matrix Multiply 2000", ThinkNS: 120000,
+		CS:   simsync.CS{BaseNS: 50, SharedLineAccesses: 1, WorkingSetLines: 64},
+		Vars: 1, TotalOps: 2e7, CapMops: 1.15},
+	{Name: "String Match 100MB", ThinkNS: 7000,
+		CS:   simsync.CS{BaseNS: 60, SharedLineAccesses: 1, WorkingSetLines: 64},
+		Vars: 1, TotalOps: 2e8, CapMops: 2.7},
+	{Name: "String Match 500MB", ThinkNS: 28000,
+		CS:   simsync.CS{BaseNS: 60, SharedLineAccesses: 1, WorkingSetLines: 64},
+		Vars: 1, TotalOps: 2e8, CapMops: 2.5},
+}
+
+// ProfileByName returns the profile with the given fig4 name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Fig4Methods are the methods compared in fig4, in legend order.
+var Fig4Methods = []simsync.Method{
+	simsync.MUTEX, simsync.TAS, simsync.FC, simsync.MCS, simsync.RCL, simsync.FFWD,
+}

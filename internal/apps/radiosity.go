@@ -1,0 +1,119 @@
+package apps
+
+import "sync"
+
+// Radiosity is the SPLASH-2 radiosity analog: an iterative energy-
+// distribution kernel over a set of patches, driven by a central task
+// queue (the contended structure) with per-task energy folded into a
+// shared accumulator. Each task redistributes a patch's undistributed
+// energy to deterministic neighbour patches and re-enqueues patches whose
+// received energy crosses a threshold — the same produce-consume-respawn
+// profile as the original's interaction tasks.
+//
+// The result (total distributed energy and task count) is deterministic
+// and identical across backends, which the tests verify.
+func Radiosity(q func() WorkQueue, workers, patches, rounds int) (energy uint64, tasksRun uint64) {
+	if patches < 2 {
+		patches = 2
+	}
+	queues := make([]WorkQueue, workers)
+	for i := range queues {
+		queues[i] = q()
+	}
+
+	// Patch state is sharded by patch id so the kernel itself is
+	// embarrassingly parallel; only the queue is shared — as in the
+	// paper's characterization of the benchmark.
+	type patch struct {
+		mu     sync.Mutex
+		undist uint64
+		sent   uint64
+	}
+	ps := make([]*patch, patches)
+	for i := range ps {
+		ps[i] = &patch{undist: uint64(i%7) * 100}
+	}
+
+	// Task encoding: patchID*maxRounds + round.
+	maxRounds := uint64(rounds + 1)
+	encode := func(p int, r int) uint64 { return uint64(p)*maxRounds + uint64(r) }
+
+	seedQ := queues[0]
+	seeded := 0
+	for p := 0; p < patches; p++ {
+		if ps[p].undist > 0 {
+			seedQ.Push(encode(p, 0))
+			seeded++
+		}
+	}
+
+	var outMu sync.Mutex
+	outstanding := seeded
+	var resMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(q WorkQueue) {
+			defer wg.Done()
+			var localEnergy, localTasks uint64
+			for {
+				task, ok := q.Pop()
+				if !ok {
+					outMu.Lock()
+					done := outstanding == 0
+					outMu.Unlock()
+					if done {
+						break
+					}
+					continue
+				}
+				pid := int(task / maxRounds)
+				round := int(task % maxRounds)
+				p := ps[pid]
+
+				p.mu.Lock()
+				amount := p.undist
+				p.undist = 0
+				p.sent += amount
+				p.mu.Unlock()
+				localTasks++
+				localEnergy += amount
+
+				spawned := 0
+				if amount > 0 && round < rounds {
+					// Distribute halves to two deterministic
+					// neighbours; remainder dissipates.
+					for i, nb := range [2]int{(pid + 1) % patches, (pid*3 + 1) % patches} {
+						share := amount / uint64(2+i*2)
+						if share == 0 {
+							continue
+						}
+						n := ps[nb]
+						n.mu.Lock()
+						n.undist += share
+						wake := n.undist >= 50
+						n.mu.Unlock()
+						if wake {
+							outMu.Lock()
+							outstanding++
+							outMu.Unlock()
+							q.Push(encode(nb, round+1))
+							spawned++
+						}
+					}
+				}
+				outMu.Lock()
+				outstanding--
+				outMu.Unlock()
+				_ = spawned
+			}
+			resMu.Lock()
+			energy += localEnergy
+			tasksRun += localTasks
+			resMu.Unlock()
+		}(queues[w])
+	}
+	wg.Wait()
+	return energy, tasksRun
+}

@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"ffwd/internal/simarch"
+	"ffwd/internal/simsync"
+)
+
+// SimOptions configure the application simulations.
+type SimOptions struct {
+	Machine    simarch.Machine
+	DurationNS float64
+	Seed       uint64
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Machine.Name == "" {
+		o.Machine = simarch.Broadwell
+	}
+	if o.DurationNS <= 0 {
+		o.DurationNS = 1e6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// thinkPauses converts an application's parallel work to the simulators'
+// PAUSE-denominated delay.
+func thinkPauses(m simarch.Machine, thinkNS float64) int {
+	p := int(thinkNS / (20 * m.CycleNS()))
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Throughput simulates the application under the given method and thread
+// count, returning Mops (capped at the application's own ceiling).
+func Throughput(o SimOptions, p Profile, method simsync.Method, threads int) float64 {
+	v := rawThroughput(o, p, method, threads)
+	if p.CapMops > 0 && v > p.CapMops {
+		v = p.CapMops
+	}
+	return v
+}
+
+func rawThroughput(o SimOptions, p Profile, method simsync.Method, threads int) float64 {
+	o = o.withDefaults()
+	// Long-thinking applications need a horizon that fits many
+	// operation cycles per thread or the warm-up transient dominates.
+	if min := 50 * p.ThinkNS; o.DurationNS < min {
+		o.DurationNS = min
+	}
+	m := o.Machine
+	delay := thinkPauses(m, p.ThinkNS)
+	switch method {
+	case simsync.FFWD, simsync.FFWDx2:
+		clients := threads - 2
+		if clients < 1 {
+			clients = 1
+		}
+		// Delegated form: the critical section runs server-local.
+		cs := simsync.CS{BaseNS: p.CS.BaseNS +
+			float64(p.CS.SharedLineAccesses)*3*m.CycleNS()}
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: method, Clients: clients, Servers: 1,
+			Vars: p.Vars, DelayPauses: delay, CS: cs,
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case simsync.RCL:
+		clients := threads - 1
+		if clients < 1 {
+			clients = 1
+		}
+		cs := simsync.CS{BaseNS: p.CS.BaseNS +
+			float64(p.CS.SharedLineAccesses)*3*m.CycleNS()}
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: method, Clients: clients, Servers: 1,
+			Vars: p.Vars, DelayPauses: delay, CS: cs,
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case simsync.FC, simsync.CC, simsync.DSM, simsync.H:
+		return simsync.SimulateCombining(simsync.CombSimConfig{
+			Machine: m, Method: method, Threads: threads,
+			DelayPauses: delay, CS: p.CS,
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	default:
+		return simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: method, Threads: threads, Vars: p.Vars,
+			DelayPauses: delay, CS: p.CS,
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	}
+}
+
+// appThreadCounts are the thread counts searched for each method's best
+// configuration (fig4 reports "best performing number of threads").
+func appThreadCounts(m simarch.Machine) []int {
+	var out []int
+	for _, t := range []int{2, 4, 8, 16, 32, 48, 64, 96, 128} {
+		if t <= m.TotalThreads() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BestThroughput returns the method's best throughput over thread counts
+// and the thread count achieving it.
+func BestThroughput(o SimOptions, p Profile, method simsync.Method) (mops float64, threads int) {
+	o = o.withDefaults()
+	for _, t := range appThreadCounts(o.Machine) {
+		if v := Throughput(o, p, method, t); v > mops {
+			mops, threads = v, t
+		}
+	}
+	return mops, threads
+}
+
+// RuntimeSeconds converts the profile's fixed operation count to a runtime
+// under the given method and thread count (figures 5 and 6).
+func RuntimeSeconds(o SimOptions, p Profile, method simsync.Method, threads int) float64 {
+	mops := Throughput(o, p, method, threads)
+	if mops <= 0 {
+		return 0
+	}
+	return p.TotalOps / (mops * 1e6)
+}

@@ -1,0 +1,205 @@
+package apps
+
+import (
+	"sync"
+
+	"ffwd/internal/core"
+	"ffwd/internal/ds"
+)
+
+// WorkQueue is the raytrace/radiosity-analog: a central task queue feeding
+// workers that do CPU work per task and occasionally spawn follow-on tasks
+// (secondary rays / radiosity interactions). The queue is the contended
+// structure; the kernel is embarrassingly parallel.
+type WorkQueue interface {
+	// Push adds a task.
+	Push(task uint64)
+	// Pop removes a task; ok is false when the queue is empty.
+	Pop() (uint64, bool)
+}
+
+// LockedWorkQueue protects a plain FIFO with one lock.
+type LockedWorkQueue struct {
+	mu sync.Locker
+	q  *ds.Queue
+}
+
+// NewLockedWorkQueue returns an empty queue protected by mkLock().
+func NewLockedWorkQueue(mkLock func() sync.Locker) *LockedWorkQueue {
+	return &LockedWorkQueue{mu: mkLock(), q: ds.NewQueue()}
+}
+
+// Push adds a task under the lock.
+func (w *LockedWorkQueue) Push(task uint64) {
+	w.mu.Lock()
+	w.q.Enqueue(task)
+	w.mu.Unlock()
+}
+
+// Pop removes a task under the lock.
+func (w *LockedWorkQueue) Pop() (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.q.Dequeue()
+}
+
+// DelegatedWorkQueue serves the queue through a ffwd server.
+type DelegatedWorkQueue struct {
+	srv             *core.Server
+	q               *ds.Queue
+	fidPush, fidPop core.FuncID
+}
+
+// NewDelegatedWorkQueue builds the queue and its (unstarted) server.
+func NewDelegatedWorkQueue(maxClients int) *DelegatedWorkQueue {
+	d := &DelegatedWorkQueue{
+		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		q:   ds.NewQueue(),
+	}
+	d.fidPush = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.q.Enqueue(a[0])
+		return 0
+	})
+	d.fidPop = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		v, ok := d.q.Dequeue()
+		if !ok {
+			return wqEmptySentinel
+		}
+		return v
+	})
+	return d
+}
+
+// wqEmptySentinel marks an empty queue; task ids must not equal it.
+const wqEmptySentinel = ^uint64(0)
+
+// Start launches the server.
+func (d *DelegatedWorkQueue) Start() error { return d.srv.Start() }
+
+// Stop halts the server.
+func (d *DelegatedWorkQueue) Stop() { d.srv.Stop() }
+
+// WQClient is a per-goroutine handle implementing WorkQueue.
+type WQClient struct {
+	d *DelegatedWorkQueue
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *DelegatedWorkQueue) NewClient() (*WQClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &WQClient{d: d, c: c}, nil
+}
+
+// Push adds a task.
+func (w *WQClient) Push(task uint64) {
+	if task == wqEmptySentinel {
+		panic("apps: WQClient.Push of the sentinel task id")
+	}
+	w.c.Delegate1(w.d.fidPush, task)
+}
+
+// Pop removes a task; ok is false when the queue was empty.
+func (w *WQClient) Pop() (uint64, bool) {
+	v := w.c.Delegate0(w.d.fidPop)
+	if v == wqEmptySentinel {
+		return 0, false
+	}
+	return v, true
+}
+
+// childTask derives a deterministic follow-on task id from its parent, so
+// the full task tree (and therefore the checksum) is independent of which
+// worker processes which task. Child ids sit above 1<<20, so they never
+// spawn further work, and below the sentinel.
+func childTask(parent uint64, i int) uint64 {
+	c := (parent*0x9E3779B97F4A7C15 + uint64(i) + 1) | 1<<21
+	return c &^ (1 << 63)
+}
+
+// RenderTask is the per-task kernel: a deterministic xorshift mix loop
+// standing in for tracing one ray bundle. work controls the task length;
+// the return value is a checksum plus how many follow-on tasks to spawn
+// (0–2, scene-dependent).
+func RenderTask(seed uint64, work int) (checksum uint64, spawn int) {
+	x := seed | 1
+	for i := 0; i < work; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	// Spawn probability decays so the task tree terminates: tasks with
+	// low bits set spawn children.
+	switch {
+	case seed < 1<<20 && x%8 == 0:
+		spawn = 2
+	case seed < 1<<20 && x%8 == 1:
+		spawn = 1
+	}
+	return x, spawn
+}
+
+// RunRender drains a queue seeded with initialTasks tasks using workers
+// goroutines, each computing RenderTask(work) per task and pushing spawned
+// follow-ons. It returns the xor of all checksums and the number of tasks
+// executed — identical for every backend, which the tests verify.
+func RunRender(q func() WorkQueue, workers, initialTasks, work int) (checksum uint64, executed uint64) {
+	queues := make([]WorkQueue, workers)
+	for i := range queues {
+		queues[i] = q()
+	}
+	seedQ := queues[0]
+	for i := 0; i < initialTasks; i++ {
+		seedQ.Push(uint64(i + 1))
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// outstanding tracks queued-but-unfinished tasks so workers know
+	// when the tree is exhausted (an empty queue is not enough: a peer
+	// may still spawn).
+	var outMu sync.Mutex
+	outstanding := initialTasks
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(q WorkQueue) {
+			defer wg.Done()
+			var localSum uint64
+			var localN uint64
+			for {
+				task, ok := q.Pop()
+				if !ok {
+					outMu.Lock()
+					done := outstanding == 0
+					outMu.Unlock()
+					if done {
+						break
+					}
+					continue
+				}
+				sum, spawn := RenderTask(task, work)
+				localSum ^= sum
+				localN++
+				if spawn > 0 {
+					outMu.Lock()
+					outstanding += spawn
+					outMu.Unlock()
+					for i := 0; i < spawn; i++ {
+						q.Push(childTask(task, i))
+					}
+				}
+				outMu.Lock()
+				outstanding--
+				outMu.Unlock()
+			}
+			mu.Lock()
+			checksum ^= localSum
+			executed += localN
+			mu.Unlock()
+		}(queues[w])
+	}
+	wg.Wait()
+	return checksum, executed
+}

@@ -1,0 +1,197 @@
+// Package bench is the experiment harness: one runner per table/figure of
+// the ffwd paper, each producing the same rows/series the paper plots,
+// computed from the machine models in internal/simarch via the method
+// simulations in internal/simsync and the application models in
+// internal/apps.
+//
+// Run experiments through Run (or the ffwdbench CLI / the Benchmark*
+// functions in the repository root's bench_test.go).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ffwd/internal/simarch"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the result of one experiment: the data behind one of the
+// paper's tables or figures.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// XLog marks a log-scale x axis (fig8, fig14, fig15, fig17, fig18).
+	XLog   bool
+	Series []Series
+}
+
+// Options configure an experiment run.
+type Options struct {
+	// Machine to simulate; defaults to Broadwell (the paper's default).
+	Machine simarch.Machine
+	// Seed for the deterministic simulations.
+	Seed uint64
+	// DurationNS is the per-configuration simulation horizon; larger is
+	// smoother and slower. Default 1e6 (1 simulated millisecond).
+	DurationNS float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine.Name == "" {
+		o.Machine = simarch.Broadwell
+	}
+	if o.DurationNS <= 0 {
+		o.DurationNS = 1e6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment is a registered experiment runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) Figure
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Options) Figure) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (Figure, error) {
+	exp, ok := registry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("bench: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return exp.Run(opts.withDefaults()), nil
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Experiments returns the registered experiments sorted by id.
+func Experiments() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// Format renders the figure as an aligned text table: one row per x value,
+// one column per series — the same rows the paper's plots are drawn from.
+func Format(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# y: %s\n", f.YLabel)
+	// Collect the x values (union, sorted).
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			y, ok := lookupY(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %14.3f", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// FormatCSV renders the figure as CSV: a header row with the x label and
+// series labels, then one row per x value. Missing points are empty cells.
+func FormatCSV(f Figure) string {
+	var b strings.Builder
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := lookupY(s, x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvEscape quotes a field when it contains separators or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,508 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ffwd/internal/simarch"
+)
+
+// fast returns options with a reduced horizon for quick test runs.
+func fast() Options { return Options{DurationNS: 3e5, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", fast()); err == nil {
+		t.Fatal("Run(fig99) succeeded")
+	}
+}
+
+func TestAllExperimentsProduceSeries(t *testing.T) {
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			f, err := Run(exp.ID, fast())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.ID != exp.ID {
+				t.Fatalf("figure ID = %q", f.ID)
+			}
+			if len(f.Series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range f.Series {
+				if len(s.Points) == 0 {
+					t.Fatalf("series %q has no points", s.Label)
+				}
+				for _, p := range s.Points {
+					if p.Y < 0 {
+						t.Fatalf("series %q has negative value %v at %v", s.Label, p.Y, p.X)
+					}
+				}
+			}
+		})
+	}
+}
+
+// seriesByLabel fetches one line of a figure.
+func seriesByLabel(t *testing.T, f Figure, label string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q", f.ID, label)
+	return Series{}
+}
+
+func firstY(s Series) float64 { return s.Points[0].Y }
+func lastY(s Series) float64  { return s.Points[len(s.Points)-1].Y }
+
+func maxY(s Series) float64 {
+	m := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+func TestFig1Shape(t *testing.T) {
+	f, err := Run("fig1", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	mcs := seriesByLabel(t, f, "MCS")
+	single := seriesByLabel(t, f, "Single threaded")
+	// Delegation dominates locking for short critical sections…
+	if firstY(ffwd) < 4*firstY(mcs) {
+		t.Fatalf("short CS: FFWD %.1f vs MCS %.1f, want ≥4×", firstY(ffwd), firstY(mcs))
+	}
+	// …but never beats the single-threaded ceiling…
+	for i, p := range ffwd.Points {
+		if p.Y > single.Points[i].Y*1.05 {
+			t.Fatalf("FFWD %.1f above single-thread %.1f at cs=%v", p.Y, single.Points[i].Y, p.X)
+		}
+	}
+	// …and the advantage fades for long critical sections.
+	shortAdv := firstY(ffwd) / firstY(mcs)
+	longAdv := lastY(ffwd) / lastY(mcs)
+	if longAdv > shortAdv/2 {
+		t.Fatalf("delegation advantage did not fade: %.1f→%.1f", shortAdv, longAdv)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	f, err := Run("fig2", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	mcs := seriesByLabel(t, f, "MCS")
+	// Memory locality advantage: ffwd wins throughout the range.
+	for i := range ffwd.Points {
+		if ffwd.Points[i].Y < mcs.Points[i].Y {
+			t.Fatalf("FFWD below MCS at %v elements", ffwd.Points[i].X)
+		}
+	}
+	if lastY(ffwd) > firstY(ffwd)/10 {
+		t.Fatal("throughput should collapse as updated elements grow")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	f, err := Run("fig7", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2b := seriesByLabel(t, f, "MUTEX % B2B ACQ")
+	if firstY(b2b) < 80 {
+		t.Fatalf("B2B at zero delay = %.0f%%", firstY(b2b))
+	}
+	if lastY(b2b) > 5 {
+		t.Fatalf("B2B at max delay = %.0f%%", lastY(b2b))
+	}
+}
+
+func TestFig8Crossover(t *testing.T) {
+	f, err := Run("fig8", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	mcs := seriesByLabel(t, f, "MCS")
+	// Few variables: delegation dominates.
+	if firstY(ffwd) < 3*firstY(mcs) {
+		t.Fatalf("1 var: FFWD %.1f vs MCS %.1f", firstY(ffwd), firstY(mcs))
+	}
+	// Many variables: locking must win ("for a sufficiently parallel
+	// program, the centralized model of delegation cannot compete").
+	if lastY(mcs) < lastY(ffwd) {
+		t.Fatalf("4096 vars: MCS %.1f should beat FFWD %.1f", lastY(mcs), lastY(ffwd))
+	}
+}
+
+func TestFig9AllMachines(t *testing.T) {
+	for _, m := range simarch.Machines {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			o := fast()
+			o.Machine = m
+			f, err := Run("fig9", o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffwd := seriesByLabel(t, f, "FFWD")
+			// Delegation throughput grows with thread count.
+			if lastY(ffwd) < 3*firstY(ffwd) {
+				t.Fatalf("%s: FFWD did not scale with threads (%.1f→%.1f)",
+					m.Name, firstY(ffwd), lastY(ffwd))
+			}
+			// And wins at full thread count.
+			mutex := seriesByLabel(t, f, "MUTEX")
+			if lastY(ffwd) < 2*lastY(mutex) {
+				t.Fatalf("%s: FFWD %.1f vs MUTEX %.1f at full threads",
+					m.Name, lastY(ffwd), lastY(mutex))
+			}
+		})
+	}
+}
+
+func TestFig10QueueEqualsFig11StackForFFWD(t *testing.T) {
+	// "ffwd performance is essentially identical for both data
+	// structures" — a single server serializes both; the two locks of
+	// the queue meanwhile beat the stack's one.
+	q, err := Run("fig10", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run("fig11", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := lastY(seriesByLabel(t, q, "FFWD"))
+	fs := lastY(seriesByLabel(t, s, "FFWD"))
+	if fq < fs*0.85 || fq > fs*1.15 {
+		t.Fatalf("FFWD queue %.1f vs stack %.1f: want ≈equal", fq, fs)
+	}
+	mq := lastY(seriesByLabel(t, q, "MCS"))
+	ms := lastY(seriesByLabel(t, s, "MCS"))
+	if mq < 1.3*ms {
+		t.Fatalf("two-lock queue MCS %.1f vs stack MCS %.1f: queue should win", mq, ms)
+	}
+}
+
+func TestFig12FFWDBeatsLocks(t *testing.T) {
+	f, err := Run("fig12", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	mcs := seriesByLabel(t, f, "MCS")
+	if lastY(ffwd) < 2*lastY(mcs) {
+		t.Fatalf("naive list at 128 threads: FFWD %.2f vs MCS %.2f", lastY(ffwd), lastY(mcs))
+	}
+	// ffwd is server-bound and flat, not scaling with threads.
+	if lastY(ffwd) > 2*firstY(ffwd)+1 {
+		t.Fatal("naive-list ffwd should be flat (server traversal bound)")
+	}
+}
+
+func TestFig13SkipListCompetitive(t *testing.T) {
+	f, err := Run("fig13", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := seriesByLabel(t, f, "FFWD-SK")
+	mcsSK := seriesByLabel(t, f, "MCS-SK")
+	if lastY(sk) < 4*lastY(mcsSK) {
+		t.Fatalf("FFWD-SK %.1f vs MCS-SK %.1f: delegated skip list must dominate its coarse-locked form",
+			lastY(sk), lastY(mcsSK))
+	}
+	lz := seriesByLabel(t, f, "MCS-LZ")
+	if lastY(lz) < lastY(seriesByLabel(t, f, "FFWD-LZ")) {
+		t.Fatal("lazy list with fine-grained locks should edge out FFWD-LZ at full threads")
+	}
+}
+
+func TestFig14SkipListWinsLargeLists(t *testing.T) {
+	// "as the list grows beyond 2048 elements, even the massive
+	// parallelism of the lazy list cannot make up the O(N) vs O(log N)
+	// difference".
+	f, err := Run("fig14", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := seriesByLabel(t, f, "FFWD-SK")
+	lz := seriesByLabel(t, f, "MCS-LZ")
+	if lastY(sk) < 2*lastY(lz) {
+		t.Fatalf("16384 elements: FFWD-SK %.1f vs MCS-LZ %.1f", lastY(sk), lastY(lz))
+	}
+	if firstY(lz) < firstY(sk) {
+		// At tiny sizes the O(N)/O(log N) gap vanishes and the lazy
+		// list's parallelism can win; both must at least be in the
+		// same order of magnitude.
+		if firstY(lz)*10 < firstY(sk) {
+			t.Fatalf("size 1: MCS-LZ %.1f vs FFWD-SK %.1f implausible", firstY(lz), firstY(sk))
+		}
+	}
+}
+
+func TestFig15StallCurve(t *testing.T) {
+	f, err := Run("fig15", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesByLabel(t, f, "FFWD-LZ")
+	peak := maxY(s)
+	if peak < 40 {
+		t.Fatalf("peak store-buffer stall = %.0f%%, want a pronounced peak (paper: ≈80%%)", peak)
+	}
+	if lastY(s) > peak/2 {
+		t.Fatalf("stalls should subside for huge lists (clients slow down): last %.0f%% vs peak %.0f%%",
+			lastY(s), peak)
+	}
+}
+
+func TestFig16FFWDWinsSmallTree(t *testing.T) {
+	f, err := Run("fig16", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	for _, label := range []string{"RCU", "SWISSTM", "VTREE", "VRBTREE", "RCL"} {
+		if lastY(ffwd) < lastY(seriesByLabel(t, f, label)) {
+			t.Fatalf("1024-node tree at 128 threads: %s beat FFWD", label)
+		}
+	}
+}
+
+func TestFig17Crossovers(t *testing.T) {
+	f, err := Run("fig17", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	s4 := seriesByLabel(t, f, "FFWD-S4")
+	single := seriesByLabel(t, f, "Single threaded")
+	stm := seriesByLabel(t, f, "SWISSTM")
+	// Sharding: ≈4× at every size.
+	for i := range ffwd.Points {
+		r := s4.Points[i].Y / ffwd.Points[i].Y
+		if r < 2.5 || r > 5.5 {
+			t.Fatalf("FFWD-S4/FFWD = %.1f at size %v, want ≈4", r, ffwd.Points[i].X)
+		}
+	}
+	// ffwd tracks but never exceeds single-threaded.
+	for i := range ffwd.Points {
+		if ffwd.Points[i].Y > single.Points[i].Y*1.05 {
+			t.Fatalf("FFWD above single-threaded at size %v", ffwd.Points[i].X)
+		}
+	}
+	// STM overtakes plain FFWD for very large trees.
+	if lastY(stm) < lastY(ffwd) {
+		t.Fatal("SWISSTM should win at 128k nodes")
+	}
+	// And FFWD wins small trees.
+	if firstY(ffwd) < 2*firstY(stm) {
+		t.Fatalf("128-node tree: FFWD %.1f vs SWISSTM %.1f", firstY(ffwd), firstY(stm))
+	}
+}
+
+func TestFig18Crossover(t *testing.T) {
+	f, err := Run("fig18", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	mcs := seriesByLabel(t, f, "MCS")
+	// One bucket: delegation wins big.
+	if firstY(ffwd) < 2*firstY(mcs) {
+		t.Fatalf("1 bucket: FFWD %.1f vs MCS %.1f", firstY(ffwd), firstY(mcs))
+	}
+	// 1024 buckets: fine-grained locking wins ("a hash table is an
+	// ideal target for fine-grained synchronization").
+	if lastY(mcs) < 1.5*lastY(ffwd) {
+		t.Fatalf("1024 buckets: MCS %.1f vs FFWD %.1f", lastY(mcs), lastY(ffwd))
+	}
+}
+
+func TestFig4Normalization(t *testing.T) {
+	f, err := Run("fig4", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutex := seriesByLabel(t, f, "MUTEX")
+	for _, p := range mutex.Points {
+		if p.Y != 1 {
+			t.Fatalf("MUTEX speedup = %v at app %v, must be 1 (the baseline)", p.Y, p.X)
+		}
+	}
+	ffwd := seriesByLabel(t, f, "FFWD")
+	// Memcached Set (index 0) is the paper's flagship: ≈2.5×.
+	if y := firstY(ffwd); y < 1.8 || y > 3.2 {
+		t.Fatalf("Memcached-Set FFWD speedup = %.2f, want ≈2.3–2.5", y)
+	}
+	// Matrix Multiply 2000 (index 8) ties: delegation cannot speed up
+	// compute-bound code.
+	mm := ffwd.Points[8].Y
+	if mm < 0.8 || mm > 1.2 {
+		t.Fatalf("MatMul-2000 FFWD speedup = %.2f, want ≈1.0", mm)
+	}
+}
+
+func TestFig5And6Runtimes(t *testing.T) {
+	for _, id := range []string{"fig5", "fig6"} {
+		f, err := Run(id, fast())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffwd := seriesByLabel(t, f, "FFWD")
+		mutex := seriesByLabel(t, f, "MUTEX")
+		// At full thread count ffwd's runtime must be well below the
+		// locking baselines (lower is better).
+		if lastY(ffwd) > 0.7*lastY(mutex) {
+			t.Fatalf("%s: FFWD runtime %.0fs vs MUTEX %.0fs at 128 threads",
+				id, lastY(ffwd), lastY(mutex))
+		}
+		// Locking runtimes eventually get worse with more threads.
+		if lastY(mutex) < firstY(mutex)/3 {
+			t.Fatalf("%s: MUTEX kept scaling, contention collapse missing", id)
+		}
+	}
+}
+
+func TestTable1MatchesConfig(t *testing.T) {
+	f, err := Run("table1", fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != len(simarch.Machines) {
+		t.Fatalf("table1 rows = %d, want %d", len(f.Series), len(simarch.Machines))
+	}
+	for i, m := range simarch.Machines {
+		row := f.Series[i]
+		if !strings.Contains(row.Label, m.Name) {
+			t.Fatalf("row %d label %q missing machine name %q", i, row.Label, m.Name)
+		}
+		// Column 3 is remote LLC; must be within probe noise of config.
+		got := row.Points[3].Y
+		if got < m.RemoteLLCNS*0.93 || got > m.RemoteLLCNS*1.07 {
+			t.Fatalf("%s remote LLC probe %.1f vs config %.1f", m.Name, got, m.RemoteLLCNS)
+		}
+	}
+}
+
+func TestFormatRendersAllSeries(t *testing.T) {
+	f := Figure{ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "A", Points: []Point{{1, 2}, {2, 3}}},
+			{Label: "B", Points: []Point{{1, 5}}},
+		}}
+	out := Format(f)
+	for _, want := range []string{"A", "B", "2.000", "5.000", "# x — t"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	// B has no point at x=2: rendered as a dash.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing-point dash not rendered")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Machine.Name != simarch.Broadwell.Name {
+		t.Fatalf("default machine = %q", o.Machine.Name)
+	}
+	if o.DurationNS <= 0 || o.Seed == 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	f := Figure{ID: "x", Title: "t", XLabel: "threads, n", YLabel: "y",
+		Series: []Series{
+			{Label: "A", Points: []Point{{1, 2.5}, {2, 3}}},
+			{Label: `B "quoted"`, Points: []Point{{1, 5}}},
+		}}
+	out := FormatCSV(f)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != `"threads, n",A,"B ""quoted"""` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2.5,5" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,3," {
+		t.Fatalf("row 2 = %q (missing point must be empty)", lines[2])
+	}
+}
+
+func TestFormatPlot(t *testing.T) {
+	f := Figure{ID: "p", Title: "plot", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "up", Points: []Point{{1, 1}, {2, 2}, {3, 3}}},
+			{Label: "down", Points: []Point{{1, 3}, {2, 2}, {3, 1}}},
+		}}
+	out := FormatPlot(f, 40, 10)
+	for _, want := range []string{"A=up", "B=down", "p — plot", "A", "B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' last point must land above its first point:
+	// find rows containing 'A' and check ordering.
+	lines := strings.Split(out, "\n")
+	firstRowWithA, lastColA := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, 'A'); idx >= 0 {
+			if firstRowWithA == -1 {
+				firstRowWithA = i
+				lastColA = idx
+			}
+		}
+	}
+	if firstRowWithA == -1 || lastColA == -1 {
+		t.Fatalf("no A marks:\n%s", out)
+	}
+}
+
+func TestFormatPlotDegenerate(t *testing.T) {
+	out := FormatPlot(Figure{ID: "e", Title: "empty"}, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("degenerate plot = %q", out)
+	}
+	logFig := Figure{ID: "l", Title: "log", XLog: true,
+		Series: []Series{{Label: "s", Points: []Point{{1, 1}, {1024, 5}}}}}
+	if !strings.Contains(FormatPlot(logFig, 0, 0), "log scale") {
+		t.Fatal("log-scale annotation missing")
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"ffwd/internal/apps"
+	"ffwd/internal/simsync"
+)
+
+func init() {
+	register("fig4", "application benchmark speedup over pthreads", runFig4)
+	register("fig5", "Memcached-Set runtime vs threads", runFig5)
+	register("fig6", "Raytrace-Car runtime vs threads", runFig6)
+}
+
+func simOpts(o Options) apps.SimOptions {
+	return apps.SimOptions{Machine: o.Machine, DurationNS: o.DurationNS, Seed: o.Seed}
+}
+
+// runFig4 computes each application's speedup over the best POSIX mutex
+// configuration, at each method's best thread count — exactly the paper's
+// normalization. X encodes the application index.
+func runFig4(o Options) Figure {
+	f := Figure{ID: "fig4", Title: "Application speedup over pthreads (best thread count)",
+		XLabel: "application (index into the paper's order)", YLabel: "speedup ×"}
+	so := simOpts(o)
+	base := make([]float64, len(apps.Profiles))
+	for i, p := range apps.Profiles {
+		base[i], _ = apps.BestThroughput(so, p, simsync.MUTEX)
+	}
+	for _, meth := range apps.Fig4Methods {
+		s := Series{Label: string(meth)}
+		for i, p := range apps.Profiles {
+			best, _ := apps.BestThroughput(so, p, meth)
+			y := 0.0
+			if base[i] > 0 {
+				y = best / base[i]
+			}
+			s.Points = append(s.Points, Point{float64(i), y})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// appRuntimeFigure builds a runtime-vs-threads figure for one profile.
+func appRuntimeFigure(o Options, id, title, app string, methods []simsync.Method) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "threads", YLabel: "runtime (s)"}
+	p, ok := apps.ProfileByName(app)
+	if !ok {
+		return f
+	}
+	so := simOpts(o)
+	m := o.Machine
+	var threads []int
+	for _, t := range []int{2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128} {
+		if t <= m.TotalThreads() {
+			threads = append(threads, t)
+		}
+	}
+	for _, meth := range methods {
+		s := Series{Label: string(meth)}
+		for _, t := range threads {
+			s.Points = append(s.Points, Point{float64(t), apps.RuntimeSeconds(so, p, meth, t)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+func runFig5(o Options) Figure {
+	return appRuntimeFigure(o, "fig5", "Memcached-Set runtime vs threads", "Memcached Set",
+		[]simsync.Method{simsync.FFWD, simsync.MCS, simsync.MUTEX, simsync.TAS, simsync.RCL})
+}
+
+func runFig6(o Options) Figure {
+	return appRuntimeFigure(o, "fig6", "Raytrace-Car runtime vs threads", "Raytrace Car",
+		[]simsync.Method{simsync.FFWD, simsync.MUTEX, simsync.FC, simsync.MCS, simsync.TAS, simsync.RCL})
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+
+	"ffwd/internal/simarch"
+	"ffwd/internal/simsync"
+)
+
+func init() {
+	register("table1", "machine specifications and measured latencies (Table 1)", runTable1)
+	register("fig1", "throughput vs critical section duration", runFig1)
+	register("fig2", "throughput vs randomly updated elements", runFig2)
+	register("fig7", "back-to-back acquisitions and throughput vs delay", runFig7)
+	register("fig8", "fetch-and-add vs number of variables", runFig8)
+	register("fig9", "fetch-and-add vs threads, one variable", runFig9)
+}
+
+// ffwdClients maps a hardware-thread budget to a ffwd client count: the
+// paper dedicates one core (two hardware threads) per participating server
+// socket to delegation.
+func ffwdClients(threads, servers int) int {
+	c := threads - 2*servers
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// runTable1 probes each machine model with the simulated MLC.
+func runTable1(o Options) Figure {
+	f := Figure{ID: "table1", Title: "Specifications and measured latencies (Table 1)",
+		XLabel: "machine", YLabel: "ns (RAM local/remote, LLC local/remote), GB/s"}
+	for i, m := range simarch.Machines {
+		p := simarch.Probe(m, 500, o.Seed)
+		label := fmt.Sprintf("%s (%d×%d-core, %.1fGHz)", m.Name, m.Sockets, m.CoresPerSocket, m.GHz)
+		f.Series = append(f.Series, Series{Label: label, Points: []Point{
+			{X: 0, Y: p.LocalRAMNS}, {X: 1, Y: p.RemoteRAMNS},
+			{X: 2, Y: p.LocalLLCNS}, {X: 3, Y: p.RemoteLLCNS},
+			{X: 4, Y: p.InterconnectGBs},
+		}})
+		_ = i
+	}
+	f.XLabel = "column (0=RAM-l 1=RAM-r 2=LLC-l 3=LLC-r 4=GB/s)"
+	return f
+}
+
+// runFig1 sweeps critical-section duration for single-thread, FFWD, RCL,
+// MCS and MUTEX — the paper's framing figure.
+func runFig1(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig1", Title: "Throughput vs critical section duration",
+		XLabel: "CS duration (ns)", YLabel: "Throughput (Mops)"}
+	durations := []float64{0, 25, 50, 100, 150, 200, 250, 300, 350, 400}
+	threads := m.TotalThreads()
+
+	single := Series{Label: "Single threaded"}
+	ffwd := Series{Label: "FFWD"}
+	rcl := Series{Label: "RCL"}
+	mcs := Series{Label: "MCS"}
+	mutex := Series{Label: "MUTEX"}
+	for _, d := range durations {
+		iters := maxInt(1, int(d/(1.4*m.CycleNS())))
+		cs := simsync.EmptyLoop(m, iters)
+		single.Points = append(single.Points, Point{d, simsync.SimulateSingleThread(m, cs).Mops})
+		ffwd.Points = append(ffwd.Points, Point{d, simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD, Clients: ffwdClients(threads, 4), Servers: 1,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		rcl.Points = append(rcl.Points, Point{d, simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.RCL, Clients: threads - 1, Servers: 1,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		mcs.Points = append(mcs.Points, Point{d, simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.MCS, Threads: threads,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		mutex.Points = append(mutex.Points, Point{d, simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.MUTEX, Threads: threads,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+	}
+	f.Series = []Series{ffwd, rcl, mcs, mutex, single}
+	return f
+}
+
+// runFig2 sweeps the number of randomly updated elements within a 1 MB
+// array.
+func runFig2(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig2", Title: "Throughput vs randomly updated elements (1MB array)",
+		XLabel: "elements", YLabel: "Throughput (Mops)"}
+	counts := []int{0, 1, 2, 4, 8, 16, 32, 64, 96, 128}
+	threads := m.TotalThreads()
+
+	single := Series{Label: "Single threaded"}
+	ffwd := Series{Label: "FFWD"}
+	rcl := Series{Label: "RCL"}
+	mcs := Series{Label: "MCS"}
+	mutex := Series{Label: "MUTEX"}
+	for _, k := range counts {
+		cs := simsync.RandomUpdates(k, 1<<20)
+		single.Points = append(single.Points, Point{float64(k), simsync.SimulateSingleThread(m, cs).Mops})
+		ffwd.Points = append(ffwd.Points, Point{float64(k), simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD, Clients: ffwdClients(threads, 4), Servers: 1,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		rcl.Points = append(rcl.Points, Point{float64(k), simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.RCL, Clients: threads - 1, Servers: 1,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		mcs.Points = append(mcs.Points, Point{float64(k), simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.MCS, Threads: threads,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		mutex.Points = append(mutex.Points, Point{float64(k), simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.MUTEX, Threads: threads,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+	}
+	f.Series = []Series{ffwd, rcl, mcs, mutex, single}
+	return f
+}
+
+// runFig7 sweeps the inter-critical-section delay, reporting lock
+// throughput and the percentage of back-to-back acquisitions for MUTEX.
+func runFig7(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig7", Title: "Back-to-back acquisitions and lock throughput vs delay",
+		XLabel: "delay (PAUSE)", YLabel: "Throughput (Mops) / B2B (%)"}
+	delays := []int{0, 5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100}
+	threads := m.TotalThreads()
+	cs := simsync.EmptyLoop(m, 1)
+
+	methods := []simsync.Method{simsync.MUTEX, simsync.TTAS, simsync.MCS, simsync.TICKET}
+	var series []Series
+	var b2b Series
+	b2b.Label = "MUTEX % B2B ACQ"
+	for _, meth := range methods {
+		s := Series{Label: string(meth)}
+		for _, d := range delays {
+			r := simsync.SimulateLock(simsync.LockSimConfig{
+				Machine: m, Method: meth, Threads: threads,
+				DelayPauses: d, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+			})
+			s.Points = append(s.Points, Point{float64(d), r.Mops})
+			if meth == simsync.MUTEX {
+				b2b.Points = append(b2b.Points, Point{float64(d), r.B2BPct})
+			}
+		}
+		series = append(series, s)
+	}
+	f.Series = append(series, b2b)
+	return f
+}
+
+// fig8Methods is the legend of fig8/fig9.
+var fig8Methods = []simsync.Method{
+	simsync.FFWD, simsync.FFWDx2, simsync.MCS, simsync.MUTEX,
+	simsync.TTAS, simsync.TICKET, simsync.CLH, simsync.TAS,
+	simsync.HTICKET, simsync.FC, simsync.RCL, simsync.ATOMIC,
+}
+
+// fetchAddPoint computes one fetch-and-add configuration for any method.
+func fetchAddPoint(o Options, meth simsync.Method, threads, vars int) float64 {
+	m := o.Machine
+	cs := simsync.CS{BaseNS: 2 * m.CycleNS()} // the increment itself
+	switch meth {
+	case simsync.FFWD, simsync.FFWDx2:
+		servers := 1
+		if vars >= 4 {
+			servers = 4
+		}
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: meth, Clients: ffwdClients(threads, servers),
+			Servers: servers, Vars: vars, DelayPauses: 25, CS: cs,
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case simsync.RCL:
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: meth, Clients: maxInt(1, threads-1), Servers: 1,
+			Vars: vars, DelayPauses: 25, CS: cs,
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case simsync.FC, simsync.CC, simsync.DSM, simsync.H, simsync.SIM:
+		// Combining over vars independent structures: approximate as
+		// independent combiner instances sharing the threads.
+		perVarThreads := maxInt(1, threads/maxInt(1, minInt(vars, threads)))
+		active := minInt(vars, threads)
+		r := simsync.SimulateCombining(simsync.CombSimConfig{
+			Machine: m, Method: meth, Threads: perVarThreads,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+		return r.Mops * float64(active)
+	default:
+		return simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: meth, Threads: threads, Vars: vars,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	}
+}
+
+// runFig8 sweeps the number of fetch-and-add variables at full thread
+// count.
+func runFig8(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig8", Title: "Fetch-and-add vs number of variables (128 threads)",
+		XLabel: "variables", YLabel: "Throughput (Mops)", XLog: true}
+	vars := []int{1, 4, 16, 64, 256, 1024, 4096}
+	threads := m.TotalThreads()
+	for _, meth := range fig8Methods {
+		s := Series{Label: string(meth)}
+		for _, v := range vars {
+			s.Points = append(s.Points, Point{float64(v), fetchAddPoint(o, meth, threads, v)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// runFig9 sweeps thread count for a single variable on the selected
+// machine (the paper's fig9 has one panel per machine; select with
+// -machine).
+func runFig9(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig9", Title: "Fetch-and-add vs threads, one variable — " + m.Name,
+		XLabel: "hardware threads", YLabel: "Throughput (Mops)"}
+	var threads []int
+	for _, t := range []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 80, 96, 112, 128} {
+		if t <= m.TotalThreads() {
+			threads = append(threads, t)
+		}
+	}
+	for _, meth := range fig8Methods {
+		s := Series{Label: string(meth)}
+		for _, t := range threads {
+			s.Points = append(s.Points, Point{float64(t), fetchAddPoint(o, meth, t, 1)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

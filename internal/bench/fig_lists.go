@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"math"
+
+	"ffwd/internal/simarch"
+	"ffwd/internal/simsync"
+)
+
+func init() {
+	register("fig12", "naive linked list vs threads", runFig12)
+	register("fig13", "lazy list / skip list / Harris vs threads", runFig13)
+	register("fig14", "lazy list throughput vs list size", runFig14)
+	register("fig15", "server store-buffer stalls vs list size", runFig15)
+}
+
+const listUpdateRatio = 0.30
+
+// lazySerialNS is the serialized splice portion of a lazy-list update
+// under a given lock kind (lock two nodes, validate, splice).
+func lazySerialNS(m simarch.Machine, kind simsync.Method) float64 {
+	base := 30 * m.CycleNS()
+	if kind == simsync.MUTEX {
+		base *= 2 // heavier lock/unlock pair
+	}
+	return base
+}
+
+// stmListSim models the STM naive list: instrumented traversal, commit
+// point serialized on the clock, and aborts that grow with concurrent
+// updates (an update to any traversed prefix node invalidates the whole
+// read set).
+func stmListSim(o Options, threads, listSize int) float64 {
+	m := o.Machine
+	traverse := simsync.SharedTraverseNS(m, listSize/2, listSize, threads)
+	instr := 3.0 // per-access STM instrumentation factor
+	conflict := func(inflight int) float64 {
+		// An update anywhere in the traversed prefix kills the whole
+		// read set: aborts saturate quickly.
+		return math.Min(0.93, 0.10*float64(inflight))
+	}
+	return simsync.SimulateStructure(simsync.StructSimConfig{
+		Machine: m, Method: simsync.STM, Threads: threads,
+		UpdateRatio:   listUpdateRatio,
+		ReadNS:        traverse * instr,
+		UpdateNS:      traverse * instr,
+		SerialNS:      45,
+		SerialDomains: 1,
+		AbortProb:     conflict,
+		ReadAbortProb: func(inflight int) float64 { return math.Min(0.85, 0.08*float64(inflight)) },
+		DelayPauses:   25, DurationNS: o.DurationNS, Seed: o.Seed,
+	}).Mops
+}
+
+// runFig12 is the naive (single-lock) linked list, 1024 elements, 30%
+// updates.
+func runFig12(o Options) Figure {
+	m := o.Machine
+	const size = 1024
+	f := Figure{ID: "fig12", Title: "Naive linked list (1024 elements, 30% updates)",
+		XLabel: "hardware threads", YLabel: "Throughput (Mops)"}
+	traverse := simsync.TraverseNS(m, size/2, size)
+	lockCS := simsync.CS{MemNS: traverse, SharedLineAccesses: 2, WorkingSetLines: size}
+	serverCS := simsync.CS{BaseNS: simsync.ServerListTraverseNS(m, size/2, size)}
+
+	var threadCounts []int
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128} {
+		if t <= m.TotalThreads() {
+			threadCounts = append(threadCounts, t)
+		}
+	}
+
+	ffwd := Series{Label: "FFWD"}
+	stm := Series{Label: "STM"}
+	for _, t := range threadCounts {
+		ffwd.Points = append(ffwd.Points, Point{float64(t), simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD, Clients: ffwdClients(t, 1), Servers: 1,
+			DelayPauses: 25, CS: serverCS, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops})
+		stm.Points = append(stm.Points, Point{float64(t), stmListSim(o, t, size)})
+	}
+	f.Series = append(f.Series, ffwd)
+	for _, k := range []simsync.Method{simsync.MCS, simsync.MUTEX, simsync.TTAS,
+		simsync.TICKET, simsync.CLH, simsync.TAS, simsync.HTICKET} {
+		s := Series{Label: string(k)}
+		for _, t := range threadCounts {
+			s.Points = append(s.Points, Point{float64(t), simsync.SimulateLock(simsync.LockSimConfig{
+				Machine: m, Method: k, Threads: t,
+				DelayPauses: 25, CS: lockCS, DurationNS: o.DurationNS, Seed: o.Seed,
+			}).Mops})
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Series = append(f.Series, stm)
+	return f
+}
+
+// lazyMissStores models how many of the delegated splice's stores miss and
+// how long each RFO occupies the (dependency-serialized) store path: tiny
+// lists coalesce into one or two hot lines; large lists spread every store
+// across cold, client-shared lines.
+func lazyMissStores(o Options, size int) (stores int, latNS float64) {
+	m := o.Machine
+	switch {
+	case size <= 256:
+		return 1, 0.3 * m.LocalLLCNS
+	case size <= 8192:
+		return 2, m.RemoteLLCNS
+	default:
+		return 2, m.RemoteRAMNS
+	}
+}
+
+// lazyListPoint computes one lazy-list (or related) configuration.
+func lazyListPoint(o Options, label string, threads, size int) simsync.Result {
+	m := o.Machine
+	traverse := simsync.SharedTraverseNS(m, sizeAvg(size), size, threads)
+	switch label {
+	case "FFWD-LZ":
+		// Clients traverse in parallel; only the 30% updates are
+		// delegated. Every server splice store misses (the nodes are
+		// read-shared by traversing clients), and the dependent
+		// load-store chain retires serially — the fig15 mechanism.
+		stores, missLat := lazyMissStores(o, size)
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD, Clients: ffwdClients(threads, 1), Servers: 1,
+			DelayPauses: 25, ClientWorkNS: traverse, DelegateRatio: listUpdateRatio,
+			CS: simsync.CS{
+				BaseNS:           25,
+				ServerMissStores: stores,
+				MissStoreLatNS:   missLat,
+				MissStoreWindow:  1,
+			},
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	case "FFWD-SK":
+		// Whole skip-list operations delegated: O(log n) server-local
+		// descent, upper levels hot in the server's private cache.
+		depth := 2 * simsync.Log2(size+1)
+		cs := simsync.CS{BaseNS: float64(depth)*3.5 + 25*m.CycleNS()}
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD, Clients: ffwdClients(threads, 1), Servers: 1,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	case "MCS-SK":
+		// Coarse-grained skip list: one lock around O(log n) work on
+		// migrating data.
+		depth := 2 * simsync.Log2(size+1)
+		cs := simsync.CS{MemNS: simsync.TraverseNS(m, depth, 2*size),
+			SharedLineAccesses: depth / 2, WorkingSetLines: 2 * size}
+		return simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.MCS, Threads: threads,
+			DelayPauses: 25, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	case "HARRIS":
+		// Lock-free list: parallel traversal, CAS per update; short
+		// lists serialize on the few CAS targets.
+		collide := math.Min(1, 8/float64(maxInt(size, 1)))
+		return simsync.SimulateStructure(simsync.StructSimConfig{
+			Machine: m, Method: simsync.Method(label), Threads: threads,
+			UpdateRatio: listUpdateRatio,
+			ReadNS:      traverse, UpdateNS: traverse,
+			SerialNS: 12 + collide*0.6*m.RemoteLLCNS, SerialDomains: maxInt(1, size/4),
+			AbortProb:   func(inflight int) float64 { return math.Min(0.5, 0.01*float64(inflight)) },
+			DelayPauses: 25, DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	case "RCL-LZ":
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.RCL, Clients: maxInt(1, threads-1), Servers: 1,
+			DelayPauses: 25, ClientWorkNS: traverse, DelegateRatio: listUpdateRatio,
+			CS:         simsync.CS{BaseNS: 25},
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	case "FC-LZ":
+		// Flat combining of the update portion; reads traverse in
+		// parallel like the lazy list, updates funnel through one
+		// combiner.
+		return simsync.SimulateStructure(simsync.StructSimConfig{
+			Machine: m, Method: simsync.FC, Threads: threads,
+			UpdateRatio: listUpdateRatio,
+			ReadNS:      traverse, UpdateNS: traverse,
+			SerialNS: 70, SerialDomains: 1,
+			DelayPauses: 25, DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	default:
+		// Lock-kind lazy list: parallel traversal, fine-grained
+		// two-node splice under the named lock kind. Tiny lists
+		// collide on the few node locks and pay cross-socket
+		// handoffs.
+		kind := simsync.Method(label[:len(label)-3]) // strip "-LZ"
+		collide := math.Min(1, 8/float64(maxInt(size, 1)))
+		serial := lazySerialNS(m, kind) + collide*0.5*m.RemoteLLCNS
+		return simsync.SimulateStructure(simsync.StructSimConfig{
+			Machine: m, Method: kind, Threads: threads,
+			UpdateRatio: listUpdateRatio,
+			ReadNS:      traverse, UpdateNS: traverse,
+			SerialNS: serial, SerialDomains: maxInt(1, size/2),
+			// On short lists concurrent updaters invalidate each
+			// other's optimistic traversals and retry.
+			AbortProb: func(inflight int) float64 {
+				return math.Min(0.75, float64(inflight)/float64(maxInt(size, 1)))
+			},
+			DelayPauses: 25, DurationNS: o.DurationNS, Seed: o.Seed,
+		})
+	}
+}
+
+// sizeAvg is the mean number of nodes traversed in a sorted list of size n.
+func sizeAvg(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return n / 2
+}
+
+var fig13Labels = []string{
+	"FFWD-LZ", "FFWD-SK", "MCS-LZ", "MCS-SK",
+	"MUTEX-LZ", "TTAS-LZ", "TICKET-LZ", "CLH-LZ",
+	"TAS-LZ", "HTICKET-LZ", "HARRIS", "FC-LZ", "RCL-LZ",
+}
+
+// runFig13 is the lazy list / skip list / Harris comparison at 1024
+// elements and 30% updates.
+func runFig13(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig13", Title: "Lazy list, skip list and Harris list (1024 elements, 30% updates)",
+		XLabel: "hardware threads", YLabel: "Throughput (Mops)"}
+	var threadCounts []int
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128} {
+		if t <= m.TotalThreads() {
+			threadCounts = append(threadCounts, t)
+		}
+	}
+	for _, label := range fig13Labels {
+		s := Series{Label: label}
+		for _, t := range threadCounts {
+			s.Points = append(s.Points, Point{float64(t), lazyListPoint(o, label, t, 1024).Mops})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+var fig14Sizes = []int{1, 4, 16, 64, 256, 1024, 4096, 16384}
+
+// runFig14 sweeps the lazy list size at full thread count.
+func runFig14(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig14", Title: "Lazy list vs list size (30% updates, full machine)",
+		XLabel: "elements", YLabel: "Throughput (Mops)", XLog: true}
+	threads := m.TotalThreads()
+	for _, label := range []string{"FFWD-LZ", "FFWD-SK", "MCS-LZ", "MUTEX-LZ", "TTAS-LZ", "HARRIS", "RCL-LZ"} {
+		s := Series{Label: label}
+		for _, size := range fig14Sizes {
+			s.Points = append(s.Points, Point{float64(size), lazyListPoint(o, label, threads, size).Mops})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// runFig15 reports the FFWD-LZ server's store-buffer stalls across list
+// sizes.
+func runFig15(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig15", Title: "FFWD-LZ server store-buffer stalls vs list size",
+		XLabel: "elements", YLabel: "stall % of server busy time", XLog: true}
+	threads := m.TotalThreads()
+	s := Series{Label: "FFWD-LZ"}
+	for _, size := range fig14Sizes {
+		r := lazyListPoint(o, "FFWD-LZ", threads, size)
+		s.Points = append(s.Points, Point{float64(size), r.StallPct})
+	}
+	f.Series = []Series{s}
+	return f
+}

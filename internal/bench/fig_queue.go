@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"ffwd/internal/simsync"
+)
+
+func init() {
+	register("fig10", "two-lock queue throughput vs threads", runFig10)
+	register("fig11", "stack throughput vs threads", runFig11)
+}
+
+// queueCS is the cost of one enqueue/dequeue outside synchronization:
+// allocate/link a node, touch the head or tail line.
+func queueCS() simsync.CS {
+	return simsync.CS{BaseNS: 6, SharedLineAccesses: 1, WorkingSetLines: 64}
+}
+
+// queueDelay is the benchmark's random 0–64 increment loop between
+// operations (≈2 PAUSE equivalents on average).
+const queueDelay = 2
+
+// runQueueStack generates fig10/fig11: the only structural difference is
+// the number of locks (two for the queue, one for the stack) and the
+// lock-free comparator (MS vs LF).
+func runQueueStack(o Options, id, title string, locksVars int, lockFree simsync.Method) Figure {
+	m := o.Machine
+	f := Figure{ID: id, Title: title, XLabel: "hardware threads", YLabel: "Throughput (Mops)"}
+	var threadCounts []int
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128} {
+		if t <= m.TotalThreads() {
+			threadCounts = append(threadCounts, t)
+		}
+	}
+	cs := queueCS()
+
+	lockKinds := []simsync.Method{
+		simsync.MCS, simsync.MUTEX, simsync.TTAS, simsync.TICKET,
+		simsync.CLH, simsync.HTICKET,
+	}
+	combKinds := []simsync.Method{simsync.FC, simsync.CC, simsync.DSM, simsync.H, simsync.SIM}
+
+	addSeries := func(label string, y func(threads int) float64) {
+		s := Series{Label: label}
+		for _, t := range threadCounts {
+			s.Points = append(s.Points, Point{float64(t), y(t)})
+		}
+		f.Series = append(f.Series, s)
+	}
+
+	addSeries("FFWD", func(t int) float64 {
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD, Clients: ffwdClients(t, 1), Servers: 1,
+			DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	})
+	addSeries("FFWDx2", func(t int) float64 {
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWDx2, Clients: ffwdClients(t, 1), Servers: 1,
+			DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	})
+	for _, k := range lockKinds {
+		k := k
+		addSeries(string(k), func(t int) float64 {
+			return simsync.SimulateLock(simsync.LockSimConfig{
+				Machine: m, Method: k, Threads: t, Vars: locksVars,
+				DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+			}).Mops
+		})
+	}
+	for _, k := range combKinds {
+		k := k
+		addSeries(string(k), func(t int) float64 {
+			return simsync.SimulateCombining(simsync.CombSimConfig{
+				Machine: m, Method: k, Threads: t,
+				DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+			}).Mops
+		})
+	}
+	addSeries("RCL", func(t int) float64 {
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.RCL, Clients: maxInt(1, t-1), Servers: 1,
+			DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	})
+	addSeries(string(lockFree), func(t int) float64 {
+		return simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: lockFree, Threads: t, Vars: locksVars,
+			DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	})
+	addSeries("BLF", func(t int) float64 {
+		return simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.BLF, Threads: t, Vars: locksVars,
+			DelayPauses: queueDelay, CS: cs, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	})
+	return f
+}
+
+func runFig10(o Options) Figure {
+	return runQueueStack(o, "fig10",
+		"Two-lock queue throughput vs threads", 2, simsync.MS)
+}
+
+func runFig11(o Options) Figure {
+	return runQueueStack(o, "fig11",
+		"Stack throughput vs threads", 1, simsync.LF)
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"math"
+
+	"ffwd/internal/simarch"
+	"ffwd/internal/simsync"
+)
+
+func init() {
+	register("fig16", "binary tree (1024 nodes) vs threads", runFig16)
+	register("fig17", "binary tree vs tree size", runFig17)
+	register("fig18", "hash table vs number of buckets", runFig18)
+}
+
+const treeUpdateRatio = 0.50
+
+// treeDepth is the expected search depth of the benchmark's randomly built
+// unbalanced BST (≈1.39·log2 n internal comparisons; round up).
+func treeDepth(size int) int {
+	d := simsync.Log2(size + 1)
+	return d + d/2
+}
+
+// treePoint computes one tree-benchmark configuration.
+func treePoint(o Options, label string, threads, size int) float64 {
+	m := o.Machine
+	depth := treeDepth(size)
+	lines := size // ≈ one line per node
+	traverse := simsync.SharedTraverseNS(m, depth, lines, threads)
+	serverOp := simsync.ServerTraverseNS(m, depth, lines) + 8*m.CycleNS()
+
+	switch label {
+	case "FFWD", "FFWD-S4":
+		servers := 1
+		if label == "FFWD-S4" {
+			servers = 4
+		}
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.FFWD,
+			Clients: ffwdClients(threads, servers), Servers: servers,
+			Vars:        servers, // one shard per server
+			DelayPauses: 25,
+			CS:          simsync.CS{BaseNS: serverOp},
+			DurationNS:  o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case "RCL":
+		return simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.RCL, Clients: maxInt(1, threads-1), Servers: 1,
+			DelayPauses: 25, CS: simsync.CS{BaseNS: serverOp},
+			DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case "RCU", "RLU":
+		// Readers traverse in parallel; updates are expensive: RCU
+		// redoes the traversal under the writer mutex and waits out a
+		// grace period; RLU pays rlu_sync (quiescence of every active
+		// reader, which grows with the thread count) but allows
+		// disjoint writers in parallel.
+		domains := 1
+		serial := traverse + 600 // writer mutex handoff + grace period
+		if label == "RLU" {
+			domains = 4
+			serial = traverse + 200 + 6*float64(threads) // rlu_sync
+		}
+		return simsync.SimulateStructure(simsync.StructSimConfig{
+			Machine: m, Method: simsync.Method(label), Threads: threads,
+			UpdateRatio:   treeUpdateRatio,
+			ReadNS:        traverse,
+			UpdateNS:      0,
+			SerialNS:      serial,
+			SerialDomains: domains,
+			DelayPauses:   25, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case "SWISSTM":
+		// Instrumented traversal; conflicts shrink as the tree grows
+		// (disjoint search paths).
+		conflictScale := 8.0 / float64(maxInt(size, 16))
+		return simsync.SimulateStructure(simsync.StructSimConfig{
+			Machine: m, Method: simsync.STM, Threads: threads,
+			UpdateRatio:   treeUpdateRatio,
+			ReadNS:        traverse * 2.2,
+			UpdateNS:      traverse * 2.2,
+			SerialNS:      150,
+			SerialDomains: 1,
+			AbortProb: func(inflight int) float64 {
+				return math.Min(0.85, conflictScale*float64(inflight))
+			},
+			ReadAbortProb: func(inflight int) float64 {
+				return math.Min(0.5, 0.4*conflictScale*float64(inflight))
+			},
+			DelayPauses: 25, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case "VTREE", "VRBTREE":
+		// Versioned trees: wait-free readers on a snapshot; updates
+		// path-copy and CAS the root — fully serialized with retry
+		// waste. VRBTREE's balancing copies more per update but
+		// bounds the depth for large trees.
+		copyDepth := depth
+		copyCost := 18.0 * m.CycleNS()
+		abortFactor := 0.5
+		if label == "VRBTREE" {
+			copyDepth = simsync.Log2(size+1) + 1
+			copyCost *= 2.2 // rebalancing copies beyond the path
+			abortFactor = 0.65
+		}
+		pathCopy := float64(copyDepth) * copyCost
+		return simsync.SimulateStructure(simsync.StructSimConfig{
+			Machine: m, Method: simsync.Method(label), Threads: threads,
+			UpdateRatio:   treeUpdateRatio,
+			ReadNS:        traverse,
+			UpdateNS:      traverse + pathCopy,
+			SerialNS:      m.LocalLLCNS * 0.5, // the root CAS
+			SerialDomains: 1,
+			AbortProb: func(inflight int) float64 {
+				// Every concurrent committer fails all others.
+				return math.Min(0.9, abortFactor*float64(inflight))
+			},
+			DelayPauses: 25, DurationNS: o.DurationNS, Seed: o.Seed,
+		}).Mops
+	case "Single threaded":
+		return simsync.SimulateSingleThread(m, simsync.CS{BaseNS: serverOp}).Mops
+	}
+	return 0
+}
+
+// runFig16 is the 1024-node tree across thread counts.
+func runFig16(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig16", Title: "Binary tree, 1024 nodes, 50% updates",
+		XLabel: "hardware threads", YLabel: "Throughput (Mops)"}
+	var threadCounts []int
+	for _, t := range []int{1, 2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128} {
+		if t <= m.TotalThreads() {
+			threadCounts = append(threadCounts, t)
+		}
+	}
+	for _, label := range []string{"FFWD", "RCL", "RCU", "RLU", "SWISSTM", "VTREE", "VRBTREE"} {
+		s := Series{Label: label}
+		for _, t := range threadCounts {
+			s.Points = append(s.Points, Point{float64(t), treePoint(o, label, t, 1024)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// runFig17 sweeps the tree size at full thread count, adding the sharded
+// FFWD-S4 and the single-threaded reference.
+func runFig17(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig17", Title: "Binary tree vs tree size (50% updates, full machine)",
+		XLabel: "tree size", YLabel: "Throughput (Mops)", XLog: true}
+	sizes := []int{128, 512, 2048, 8192, 32768, 131072}
+	threads := m.TotalThreads()
+	for _, label := range []string{"FFWD", "FFWD-S4", "RCL", "RCU", "RLU", "SWISSTM", "VRBTREE", "VTREE", "Single threaded"} {
+		s := Series{Label: label}
+		for _, size := range sizes {
+			s.Points = append(s.Points, Point{float64(size), treePoint(o, label, threads, size)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// hashCS is the per-bucket operation: hash, short chain walk, update.
+func hashCS(m simarch.Machine, buckets int) simsync.CS {
+	return simsync.CS{
+		BaseNS:             10 * m.CycleNS(),
+		SharedLineAccesses: 2, // bucket head + entry
+		WorkingSetLines:    2 * buckets,
+	}
+}
+
+// runFig18 sweeps the number of hash buckets at full thread count; load
+// factor 1, 30% updates.
+func runFig18(o Options) Figure {
+	m := o.Machine
+	f := Figure{ID: "fig18", Title: "Hash table vs buckets (load factor 1, 30% updates)",
+		XLabel: "buckets", YLabel: "Throughput (Mops)", XLog: true}
+	buckets := []int{1, 4, 16, 64, 256, 1024}
+	threads := m.TotalThreads()
+
+	for _, meth := range []simsync.Method{simsync.FFWD, simsync.FFWDx2} {
+		s := Series{Label: string(meth)}
+		for _, b := range buckets {
+			servers := minInt(4, b)
+			// The hash op is heavier than an increment: hashing,
+			// chain walk, allocation — ≈35 ns server-side, which is
+			// what moves the ffwd/locking crossover from fig8's 128
+			// variables down to 64 buckets.
+			cs := simsync.CS{BaseNS: 35}
+			s.Points = append(s.Points, Point{float64(b), simsync.SimulateDelegation(simsync.DelegSimConfig{
+				Machine: m, Method: meth, Clients: ffwdClients(threads, servers),
+				Servers: servers, Vars: b, DelayPauses: 25, CS: cs,
+				DurationNS: o.DurationNS, Seed: o.Seed,
+			}).Mops})
+		}
+		f.Series = append(f.Series, s)
+	}
+	for _, meth := range simsync.LockMethods {
+		s := Series{Label: string(meth)}
+		for _, b := range buckets {
+			s.Points = append(s.Points, Point{float64(b), simsync.SimulateLock(simsync.LockSimConfig{
+				Machine: m, Method: meth, Threads: threads, Vars: b,
+				DelayPauses: 25, CS: hashCS(m, b), DurationNS: o.DurationNS, Seed: o.Seed,
+			}).Mops})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FormatPlot renders the figure as an ASCII chart — enough to eyeball a
+// regenerated figure's shape against the paper without leaving the
+// terminal. Each series gets a letter mark; overlapping points show the
+// later series. X uses the figure's scale (log when XLog is set).
+func FormatPlot(f Figure, width, height int) string {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) || ymax <= 0 {
+		return b.String() + "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	xpos := func(x float64) int {
+		t := 0.0
+		if f.XLog && xmin > 0 {
+			t = (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+		} else {
+			t = (x - xmin) / (xmax - xmin)
+		}
+		c := int(t * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	ypos := func(y float64) int {
+		r := int(y / ymax * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 on top
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		// Sort by x so adjacent samples can be connected coarsely.
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		for _, p := range pts {
+			grid[ypos(p.Y)][xpos(p.X)] = mark
+		}
+	}
+
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-*g%*g\n", strings.Repeat(" ", 11), width/2, xmin, width-width/2-1, xmax)
+	fmt.Fprintf(&b, "%11s(x: %s%s; y: %s)\n", "", f.XLabel, map[bool]string{true: ", log scale", false: ""}[f.XLog], f.YLabel)
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Label))
+	}
+	fmt.Fprintf(&b, "%11s%s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package combining
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// ccNode is a combining-queue node for CC-Synch.
+type ccNode struct {
+	op        atomic.Pointer[Op]
+	ret       uint64
+	wait      atomic.Uint32
+	completed bool
+	next      atomic.Pointer[ccNode]
+	_         [16]byte
+}
+
+// CCSynch is the CC-Synch universal construction of Fatourou and Kallimanis:
+// a FIFO combining queue implemented with a single swap on the tail, where
+// the thread at the head of the queue is always the combiner. It both
+// orders requests (like an MCS lock) and stores them (like a publication
+// list), which is why it outperforms flat combining under high contention.
+type CCSynch struct {
+	tail atomic.Pointer[ccNode]
+}
+
+// NewCCSynch returns an empty CC-Synch instance.
+func NewCCSynch() *CCSynch {
+	c := &CCSynch{}
+	dummy := &ccNode{}
+	// The dummy's wait flag is clear: the first arriving thread becomes
+	// the combiner immediately.
+	c.tail.Store(dummy)
+	return c
+}
+
+// NewHandle returns a per-goroutine handle.
+func (c *CCSynch) NewHandle() *Handle { return &Handle{cc: &ccNode{}} }
+
+// Do executes op and returns its result.
+func (c *CCSynch) Do(h *Handle, op Op) uint64 {
+	next := h.cc
+	next.next.Store(nil)
+	next.wait.Store(1)
+	next.completed = false
+
+	cur := c.tail.Swap(next)
+	cur.op.Store(&op)
+	cur.next.Store(next)
+	h.cc = cur // recycle: our request node becomes next call's queue node
+
+	var w spin.Waiter
+	for cur.wait.Load() != 0 {
+		w.Wait()
+	}
+	if cur.completed {
+		return cur.ret
+	}
+
+	// We are the combiner: serve from our node down the queue. A node
+	// holds a valid request iff its next link is set (the enqueuer
+	// stores op before linking), so the loop stops at the queue's tail
+	// node, whose owner has not enqueued yet.
+	tmp := cur
+	served := 0
+	for tmp.next.Load() != nil && served < maxCombine {
+		nxt := tmp.next.Load()
+		opp := tmp.op.Load()
+		tmp.ret = (*opp)()
+		tmp.completed = true
+		tmp.wait.Store(0)
+		served++
+		tmp = nxt
+	}
+	// Hand the combiner role to tmp's (current or future) owner: its
+	// wait flag clears with completed == false, so it will combine.
+	tmp.wait.Store(0)
+	return cur.ret
+}

@@ -1,0 +1,49 @@
+// Package combining implements the combining-based synchronization methods
+// the ffwd paper compares against: Flat Combining (FC) [Hendler et al. '10]
+// and the CC-Synch, DSM-Synch and H-Synch algorithms of Fatourou and
+// Kallimanis '12, plus a Sim-style wait-free variant.
+//
+// In combining, one of the waiting threads temporarily becomes the server
+// ("combiner"): it acquires a global role and executes the pending critical
+// sections of other threads along with its own. Unlike delegation there is
+// no dedicated server thread; unlike locking, a lock handoff covers many
+// critical sections.
+//
+// All combiners here execute operations expressed as closures:
+//
+//	v := c.Do(h, func() uint64 { return queueLikeThing.Pop() })
+//
+// Each participating goroutine must use its own Handle.
+package combining
+
+// Op is a critical section to be executed under the combiner: any function
+// returning a single word, mirroring the paper's delegated C functions.
+type Op func() uint64
+
+// Combiner is the common interface of all combining algorithms in this
+// package.
+type Combiner interface {
+	// NewHandle returns a per-goroutine handle. Handles must not be
+	// shared between goroutines.
+	NewHandle() *Handle
+	// Do executes op atomically with respect to every other Do on the
+	// same Combiner and returns its result.
+	Do(h *Handle, op Op) uint64
+}
+
+// Handle carries the per-goroutine state (publication record or combining
+// queue nodes) of whichever algorithm produced it.
+type Handle struct {
+	fc  *fcRecord
+	cc  *ccNode
+	dsm [2]*dsmNode
+	// dsmToggle selects which of the two DSM nodes to use next.
+	dsmToggle int
+	// cluster is the H-Synch cluster this handle belongs to.
+	cluster int
+	hsub    *Handle
+}
+
+// maxCombine bounds how many pending operations one combiner serves before
+// handing off the role, as in the original algorithms (their parameter h).
+const maxCombine = 64

@@ -1,0 +1,178 @@
+package combining
+
+import (
+	"sync"
+	"testing"
+)
+
+// hammerCombiner runs workers goroutines each applying iters increments of
+// a shared (unsynchronized) counter through c, and checks the final value.
+// Any lost update means two operations ran concurrently.
+func hammerCombiner(t *testing.T, c Combiner, workers, iters int) {
+	t.Helper()
+	var counter uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.NewHandle()
+			for i := 0; i < iters; i++ {
+				c.Do(h, func() uint64 {
+					counter++
+					return counter
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if want := uint64(workers * iters); counter != want {
+		t.Fatalf("counter = %d, want %d (operations ran concurrently)", counter, want)
+	}
+}
+
+func TestFlatCombining(t *testing.T)    { hammerCombiner(t, NewFlat(), 8, 2000) }
+func TestCCSynch(t *testing.T)          { hammerCombiner(t, NewCCSynch(), 8, 2000) }
+func TestDSMSynch(t *testing.T)         { hammerCombiner(t, NewDSMSynch(), 8, 2000) }
+func TestHSynch(t *testing.T)           { hammerCombiner(t, NewHSynch(4), 8, 2000) }
+func TestHSynchOneCluster(t *testing.T) { hammerCombiner(t, NewHSynch(0), 4, 1000) }
+
+func TestCombinerReturnsResult(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    Combiner
+	}{
+		{"FC", NewFlat()},
+		{"CC", NewCCSynch()},
+		{"DSM", NewDSMSynch()},
+		{"H", NewHSynch(2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := tc.c.NewHandle()
+			for i := uint64(1); i <= 100; i++ {
+				got := tc.c.Do(h, func() uint64 { return i * 7 })
+				if got != i*7 {
+					t.Fatalf("Do returned %d, want %d", got, i*7)
+				}
+			}
+		})
+	}
+}
+
+func TestHSynchClusterHandles(t *testing.T) {
+	s := NewHSynch(4)
+	var counter uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		cluster := w % 4
+		go func() {
+			defer wg.Done()
+			h := s.NewHandleCluster(cluster)
+			for i := 0; i < 1000; i++ {
+				s.Do(h, func() uint64 { counter++; return counter })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestSimSequential(t *testing.T) {
+	s := NewSim[uint64](0, 4)
+	h := s.NewHandle()
+	for i := uint64(1); i <= 100; i++ {
+		got := s.Do(h, func(st uint64) (uint64, uint64) { return st + 1, st + 1 })
+		if got != i {
+			t.Fatalf("Do #%d returned %d", i, got)
+		}
+	}
+	if st := s.State(); st != 100 {
+		t.Fatalf("State = %d, want 100", st)
+	}
+}
+
+func TestSimConcurrent(t *testing.T) {
+	const workers, iters = 8, 1000
+	s := NewSim[uint64](0, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < iters; i++ {
+				s.Do(h, func(st uint64) (uint64, uint64) { return st + 1, st + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.State(); st != workers*iters {
+		t.Fatalf("State = %d, want %d", st, workers*iters)
+	}
+}
+
+func TestSimHandleExhaustion(t *testing.T) {
+	s := NewSim[int](0, 1)
+	s.NewHandle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second NewHandle did not panic")
+		}
+	}()
+	s.NewHandle()
+}
+
+func TestSimResultsArePerHandle(t *testing.T) {
+	// Each handle's result must be its own op's return value even when
+	// another thread applied it.
+	const workers = 4
+	s := NewSim[uint64](0, workers)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		id := uint64(w + 1)
+		go func() {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < 500; i++ {
+				got := s.Do(h, func(st uint64) (uint64, uint64) { return st + id, id })
+				if got != id {
+					errs <- nil
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-errs:
+		t.Fatal("a handle observed another handle's result")
+	default:
+	}
+}
+
+func BenchmarkCombiners(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    Combiner
+	}{
+		{"FC", NewFlat()},
+		{"CCSynch", NewCCSynch()},
+		{"DSMSynch", NewDSMSynch()},
+		{"HSynch", NewHSynch(4)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var counter uint64
+			b.RunParallel(func(pb *testing.PB) {
+				h := tc.c.NewHandle()
+				for pb.Next() {
+					tc.c.Do(h, func() uint64 { counter++; return counter })
+				}
+			})
+		})
+	}
+}

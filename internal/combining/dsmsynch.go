@@ -1,0 +1,94 @@
+package combining
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// dsmNode is a combining-queue node for DSM-Synch. Unlike CC-Synch, a
+// thread's request lives in its own node, and each thread alternates
+// between two nodes because a node may still be referenced (as the tail or
+// by the combiner) when its owner wants to issue the next request.
+type dsmNode struct {
+	op        atomic.Pointer[Op]
+	ret       uint64
+	wait      atomic.Uint32
+	completed bool
+	next      atomic.Pointer[dsmNode]
+	_         [16]byte
+}
+
+// DSMSynch is the DSM-Synch universal construction of Fatourou and
+// Kallimanis: like CC-Synch it maintains a FIFO combining queue with a swap
+// on the tail, but threads spin only on their own nodes, which suits
+// machines without coherent caching (and costs one extra CAS when the
+// queue empties).
+type DSMSynch struct {
+	tail atomic.Pointer[dsmNode]
+}
+
+// NewDSMSynch returns an empty DSM-Synch instance.
+func NewDSMSynch() *DSMSynch { return &DSMSynch{} }
+
+// NewHandle returns a per-goroutine handle with the thread's two nodes.
+func (d *DSMSynch) NewHandle() *Handle {
+	return &Handle{dsm: [2]*dsmNode{{}, {}}}
+}
+
+// Do executes op and returns its result.
+func (d *DSMSynch) Do(h *Handle, op Op) uint64 {
+	myNode := h.dsm[h.dsmToggle]
+	h.dsmToggle ^= 1
+
+	myNode.wait.Store(1)
+	myNode.completed = false
+	myNode.next.Store(nil)
+	myNode.op.Store(&op)
+
+	pred := d.tail.Swap(myNode)
+	if pred != nil {
+		pred.next.Store(myNode)
+		var w spin.Waiter
+		for myNode.wait.Load() != 0 {
+			w.Wait()
+		}
+		if myNode.completed {
+			return myNode.ret
+		}
+	}
+
+	// We are the combiner; our own request runs first.
+	tmp := myNode
+	served := 0
+	for {
+		opp := tmp.op.Load()
+		tmp.ret = (*opp)()
+		tmp.completed = true
+		tmp.wait.Store(0)
+		served++
+		nxt := tmp.next.Load()
+		if nxt == nil || served >= maxCombine {
+			break
+		}
+		tmp = nxt
+	}
+	if tmp.next.Load() == nil {
+		// Queue looks empty behind us; try to detach.
+		if d.tail.CompareAndSwap(tmp, nil) {
+			return myNode.ret
+		}
+		// Someone swapped themselves in; wait for the link.
+		var w spin.Waiter
+		for tmp.next.Load() == nil {
+			w.Wait()
+		}
+	}
+	// Hand the combiner role to the next enqueued thread. Its own
+	// request is in its own node, so completed stays false and it will
+	// combine from there.
+	nxt := tmp.next.Load()
+	tmp.next.Store(nil)
+	nxt.wait.Store(0)
+	return myNode.ret
+}

@@ -1,0 +1,86 @@
+package combining
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/locks"
+	"ffwd/internal/spin"
+)
+
+// HSynch is the hierarchical combining construction of Fatourou and
+// Kallimanis: one CC-Synch-style combining queue per cluster (socket), plus
+// a global lock. The combiner of a cluster acquires the global lock, serves
+// its cluster's queue, and releases — so cross-socket traffic happens once
+// per batch rather than once per operation.
+type HSynch struct {
+	clusters []hsynchCluster
+	global   locks.Ticket
+}
+
+type hsynchCluster struct {
+	tail atomic.Pointer[ccNode]
+	_    [48]byte
+}
+
+// NewHSynch returns an H-Synch instance with the given number of clusters
+// (clamped to at least 1).
+func NewHSynch(clusters int) *HSynch {
+	if clusters < 1 {
+		clusters = 1
+	}
+	h := &HSynch{clusters: make([]hsynchCluster, clusters)}
+	for i := range h.clusters {
+		h.clusters[i].tail.Store(&ccNode{}) // dummy; first arrival combines
+	}
+	return h
+}
+
+// NewHandle returns a handle bound to cluster 0.
+func (s *HSynch) NewHandle() *Handle { return s.NewHandleCluster(0) }
+
+// NewHandleCluster returns a per-goroutine handle bound to the given
+// cluster.
+func (s *HSynch) NewHandleCluster(cluster int) *Handle {
+	return &Handle{cc: &ccNode{}, cluster: cluster % len(s.clusters)}
+}
+
+// Do executes op and returns its result.
+func (s *HSynch) Do(h *Handle, op Op) uint64 {
+	cl := &s.clusters[h.cluster]
+
+	next := h.cc
+	next.next.Store(nil)
+	next.wait.Store(1)
+	next.completed = false
+
+	cur := cl.tail.Swap(next)
+	cur.op.Store(&op)
+	cur.next.Store(next)
+	h.cc = cur
+
+	var w spin.Waiter
+	for cur.wait.Load() != 0 {
+		w.Wait()
+	}
+	if cur.completed {
+		return cur.ret
+	}
+
+	// Cluster combiner: serialize against other clusters' combiners,
+	// then serve this cluster's queue.
+	s.global.Lock()
+	tmp := cur
+	served := 0
+	for tmp.next.Load() != nil && served < maxCombine {
+		nxt := tmp.next.Load()
+		opp := tmp.op.Load()
+		tmp.ret = (*opp)()
+		tmp.completed = true
+		tmp.wait.Store(0)
+		served++
+		tmp = nxt
+	}
+	s.global.Unlock()
+	tmp.wait.Store(0)
+	return cur.ret
+}

@@ -1,0 +1,68 @@
+package core
+
+// AsyncGroup generalizes the paper's FFWDx2 over-subscription: it manages
+// k client channels for a single goroutine, keeping up to k requests in
+// flight to hide the request/response round-trip latency. FFWDx2 is
+// AsyncGroup with k = 2 — the paper's "two user threads per hardware
+// thread that yield after sending".
+//
+// Operations complete in issue order; Submit returns the result of the
+// oldest in-flight request once the window is full, so a caller that
+// needs results can treat it as a shallow pipeline.
+type AsyncGroup struct {
+	clients []*Client
+	// head is the index of the oldest in-flight request; size is the
+	// number in flight.
+	head, size int
+}
+
+// NewAsyncGroup allocates k client slots on s. k is clamped to at least 1.
+func NewAsyncGroup(s *Server, k int) (*AsyncGroup, error) {
+	if k < 1 {
+		k = 1
+	}
+	g := &AsyncGroup{clients: make([]*Client, k)}
+	for i := range g.clients {
+		c, err := s.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		g.clients[i] = c
+	}
+	return g, nil
+}
+
+// Window returns the group's pipeline depth k.
+func (g *AsyncGroup) Window() int { return len(g.clients) }
+
+// InFlight returns the number of outstanding requests.
+func (g *AsyncGroup) InFlight() int { return g.size }
+
+// Submit issues fid(args...) asynchronously. If the pipeline was full it
+// first waits for the oldest request and returns (its result, true);
+// otherwise it returns (0, false) without blocking.
+func (g *AsyncGroup) Submit(fid FuncID, args ...uint64) (oldest uint64, completed bool) {
+	if g.size == len(g.clients) {
+		oldest = g.clients[g.head].Wait()
+		g.head = (g.head + 1) % len(g.clients)
+		g.size--
+		completed = true
+	}
+	slot := (g.head + g.size) % len(g.clients)
+	g.clients[slot].Issue(fid, args...)
+	g.size++
+	return oldest, completed
+}
+
+// Flush waits for every in-flight request, invoking each result on fn (in
+// issue order) if fn is non-nil.
+func (g *AsyncGroup) Flush(fn func(uint64)) {
+	for g.size > 0 {
+		r := g.clients[g.head].Wait()
+		g.head = (g.head + 1) % len(g.clients)
+		g.size--
+		if fn != nil {
+			fn(r)
+		}
+	}
+}

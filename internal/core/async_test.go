@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAsyncGroupPipelines(t *testing.T) {
+	s := startServer(t, Config{MaxClients: 4})
+	var counter uint64
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 { counter++; return counter })
+	g, err := NewAsyncGroup(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Window() != 4 {
+		t.Fatalf("Window = %d", g.Window())
+	}
+	var results []uint64
+	for i := 0; i < 100; i++ {
+		if r, ok := g.Submit(inc); ok {
+			results = append(results, r)
+		}
+	}
+	g.Flush(func(r uint64) { results = append(results, r) })
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after Flush", g.InFlight())
+	}
+	if counter != 100 || len(results) != 100 {
+		t.Fatalf("counter = %d, results = %d, want 100", counter, len(results))
+	}
+	// Results arrive in issue order: 1..100.
+	for i, r := range results {
+		if r != uint64(i+1) {
+			t.Fatalf("result[%d] = %d, want %d (order broken)", i, r, i+1)
+		}
+	}
+}
+
+func TestAsyncGroupClampsWindow(t *testing.T) {
+	s := startServer(t, Config{MaxClients: 2})
+	g, err := NewAsyncGroup(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Window() != 1 {
+		t.Fatalf("Window = %d, want 1", g.Window())
+	}
+}
+
+func TestAsyncGroupSlotExhaustion(t *testing.T) {
+	s := NewServer(Config{MaxClients: 2, GroupSizeOverride: 2})
+	if _, err := NewAsyncGroup(s, 3); err == nil {
+		t.Fatal("AsyncGroup larger than the server's slots did not fail")
+	}
+}
+
+func TestAsyncGroupConcurrentGroups(t *testing.T) {
+	const workers, perWorker, window = 4, 2000, 2
+	s := NewServer(Config{MaxClients: workers * window})
+	var counter uint64
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 { counter++; return counter })
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := NewAsyncGroup(s, window)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				g.Submit(inc)
+			}
+			g.Flush(nil)
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	if counter != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", counter, workers*perWorker)
+	}
+}
+
+func BenchmarkAsyncGroupWindow(b *testing.B) {
+	for _, window := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "k=1", 2: "k=2(FFWDx2)", 4: "k=4"}[window], func(b *testing.B) {
+			s := startServer(b, Config{MaxClients: window})
+			fid := s.Register(func(*[MaxArgs]uint64) uint64 { return 0 })
+			g, err := NewAsyncGroup(s, window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Submit(fid)
+			}
+			g.Flush(nil)
+		})
+	}
+}

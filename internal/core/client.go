@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// Client is one delegation channel to a Server: a request slot plus a
+// response-slot view. A Client must be used by at most one goroutine at a
+// time. All requests must be issued while the server is running; stop
+// issuing before calling Server.Stop.
+type Client struct {
+	s      *Server
+	slot   int
+	req    []uint64 // this client's request words (header + args)
+	respT  *uint64  // group toggle word
+	respV  *uint64  // this client's return-value word
+	bit    uint64   // our bit in the toggle word
+	toggle uint64   // current request toggle (0 or 1)
+	// pending tracks an Issue without a matching Wait, to catch misuse.
+	pending bool
+}
+
+// Slot returns the client's slot index on its server.
+func (c *Client) Slot() int { return c.slot }
+
+// Issue sends an asynchronous request to execute fid with the given
+// arguments. Exactly one Wait must follow before the next Issue. Issue and
+// Wait are the FFWDx2 building blocks: a goroutine holding two Clients can
+// keep two requests in flight, hiding round-trip latency exactly as the
+// paper's two yielding user threads per hardware thread do.
+func (c *Client) Issue(fid FuncID, args ...uint64) {
+	if c.pending {
+		panic("core: Issue called with a request already in flight")
+	}
+	if len(args) > MaxArgs {
+		panic("core: too many arguments")
+	}
+	for i, a := range args {
+		c.req[1+i] = a
+	}
+	c.toggle ^= 1
+	hdr := uint64(fid)<<hdrFuncShift |
+		uint64(len(args))<<hdrArgcShift |
+		hdrSeededBit | c.toggle
+	// The atomic header store publishes the argument words.
+	atomic.StoreUint64(&c.req[0], hdr)
+	c.pending = true
+}
+
+// TryWait polls for the response to the in-flight request. It reports
+// whether the response arrived; on true, ret is the delegated function's
+// return value.
+func (c *Client) TryWait() (ret uint64, ok bool) {
+	if !c.pending {
+		panic("core: TryWait without an in-flight request")
+	}
+	t := atomic.LoadUint64(c.respT)
+	bitSet := t&c.bit != 0
+	want := c.toggle == 1
+	if bitSet != want {
+		return 0, false
+	}
+	c.pending = false
+	return *c.respV, true
+}
+
+// Wait blocks (spinning politely) until the in-flight request's response
+// arrives and returns the delegated function's return value.
+func (c *Client) Wait() uint64 {
+	var w spin.Waiter
+	for {
+		if ret, ok := c.TryWait(); ok {
+			return ret
+		}
+		w.Wait()
+	}
+}
+
+// Delegate executes fid(args...) on the server and returns its result:
+// the paper's FFWD_DELEGATE, a synchronous request/response round trip.
+func (c *Client) Delegate(fid FuncID, args ...uint64) uint64 {
+	c.Issue(fid, args...)
+	return c.Wait()
+}
+
+// issueHdr publishes a fully prepared request header.
+func (c *Client) issueHdr(fid FuncID, argc int) {
+	if c.pending {
+		panic("core: Issue called with a request already in flight")
+	}
+	c.toggle ^= 1
+	hdr := uint64(fid)<<hdrFuncShift |
+		uint64(argc)<<hdrArgcShift |
+		hdrSeededBit | c.toggle
+	atomic.StoreUint64(&c.req[0], hdr)
+	c.pending = true
+}
+
+// Delegate0 is the allocation-free form of Delegate with no arguments —
+// the hot path for fixed operations (Pop, Len, counters). The variadic
+// Delegate spills its argument slice to the heap; these fixed-arity forms
+// do not.
+func (c *Client) Delegate0(fid FuncID) uint64 {
+	c.issueHdr(fid, 0)
+	return c.Wait()
+}
+
+// Delegate1 is the allocation-free one-argument form of Delegate.
+func (c *Client) Delegate1(fid FuncID, a0 uint64) uint64 {
+	c.req[1] = a0
+	c.issueHdr(fid, 1)
+	return c.Wait()
+}
+
+// Delegate2 is the allocation-free two-argument form of Delegate.
+func (c *Client) Delegate2(fid FuncID, a0, a1 uint64) uint64 {
+	c.req[1] = a0
+	c.req[2] = a1
+	c.issueHdr(fid, 2)
+	return c.Wait()
+}
+
+// Delegate3 is the allocation-free three-argument form of Delegate.
+func (c *Client) Delegate3(fid FuncID, a0, a1, a2 uint64) uint64 {
+	c.req[1] = a0
+	c.req[2] = a1
+	c.req[3] = a2
+	c.issueHdr(fid, 3)
+	return c.Wait()
+}

@@ -1,0 +1,387 @@
+// Package core implements ffwd — fast, fly-weight delegation — the primary
+// contribution of "ffwd: delegation is (much) faster than you think"
+// (SOSP 2017).
+//
+// One goroutine (the server) owns a set of data structures outright and
+// executes short functions on behalf of many client goroutines. Clients and
+// server communicate over per-client request slots and per-group shared
+// response lines, with toggle bits indicating channel state:
+//
+//   - each client core owns a 128-byte request line pair, written only by
+//     that client and read only by the server;
+//   - up to GroupSize clients share one 128-byte response line pair,
+//     written only by the server;
+//   - a request is pending iff the client's request toggle differs from its
+//     response toggle; the response is ready when they are equal again;
+//   - the server polls groups round-robin, buffers return values locally,
+//     and flushes each group's response line as one uninterrupted series of
+//     writes, toggle word last.
+//
+// Two substitutions versus the paper's C implementation, both dictated by
+// Go: delegated functions are registered once and addressed by FuncID
+// (passing raw function pointers through shared memory words is not
+// expressible in safe Go), and the toggle words are published with
+// sync/atomic release/acquire stores rather than relying on x86 total store
+// order. Argument words remain plain stores, ordered by the toggle
+// publication exactly as the paper's design orders them by the final toggle
+// write.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ffwd/internal/padded"
+)
+
+// GroupSize is the number of clients sharing one response line pair: a
+// 128-byte pair holds one toggle word plus 15 eight-byte return values,
+// exactly the paper's layout.
+const GroupSize = 15
+
+// MaxArgs is the maximum number of argument words per request, as in the
+// paper (six, mirroring the x86-64 parameter-passing registers).
+const MaxArgs = 6
+
+// reqWords is the size of one client's request slot in words: header,
+// six argument words, one pad word — 64 bytes, so two clients (the two
+// hardware threads of a core, in the paper's terms) share a line pair.
+const reqWords = 8
+
+// respWords is the size of one response group in words: toggle word plus
+// GroupSize return values — one 128-byte line pair.
+const respWords = 16
+
+// Request header word layout.
+const (
+	hdrToggleBit = 1 << 0
+	hdrArgcShift = 8
+	hdrArgcMask  = 0x7 << hdrArgcShift
+	hdrFuncShift = 16
+	hdrSeededBit = 1 << 4 // distinguishes slot-never-used from toggle 0
+)
+
+// Func is a delegated function: it receives up to MaxArgs argument words
+// and returns one word. It runs on the server goroutine and must not
+// block — exactly the paper's contract ("any non-blocking C function").
+// The argument array is a server-owned buffer reused across requests:
+// a Func must not retain the pointer past its return.
+type Func func(args *[MaxArgs]uint64) uint64
+
+// FuncID identifies a registered Func.
+type FuncID uint32
+
+// Config parameterizes a Server. The zero value is usable: one group of
+// GroupSize clients, buffered responses.
+type Config struct {
+	// MaxClients bounds the number of client slots; it is rounded up to
+	// a whole number of groups. Default: GroupSize.
+	MaxClients int
+	// GroupSize overrides the clients-per-response-line count. Values
+	// outside [1, 15] are clamped. Default (0): GroupSize. Lowering it
+	// to 1 is the "private response lines" ablation.
+	GroupSizeOverride int
+	// WriteThrough disables server-side response buffering: every
+	// response is flushed to the shared line immediately, rather than
+	// once per group batch. This is the paper's "buffered, shared
+	// response lines" ablation (and is slower).
+	WriteThrough bool
+	// ServerLock, if non-nil, is acquired around every delegated call.
+	// The paper measures this design error at 55→26 Mops; it exists
+	// here for the ablation benchmark.
+	ServerLock sync.Locker
+	// IdleYieldAfter is the number of consecutive empty polling sweeps
+	// after which the server yields the processor. Default 1 — at
+	// GOMAXPROCS=1 the server must yield promptly or clients never run.
+	IdleYieldAfter int
+}
+
+// Stats is a snapshot of server activity counters.
+type Stats struct {
+	// Requests is the number of delegated calls served.
+	Requests uint64
+	// Sweeps is the number of full polling passes over all groups.
+	Sweeps uint64
+	// Batches is the number of response-line flushes.
+	Batches uint64
+	// IdleYields is the number of times the server yielded for lack of
+	// work.
+	IdleYields uint64
+	// Panics is the number of delegated functions that panicked; each
+	// was answered with the all-ones sentinel.
+	Panics uint64
+}
+
+// Server is a ffwd delegation server. Create one with NewServer, register
+// the functions it may execute, obtain Clients, then Start it.
+type Server struct {
+	cfg       Config
+	groupSize int
+	nGroups   int
+
+	// reqWords holds every client's request slot, line-pair aligned;
+	// client i owns words [i*reqWords, (i+1)*reqWords).
+	req []uint64
+	// resp holds every group's response line, line-pair aligned; group
+	// g owns words [g*respWords, (g+1)*respWords) — toggle word first,
+	// then return values.
+	resp []uint64
+
+	// funcs is the append-only function registry, swapped atomically so
+	// the server reads it without locks.
+	funcs atomic.Pointer[[]Func]
+	regMu sync.Mutex
+
+	nextSlot atomic.Int32
+	running  atomic.Bool
+	stopping padded.Bool
+	done     chan struct{}
+
+	nRequests   padded.Uint64
+	nSweeps     padded.Uint64
+	nBatches    padded.Uint64
+	nIdleYields padded.Uint64
+	nPanics     padded.Uint64
+}
+
+// NewServer returns a stopped server with the given configuration.
+func NewServer(cfg Config) *Server {
+	gs := cfg.GroupSizeOverride
+	if gs <= 0 || gs > GroupSize {
+		gs = GroupSize
+	}
+	maxClients := cfg.MaxClients
+	if maxClients <= 0 {
+		maxClients = gs
+	}
+	nGroups := (maxClients + gs - 1) / gs
+	if cfg.IdleYieldAfter <= 0 {
+		cfg.IdleYieldAfter = 1
+	}
+	s := &Server{
+		cfg:       cfg,
+		groupSize: gs,
+		nGroups:   nGroups,
+		req:       padded.AlignedUint64s(nGroups * gs * reqWords),
+		resp:      padded.AlignedUint64s(nGroups * respWords),
+		done:      make(chan struct{}),
+	}
+	empty := make([]Func, 0, 16)
+	s.funcs.Store(&empty)
+	return s
+}
+
+// Register adds f to the server's function table and returns its id.
+// Registration may happen at any time, including while the server runs.
+func (s *Server) Register(f Func) FuncID {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	old := *s.funcs.Load()
+	next := make([]Func, len(old)+1)
+	copy(next, old)
+	next[len(old)] = f
+	s.funcs.Store(&next)
+	return FuncID(len(old))
+}
+
+// MaxClients returns the number of client slots the server supports.
+func (s *Server) MaxClients() int { return s.nGroups * s.groupSize }
+
+// ErrNoSlots is returned by NewClient when every client slot is taken.
+var ErrNoSlots = errors.New("core: all client slots in use")
+
+// NewClient allocates a client channel. Each Client must be used by one
+// goroutine at a time.
+func (s *Server) NewClient() (*Client, error) {
+	slot := int(s.nextSlot.Add(1)) - 1
+	if slot >= s.MaxClients() {
+		return nil, ErrNoSlots
+	}
+	group := slot / s.groupSize
+	member := slot % s.groupSize
+	return &Client{
+		s:      s,
+		slot:   slot,
+		req:    s.req[slot*reqWords : (slot+1)*reqWords],
+		respT:  &s.resp[group*respWords],
+		respV:  &s.resp[group*respWords+1+member],
+		bit:    uint64(1) << uint(member),
+		toggle: 0,
+	}, nil
+}
+
+// MustNewClient is NewClient but panics when slots are exhausted.
+func (s *Server) MustNewClient() *Client {
+	c, err := s.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Start launches the server goroutine. It returns an error if the server
+// is already running.
+func (s *Server) Start() error {
+	if !s.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: server already running")
+	}
+	s.stopping.Store(false)
+	s.done = make(chan struct{})
+	go s.run()
+	return nil
+}
+
+// Stop halts the server after the current sweep and waits for it to exit.
+// Outstanding requests issued before Stop are still served. Stop is
+// idempotent on a stopped server.
+func (s *Server) Stop() {
+	if !s.running.Load() {
+		return
+	}
+	s.stopping.Store(true)
+	<-s.done
+	s.running.Store(false)
+}
+
+// Stats returns a snapshot of the server's activity counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:   s.nRequests.Load(),
+		Sweeps:     s.nSweeps.Load(),
+		Batches:    s.nBatches.Load(),
+		IdleYields: s.nIdleYields.Load(),
+		Panics:     s.nPanics.Load(),
+	}
+}
+
+// run is the server loop: poll every request slot group by group, execute
+// new requests, buffer return values, flush per group.
+func (s *Server) run() {
+	defer close(s.done)
+
+	gs := s.groupSize
+	var retBuf [GroupSize]uint64
+	// args is reused across requests: the escape through the indirect
+	// Func call would otherwise cost one heap allocation per request.
+	// Delegated functions must not retain the pointer past their call,
+	// which the Func contract states.
+	var args [MaxArgs]uint64
+	idleSweeps := 0
+	// served toggle state per group is the response toggle word itself;
+	// the server is its only writer, so it may read it plainly.
+	for {
+		if s.stopping.Load() {
+			// Final sweep below still drains pending requests.
+			s.sweep(gs, &retBuf, &args)
+			return
+		}
+		if served := s.sweep(gs, &retBuf, &args); served == 0 {
+			idleSweeps++
+			if idleSweeps >= s.cfg.IdleYieldAfter {
+				s.nIdleYields.Add(1)
+				runtime.Gosched()
+				idleSweeps = 0
+			}
+		} else {
+			idleSweeps = 0
+		}
+	}
+}
+
+// call executes one delegated function, converting a panic into the
+// all-ones sentinel: one client's broken function must not take down the
+// server and hang every other client.
+func (s *Server) call(f Func, args *[MaxArgs]uint64) (ret uint64) {
+	defer func() {
+		if recover() != nil {
+			s.nPanics.Add(1)
+			ret = ^uint64(0)
+		}
+	}()
+	return f(args)
+}
+
+// sweep performs one full polling pass and returns the number of requests
+// served.
+func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) int {
+	funcs := *s.funcs.Load()
+	served := 0
+	for g := 0; g < s.nGroups; g++ {
+		respBase := g * respWords
+		toggles := s.resp[respBase] // our own last store; plain read OK
+		groupServed := uint64(0)
+		for m := 0; m < gs; m++ {
+			slot := g*gs + m
+			hdrAddr := &s.req[slot*reqWords]
+			hdr := atomic.LoadUint64(hdrAddr)
+			if hdr&hdrSeededBit == 0 {
+				continue // slot never used
+			}
+			reqToggle := hdr & hdrToggleBit
+			bit := uint64(1) << uint(m)
+			srvToggle := uint64(0)
+			if toggles&bit != 0 {
+				srvToggle = 1
+			}
+			if reqToggle == srvToggle {
+				continue // no new request
+			}
+			// New request: decode and execute.
+			argc := int(hdr&hdrArgcMask) >> hdrArgcShift
+			base := slot * reqWords
+			for a := 0; a < argc; a++ {
+				args[a] = s.req[base+1+a]
+			}
+			// Zero the tail so a function reading beyond argc sees
+			// zeroes, not a previous request's arguments.
+			for a := argc; a < MaxArgs; a++ {
+				args[a] = 0
+			}
+			fid := hdr >> hdrFuncShift
+			var ret uint64
+			if int(fid) < len(funcs) {
+				if s.cfg.ServerLock != nil {
+					s.cfg.ServerLock.Lock()
+				}
+				ret = s.call(funcs[fid], args)
+				if s.cfg.ServerLock != nil {
+					s.cfg.ServerLock.Unlock()
+				}
+			} else {
+				ret = ^uint64(0) // unknown function: all-ones sentinel
+			}
+			retBuf[m] = ret
+			groupServed |= bit
+			served++
+			if s.cfg.WriteThrough {
+				// Ablation: flush this response immediately.
+				s.resp[respBase+1+m] = ret
+				newToggles := toggles ^ bit
+				atomic.StoreUint64(&s.resp[respBase], newToggles)
+				toggles = newToggles
+				groupServed &^= bit
+				s.nBatches.Add(1)
+			}
+		}
+		if groupServed != 0 {
+			// Buffered flush: all return values first, then the
+			// toggle word, in one uninterrupted series of writes —
+			// the paper's single-invalidation batch.
+			for m := 0; m < gs; m++ {
+				if groupServed&(uint64(1)<<uint(m)) != 0 {
+					s.resp[respBase+1+m] = retBuf[m]
+				}
+			}
+			atomic.StoreUint64(&s.resp[respBase], toggles^groupServed)
+			s.nBatches.Add(1)
+		}
+	}
+	s.nSweeps.Add(1)
+	if served > 0 {
+		s.nRequests.Add(uint64(served))
+	}
+	return served
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"ffwd/internal/padded"
+)
+
+// These tests pin the memory layout the design depends on: line-pair
+// aligned request and response areas, one 64-byte slot per client (two
+// clients per 128-byte pair, as the paper allocates one pair per core),
+// and one 128-byte pair per response group.
+
+func TestRequestAreaAlignment(t *testing.T) {
+	s := NewServer(Config{MaxClients: 30})
+	if !padded.IsAligned(unsafe.Pointer(&s.req[0]), padded.LinePair) {
+		t.Fatal("request area not line-pair aligned")
+	}
+	if !padded.IsAligned(unsafe.Pointer(&s.resp[0]), padded.LinePair) {
+		t.Fatal("response area not line-pair aligned")
+	}
+}
+
+func TestRequestSlotGeometry(t *testing.T) {
+	s := NewServer(Config{MaxClients: 30})
+	c0 := s.MustNewClient()
+	c1 := s.MustNewClient()
+	// Each slot is 8 words = 64 bytes.
+	a0 := uintptr(unsafe.Pointer(&c0.req[0]))
+	a1 := uintptr(unsafe.Pointer(&c1.req[0]))
+	if a1-a0 != 64 {
+		t.Fatalf("adjacent request slots %d bytes apart, want 64", a1-a0)
+	}
+	// Two clients share one 128-byte pair; the pair boundary falls
+	// every second client.
+	if a0%128 != 0 {
+		t.Fatalf("first slot not at a pair boundary (offset %d)", a0%128)
+	}
+}
+
+func TestResponseGroupGeometry(t *testing.T) {
+	s := NewServer(Config{MaxClients: 30}) // 2 groups of 15
+	var clients []*Client
+	for i := 0; i < 30; i++ {
+		clients = append(clients, s.MustNewClient())
+	}
+	// Clients 0..14 share a toggle word; client 15 starts the next
+	// 128-byte pair.
+	if clients[0].respT != clients[14].respT {
+		t.Fatal("clients 0 and 14 do not share a response group")
+	}
+	if clients[14].respT == clients[15].respT {
+		t.Fatal("clients 14 and 15 share a group; group size must be 15")
+	}
+	d := uintptr(unsafe.Pointer(clients[15].respT)) - uintptr(unsafe.Pointer(clients[0].respT))
+	if d != 128 {
+		t.Fatalf("response groups %d bytes apart, want 128", d)
+	}
+	// Return-value slots are consecutive words after the toggle word.
+	v0 := uintptr(unsafe.Pointer(clients[0].respV))
+	tw := uintptr(unsafe.Pointer(clients[0].respT))
+	if v0-tw != 8 {
+		t.Fatalf("first return slot %d bytes after toggle word, want 8", v0-tw)
+	}
+}
+
+func TestToggleBitsDistinct(t *testing.T) {
+	s := NewServer(Config{MaxClients: 15})
+	seen := map[uint64]bool{}
+	for i := 0; i < 15; i++ {
+		c := s.MustNewClient()
+		if seen[c.bit] {
+			t.Fatalf("duplicate toggle bit %b", c.bit)
+		}
+		seen[c.bit] = true
+		if c.bit == 0 || c.bit >= 1<<15 {
+			t.Fatalf("toggle bit %b out of the 15-bit field", c.bit)
+		}
+	}
+}
+
+func TestDelegateFixedArityForms(t *testing.T) {
+	s := NewServer(Config{})
+	sum := s.Register(func(a *[MaxArgs]uint64) uint64 {
+		return a[0] + a[1] + a[2]
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	if got := c.Delegate0(sum); got != 0 {
+		t.Fatalf("Delegate0 = %d", got)
+	}
+	if got := c.Delegate1(sum, 5); got != 5 {
+		t.Fatalf("Delegate1 = %d", got)
+	}
+	if got := c.Delegate2(sum, 5, 7); got != 12 {
+		t.Fatalf("Delegate2 = %d", got)
+	}
+	if got := c.Delegate3(sum, 5, 7, 9); got != 21 {
+		t.Fatalf("Delegate3 = %d", got)
+	}
+	// Interleave with the variadic form: toggles must stay coherent.
+	if got := c.Delegate(sum, 1, 2, 3); got != 6 {
+		t.Fatalf("Delegate = %d", got)
+	}
+	if got := c.Delegate1(sum, 9); got != 9 {
+		t.Fatalf("Delegate1 after variadic = %d", got)
+	}
+}
+
+func TestDelegate0AllocationFree(t *testing.T) {
+	s := NewServer(Config{})
+	fid := s.Register(func(*[MaxArgs]uint64) uint64 { return 1 })
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	c.Delegate0(fid) // warm up
+	allocs := testing.AllocsPerRun(200, func() { c.Delegate0(fid) })
+	if allocs > 0 {
+		t.Fatalf("Delegate0 allocates %.1f objects per call, want 0", allocs)
+	}
+}

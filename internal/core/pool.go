@@ -1,0 +1,108 @@
+package core
+
+// Pool is a set of independent delegation servers sharding a key space —
+// the paper's multi-server configuration (e.g. FFWD-S4, which partitions a
+// tree across four servers for a 4× throughput gain). ffwd deliberately
+// provides no synchronization between servers: each server must own
+// independent data structures or an independent partition.
+type Pool struct {
+	servers []*Server
+}
+
+// NewPool creates n servers, each configured by cfg.
+func NewPool(n int, cfg Config) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{servers: make([]*Server, n)}
+	for i := range p.servers {
+		p.servers[i] = NewServer(cfg)
+	}
+	return p
+}
+
+// Size returns the number of servers in the pool.
+func (p *Pool) Size() int { return len(p.servers) }
+
+// Server returns the i'th server.
+func (p *Pool) Server(i int) *Server { return p.servers[i] }
+
+// ServerFor returns the server owning the shard of key, by modulus.
+func (p *Pool) ServerFor(key uint64) *Server {
+	return p.servers[key%uint64(len(p.servers))]
+}
+
+// ShardOf returns the shard index of key.
+func (p *Pool) ShardOf(key uint64) int { return int(key % uint64(len(p.servers))) }
+
+// RegisterAll registers f on every server, returning the common id. It
+// panics if the servers' registries have diverged (ids would differ) —
+// register pool-wide functions before any per-server ones.
+func (p *Pool) RegisterAll(f Func) FuncID {
+	id := p.servers[0].Register(f)
+	for _, s := range p.servers[1:] {
+		if got := s.Register(f); got != id {
+			panic("core: pool registries diverged; use RegisterAll before per-server Register")
+		}
+	}
+	return id
+}
+
+// StartAll starts every server. If any fails to start, already-started
+// servers are stopped and the error returned.
+func (p *Pool) StartAll() error {
+	for i, s := range p.servers {
+		if err := s.Start(); err != nil {
+			for _, started := range p.servers[:i] {
+				started.Stop()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// StopAll stops every server.
+func (p *Pool) StopAll() {
+	for _, s := range p.servers {
+		s.Stop()
+	}
+}
+
+// PoolClient bundles one Client per server so a goroutine can delegate to
+// any shard.
+type PoolClient struct {
+	p       *Pool
+	clients []*Client
+}
+
+// NewClient allocates one client slot on every server of the pool.
+func (p *Pool) NewClient() (*PoolClient, error) {
+	pc := &PoolClient{p: p, clients: make([]*Client, len(p.servers))}
+	for i, s := range p.servers {
+		c, err := s.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		pc.clients[i] = c
+	}
+	return pc, nil
+}
+
+// MustNewClient is NewClient but panics when slots are exhausted.
+func (p *Pool) MustNewClient() *PoolClient {
+	pc, err := p.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return pc
+}
+
+// Delegate routes fid(args...) to the server owning key's shard.
+func (pc *PoolClient) Delegate(key uint64, fid FuncID, args ...uint64) uint64 {
+	return pc.clients[pc.p.ShardOf(key)].Delegate(fid, args...)
+}
+
+// Client returns the underlying client for shard i, for callers that
+// route by something other than key modulus.
+func (pc *PoolClient) Client(i int) *Client { return pc.clients[i] }

@@ -1,0 +1,113 @@
+// Package delegated provides ready-made ffwd-served versions of the
+// repository's data structures: the "general purpose API" of the paper.
+// Each wrapper owns a single-threaded structure from internal/ds outright
+// and exposes per-goroutine client handles whose methods delegate to the
+// structure's server.
+//
+// This is the porting recipe of the paper's §5 made concrete: take the
+// best *single-threaded* structure for the job (a skip list, not a lazy
+// list), delete all locking, and route every access through Delegate.
+package delegated
+
+import (
+	"ffwd/internal/core"
+	"ffwd/internal/ds"
+)
+
+// Set serves any ds.Set through a delegation server.
+type Set struct {
+	srv *core.Server
+	set ds.Set
+
+	fidContains, fidInsert, fidRemove, fidLen core.FuncID
+}
+
+// NewSet wraps set (which must not be touched directly afterwards) in a
+// delegation server with maxClients client slots. Call Start before use.
+func NewSet(set ds.Set, maxClients int) *Set {
+	s := &Set{
+		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		set: set,
+	}
+	s.fidContains = s.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		return b2u(s.set.Contains(a[0]))
+	})
+	s.fidInsert = s.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		return b2u(s.set.Insert(a[0]))
+	})
+	s.fidRemove = s.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		return b2u(s.set.Remove(a[0]))
+	})
+	s.fidLen = s.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		return uint64(s.set.Len())
+	})
+	return s
+}
+
+// NewSkipListSet is the paper's favourite configuration (FFWD-SK): a
+// skip list behind one server.
+func NewSkipListSet(maxClients int) *Set {
+	return NewSet(ds.NewSkipList(), maxClients)
+}
+
+// Start launches the server.
+func (s *Set) Start() error { return s.srv.Start() }
+
+// Stop halts the server; outstanding requests are drained first.
+func (s *Set) Stop() { s.srv.Stop() }
+
+// Stats exposes the underlying server's counters.
+func (s *Set) Stats() core.Stats { return s.srv.Stats() }
+
+// SetClient is a per-goroutine handle implementing ds.Set.
+type SetClient struct {
+	s *Set
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel to the set.
+func (s *Set) NewClient() (*SetClient, error) {
+	c, err := s.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &SetClient{s: s, c: c}, nil
+}
+
+// MustNewClient is NewClient but panics when slots are exhausted.
+func (s *Set) MustNewClient() *SetClient {
+	c, err := s.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Contains reports whether key is in the set.
+func (c *SetClient) Contains(key uint64) bool {
+	return c.c.Delegate1(c.s.fidContains, key) == 1
+}
+
+// Insert adds key; it reports false if key was already present.
+func (c *SetClient) Insert(key uint64) bool {
+	return c.c.Delegate1(c.s.fidInsert, key) == 1
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (c *SetClient) Remove(key uint64) bool {
+	return c.c.Delegate1(c.s.fidRemove, key) == 1
+}
+
+// Len returns the number of keys in the set.
+func (c *SetClient) Len() int {
+	return int(c.c.Delegate0(c.s.fidLen))
+}
+
+var _ ds.Set = (*SetClient)(nil)
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

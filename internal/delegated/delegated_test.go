@@ -1,0 +1,250 @@
+package delegated
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ffwd/internal/ds"
+)
+
+func startSet(t testing.TB, maxClients int) *Set {
+	t.Helper()
+	s := NewSkipListSet(maxClients)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestSetMatchesMapModel(t *testing.T) {
+	s := startSet(t, 1)
+	c := s.MustNewClient()
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(400)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := c.Insert(k), !model[k]; got != want {
+				t.Fatalf("Insert(%d) = %v want %v", k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := c.Remove(k), model[k]; got != want {
+				t.Fatalf("Remove(%d) = %v want %v", k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := c.Contains(k), model[k]; got != want {
+				t.Fatalf("Contains(%d) = %v want %v", k, got, want)
+			}
+		}
+	}
+	if c.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", c.Len(), len(model))
+	}
+}
+
+func TestSetConcurrentClients(t *testing.T) {
+	const workers = 8
+	s := startSet(t, workers+1) // +1 slot for the final checker
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w*100000 + 1)
+		go func() {
+			defer wg.Done()
+			c := s.MustNewClient()
+			for i := uint64(0); i < 2000; i++ {
+				k := base + i
+				if !c.Insert(k) {
+					t.Errorf("Insert(%d) failed", k)
+					return
+				}
+				if !c.Contains(k) {
+					t.Errorf("Contains(%d) false after insert", k)
+					return
+				}
+				if i%2 == 0 && !c.Remove(k) {
+					t.Errorf("Remove(%d) failed", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c := s.MustNewClient()
+	if got, want := c.Len(), workers*1000; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestSetAgainstSequentialOracle(t *testing.T) {
+	// Property: delegating any op sequence gives the same results as
+	// running it on the bare structure.
+	s := startSet(t, 1)
+	c := s.MustNewClient()
+	oracle := ds.NewSkipList()
+	f := func(keys []uint64, ops []uint8) bool {
+		for i, k := range keys {
+			k = k%1000 + 1
+			op := uint8(0)
+			if i < len(ops) {
+				op = ops[i] % 3
+			}
+			switch op {
+			case 0:
+				if c.Insert(k) != oracle.Insert(k) {
+					return false
+				}
+			case 1:
+				if c.Remove(k) != oracle.Remove(k) {
+					return false
+				}
+			default:
+				if c.Contains(k) != oracle.Contains(k) {
+					return false
+				}
+			}
+		}
+		return c.Len() == oracle.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedSetMatchesModel(t *testing.T) {
+	s := NewShardedSet(4, 2, func() ds.Set { return ds.NewBST() })
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := c.Insert(k), !model[k]; got != want {
+				t.Fatalf("Insert(%d) = %v want %v", k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := c.Remove(k), model[k]; got != want {
+				t.Fatalf("Remove(%d) = %v want %v", k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := c.Contains(k), model[k]; got != want {
+				t.Fatalf("Contains(%d) = %v want %v", k, got, want)
+			}
+		}
+	}
+	if c.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", c.Len(), len(model))
+	}
+}
+
+func TestShardedSetConcurrent(t *testing.T) {
+	const workers = 6
+	s := NewShardedSet(4, workers, func() ds.Set { return ds.NewSkipList() })
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w*100000 + 1)
+		go func() {
+			defer wg.Done()
+			c := s.MustNewClient()
+			for i := uint64(0); i < 1500; i++ {
+				k := base + i
+				if !c.Insert(k) {
+					t.Errorf("Insert(%d) failed", k)
+					return
+				}
+				if i%3 == 0 && !c.Remove(k) {
+					t.Errorf("Remove(%d) failed", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestShardedSetShardsClamped(t *testing.T) {
+	s := NewShardedSet(0, 1, func() ds.Set { return ds.NewBST() })
+	if s.Shards() != 1 {
+		t.Fatalf("Shards = %d, want 1", s.Shards())
+	}
+}
+
+func TestSetStatsAdvance(t *testing.T) {
+	s := startSet(t, 1)
+	c := s.MustNewClient()
+	for i := uint64(0); i < 100; i++ {
+		c.Insert(i + 1)
+	}
+	if st := s.Stats(); st.Requests != 100 {
+		t.Fatalf("Requests = %d, want 100", st.Requests)
+	}
+}
+
+func BenchmarkDelegatedSkipList(b *testing.B) {
+	s := NewSkipListSet(64)
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	seed := s.MustNewClient()
+	for i := uint64(1); i <= 1024; i++ {
+		seed.Insert(i * 2)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		c := s.MustNewClient()
+		rng := rand.New(rand.NewSource(1))
+		for pb.Next() {
+			k := uint64(rng.Intn(2048)) + 1
+			switch rng.Intn(10) {
+			case 0:
+				c.Insert(k)
+			case 1:
+				c.Remove(k)
+			default:
+				c.Contains(k)
+			}
+		}
+	})
+}
+
+func BenchmarkShardedVsSingle(b *testing.B) {
+	run := func(name string, shards int) {
+		b.Run(name, func(b *testing.B) {
+			s := NewShardedSet(shards, 64, func() ds.Set { return ds.NewSkipList() })
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer s.Stop()
+			b.RunParallel(func(pb *testing.PB) {
+				c := s.MustNewClient()
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					c.Insert(uint64(rng.Intn(1 << 20)))
+				}
+			})
+		})
+	}
+	run("1-shard", 1)
+	run("4-shard", 4)
+}

@@ -1,0 +1,162 @@
+package delegated
+
+import (
+	"ffwd/internal/core"
+	"ffwd/internal/ds"
+)
+
+// PriorityQueue is the batched-data-structure extension the paper's §6.7
+// sketches: "a delegation server or combiner could serve a batched data
+// structure, potentially combining the benefits of both approaches". A
+// min-heap is owned by a delegation server; clients can push/pop single
+// values, but they can also stage a batch into a server-side buffer over
+// several requests and commit it with one heapify — many logical
+// operations for one round trip apiece plus a single O(n) fix-up, instead
+// of k·O(log n) under a lock.
+//
+// Values are confined to 63 bits (the top bit encodes emptiness).
+type PriorityQueue struct {
+	srv *core.Server
+	h   *ds.Heap
+	// stage holds values staged by StagePush before a CommitBatch, one
+	// buffer per client slot.
+	stage [][]uint64
+
+	fidPush, fidPop, fidMin, fidLen core.FuncID
+	fidStage, fidCommit             core.FuncID
+}
+
+// pqEmpty marks a pop/min on an empty queue.
+const pqEmpty = ^uint64(0)
+
+// NewPriorityQueue builds the heap and its (unstarted) server.
+func NewPriorityQueue(maxClients int) *PriorityQueue {
+	d := &PriorityQueue{
+		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		h:   ds.NewHeap(),
+	}
+	d.stage = make([][]uint64, d.srv.MaxClients())
+	d.fidPush = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.h.Push(a[0])
+		return 0
+	})
+	d.fidPop = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		v, ok := d.h.PopMin()
+		if !ok {
+			return pqEmpty
+		}
+		return v
+	})
+	d.fidMin = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		v, ok := d.h.Min()
+		if !ok {
+			return pqEmpty
+		}
+		return v
+	})
+	d.fidLen = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		return uint64(d.h.Len())
+	})
+	// StagePush packs up to five values per request (arg 0 is the
+	// client's slot, arg 5 the count is implied by argc on the wire;
+	// here the count rides in arg 1).
+	d.fidStage = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		slot := a[0]
+		n := a[1]
+		if n > 4 {
+			n = 4
+		}
+		d.stage[slot] = append(d.stage[slot], a[2:2+n]...)
+		return uint64(len(d.stage[slot]))
+	})
+	d.fidCommit = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		slot := a[0]
+		n := len(d.stage[slot])
+		d.h.PushBatch(d.stage[slot])
+		d.stage[slot] = d.stage[slot][:0]
+		return uint64(n)
+	})
+	return d
+}
+
+// Start launches the server.
+func (d *PriorityQueue) Start() error { return d.srv.Start() }
+
+// Stop halts the server.
+func (d *PriorityQueue) Stop() { d.srv.Stop() }
+
+// PQClient is a per-goroutine handle.
+type PQClient struct {
+	d *PriorityQueue
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *PriorityQueue) NewClient() (*PQClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &PQClient{d: d, c: c}, nil
+}
+
+// MustNewClient is NewClient but panics when slots are exhausted.
+func (d *PriorityQueue) MustNewClient() *PQClient {
+	c, err := d.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Push adds v (must fit in 63 bits).
+func (c *PQClient) Push(v uint64) {
+	if v>>63 != 0 {
+		panic("delegated: priority-queue values are confined to 63 bits")
+	}
+	c.c.Delegate1(c.d.fidPush, v)
+}
+
+// PopMin removes and returns the smallest value; ok is false when empty.
+func (c *PQClient) PopMin() (v uint64, ok bool) {
+	r := c.c.Delegate0(c.d.fidPop)
+	if r == pqEmpty {
+		return 0, false
+	}
+	return r, true
+}
+
+// Min returns the smallest value without removing it.
+func (c *PQClient) Min() (v uint64, ok bool) {
+	r := c.c.Delegate0(c.d.fidMin)
+	if r == pqEmpty {
+		return 0, false
+	}
+	return r, true
+}
+
+// Len returns the number of queued values (staged values excluded).
+func (c *PQClient) Len() int { return int(c.c.Delegate0(c.d.fidLen)) }
+
+// PushBatch stages vs into the client's server-side buffer (four values
+// per request) and commits them with one heapify. It returns the number
+// of values committed.
+func (c *PQClient) PushBatch(vs []uint64) int {
+	slot := uint64(c.c.Slot())
+	for off := 0; off < len(vs); off += 4 {
+		end := off + 4
+		if end > len(vs) {
+			end = len(vs)
+		}
+		chunk := vs[off:end]
+		args := [core.MaxArgs]uint64{slot, uint64(len(chunk))}
+		copy(args[2:], chunk)
+		for _, v := range chunk {
+			if v>>63 != 0 {
+				panic("delegated: priority-queue values are confined to 63 bits")
+			}
+		}
+		c.c.Delegate(c.d.fidStage, args[:2+len(chunk)]...)
+	}
+	return int(c.c.Delegate1(c.d.fidCommit, slot))
+}

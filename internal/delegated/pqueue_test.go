@@ -1,0 +1,225 @@
+package delegated
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ffwd/internal/ds"
+)
+
+func startPQ(t testing.TB, maxClients int) *PriorityQueue {
+	t.Helper()
+	pq := NewPriorityQueue(maxClients)
+	if err := pq.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pq.Stop)
+	return pq
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := ds.NewHeap()
+	if _, ok := h.PopMin(); ok {
+		t.Fatal("PopMin on empty heap succeeded")
+	}
+	vals := []uint64{9, 3, 7, 1, 8, 2, 2, 5}
+	for _, v := range vals {
+		h.Push(v)
+	}
+	if m, _ := h.Min(); m != 1 {
+		t.Fatalf("Min = %d", m)
+	}
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, want := range sorted {
+		v, ok := h.PopMin()
+		if !ok || v != want {
+			t.Fatalf("PopMin = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestHeapBatchEqualsSingles(t *testing.T) {
+	f := func(batch []uint64, singles []uint64) bool {
+		a, b := ds.NewHeap(), ds.NewHeap()
+		for _, v := range singles {
+			a.Push(v)
+			b.Push(v)
+		}
+		a.PushBatch(batch)
+		for _, v := range batch {
+			b.Push(v)
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for {
+			va, oka := a.PopMin()
+			vb, okb := b.PopMin()
+			if oka != okb || va != vb {
+				return false
+			}
+			if !oka {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPopMinBatch(t *testing.T) {
+	h := ds.NewHeap()
+	h.PushBatch([]uint64{5, 1, 4, 2, 3})
+	got := h.PopMinBatch(3)
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PopMinBatch = %v", got)
+		}
+	}
+	if rest := h.PopMinBatch(10); len(rest) != 2 || rest[0] != 4 || rest[1] != 5 {
+		t.Fatalf("remainder = %v", rest)
+	}
+	if h.PopMinBatch(0) != nil {
+		t.Fatal("PopMinBatch(0) != nil")
+	}
+}
+
+func TestDelegatedPQBasics(t *testing.T) {
+	pq := startPQ(t, 1)
+	c := pq.MustNewClient()
+	if _, ok := c.PopMin(); ok {
+		t.Fatal("PopMin on empty queue succeeded")
+	}
+	c.Push(9)
+	c.Push(3)
+	c.Push(7)
+	if m, ok := c.Min(); !ok || m != 3 {
+		t.Fatalf("Min = %d,%v", m, ok)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for _, want := range []uint64{3, 7, 9} {
+		v, ok := c.PopMin()
+		if !ok || v != want {
+			t.Fatalf("PopMin = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestDelegatedPQBatchCommit(t *testing.T) {
+	pq := startPQ(t, 2)
+	c := pq.MustNewClient()
+	vals := make([]uint64, 103)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << 20))
+	}
+	if n := c.PushBatch(vals); n != len(vals) {
+		t.Fatalf("PushBatch committed %d, want %d", n, len(vals))
+	}
+	if c.Len() != len(vals) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(vals))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, want := range vals {
+		v, ok := c.PopMin()
+		if !ok || v != want {
+			t.Fatalf("PopMin = %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestDelegatedPQStagingIsPerClient(t *testing.T) {
+	pq := startPQ(t, 2)
+	c1 := pq.MustNewClient()
+	c2 := pq.MustNewClient()
+	// c1 stages values but only c2 commits — c2's (empty) stage must
+	// not steal c1's.
+	if n := c1.PushBatch([]uint64{1, 2, 3}); n != 3 {
+		t.Fatalf("c1 committed %d", n)
+	}
+	if n := c2.PushBatch(nil); n != 0 {
+		t.Fatalf("c2 committed %d from empty batch", n)
+	}
+	if c1.Len() != 3 {
+		t.Fatalf("Len = %d", c1.Len())
+	}
+}
+
+func TestDelegatedPQConcurrent(t *testing.T) {
+	const workers, each = 6, 500
+	pq := startPQ(t, workers+1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w * 1_000_000)
+		go func() {
+			defer wg.Done()
+			c := pq.MustNewClient()
+			batch := make([]uint64, each)
+			for i := range batch {
+				batch[i] = base + uint64(i)
+			}
+			c.PushBatch(batch)
+		}()
+	}
+	wg.Wait()
+	c := pq.MustNewClient()
+	if c.Len() != workers*each {
+		t.Fatalf("Len = %d, want %d", c.Len(), workers*each)
+	}
+	// Values must drain in globally sorted order.
+	prev := uint64(0)
+	first := true
+	for {
+		v, ok := c.PopMin()
+		if !ok {
+			break
+		}
+		if !first && v < prev {
+			t.Fatalf("heap order violated: %d after %d", v, prev)
+		}
+		prev, first = v, false
+	}
+}
+
+// BenchmarkPQBatchVsSingle quantifies the §6.7 batching advantage through
+// the real delegation stack: staged batches amortize the round trips.
+func BenchmarkPQBatchVsSingle(b *testing.B) {
+	const batchSize = 64
+	vals := make([]uint64, batchSize)
+	for i := range vals {
+		vals[i] = uint64(i * 31 % 997)
+	}
+	b.Run("single-push", func(b *testing.B) {
+		pq := startPQ(b, 1)
+		c := pq.MustNewClient()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				c.Push(v)
+			}
+			for range vals {
+				c.PopMin()
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		pq := startPQ(b, 1)
+		c := pq.MustNewClient()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.PushBatch(vals)
+			for range vals {
+				c.PopMin()
+			}
+		}
+	})
+}

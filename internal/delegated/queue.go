@@ -1,0 +1,190 @@
+package delegated
+
+import (
+	"ffwd/internal/core"
+	"ffwd/internal/ds"
+)
+
+// Queue serves an unsynchronized FIFO queue through a delegation server —
+// the configuration of the paper's queue micro-benchmark (fig10), where
+// the entire enqueue/dequeue is delegated and the locks are simply gone.
+// Values are confined to 63 bits (the top bit is reserved to encode
+// emptiness in the one-word response).
+type Queue struct {
+	srv              *core.Server
+	q                *ds.Queue
+	fidEnq, fidDeq   core.FuncID
+	fidLen, fidDrain core.FuncID
+}
+
+// queueEmpty marks a dequeue from an empty queue.
+const queueEmpty = ^uint64(0)
+
+// NewQueue builds the queue and its (unstarted) server.
+func NewQueue(maxClients int) *Queue {
+	d := &Queue{
+		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		q:   ds.NewQueue(),
+	}
+	d.fidEnq = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.q.Enqueue(a[0])
+		return 0
+	})
+	d.fidDeq = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		v, ok := d.q.Dequeue()
+		if !ok {
+			return queueEmpty
+		}
+		return v
+	})
+	d.fidLen = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		return uint64(d.q.Len())
+	})
+	d.fidDrain = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		n := uint64(0)
+		for {
+			if _, ok := d.q.Dequeue(); !ok {
+				return n
+			}
+			n++
+		}
+	})
+	return d
+}
+
+// Start launches the server.
+func (d *Queue) Start() error { return d.srv.Start() }
+
+// Stop halts the server.
+func (d *Queue) Stop() { d.srv.Stop() }
+
+// QueueClient is a per-goroutine handle.
+type QueueClient struct {
+	d *Queue
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *Queue) NewClient() (*QueueClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &QueueClient{d: d, c: c}, nil
+}
+
+// MustNewClient is NewClient but panics when slots are exhausted.
+func (d *Queue) MustNewClient() *QueueClient {
+	c, err := d.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Enqueue appends v (v must fit in 63 bits).
+func (c *QueueClient) Enqueue(v uint64) {
+	if v>>63 != 0 {
+		panic("delegated: queue values are confined to 63 bits")
+	}
+	c.c.Delegate1(c.d.fidEnq, v)
+}
+
+// Dequeue removes the oldest value; ok is false if the queue was empty.
+func (c *QueueClient) Dequeue() (v uint64, ok bool) {
+	r := c.c.Delegate0(c.d.fidDeq)
+	if r == queueEmpty {
+		return 0, false
+	}
+	return r, true
+}
+
+// Len returns the queue length.
+func (c *QueueClient) Len() int { return int(c.c.Delegate0(c.d.fidLen)) }
+
+// Drain empties the queue in one delegated call — an example of the
+// delegation style's cheap composite operations: a whole loop runs as one
+// atomic request, something a lock-free queue cannot offer.
+func (c *QueueClient) Drain() int { return int(c.c.Delegate0(c.d.fidDrain)) }
+
+// Stack serves an unsynchronized LIFO stack through a delegation server
+// (fig11's configuration).
+type Stack struct {
+	srv             *core.Server
+	s               *ds.Stack
+	fidPush, fidPop core.FuncID
+	fidLen          core.FuncID
+}
+
+// NewStack builds the stack and its (unstarted) server.
+func NewStack(maxClients int) *Stack {
+	d := &Stack{
+		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		s:   ds.NewStack(),
+	}
+	d.fidPush = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.s.Push(a[0])
+		return 0
+	})
+	d.fidPop = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		v, ok := d.s.Pop()
+		if !ok {
+			return queueEmpty
+		}
+		return v
+	})
+	d.fidLen = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		return uint64(d.s.Len())
+	})
+	return d
+}
+
+// Start launches the server.
+func (d *Stack) Start() error { return d.srv.Start() }
+
+// Stop halts the server.
+func (d *Stack) Stop() { d.srv.Stop() }
+
+// StackClient is a per-goroutine handle.
+type StackClient struct {
+	d *Stack
+	c *core.Client
+}
+
+// NewClient allocates a delegation channel.
+func (d *Stack) NewClient() (*StackClient, error) {
+	c, err := d.srv.NewClient()
+	if err != nil {
+		return nil, err
+	}
+	return &StackClient{d: d, c: c}, nil
+}
+
+// MustNewClient is NewClient but panics when slots are exhausted.
+func (d *Stack) MustNewClient() *StackClient {
+	c, err := d.NewClient()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Push adds v on top (v must fit in 63 bits).
+func (c *StackClient) Push(v uint64) {
+	if v>>63 != 0 {
+		panic("delegated: stack values are confined to 63 bits")
+	}
+	c.c.Delegate1(c.d.fidPush, v)
+}
+
+// Pop removes the top value; ok is false if the stack was empty.
+func (c *StackClient) Pop() (v uint64, ok bool) {
+	r := c.c.Delegate0(c.d.fidPop)
+	if r == queueEmpty {
+		return 0, false
+	}
+	return r, true
+}
+
+// Len returns the stack depth.
+func (c *StackClient) Len() int { return int(c.c.Delegate0(c.d.fidLen)) }

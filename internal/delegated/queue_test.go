@@ -1,0 +1,201 @@
+package delegated
+
+import (
+	"sync"
+	"testing"
+)
+
+func startQueue(t testing.TB, maxClients int) *Queue {
+	t.Helper()
+	q := NewQueue(maxClients)
+	if err := q.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Stop)
+	return q
+}
+
+func TestDelegatedQueueFIFO(t *testing.T) {
+	q := startQueue(t, 1)
+	c := q.MustNewClient()
+	if _, ok := c.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue succeeded")
+	}
+	for i := uint64(1); i <= 50; i++ {
+		c.Enqueue(i)
+	}
+	if c.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", c.Len())
+	}
+	for i := uint64(1); i <= 50; i++ {
+		v, ok := c.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDelegatedQueueDrainIsAtomic(t *testing.T) {
+	// Drain runs as a single delegated request: concurrent enqueuers
+	// can never observe a half-drained queue growing.
+	q := startQueue(t, 4)
+	c := q.MustNewClient()
+	for i := uint64(1); i <= 1000; i++ {
+		c.Enqueue(i)
+	}
+	if n := c.Drain(); n != 1000 {
+		t.Fatalf("Drain = %d, want 1000", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func TestDelegatedQueueConcurrentConservation(t *testing.T) {
+	const workers, iters = 8, 3000
+	q := startQueue(t, workers+1)
+	var enq, deq [workers]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := q.MustNewClient()
+			for i := 0; i < iters; i++ {
+				v := uint64(w*iters+i) + 1
+				c.Enqueue(v)
+				enq[w] += v
+				if got, ok := c.Dequeue(); ok {
+					deq[w] += got
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var in, out uint64
+	for w := 0; w < workers; w++ {
+		in += enq[w]
+		out += deq[w]
+	}
+	c := q.MustNewClient()
+	var rest uint64
+	for {
+		v, ok := c.Dequeue()
+		if !ok {
+			break
+		}
+		rest += v
+	}
+	if in != out+rest {
+		t.Fatalf("conservation violated: in %d out %d rest %d", in, out, rest)
+	}
+}
+
+func TestDelegatedQueueRejectsTopBit(t *testing.T) {
+	q := startQueue(t, 1)
+	c := q.MustNewClient()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue of 64-bit value did not panic")
+		}
+	}()
+	c.Enqueue(1 << 63)
+}
+
+func TestDelegatedStackLIFO(t *testing.T) {
+	s := NewStack(1)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	if _, ok := c.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+	for i := uint64(1); i <= 30; i++ {
+		c.Push(i)
+	}
+	if c.Len() != 30 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := uint64(30); i >= 1; i-- {
+		v, ok := c.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDelegatedStackConcurrent(t *testing.T) {
+	const workers, iters = 8, 3000
+	s := NewStack(workers + 1)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	var pushed, popped [workers]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.MustNewClient()
+			for i := 0; i < iters; i++ {
+				v := uint64(w*iters+i) + 1
+				c.Push(v)
+				pushed[w] += v
+				if got, ok := c.Pop(); ok {
+					popped[w] += got
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var in, out uint64
+	for w := 0; w < workers; w++ {
+		in += pushed[w]
+		out += popped[w]
+	}
+	c := s.MustNewClient()
+	var rest uint64
+	for {
+		v, ok := c.Pop()
+		if !ok {
+			break
+		}
+		rest += v
+	}
+	if in != out+rest {
+		t.Fatalf("conservation violated: in %d out %d rest %d", in, out, rest)
+	}
+}
+
+// BenchmarkQueueVsStack reproduces the paper's fig10/11 observation on the
+// real stack: through one ffwd server, queue and stack throughput are
+// essentially identical (the server serializes both).
+func BenchmarkQueueVsStack(b *testing.B) {
+	b.Run("queue", func(b *testing.B) {
+		q := startQueue(b, 64)
+		b.RunParallel(func(pb *testing.PB) {
+			c := q.MustNewClient()
+			for pb.Next() {
+				c.Enqueue(1)
+				c.Dequeue()
+			}
+		})
+	})
+	b.Run("stack", func(b *testing.B) {
+		s := NewStack(64)
+		if err := s.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer s.Stop()
+		b.RunParallel(func(pb *testing.PB) {
+			c := s.MustNewClient()
+			for pb.Next() {
+				c.Push(1)
+				c.Pop()
+			}
+		})
+	})
+}

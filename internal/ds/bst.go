@@ -1,0 +1,114 @@
+package ds
+
+// BST is the paper's "barebones binary tree": a single-threaded, unbalanced
+// binary search tree with no rebalancing. Inserts and deletes with random
+// keys keep it approximately balanced, as in the paper's benchmark. It is
+// the structure delegated in the tree experiments (FFWD, and the same
+// design used by the RCU/RLU/STM/VTree comparators).
+type BST struct {
+	root *bstNode
+	n    int
+}
+
+type bstNode struct {
+	key         uint64
+	left, right *bstNode
+}
+
+// NewBST returns an empty tree.
+func NewBST() *BST { return &BST{} }
+
+// Contains reports whether key is in the set.
+func (t *BST) Contains(key uint64) bool {
+	x := t.root
+	for x != nil {
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key; it reports false if key was already present.
+func (t *BST) Insert(key uint64) bool {
+	p := &t.root
+	for *p != nil {
+		x := *p
+		switch {
+		case key < x.key:
+			p = &x.left
+		case key > x.key:
+			p = &x.right
+		default:
+			return false
+		}
+	}
+	*p = &bstNode{key: key}
+	t.n++
+	return true
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *BST) Remove(key uint64) bool {
+	p := &t.root
+	for *p != nil {
+		x := *p
+		switch {
+		case key < x.key:
+			p = &x.left
+		case key > x.key:
+			p = &x.right
+		default:
+			t.removeNode(p)
+			t.n--
+			return true
+		}
+	}
+	return false
+}
+
+// removeNode unlinks the node at *p using the standard successor swap.
+func (t *BST) removeNode(p **bstNode) {
+	x := *p
+	switch {
+	case x.left == nil:
+		*p = x.right
+	case x.right == nil:
+		*p = x.left
+	default:
+		// Replace with in-order successor (leftmost of right subtree).
+		sp := &x.right
+		for (*sp).left != nil {
+			sp = &(*sp).left
+		}
+		s := *sp
+		*sp = s.right
+		s.left, s.right = x.left, x.right
+		*p = s
+	}
+}
+
+// Len returns the number of keys in the set.
+func (t *BST) Len() int { return t.n }
+
+// Height returns the height of the tree (0 for empty); used by tests and
+// the tree-size benchmarks.
+func (t *BST) Height() int { return bstHeight(t.root) }
+
+func bstHeight(n *bstNode) int {
+	if n == nil {
+		return 0
+	}
+	l, r := bstHeight(n.left), bstHeight(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+var _ Set = (*BST)(nil)

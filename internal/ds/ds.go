@@ -1,0 +1,25 @@
+// Package ds implements the data structures used in the ffwd paper's
+// micro-benchmarks: the naive sorted linked list, the lazy concurrent list
+// [Heller et al. '05], a skip list [Pugh '90], an unbalanced binary search
+// tree, a red-black tree (the paper's VRBTREE stand-in), a hash table with
+// per-bucket chains, the Michael–Scott two-lock queue, and a plain stack.
+//
+// The single-threaded structures (SortedList, SkipList, BST, RBTree,
+// HashTable, Queue's unsynchronized core, Stack) are deliberately free of
+// any synchronization: they are the structures one delegates. The
+// concurrent ones (LazyList, per-bucket-locked hash table, two-lock queue)
+// are the fine-grained-locking baselines.
+package ds
+
+// Set is an integer-set data structure: the common shape of the paper's
+// list, skip list, tree and hash table benchmarks.
+type Set interface {
+	// Contains reports whether key is in the set.
+	Contains(key uint64) bool
+	// Insert adds key; it reports false if key was already present.
+	Insert(key uint64) bool
+	// Remove deletes key; it reports false if key was absent.
+	Remove(key uint64) bool
+	// Len returns the number of keys in the set.
+	Len() int
+}

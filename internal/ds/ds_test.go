@@ -1,0 +1,424 @@
+package ds
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// setFactories enumerates every Set implementation for shared conformance
+// tests.
+func setFactories() map[string]func() Set {
+	return map[string]func() Set{
+		"SortedList": func() Set { return NewSortedList() },
+		"LazyList":   func() Set { return NewLazyList() },
+		"SkipList":   func() Set { return NewSkipList() },
+		"BST":        func() Set { return NewBST() },
+		"RBTree":     func() Set { return NewRBTree() },
+		"HashTable":  func() Set { return NewHashTable(16) },
+		"Striped": func() Set {
+			return NewStripedHashTable(16, func() sync.Locker { return &sync.Mutex{} })
+		},
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	for name, mk := range setFactories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			if s.Contains(42) {
+				t.Fatal("empty set contains 42")
+			}
+			if !s.Insert(42) {
+				t.Fatal("insert into empty set failed")
+			}
+			if s.Insert(42) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if !s.Contains(42) {
+				t.Fatal("set missing inserted key")
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", s.Len())
+			}
+			if !s.Remove(42) {
+				t.Fatal("remove of present key failed")
+			}
+			if s.Remove(42) {
+				t.Fatal("double remove succeeded")
+			}
+			if s.Len() != 0 {
+				t.Fatalf("Len = %d, want 0", s.Len())
+			}
+		})
+	}
+}
+
+func TestSetMatchesMapModel(t *testing.T) {
+	for name, mk := range setFactories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 30000; i++ {
+				k := uint64(rng.Intn(512)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Insert(k), !model[k]; got != want {
+						t.Fatalf("op %d: Insert(%d) = %v, want %v", i, k, got, want)
+					}
+					model[k] = true
+				case 1:
+					if got, want := s.Remove(k), model[k]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(model, k)
+				default:
+					if got, want := s.Contains(k), model[k]; got != want {
+						t.Fatalf("op %d: Contains(%d) = %v, want %v", i, k, got, want)
+					}
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", s.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestSetPropertyInsertAllRemoveAll(t *testing.T) {
+	for name, mk := range setFactories() {
+		t.Run(name, func(t *testing.T) {
+			f := func(keys []uint64) bool {
+				s := mk()
+				uniq := map[uint64]bool{}
+				for _, k := range keys {
+					k = k%100000 + 1 // keep off the sentinels
+					if got, want := s.Insert(k), !uniq[k]; got != want {
+						return false
+					}
+					uniq[k] = true
+				}
+				if s.Len() != len(uniq) {
+					return false
+				}
+				for k := range uniq {
+					if !s.Contains(k) || !s.Remove(k) {
+						return false
+					}
+				}
+				return s.Len() == 0
+			}
+			cfg := &quick.Config{MaxCount: 50}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRBTreeInvariantsUnderChurn(t *testing.T) {
+	tr := NewRBTree()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(1000)) + 1
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+		} else {
+			tr.Remove(k)
+		}
+		if i%500 == 0 && !tr.Validate() {
+			t.Fatalf("red-black invariants violated after %d ops", i+1)
+		}
+	}
+	if !tr.Validate() {
+		t.Fatal("red-black invariants violated at end")
+	}
+}
+
+func TestBSTHeightStaysLogarithmicUnderRandomKeys(t *testing.T) {
+	tr := NewBST()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4096; i++ {
+		tr.Insert(rng.Uint64())
+	}
+	// Random BSTs have expected height ~ 2.99 log2(n); allow slack.
+	if h := tr.Height(); h > 40 {
+		t.Fatalf("height %d too large for 4096 random keys", h)
+	}
+}
+
+func TestBSTRemoveInteriorNodes(t *testing.T) {
+	tr := NewBST()
+	// Build a known shape: root 50 with both subtrees.
+	for _, k := range []uint64{50, 25, 75, 10, 30, 60, 90, 27, 35} {
+		tr.Insert(k)
+	}
+	// Remove a node with two children, then the root.
+	if !tr.Remove(25) || tr.Contains(25) {
+		t.Fatal("failed to remove two-child node 25")
+	}
+	if !tr.Remove(50) || tr.Contains(50) {
+		t.Fatal("failed to remove root")
+	}
+	for _, k := range []uint64{10, 27, 30, 35, 60, 75, 90} {
+		if !tr.Contains(k) {
+			t.Fatalf("key %d lost during interior removals", k)
+		}
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+}
+
+func TestLazyListConcurrent(t *testing.T) {
+	l := NewLazyList()
+	const workers = 8
+	var inserted, removed [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(128)) + 1
+				switch rng.Intn(10) {
+				case 0, 1:
+					if l.Insert(k) {
+						inserted[w]++
+					}
+				case 2, 3:
+					if l.Remove(k) {
+						removed[w]++
+					}
+				default:
+					l.Contains(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ins, rem int
+	for w := range inserted {
+		ins += inserted[w]
+		rem += removed[w]
+	}
+	if got := l.Len(); got != ins-rem {
+		t.Fatalf("Len = %d, want %d", got, ins-rem)
+	}
+}
+
+func TestLazyListUpdateOnlyAdapter(t *testing.T) {
+	u := LazyListUpdateOnly{L: NewLazyList()}
+	if u.InsertOp(9) != 1 {
+		t.Fatal("InsertOp of fresh key returned 0")
+	}
+	if u.InsertOp(9) != 0 {
+		t.Fatal("InsertOp of duplicate returned 1")
+	}
+	if u.RemoveOp(9) != 1 {
+		t.Fatal("RemoveOp of present key returned 0")
+	}
+	if u.RemoveOp(9) != 0 {
+		t.Fatal("RemoveOp of absent key returned 1")
+	}
+}
+
+func TestQueueFIFOAndLen(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue succeeded")
+	}
+	for i := uint64(1); i <= 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestTwoLockQueueConcurrent(t *testing.T) {
+	q := NewTwoLockQueue(func() sync.Locker { return &sync.Mutex{} })
+	const n = 50000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	var got int
+	var last uint64
+	go func() {
+		defer wg.Done()
+		for got < n {
+			if v, ok := q.Dequeue(); ok {
+				if v <= last {
+					t.Errorf("out of order: %d after %d", v, last)
+					return
+				}
+				last = v
+				got++
+			}
+		}
+	}()
+	wg.Wait()
+	if got != n {
+		t.Fatalf("dequeued %d, want %d", got, n)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack()
+	for i := uint64(1); i <= 50; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", s.Len())
+	}
+	for i := uint64(50); i >= 1; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+}
+
+func TestLockedStackConcurrentConservation(t *testing.T) {
+	s := NewLockedStack(func() sync.Locker { return &sync.Mutex{} })
+	const workers, iters = 8, 5000
+	var popped [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Push(uint64(i))
+				if _, ok := s.Pop(); ok {
+					popped[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range popped {
+		total += p
+	}
+	left := 0
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+		left++
+	}
+	if total+left != workers*iters {
+		t.Fatalf("conservation violated: %d popped + %d left != %d pushed", total, left, workers*iters)
+	}
+}
+
+func TestHashTableBucketDistribution(t *testing.T) {
+	ht := NewHashTable(64)
+	for i := uint64(1); i <= 6400; i++ {
+		ht.Insert(i)
+	}
+	// With fibonacci hashing, sequential keys should spread: no bucket
+	// more than 4x the mean.
+	for b, list := range ht.buckets {
+		if list.Len() > 400 {
+			t.Fatalf("bucket %d has %d entries (poor distribution)", b, list.Len())
+		}
+	}
+}
+
+func TestHashTableSingleBucketDegeneratesToList(t *testing.T) {
+	ht := NewHashTable(0) // clamped to 1
+	if ht.Buckets() != 1 {
+		t.Fatalf("Buckets = %d, want 1", ht.Buckets())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		ht.Insert(i)
+	}
+	if ht.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", ht.Len())
+	}
+}
+
+func TestSkipListLevelsBounded(t *testing.T) {
+	s := NewSkipList()
+	for i := uint64(1); i <= 100000; i++ {
+		s.Insert(i)
+	}
+	if s.level > skipMaxLevel {
+		t.Fatalf("level %d exceeds max %d", s.level, skipMaxLevel)
+	}
+	if s.Len() != 100000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Ordered traversal at level 0 must be sorted and complete.
+	prev := uint64(0)
+	count := 0
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		if n.key <= prev {
+			t.Fatalf("skip list out of order: %d after %d", n.key, prev)
+		}
+		prev = n.key
+		count++
+	}
+	if count != 100000 {
+		t.Fatalf("level-0 chain has %d nodes", count)
+	}
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	for name, mk := range setFactories() {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			for i := uint64(1); i <= 1024; i++ {
+				s.Insert(i * 3)
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Contains(uint64(rng.Intn(3072)) + 1)
+			}
+		})
+	}
+}
+
+func BenchmarkSetMixed(b *testing.B) {
+	for name, mk := range setFactories() {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			for i := uint64(1); i <= 1024; i++ {
+				s.Insert(i * 2)
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(rng.Intn(2048)) + 1
+				switch rng.Intn(10) {
+				case 0:
+					s.Insert(k)
+				case 1:
+					s.Remove(k)
+				default:
+					s.Contains(k)
+				}
+			}
+		})
+	}
+}

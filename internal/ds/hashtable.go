@@ -1,0 +1,135 @@
+package ds
+
+import "sync"
+
+// HashTable is a single-threaded hash table: fixed bucket array, each
+// bucket a short sorted list, as in the paper's hash table benchmark
+// (buckets "typically hold only a small number of items"). It has no
+// internal synchronization; shard it across delegation servers or wrap it
+// with StripedHashTable for per-bucket locking.
+type HashTable struct {
+	buckets []*SortedList
+	n       int
+}
+
+// NewHashTable returns a table with the given number of buckets (at least
+// 1).
+func NewHashTable(buckets int) *HashTable {
+	if buckets < 1 {
+		buckets = 1
+	}
+	t := &HashTable{buckets: make([]*SortedList, buckets)}
+	for i := range t.buckets {
+		t.buckets[i] = NewSortedList()
+	}
+	return t
+}
+
+// hashKey mixes the key (fibonacci hashing) so sequential keys spread.
+func hashKey(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 }
+
+// Bucket returns the bucket index for key.
+func (t *HashTable) Bucket(key uint64) int {
+	return int(hashKey(key) % uint64(len(t.buckets)))
+}
+
+// Buckets returns the number of buckets.
+func (t *HashTable) Buckets() int { return len(t.buckets) }
+
+// Contains reports whether key is in the set.
+func (t *HashTable) Contains(key uint64) bool {
+	return t.buckets[t.Bucket(key)].Contains(key)
+}
+
+// Insert adds key; it reports false if key was already present.
+func (t *HashTable) Insert(key uint64) bool {
+	if t.buckets[t.Bucket(key)].Insert(key) {
+		t.n++
+		return true
+	}
+	return false
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *HashTable) Remove(key uint64) bool {
+	if t.buckets[t.Bucket(key)].Remove(key) {
+		t.n--
+		return true
+	}
+	return false
+}
+
+// Len returns the number of keys in the set.
+func (t *HashTable) Len() int { return t.n }
+
+var _ Set = (*HashTable)(nil)
+
+// StripedHashTable is the fine-grained-locking baseline of the hash table
+// benchmark: one lock per bucket, acquired around the bucket's list
+// operation. The lock type is injectable so every lock kind in
+// internal/locks can be measured.
+type StripedHashTable struct {
+	buckets []stripedBucket
+}
+
+type stripedBucket struct {
+	mu   sync.Locker
+	list *SortedList
+	_    [40]byte
+}
+
+// NewStripedHashTable returns a table with one lock per bucket; mkLock is
+// called once per bucket (pass e.g. func() sync.Locker { return new(locks.TAS) }).
+func NewStripedHashTable(buckets int, mkLock func() sync.Locker) *StripedHashTable {
+	if buckets < 1 {
+		buckets = 1
+	}
+	t := &StripedHashTable{buckets: make([]stripedBucket, buckets)}
+	for i := range t.buckets {
+		t.buckets[i] = stripedBucket{mu: mkLock(), list: NewSortedList()}
+	}
+	return t
+}
+
+func (t *StripedHashTable) bucket(key uint64) *stripedBucket {
+	return &t.buckets[hashKey(key)%uint64(len(t.buckets))]
+}
+
+// Contains reports whether key is in the set.
+func (t *StripedHashTable) Contains(key uint64) bool {
+	b := t.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.list.Contains(key)
+}
+
+// Insert adds key; it reports false if key was already present.
+func (t *StripedHashTable) Insert(key uint64) bool {
+	b := t.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.list.Insert(key)
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *StripedHashTable) Remove(key uint64) bool {
+	b := t.bucket(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.list.Remove(key)
+}
+
+// Len sums the bucket sizes; it locks each bucket in turn, so it is only
+// a consistent count in quiescent states.
+func (t *StripedHashTable) Len() int {
+	n := 0
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.Lock()
+		n += b.list.Len()
+		b.mu.Unlock()
+	}
+	return n
+}
+
+var _ Set = (*StripedHashTable)(nil)

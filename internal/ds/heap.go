@@ -1,0 +1,101 @@
+package ds
+
+// Heap is a single-threaded binary min-heap of words — the base structure
+// for the batched priority queue extension (the paper's §6.7: "a
+// delegation server or combiner could serve a batched data structure").
+type Heap struct {
+	a []uint64
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// Len returns the number of queued values.
+func (h *Heap) Len() int { return len(h.a) }
+
+// Push adds v.
+func (h *Heap) Push(v uint64) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+// Min returns the smallest value without removing it; ok is false when
+// empty.
+func (h *Heap) Min() (v uint64, ok bool) {
+	if len(h.a) == 0 {
+		return 0, false
+	}
+	return h.a[0], true
+}
+
+// PopMin removes and returns the smallest value; ok is false when empty.
+func (h *Heap) PopMin() (v uint64, ok bool) {
+	n := len(h.a)
+	if n == 0 {
+		return 0, false
+	}
+	v = h.a[0]
+	h.a[0] = h.a[n-1]
+	h.a = h.a[:n-1]
+	h.siftDown(0)
+	return v, true
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < n && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+}
+
+// PushBatch adds all values, then restores the heap property once —
+// Floyd's heapify over the dirtied region, O(k + log² n)-ish instead of
+// k·O(log n). This is the batched-structure advantage delegation exposes:
+// the server can apply a whole batch as one request.
+func (h *Heap) PushBatch(vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	h.a = append(h.a, vs...)
+	// Heapify the whole array: for batch sizes comparable to the heap
+	// this beats repeated sift-up, and it is always correct.
+	for i := len(h.a)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// PopMinBatch removes up to k smallest values in ascending order.
+func (h *Heap) PopMinBatch(k int) []uint64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, k)
+	for len(out) < k {
+		v, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}

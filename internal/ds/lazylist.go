@@ -1,0 +1,136 @@
+package ds
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// lazyNode is a node of the lazy list. next and marked are atomics so that
+// the lock-free Contains traversal is well-defined under the Go memory
+// model; mutation is still guarded by the per-node locks.
+type lazyNode struct {
+	key    uint64
+	next   atomic.Pointer[lazyNode]
+	marked atomic.Bool
+	mu     sync.Mutex
+}
+
+// LazyList is the lazy concurrent list-based set of Heller, Herlihy,
+// Luchangco, Moir, Scherer and Shavit: traversal takes no locks, updates
+// lock only the two affected nodes and re-validate, and removal marks
+// before unlinking so Contains stays wait-free.
+type LazyList struct {
+	head *lazyNode
+	tail *lazyNode
+	n    atomic.Int64
+}
+
+// NewLazyList returns an empty set. Keys must be strictly between 0 and
+// MaxUint64 (the sentinel keys).
+func NewLazyList() *LazyList {
+	tail := &lazyNode{key: math.MaxUint64}
+	head := &lazyNode{key: 0}
+	head.next.Store(tail)
+	return &LazyList{head: head, tail: tail}
+}
+
+// validate checks that pred is unmarked and still points at curr.
+func (l *LazyList) validate(pred, curr *lazyNode) bool {
+	return !pred.marked.Load() && !curr.marked.Load() && pred.next.Load() == curr
+}
+
+// Contains reports whether key is in the set. It takes no locks.
+func (l *LazyList) Contains(key uint64) bool {
+	curr := l.head
+	for curr.key < key {
+		curr = curr.next.Load()
+	}
+	return curr.key == key && !curr.marked.Load()
+}
+
+// Insert adds key; it reports false if key was already present.
+func (l *LazyList) Insert(key uint64) bool {
+	for {
+		pred := l.head
+		curr := pred.next.Load()
+		for curr.key < key {
+			pred = curr
+			curr = curr.next.Load()
+		}
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if l.validate(pred, curr) {
+			if curr.key == key {
+				curr.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			n := &lazyNode{key: key}
+			n.next.Store(curr)
+			pred.next.Store(n)
+			l.n.Add(1)
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+	}
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (l *LazyList) Remove(key uint64) bool {
+	for {
+		pred := l.head
+		curr := pred.next.Load()
+		for curr.key < key {
+			pred = curr
+			curr = curr.next.Load()
+		}
+		pred.mu.Lock()
+		curr.mu.Lock()
+		if l.validate(pred, curr) {
+			if curr.key != key {
+				curr.mu.Unlock()
+				pred.mu.Unlock()
+				return false
+			}
+			curr.marked.Store(true) // logical removal
+			pred.next.Store(curr.next.Load())
+			l.n.Add(-1)
+			curr.mu.Unlock()
+			pred.mu.Unlock()
+			return true
+		}
+		curr.mu.Unlock()
+		pred.mu.Unlock()
+	}
+}
+
+// Len returns the number of keys in the set.
+func (l *LazyList) Len() int { return int(l.n.Load()) }
+
+var _ Set = (*LazyList)(nil)
+
+// LazyListUpdateOnly adapts a LazyList for the paper's FFWD-LZ
+// configuration: clients traverse (Contains) in parallel directly, while
+// Insert/Remove are delegated to a single server. The adapter exposes the
+// update operations in a form convenient for delegation.
+type LazyListUpdateOnly struct{ L *LazyList }
+
+// InsertOp returns 1 if key was inserted, 0 otherwise.
+func (u LazyListUpdateOnly) InsertOp(key uint64) uint64 {
+	if u.L.Insert(key) {
+		return 1
+	}
+	return 0
+}
+
+// RemoveOp returns 1 if key was removed, 0 otherwise.
+func (u LazyListUpdateOnly) RemoveOp(key uint64) uint64 {
+	if u.L.Remove(key) {
+		return 1
+	}
+	return 0
+}

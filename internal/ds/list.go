@@ -1,0 +1,62 @@
+package ds
+
+// listNode is a node of the naive sorted list.
+type listNode struct {
+	key  uint64
+	next *listNode
+}
+
+// SortedList is the paper's "naive linked list": a single-threaded sorted
+// singly linked list representing a set of integers. It has no internal
+// synchronization; protect it with one lock, or delegate it.
+type SortedList struct {
+	head *listNode // sentinel
+	n    int
+}
+
+// NewSortedList returns an empty list.
+func NewSortedList() *SortedList {
+	return &SortedList{head: &listNode{}}
+}
+
+// find returns the last node with key < k.
+func (l *SortedList) find(k uint64) *listNode {
+	p := l.head
+	for p.next != nil && p.next.key < k {
+		p = p.next
+	}
+	return p
+}
+
+// Contains reports whether key is in the set.
+func (l *SortedList) Contains(key uint64) bool {
+	p := l.find(key)
+	return p.next != nil && p.next.key == key
+}
+
+// Insert adds key; it reports false if key was already present.
+func (l *SortedList) Insert(key uint64) bool {
+	p := l.find(key)
+	if p.next != nil && p.next.key == key {
+		return false
+	}
+	p.next = &listNode{key: key, next: p.next}
+	l.n++
+	return true
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (l *SortedList) Remove(key uint64) bool {
+	p := l.find(key)
+	if p.next == nil || p.next.key != key {
+		return false
+	}
+	p.next = p.next.next
+	l.n--
+	return true
+}
+
+// Len returns the number of keys.
+func (l *SortedList) Len() int { return l.n }
+
+var _ Set = (*SortedList)(nil)

@@ -1,0 +1,155 @@
+package ds
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is an unsynchronized FIFO queue of words — the structure one
+// protects with the two-lock algorithm or delegates whole.
+type Queue struct {
+	head *qNode // sentinel
+	tail *qNode
+	n    int
+}
+
+type qNode struct {
+	value uint64
+	next  *qNode
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	dummy := &qNode{}
+	return &Queue{head: dummy, tail: dummy}
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(v uint64) {
+	n := &qNode{value: v}
+	q.tail.next = n
+	q.tail = n
+	q.n++
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	first := q.head.next
+	if first == nil {
+		return 0, false
+	}
+	q.head = first // old sentinel dropped; first becomes sentinel
+	q.n--
+	return first.value, true
+}
+
+// Len returns the number of queued values.
+func (q *Queue) Len() int { return q.n }
+
+// tlqNode is a node of the two-lock queue. The next link is atomic because
+// when the queue is empty the head and tail locks protect the *same*
+// sentinel node: an enqueuer's link store races with a dequeuer's read —
+// the algorithm's well-known benign race, made well-defined here.
+type tlqNode struct {
+	value uint64
+	next  atomic.Pointer[tlqNode]
+}
+
+// TwoLockQueue is the Michael–Scott two-lock queue [Michael & Scott '96]
+// used as the queue micro-benchmark's base algorithm: the head and tail are
+// protected by two distinct locks of the same injectable type, so an
+// enqueue and a dequeue can proceed in parallel.
+type TwoLockQueue struct {
+	headMu sync.Locker
+	_      [56]byte
+	tailMu sync.Locker
+	_      [56]byte
+	head   *tlqNode
+	tail   *tlqNode
+}
+
+// NewTwoLockQueue returns an empty queue protected by two locks created
+// with mkLock.
+func NewTwoLockQueue(mkLock func() sync.Locker) *TwoLockQueue {
+	dummy := &tlqNode{}
+	return &TwoLockQueue{headMu: mkLock(), tailMu: mkLock(), head: dummy, tail: dummy}
+}
+
+// Enqueue appends v under the tail lock.
+func (q *TwoLockQueue) Enqueue(v uint64) {
+	n := &tlqNode{value: v}
+	q.tailMu.Lock()
+	q.tail.next.Store(n)
+	q.tail = n
+	q.tailMu.Unlock()
+}
+
+// Dequeue removes the oldest value under the head lock; ok is false when
+// the queue was empty.
+func (q *TwoLockQueue) Dequeue() (v uint64, ok bool) {
+	q.headMu.Lock()
+	first := q.head.next.Load()
+	if first == nil {
+		q.headMu.Unlock()
+		return 0, false
+	}
+	v = first.value
+	q.head = first
+	q.headMu.Unlock()
+	return v, true
+}
+
+// Stack is an unsynchronized LIFO stack of words.
+type Stack struct {
+	top *qNode
+	n   int
+}
+
+// NewStack returns an empty stack.
+func NewStack() *Stack { return &Stack{} }
+
+// Push adds v on top.
+func (s *Stack) Push(v uint64) {
+	s.top = &qNode{value: v, next: s.top}
+	s.n++
+}
+
+// Pop removes and returns the top value; ok is false when empty.
+func (s *Stack) Pop() (v uint64, ok bool) {
+	if s.top == nil {
+		return 0, false
+	}
+	v = s.top.value
+	s.top = s.top.next
+	s.n--
+	return v, true
+}
+
+// Len returns the number of stacked values.
+func (s *Stack) Len() int { return s.n }
+
+// LockedStack is the single-lock stack baseline with an injectable lock.
+type LockedStack struct {
+	mu sync.Locker
+	s  Stack
+}
+
+// NewLockedStack returns an empty stack protected by mkLock().
+func NewLockedStack(mkLock func() sync.Locker) *LockedStack {
+	return &LockedStack{mu: mkLock()}
+}
+
+// Push adds v on top under the lock.
+func (s *LockedStack) Push(v uint64) {
+	s.mu.Lock()
+	s.s.Push(v)
+	s.mu.Unlock()
+}
+
+// Pop removes the top value under the lock; ok is false when empty.
+func (s *LockedStack) Pop() (v uint64, ok bool) {
+	s.mu.Lock()
+	v, ok = s.s.Pop()
+	s.mu.Unlock()
+	return v, ok
+}

@@ -1,0 +1,313 @@
+package ds
+
+// RBTree is a single-threaded red-black tree (CLRS-style, with a shared nil
+// sentinel). It stands in for the paper's VRBTREE comparator: a balanced
+// tree whose stricter invariants cost more per update but bound the path
+// length, which matters for the large-tree sweep (fig17).
+type RBTree struct {
+	root *rbNode
+	nilN *rbNode // sentinel: black, self-linked
+	n    int
+}
+
+type rbColor bool
+
+const (
+	rbRed   rbColor = true
+	rbBlack rbColor = false
+)
+
+type rbNode struct {
+	key                 uint64
+	color               rbColor
+	left, right, parent *rbNode
+}
+
+// NewRBTree returns an empty tree.
+func NewRBTree() *RBTree {
+	nilN := &rbNode{color: rbBlack}
+	nilN.left, nilN.right, nilN.parent = nilN, nilN, nilN
+	return &RBTree{root: nilN, nilN: nilN}
+}
+
+// Contains reports whether key is in the set.
+func (t *RBTree) Contains(key uint64) bool {
+	x := t.root
+	for x != t.nilN {
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func (t *RBTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != t.nilN {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilN:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *RBTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != t.nilN {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == t.nilN:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Insert adds key; it reports false if key was already present.
+func (t *RBTree) Insert(key uint64) bool {
+	y := t.nilN
+	x := t.root
+	for x != t.nilN {
+		y = x
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return false
+		}
+	}
+	z := &rbNode{key: key, color: rbRed, left: t.nilN, right: t.nilN, parent: y}
+	switch {
+	case y == t.nilN:
+		t.root = z
+	case key < y.key:
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.insertFixup(z)
+	t.n++
+	return true
+}
+
+func (t *RBTree) insertFixup(z *rbNode) {
+	for z.parent.color == rbRed {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == rbRed {
+				z.parent.color = rbBlack
+				y.color = rbBlack
+				z.parent.parent.color = rbRed
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = rbBlack
+				z.parent.parent.color = rbRed
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == rbRed {
+				z.parent.color = rbBlack
+				y.color = rbBlack
+				z.parent.parent.color = rbRed
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = rbBlack
+				z.parent.parent.color = rbRed
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = rbBlack
+}
+
+func (t *RBTree) transplant(u, v *rbNode) {
+	switch {
+	case u.parent == t.nilN:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *RBTree) minimum(x *rbNode) *rbNode {
+	for x.left != t.nilN {
+		x = x.left
+	}
+	return x
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *RBTree) Remove(key uint64) bool {
+	z := t.root
+	for z != t.nilN {
+		switch {
+		case key < z.key:
+			z = z.left
+		case key > z.key:
+			z = z.right
+		default:
+			t.deleteNode(z)
+			t.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (t *RBTree) deleteNode(z *rbNode) {
+	y := z
+	yOrig := y.color
+	var x *rbNode
+	switch {
+	case z.left == t.nilN:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == t.nilN:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrig == rbBlack {
+		t.deleteFixup(x)
+	}
+}
+
+func (t *RBTree) deleteFixup(x *rbNode) {
+	for x != t.root && x.color == rbBlack {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == rbRed {
+				w.color = rbBlack
+				x.parent.color = rbRed
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == rbBlack && w.right.color == rbBlack {
+				w.color = rbRed
+				x = x.parent
+			} else {
+				if w.right.color == rbBlack {
+					w.left.color = rbBlack
+					w.color = rbRed
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = rbBlack
+				w.right.color = rbBlack
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == rbRed {
+				w.color = rbBlack
+				x.parent.color = rbRed
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == rbBlack && w.left.color == rbBlack {
+				w.color = rbRed
+				x = x.parent
+			} else {
+				if w.left.color == rbBlack {
+					w.right.color = rbBlack
+					w.color = rbRed
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = rbBlack
+				w.left.color = rbBlack
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = rbBlack
+}
+
+// Len returns the number of keys in the set.
+func (t *RBTree) Len() int { return t.n }
+
+// checkInvariants verifies the red-black properties, returning the black
+// height, or -1 on violation. Exported to tests via Validate.
+func (t *RBTree) checkInvariants(x *rbNode) int {
+	if x == t.nilN {
+		return 1
+	}
+	if x.color == rbRed && (x.left.color == rbRed || x.right.color == rbRed) {
+		return -1
+	}
+	if x.left != t.nilN && x.left.key >= x.key {
+		return -1
+	}
+	if x.right != t.nilN && x.right.key <= x.key {
+		return -1
+	}
+	lh := t.checkInvariants(x.left)
+	rh := t.checkInvariants(x.right)
+	if lh == -1 || rh == -1 || lh != rh {
+		return -1
+	}
+	if x.color == rbBlack {
+		lh++
+	}
+	return lh
+}
+
+// Validate reports whether the tree satisfies every red-black invariant.
+func (t *RBTree) Validate() bool {
+	return t.root.color == rbBlack && t.checkInvariants(t.root) != -1
+}
+
+var _ Set = (*RBTree)(nil)

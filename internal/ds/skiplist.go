@@ -1,0 +1,114 @@
+package ds
+
+// SkipList is a single-threaded skip list [Pugh '90] — the paper's FFWD-SK
+// data structure: an O(log n) set that performs best confined to one
+// thread, making it an ideal delegation target. The level generator is a
+// deterministic xorshift so runs are reproducible.
+type SkipList struct {
+	head     *skipNode
+	level    int
+	n        int
+	rngState uint64
+}
+
+const skipMaxLevel = 24
+
+type skipNode struct {
+	key  uint64
+	next []*skipNode
+}
+
+// NewSkipList returns an empty skip list.
+func NewSkipList() *SkipList {
+	return &SkipList{
+		head:     &skipNode{next: make([]*skipNode, skipMaxLevel)},
+		level:    1,
+		rngState: 0x9E3779B97F4A7C15,
+	}
+}
+
+// randLevel draws a geometric(1/2) level in [1, skipMaxLevel].
+func (s *SkipList) randLevel() int {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	lvl := 1
+	for x&1 == 1 && lvl < skipMaxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// findPreds fills preds with, per level, the last node with key < k.
+func (s *SkipList) findPreds(k uint64, preds *[skipMaxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < k {
+			x = x.next[i]
+		}
+		preds[i] = x
+	}
+	return x.next[0]
+}
+
+// Contains reports whether key is in the set.
+func (s *SkipList) Contains(key uint64) bool {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	return n != nil && n.key == key
+}
+
+// Insert adds key; it reports false if key was already present.
+func (s *SkipList) Insert(key uint64) bool {
+	var preds [skipMaxLevel]*skipNode
+	n := s.findPreds(key, &preds)
+	if n != nil && n.key == key {
+		return false
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			preds[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = preds[i].next[i]
+		preds[i].next[i] = node
+	}
+	s.n++
+	return true
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (s *SkipList) Remove(key uint64) bool {
+	var preds [skipMaxLevel]*skipNode
+	n := s.findPreds(key, &preds)
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < len(n.next); i++ {
+		if preds[i].next[i] == n {
+			preds[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.n--
+	return true
+}
+
+// Len returns the number of keys in the set.
+func (s *SkipList) Len() int { return s.n }
+
+var _ Set = (*SkipList)(nil)

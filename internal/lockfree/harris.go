@@ -1,0 +1,151 @@
+package lockfree
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// harrisLink is the (successor, marked) pair that Harris's algorithm packs
+// into one word via pointer tagging. Go has no pointer tagging, so the pair
+// is a small immutable struct behind an atomic pointer; a CAS on the link
+// pointer atomically updates both fields, which preserves the algorithm.
+type harrisLink struct {
+	next   *harrisNode
+	marked bool
+}
+
+type harrisNode struct {
+	key  uint64
+	link atomic.Pointer[harrisLink]
+}
+
+func newHarrisNode(key uint64, next *harrisNode) *harrisNode {
+	n := &harrisNode{key: key}
+	n.link.Store(&harrisLink{next: next})
+	return n
+}
+
+// HarrisList is Harris's non-blocking sorted linked list implementing an
+// integer set [Harris '01]: deletion first logically marks a node's link,
+// then physically unlinks it; searches snip chains of marked nodes as they
+// pass.
+type HarrisList struct {
+	head *harrisNode
+	tail *harrisNode
+}
+
+// NewHarrisList returns an empty set. Keys must be strictly between 0 and
+// MaxUint64 (the sentinels' keys).
+func NewHarrisList() *HarrisList {
+	tail := newHarrisNode(math.MaxUint64, nil)
+	head := newHarrisNode(0, tail)
+	return &HarrisList{head: head, tail: tail}
+}
+
+// search returns (left, right) such that left.key < key <= right.key, both
+// unmarked and adjacent after snipping marked nodes in between.
+func (l *HarrisList) search(key uint64) (left, right *harrisNode) {
+	for {
+		// Phase 1: find left and right, remembering marked span.
+		var leftLink *harrisLink
+		t := l.head
+		tLink := t.link.Load()
+		for {
+			if !tLink.marked {
+				left = t
+				leftLink = tLink
+			}
+			t = tLink.next
+			if t == l.tail {
+				break
+			}
+			tLink = t.link.Load()
+			if !tLink.marked && t.key >= key {
+				break
+			}
+		}
+		right = t
+
+		// Phase 2: check adjacency or snip.
+		if leftLink.next == right {
+			if right != l.tail && right.link.Load().marked {
+				continue // right got marked; restart
+			}
+			return left, right
+		}
+		snipped := &harrisLink{next: right}
+		if left.link.CompareAndSwap(leftLink, snipped) {
+			if right != l.tail && right.link.Load().marked {
+				continue
+			}
+			return left, right
+		}
+	}
+}
+
+// Contains reports whether key is in the set.
+func (l *HarrisList) Contains(key uint64) bool {
+	t := l.head.link.Load().next
+	for t != l.tail && t.key < key {
+		t = t.link.Load().next
+	}
+	if t == l.tail || t.key != key {
+		return false
+	}
+	return !t.link.Load().marked
+}
+
+// Insert adds key to the set; it reports false if key was already present.
+func (l *HarrisList) Insert(key uint64) bool {
+	for {
+		left, right := l.search(key)
+		if right != l.tail && right.key == key {
+			return false
+		}
+		n := newHarrisNode(key, right)
+		oldLink := left.link.Load()
+		if oldLink.marked || oldLink.next != right {
+			continue
+		}
+		if left.link.CompareAndSwap(oldLink, &harrisLink{next: n}) {
+			return true
+		}
+	}
+}
+
+// Remove deletes key from the set; it reports false if key was absent.
+func (l *HarrisList) Remove(key uint64) bool {
+	for {
+		left, right := l.search(key)
+		if right == l.tail || right.key != key {
+			return false
+		}
+		rLink := right.link.Load()
+		if rLink.marked {
+			continue
+		}
+		// Logical deletion: mark right's link.
+		if !right.link.CompareAndSwap(rLink, &harrisLink{next: rLink.next, marked: true}) {
+			continue
+		}
+		// Physical deletion: best effort; search cleans up otherwise.
+		lLink := left.link.Load()
+		if !lLink.marked && lLink.next == right {
+			left.link.CompareAndSwap(lLink, &harrisLink{next: rLink.next})
+		}
+		return true
+	}
+}
+
+// Len counts unmarked nodes; linear, for quiescent-state tests.
+func (l *HarrisList) Len() int {
+	n := 0
+	for t := l.head.link.Load().next; t != l.tail; {
+		link := t.link.Load()
+		if !link.marked {
+			n++
+		}
+		t = link.next
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package lockfree
+
+// HashSet is a lock-free integer set: a fixed array of buckets, each an
+// independent Harris list. This is the fully-parallel end of the paper's
+// design space — the kind of structure for which the paper concedes
+// locking/lock-freedom beats delegation (fig18's right-hand side) — and
+// the non-blocking counterpart of ds.StripedHashTable.
+type HashSet struct {
+	buckets []*HarrisList
+}
+
+// NewHashSet returns a set with the given number of buckets (≥1).
+func NewHashSet(buckets int) *HashSet {
+	if buckets < 1 {
+		buckets = 1
+	}
+	h := &HashSet{buckets: make([]*HarrisList, buckets)}
+	for i := range h.buckets {
+		h.buckets[i] = NewHarrisList()
+	}
+	return h
+}
+
+// Buckets returns the bucket count.
+func (h *HashSet) Buckets() int { return len(h.buckets) }
+
+func (h *HashSet) bucket(key uint64) *HarrisList {
+	return h.buckets[(key*0x9E3779B97F4A7C15)%uint64(len(h.buckets))]
+}
+
+// Contains reports whether key is in the set; wait-free per bucket
+// traversal.
+func (h *HashSet) Contains(key uint64) bool { return h.bucket(key).Contains(key) }
+
+// Insert adds key; it reports false if key was already present.
+func (h *HashSet) Insert(key uint64) bool { return h.bucket(key).Insert(key) }
+
+// Remove deletes key; it reports false if key was absent.
+func (h *HashSet) Remove(key uint64) bool { return h.bucket(key).Remove(key) }
+
+// Len sums bucket lengths; linear, exact only in quiescent states.
+func (h *HashSet) Len() int {
+	n := 0
+	for _, b := range h.buckets {
+		n += b.Len()
+	}
+	return n
+}

@@ -1,0 +1,497 @@
+package lockfree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+	for i := uint64(1); i <= 10; i++ {
+		s.Push(i)
+	}
+	for i := uint64(10); i >= 1; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after popping everything")
+	}
+}
+
+func TestStackConcurrent(t *testing.T) {
+	s := NewStack()
+	const workers, iters = 8, 5000
+	var sumPushed, sumPopped [8]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := uint64(w*iters + i + 1)
+				s.Push(v)
+				sumPushed[w] += v
+				if got, ok := s.Pop(); ok {
+					sumPopped[w] += got
+				} else {
+					t.Error("Pop failed right after Push")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var pushed, popped uint64
+	for w := 0; w < workers; w++ {
+		pushed += sumPushed[w]
+		popped += sumPopped[w]
+	}
+	if pushed != popped {
+		t.Fatalf("sum pushed %d != sum popped %d", pushed, popped)
+	}
+	if !s.Empty() {
+		t.Fatalf("stack has %d leftover elements", s.Len())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue succeeded")
+	}
+	for i := uint64(1); i <= 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestQueueConcurrentConservation(t *testing.T) {
+	q := NewQueue()
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	popped := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q.Enqueue(1)
+				if _, ok := q.Dequeue(); ok {
+					popped[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, p := range popped {
+		total += p
+	}
+	if total+uint64(q.Len()) != workers*iters {
+		t.Fatalf("conservation violated: popped %d + left %d != enqueued %d",
+			total, q.Len(), workers*iters)
+	}
+}
+
+func TestQueuePerProducerFIFO(t *testing.T) {
+	// Values from a single producer must come out in order.
+	q := NewQueue()
+	const n = 10000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	var last uint64
+	for count := 0; count < n; {
+		if v, ok := q.Dequeue(); ok {
+			if v <= last {
+				t.Errorf("out of order: %d after %d", v, last)
+				return
+			}
+			last = v
+			count++
+		}
+	}
+	<-done
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	if _, ok := r.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty ring succeeded")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if !r.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed below capacity", i)
+		}
+	}
+	if r.TryEnqueue(5) {
+		t.Fatal("TryEnqueue succeeded on full ring")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		v, ok := r.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("TryDequeue = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ req, want int }{{1, 2}, {2, 2}, {3, 4}, {5, 8}, {1000, 1024}} {
+		if got := NewRing(tc.req).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	const workers, iters = 4, 20000
+	var wg sync.WaitGroup
+	var sumIn, sumOut [workers]uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := uint64(w*iters+i) + 1
+				r.Enqueue(v)
+				sumIn[w] += v
+				sumOut[w] += r.Dequeue()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var in, out uint64
+	for w := 0; w < workers; w++ {
+		in += sumIn[w]
+		out += sumOut[w]
+	}
+	if in != out {
+		t.Fatalf("sum in %d != sum out %d", in, out)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring has %d leftovers", r.Len())
+	}
+}
+
+func TestHarrisSequential(t *testing.T) {
+	l := NewHarrisList()
+	if l.Contains(5) {
+		t.Fatal("empty list contains 5")
+	}
+	if !l.Insert(5) || !l.Insert(3) || !l.Insert(7) {
+		t.Fatal("insert of fresh keys failed")
+	}
+	if l.Insert(5) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	for _, k := range []uint64{3, 5, 7} {
+		if !l.Contains(k) {
+			t.Fatalf("list missing %d", k)
+		}
+	}
+	if l.Contains(4) {
+		t.Fatal("list contains 4, never inserted")
+	}
+	if !l.Remove(5) {
+		t.Fatal("remove of present key failed")
+	}
+	if l.Remove(5) {
+		t.Fatal("double remove succeeded")
+	}
+	if l.Contains(5) {
+		t.Fatal("removed key still present")
+	}
+	if got := l.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestHarrisMatchesMapModel(t *testing.T) {
+	// Randomized sequential operations checked against a map.
+	l := NewHarrisList()
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(256)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := l.Insert(k), !model[k]; got != want {
+				t.Fatalf("Insert(%d) = %v, want %v", k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := l.Remove(k), model[k]; got != want {
+				t.Fatalf("Remove(%d) = %v, want %v", k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := l.Contains(k), model[k]; got != want {
+				t.Fatalf("Contains(%d) = %v, want %v", k, got, want)
+			}
+		}
+	}
+	if l.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", l.Len(), len(model))
+	}
+}
+
+func TestHarrisConcurrentDisjointKeys(t *testing.T) {
+	// Each worker owns a disjoint key range; all its operations must
+	// behave as if single-threaded despite concurrent structural changes.
+	l := NewHarrisList()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w*1000 + 1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 200; i++ {
+				k := base + i
+				if !l.Insert(k) {
+					t.Errorf("Insert(%d) failed on owned key", k)
+					return
+				}
+				if !l.Contains(k) {
+					t.Errorf("Contains(%d) false right after insert", k)
+					return
+				}
+				if i%2 == 0 {
+					if !l.Remove(k) {
+						t.Errorf("Remove(%d) failed on owned key", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := l.Len(), workers*100; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestHarrisConcurrentSharedKeys(t *testing.T) {
+	l := NewHarrisList()
+	const workers = 8
+	var inserted, removed [workers]int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(64)) + 1
+				if rng.Intn(2) == 0 {
+					if l.Insert(k) {
+						inserted[w]++
+					}
+				} else if l.Remove(k) {
+					removed[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ins, rem int
+	for w := 0; w < workers; w++ {
+		ins += inserted[w]
+		rem += removed[w]
+	}
+	if got := l.Len(); got != ins-rem {
+		t.Fatalf("Len = %d, want inserted-removed = %d", got, ins-rem)
+	}
+}
+
+func TestStackPropertyPushPopRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		s := NewStack()
+		for _, v := range vals {
+			s.Push(v)
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			v, ok := s.Pop()
+			if !ok || v != vals[i] {
+				return false
+			}
+		}
+		_, ok := s.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueuePropertyRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		q := NewQueue()
+		for _, v := range vals {
+			q.Enqueue(v)
+		}
+		for _, v := range vals {
+			got, ok := q.Dequeue()
+			if !ok || got != v {
+				return false
+			}
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStack(b *testing.B) {
+	s := NewStack()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Push(1)
+			s.Pop()
+		}
+	})
+}
+
+func BenchmarkQueue(b *testing.B) {
+	q := NewQueue()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+			q.Dequeue()
+		}
+	})
+}
+
+func BenchmarkRing(b *testing.B) {
+	r := NewRing(1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Enqueue(1)
+			r.Dequeue()
+		}
+	})
+}
+
+func BenchmarkHarrisList(b *testing.B) {
+	l := NewHarrisList()
+	for i := uint64(1); i <= 1024; i++ {
+		l.Insert(i * 2)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(1))
+		for pb.Next() {
+			k := uint64(rng.Intn(2048)) + 1
+			switch rng.Intn(10) {
+			case 0:
+				l.Insert(k)
+			case 1:
+				l.Remove(k)
+			default:
+				l.Contains(k)
+			}
+		}
+	})
+}
+
+func TestHashSetMatchesMapModel(t *testing.T) {
+	h := NewHashSet(16)
+	if h.Buckets() != 16 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(500)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := h.Insert(k), !model[k]; got != want {
+				t.Fatalf("Insert(%d) = %v want %v", k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := h.Remove(k), model[k]; got != want {
+				t.Fatalf("Remove(%d) = %v want %v", k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := h.Contains(k), model[k]; got != want {
+				t.Fatalf("Contains(%d) = %v want %v", k, got, want)
+			}
+		}
+	}
+	if h.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", h.Len(), len(model))
+	}
+}
+
+func TestHashSetConcurrent(t *testing.T) {
+	h := NewHashSet(64)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w*100000 + 1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				k := base + i
+				if !h.Insert(k) {
+					t.Errorf("Insert(%d) failed", k)
+					return
+				}
+				if !h.Contains(k) {
+					t.Errorf("Contains(%d) false", k)
+					return
+				}
+				if i%2 == 0 && !h.Remove(k) {
+					t.Errorf("Remove(%d) failed", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Len(), workers*1000; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestHashSetBucketsClamped(t *testing.T) {
+	h := NewHashSet(0)
+	if h.Buckets() != 1 {
+		t.Fatalf("Buckets = %d, want 1", h.Buckets())
+	}
+	h.Insert(5)
+	if !h.Contains(5) {
+		t.Fatal("single-bucket set broken")
+	}
+}

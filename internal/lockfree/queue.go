@@ -1,0 +1,85 @@
+package lockfree
+
+import "sync/atomic"
+
+type queueNode struct {
+	value uint64
+	next  atomic.Pointer[queueNode]
+}
+
+// Queue is the Michael–Scott non-blocking queue [Michael & Scott '96]: a
+// singly linked list with head and tail pointers advanced by CAS, with the
+// standard helping step for a lagging tail.
+type Queue struct {
+	head atomic.Pointer[queueNode]
+	tail atomic.Pointer[queueNode]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	dummy := &queueNode{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Enqueue appends v to the queue.
+func (q *Queue) Enqueue(v uint64) {
+	n := &queueNode{value: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value. ok is false if the queue
+// was empty.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		v = next.value
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+	}
+}
+
+// Empty reports whether the queue was empty at some recent instant.
+func (q *Queue) Empty() bool {
+	head := q.head.Load()
+	return head.next.Load() == nil
+}
+
+// Len walks the queue and returns its length; linear, for tests.
+func (q *Queue) Len() int {
+	n := 0
+	for p := q.head.Load().next.Load(); p != nil; p = p.next.Load() {
+		n++
+	}
+	return n
+}

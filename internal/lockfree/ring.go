@@ -1,0 +1,118 @@
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// Ring is a bounded multi-producer multi-consumer queue over a power-of-two
+// ring of slots with per-slot sequence numbers (the Vyukov MPMC design).
+// It stands in for the Boost lock-free queue (BLF) in the paper's stack and
+// queue benchmarks: the same class of array-based lock-free structure with
+// bounded capacity.
+type Ring struct {
+	mask  uint64
+	slots []ringSlot
+	_     [48]byte
+	enq   atomic.Uint64
+	_     [56]byte
+	deq   atomic.Uint64
+	_     [56]byte
+}
+
+type ringSlot struct {
+	seq   atomic.Uint64
+	value uint64
+	_     [48]byte
+}
+
+// NewRing returns a ring with capacity rounded up to a power of two (at
+// least 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// TryEnqueue appends v; it reports false if the ring is full.
+func (r *Ring) TryEnqueue(v uint64) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.value = v
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			return false // full
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryDequeue removes the oldest value; ok is false if the ring is empty.
+func (r *Ring) TryDequeue() (v uint64, ok bool) {
+	pos := r.deq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v = slot.value
+				slot.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.deq.Load()
+		case seq < pos+1:
+			return 0, false // empty
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Enqueue appends v, spinning politely while the ring is full.
+func (r *Ring) Enqueue(v uint64) {
+	var w spin.Waiter
+	for !r.TryEnqueue(v) {
+		w.Wait()
+	}
+}
+
+// Dequeue removes the oldest value, spinning politely while the ring is
+// empty.
+func (r *Ring) Dequeue() uint64 {
+	var w spin.Waiter
+	for {
+		if v, ok := r.TryDequeue(); ok {
+			return v
+		}
+		w.Wait()
+	}
+}
+
+// Len returns the approximate number of queued values.
+func (r *Ring) Len() int {
+	n := int(r.enq.Load()) - int(r.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }

@@ -1,0 +1,142 @@
+package lockfree
+
+import "ffwd/internal/combining"
+
+// This file implements the paper's SIM comparator as real code: a stack
+// and a queue built on the Sim wait-free universal construction
+// (internal/combining), with persistent (immutable) object states so that
+// a state transition is a pure value function.
+
+// simList is an immutable cons list.
+type simList struct {
+	value uint64
+	next  *simList
+}
+
+// SimStack is a stack whose operations are applied through the Sim
+// universal construction: one CAS installs a batch of helped operations.
+type SimStack struct {
+	sim *combining.Sim[*simList]
+}
+
+// NewSimStack returns a stack with capacity for maxHandles concurrent
+// goroutines.
+func NewSimStack(maxHandles int) *SimStack {
+	return &SimStack{sim: combining.NewSim[*simList](nil, maxHandles)}
+}
+
+// SimStackHandle is a per-goroutine handle.
+type SimStackHandle struct {
+	s *SimStack
+	h *combining.SimHandle
+}
+
+// NewHandle allocates a participant slot.
+func (s *SimStack) NewHandle() *SimStackHandle {
+	return &SimStackHandle{s: s, h: s.sim.NewHandle()}
+}
+
+// Push adds v to the top of the stack.
+func (h *SimStackHandle) Push(v uint64) {
+	h.s.sim.Do(h.h, func(top *simList) (*simList, uint64) {
+		return &simList{value: v, next: top}, 0
+	})
+}
+
+// Pop removes and returns the top value; ok is false if the stack was
+// empty at linearization.
+func (h *SimStackHandle) Pop() (v uint64, ok bool) {
+	r := h.s.sim.Do(h.h, func(top *simList) (*simList, uint64) {
+		if top == nil {
+			return nil, popEmpty
+		}
+		return top.next, top.value &^ (1 << 63)
+	})
+	if r == popEmpty {
+		return 0, false
+	}
+	return r, true
+}
+
+// popEmpty marks an empty pop; values are confined to 63 bits.
+const popEmpty = ^uint64(0)
+
+// Len counts the current snapshot's elements; linear, for tests.
+func (s *SimStack) Len() int {
+	n := 0
+	for l := s.sim.State(); l != nil; l = l.next {
+		n++
+	}
+	return n
+}
+
+// simQueueState is a persistent FIFO queue: front is dequeued in order,
+// back holds enqueues in reverse; when front empties, back is reversed
+// into it (amortized O(1) per operation across a version chain).
+type simQueueState struct {
+	front, back *simList
+}
+
+// SimQueue is a queue through the Sim universal construction.
+type SimQueue struct {
+	sim *combining.Sim[simQueueState]
+}
+
+// NewSimQueue returns a queue with capacity for maxHandles goroutines.
+func NewSimQueue(maxHandles int) *SimQueue {
+	return &SimQueue{sim: combining.NewSim[simQueueState](simQueueState{}, maxHandles)}
+}
+
+// SimQueueHandle is a per-goroutine handle.
+type SimQueueHandle struct {
+	q *SimQueue
+	h *combining.SimHandle
+}
+
+// NewHandle allocates a participant slot.
+func (q *SimQueue) NewHandle() *SimQueueHandle {
+	return &SimQueueHandle{q: q, h: q.sim.NewHandle()}
+}
+
+// Enqueue appends v.
+func (h *SimQueueHandle) Enqueue(v uint64) {
+	h.q.sim.Do(h.h, func(s simQueueState) (simQueueState, uint64) {
+		return simQueueState{front: s.front, back: &simList{value: v, next: s.back}}, 0
+	})
+}
+
+// Dequeue removes the oldest value; ok is false if the queue was empty at
+// linearization.
+func (h *SimQueueHandle) Dequeue() (v uint64, ok bool) {
+	r := h.q.sim.Do(h.h, func(s simQueueState) (simQueueState, uint64) {
+		if s.front == nil {
+			// Reverse back into front.
+			var f *simList
+			for b := s.back; b != nil; b = b.next {
+				f = &simList{value: b.value, next: f}
+			}
+			s = simQueueState{front: f}
+		}
+		if s.front == nil {
+			return s, popEmpty
+		}
+		return simQueueState{front: s.front.next, back: s.back}, s.front.value &^ (1 << 63)
+	})
+	if r == popEmpty {
+		return 0, false
+	}
+	return r, true
+}
+
+// Len counts the current snapshot's elements; linear, for tests.
+func (q *SimQueue) Len() int {
+	s := q.sim.State()
+	n := 0
+	for l := s.front; l != nil; l = l.next {
+		n++
+	}
+	for l := s.back; l != nil; l = l.next {
+		n++
+	}
+	return n
+}

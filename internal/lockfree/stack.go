@@ -1,0 +1,62 @@
+// Package lockfree implements the lock-free baselines of the ffwd paper's
+// micro-benchmarks: the Treiber stack, the Michael–Scott queue (MS), a
+// bounded array-based MPMC queue standing in for the Boost lock-free queue
+// (BLF), and Harris's non-blocking linked list.
+package lockfree
+
+import "sync/atomic"
+
+type stackNode struct {
+	value uint64
+	next  *stackNode
+}
+
+// Stack is the classic Treiber stack: push and pop are single CAS
+// operations on the top pointer. Under heavy contention the single CAS
+// target makes retries frequent — the paper's motivation for combining and
+// delegation.
+type Stack struct {
+	top atomic.Pointer[stackNode]
+}
+
+// NewStack returns an empty stack.
+func NewStack() *Stack { return &Stack{} }
+
+// Push adds v to the top of the stack.
+func (s *Stack) Push(v uint64) {
+	n := &stackNode{value: v}
+	for {
+		top := s.top.Load()
+		n.next = top
+		if s.top.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value. ok is false if the stack was
+// empty.
+func (s *Stack) Pop() (v uint64, ok bool) {
+	for {
+		top := s.top.Load()
+		if top == nil {
+			return 0, false
+		}
+		if s.top.CompareAndSwap(top, top.next) {
+			return top.value, true
+		}
+	}
+}
+
+// Empty reports whether the stack was empty at some recent instant.
+func (s *Stack) Empty() bool { return s.top.Load() == nil }
+
+// Len walks the stack and returns its length. It is linear and only
+// meaningful in quiescent states (tests).
+func (s *Stack) Len() int {
+	n := 0
+	for p := s.top.Load(); p != nil; p = p.next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// Backoff is a test-and-set spinlock with bounded exponential backoff
+// [Anderson '90], the classic remedy for TAS's contention collapse: a
+// failed attempt waits an exponentially growing, randomized interval
+// before retrying, which spaces out the coherence traffic on the lock
+// line at the cost of release-to-acquire latency.
+type Backoff struct {
+	state atomic.Uint32
+	// seed for the per-lock xorshift jitter; contention on it is
+	// harmless (stale reads just vary the jitter).
+	seed atomic.Uint64
+}
+
+// Backoff bounds, in PAUSE-loop iterations.
+const (
+	backoffMin = 4
+	backoffMax = 1024
+)
+
+// Lock acquires the lock.
+func (l *Backoff) Lock() {
+	limit := uint64(backoffMin)
+	var w spin.Waiter
+	for {
+		if l.state.Load() == 0 && l.state.Swap(1) == 0 {
+			return
+		}
+		// Randomized wait in [0, limit).
+		x := l.seed.Load()*6364136223846793005 + 1442695040888963407
+		l.seed.Store(x)
+		spin.Delay(int(x % limit))
+		w.Wait() // stay live at GOMAXPROCS=1
+		if limit < backoffMax {
+			limit *= 2
+		}
+	}
+}
+
+// TryLock attempts to acquire without waiting and reports success.
+func (l *Backoff) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock.
+func (l *Backoff) Unlock() { l.state.Store(0) }

@@ -1,0 +1,69 @@
+// Package locks implements the mutual-exclusion baselines evaluated in the
+// ffwd paper: test-and-set (TAS) and test-and-test-and-set (TTAS)
+// spinlocks, the ticket lock and its hierarchical variant (HTICKET), the
+// queue-based MCS and CLH locks, and a wrapper around the standard library
+// mutex (the paper's MUTEX / pthreads baseline).
+//
+// All locks satisfy sync.Locker. The queue locks additionally expose
+// explicit-node variants for callers that want to avoid the internal node
+// pools. Spin loops yield to the Go scheduler after a short bound, so every
+// lock is live at any GOMAXPROCS.
+package locks
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind names a lock implementation, using the paper's labels.
+type Kind string
+
+// Lock kinds, named as in the paper's figures.
+const (
+	TASKind     Kind = "TAS"
+	TTASKind    Kind = "TTAS"
+	TicketKind  Kind = "TICKET"
+	HTicketKind Kind = "HTICKET"
+	MCSKind     Kind = "MCS"
+	CLHKind     Kind = "CLH"
+	MutexKind   Kind = "MUTEX"
+	BackoffKind Kind = "BACKOFF"
+)
+
+// Kinds lists every lock kind, in the paper's customary order.
+var Kinds = []Kind{MutexKind, TASKind, TTASKind, TicketKind, HTicketKind, MCSKind, CLHKind, BackoffKind}
+
+// New constructs a lock of the given kind. For HTICKET, sockets is the
+// number of hierarchy domains (callers that do not care may pass 1, which
+// degenerates to a plain ticket lock with an extra level).
+func New(kind Kind, sockets int) (sync.Locker, error) {
+	switch kind {
+	case TASKind:
+		return new(TAS), nil
+	case TTASKind:
+		return new(TTAS), nil
+	case TicketKind:
+		return new(Ticket), nil
+	case HTicketKind:
+		return NewHTicket(sockets), nil
+	case MCSKind:
+		return new(MCS), nil
+	case CLHKind:
+		return NewCLH(), nil
+	case MutexKind:
+		return new(sync.Mutex), nil
+	case BackoffKind:
+		return new(Backoff), nil
+	default:
+		return nil, fmt.Errorf("locks: unknown kind %q", kind)
+	}
+}
+
+// MustNew is New but panics on an unknown kind; convenient in benchmarks.
+func MustNew(kind Kind, sockets int) sync.Locker {
+	l, err := New(kind, sockets)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,227 @@
+package locks
+
+import (
+	"sync"
+	"testing"
+)
+
+// hammer runs workers goroutines each performing iters lock-protected
+// increments of a shared counter, and checks the final count.
+func hammer(t *testing.T, l sync.Locker, workers, iters int) {
+	t.Helper()
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := workers * iters; counter != want {
+		t.Fatalf("counter = %d, want %d (lost updates: mutual exclusion violated)", counter, want)
+	}
+}
+
+func TestMutualExclusionAllKinds(t *testing.T) {
+	for _, kind := range Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			l := MustNew(kind, 4)
+			hammer(t, l, 8, 2000)
+		})
+	}
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New(Kind("BOGUS"), 1); err == nil {
+		t.Fatal("New(BOGUS) succeeded, want error")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(BOGUS) did not panic")
+		}
+	}()
+	MustNew(Kind("BOGUS"), 1)
+}
+
+func TestTASTryLock(t *testing.T) {
+	var l TAS
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTTASTryLock(t *testing.T) {
+	var l TTAS
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+}
+
+func TestTicketTryLock(t *testing.T) {
+	var l Ticket
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTicketFIFO(t *testing.T) {
+	// With a single goroutine repeatedly locking, serving advances one
+	// per acquisition.
+	var l Ticket
+	for i := 0; i < 10; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	if got := l.Holders(); got != 10 {
+		t.Fatalf("Holders = %d, want 10", got)
+	}
+}
+
+func TestMCSExplicitNodes(t *testing.T) {
+	var l MCS
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n MCSNode
+			for i := 0; i < 1000; i++ {
+				l.LockNode(&n)
+				counter++
+				l.UnlockNode(&n)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestCLHNodeRecycling(t *testing.T) {
+	l := NewCLH()
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := new(CLHNode)
+			for i := 0; i < 1000; i++ {
+				pred := l.LockNode(n)
+				counter++
+				l.UnlockNode(n)
+				n = pred // recycle predecessor's node
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestHTicketDomains(t *testing.T) {
+	l := NewHTicket(4)
+	var counter int
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		domain := w % 4
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.LockDomain(domain)
+				counter++
+				l.UnlockDomain(domain)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestHTicketZeroDomains(t *testing.T) {
+	l := NewHTicket(0) // clamped to 1
+	hammer(t, l, 4, 500)
+}
+
+func BenchmarkLocksUncontended(b *testing.B) {
+	for _, kind := range Kinds {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			l := MustNew(kind, 1)
+			for i := 0; i < b.N; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		})
+	}
+}
+
+func BenchmarkLocksContended(b *testing.B) {
+	for _, kind := range Kinds {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			l := MustNew(kind, 1)
+			var counter int
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					counter++
+					l.Unlock()
+				}
+			})
+			_ = counter
+		})
+	}
+}
+
+func TestBackoffTryLock(t *testing.T) {
+	var l Backoff
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}

@@ -1,0 +1,146 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// MCSNode is one waiter's queue entry for an MCS lock. A node may be reused
+// after Unlock returns.
+type MCSNode struct {
+	next   atomic.Pointer[MCSNode]
+	locked atomic.Uint32
+	_      [40]byte
+}
+
+// MCS is the Mellor-Crummey–Scott queue lock: waiters enqueue a node with an
+// atomic swap on the tail and spin on their own node's flag, so each waiter
+// spins on a distinct cache line and release is a single targeted store.
+type MCS struct {
+	tail atomic.Pointer[MCSNode]
+	// holder records the node of the current lock holder, for the
+	// sync.Locker form. Only the holder writes or reads it while the
+	// lock is held.
+	holder atomic.Pointer[MCSNode]
+	pool   sync.Pool
+}
+
+// LockNode acquires the lock enqueueing the caller-provided node.
+func (l *MCS) LockNode(n *MCSNode) {
+	n.next.Store(nil)
+	n.locked.Store(1)
+	pred := l.tail.Swap(n)
+	if pred == nil {
+		return
+	}
+	pred.next.Store(n)
+	var w spin.Waiter
+	for n.locked.Load() != 0 {
+		w.Wait()
+	}
+}
+
+// UnlockNode releases the lock acquired with n.
+func (l *MCS) UnlockNode(n *MCSNode) {
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		// A successor swapped itself onto the tail but has not
+		// linked into our next field yet; wait for the link.
+		var w spin.Waiter
+		for {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			w.Wait()
+		}
+	}
+	next.locked.Store(0)
+}
+
+// Lock acquires the lock using a pooled node (sync.Locker form).
+func (l *MCS) Lock() {
+	n, _ := l.pool.Get().(*MCSNode)
+	if n == nil {
+		n = new(MCSNode)
+	}
+	l.LockNode(n)
+	l.holder.Store(n)
+}
+
+// Unlock releases a Lock acquisition.
+func (l *MCS) Unlock() {
+	n := l.holder.Load()
+	l.UnlockNode(n)
+	l.pool.Put(n)
+}
+
+// CLHNode is one waiter's queue entry for a CLH lock.
+type CLHNode struct {
+	// succMustWait is set by the enqueuer and cleared on release; the
+	// successor in the implicit queue spins on it.
+	succMustWait atomic.Uint32
+	_            [60]byte
+}
+
+// CLH is the Craig / Landin–Hagersten queue lock: an implicit queue where
+// each waiter spins on its predecessor's node. Unlike MCS, release needs no
+// successor discovery, but each acquisition consumes the predecessor's node
+// (the classic node-recycling discipline).
+type CLH struct {
+	tail atomic.Pointer[CLHNode]
+	// holder fields serve the sync.Locker form; written only by the
+	// current lock holder.
+	heldNode atomic.Pointer[CLHNode]
+	heldPred atomic.Pointer[CLHNode]
+	pool     sync.Pool
+}
+
+// NewCLH returns a CLH lock with its initial granted node.
+func NewCLH() *CLH {
+	l := new(CLH)
+	l.tail.Store(new(CLHNode)) // succMustWait == 0: lock free
+	return l
+}
+
+// LockNode acquires the lock, enqueueing n. It returns the predecessor's
+// node, which the caller may reuse as the node of its next acquisition once
+// UnlockNode(n) has been called.
+func (l *CLH) LockNode(n *CLHNode) (pred *CLHNode) {
+	n.succMustWait.Store(1)
+	pred = l.tail.Swap(n)
+	var w spin.Waiter
+	for pred.succMustWait.Load() != 0 {
+		w.Wait()
+	}
+	return pred
+}
+
+// UnlockNode releases the lock acquired with n.
+func (l *CLH) UnlockNode(n *CLHNode) {
+	n.succMustWait.Store(0)
+}
+
+// Lock acquires the lock (sync.Locker form).
+func (l *CLH) Lock() {
+	n, _ := l.pool.Get().(*CLHNode)
+	if n == nil {
+		n = new(CLHNode)
+	}
+	pred := l.LockNode(n)
+	l.heldNode.Store(n)
+	l.heldPred.Store(pred)
+}
+
+// Unlock releases a Lock acquisition. The predecessor's node is recycled
+// into the pool; our own node stays live as the successor's spin target.
+func (l *CLH) Unlock() {
+	n := l.heldNode.Load()
+	pred := l.heldPred.Load()
+	l.UnlockNode(n)
+	l.pool.Put(pred)
+}

@@ -1,0 +1,156 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// TAS is a test-and-set spinlock: every acquisition attempt is an atomic
+// exchange on the shared word. Cheap uncontended, collapses under
+// contention because every waiter keeps writing the line.
+type TAS struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock.
+func (l *TAS) Lock() {
+	var w spin.Waiter
+	for l.state.Swap(1) != 0 {
+		w.Wait()
+	}
+}
+
+// TryLock attempts to acquire without waiting and reports success.
+func (l *TAS) TryLock() bool { return l.state.Swap(1) == 0 }
+
+// Unlock releases the lock.
+func (l *TAS) Unlock() { l.state.Store(0) }
+
+// TTAS is a test-and-test-and-set spinlock: waiters spin reading the word
+// (keeping it shared in their cache) and only attempt the exchange when it
+// reads free. Less coherence traffic while held, but still a thundering
+// herd on release — the paper's characteristic congestion collapse.
+type TTAS struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock.
+func (l *TTAS) Lock() {
+	var w spin.Waiter
+	for {
+		for l.state.Load() != 0 {
+			w.Wait()
+		}
+		if l.state.Swap(1) == 0 {
+			return
+		}
+	}
+}
+
+// TryLock attempts to acquire without waiting and reports success.
+func (l *TTAS) TryLock() bool {
+	return l.state.Load() == 0 && l.state.Swap(1) == 0
+}
+
+// Unlock releases the lock.
+func (l *TTAS) Unlock() { l.state.Store(0) }
+
+// Ticket is the classic fair ticket lock [Mellor-Crummey & Scott '91]:
+// acquirers take the next ticket and wait until the now-serving counter
+// reaches it. FIFO-fair; all waiters spin on the single now-serving word.
+type Ticket struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock acquires the lock.
+func (l *Ticket) Lock() {
+	t := l.next.Add(1) - 1
+	var w spin.Waiter
+	for l.serving.Load() != t {
+		w.Wait()
+	}
+}
+
+// TryLock attempts to acquire without waiting and reports success.
+func (l *Ticket) TryLock() bool {
+	s := l.serving.Load()
+	return l.next.CompareAndSwap(s, s+1)
+}
+
+// Unlock releases the lock.
+func (l *Ticket) Unlock() { l.serving.Add(1) }
+
+// Holders returns how many acquisitions have completed; used by fairness
+// tests.
+func (l *Ticket) Holders() uint64 { return l.serving.Load() }
+
+// HTicket is a hierarchical (two-level) ticket lock in the spirit of the
+// paper's HTICKET [Dice et al., lock cohorting]: each domain ("socket") has
+// a local ticket lock, and the holder of a local lock competes for a global
+// ticket lock. A domain may pass the global lock within itself up to
+// maxLocalPasses times before releasing it, trading fairness for locality.
+type HTicket struct {
+	global  Ticket
+	domains []hticketDomain
+}
+
+type hticketDomain struct {
+	local Ticket
+	// passes counts consecutive in-domain handoffs of the global lock.
+	passes int
+	// ownsGlobal records that this domain currently holds the global
+	// lock (protected by the local lock).
+	ownsGlobal bool
+	_          [64]byte
+}
+
+// maxLocalPasses bounds in-domain handoffs before the global lock must be
+// released, matching typical cohort-lock settings.
+const maxLocalPasses = 64
+
+// NewHTicket returns a hierarchical ticket lock with the given number of
+// domains (sockets). domains < 1 is treated as 1.
+func NewHTicket(domains int) *HTicket {
+	if domains < 1 {
+		domains = 1
+	}
+	return &HTicket{domains: make([]hticketDomain, domains)}
+}
+
+// LockDomain acquires the lock on behalf of a thread in the given domain.
+func (l *HTicket) LockDomain(domain int) {
+	d := &l.domains[domain%len(l.domains)]
+	d.local.Lock()
+	if d.ownsGlobal && d.passes < maxLocalPasses {
+		// Global lock handed off within the domain.
+		d.passes++
+		return
+	}
+	l.global.Lock()
+	d.ownsGlobal = true
+	d.passes = 0
+}
+
+// UnlockDomain releases the lock from the given domain.
+func (l *HTicket) UnlockDomain(domain int) {
+	d := &l.domains[domain%len(l.domains)]
+	if d.passes >= maxLocalPasses || !d.someoneWaitingLocally() {
+		d.ownsGlobal = false
+		d.passes = 0
+		l.global.Unlock()
+	}
+	d.local.Unlock()
+}
+
+func (d *hticketDomain) someoneWaitingLocally() bool {
+	return d.local.next.Load() > d.local.serving.Load()+1
+}
+
+// Lock acquires the lock via domain 0; it makes HTicket satisfy
+// sync.Locker for callers without placement information.
+func (l *HTicket) Lock() { l.LockDomain(0) }
+
+// Unlock releases a Lock acquisition.
+func (l *HTicket) Unlock() { l.UnlockDomain(0) }

@@ -1,0 +1,105 @@
+package padded
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestSizes(t *testing.T) {
+	if s := unsafe.Sizeof(Uint64{}); s != LinePair {
+		t.Fatalf("sizeof(Uint64) = %d, want %d", s, LinePair)
+	}
+	if s := unsafe.Sizeof(Uint32{}); s != LinePair {
+		t.Fatalf("sizeof(Uint32) = %d, want %d", s, LinePair)
+	}
+	if s := unsafe.Sizeof(Bool{}); s != LinePair {
+		t.Fatalf("sizeof(Bool) = %d, want %d", s, LinePair)
+	}
+}
+
+func TestAlignedBytes(t *testing.T) {
+	for _, align := range []int{64, 128, 256} {
+		for _, n := range []int{1, 64, 127, 128, 4096} {
+			b := AlignedBytes(n, align)
+			if len(b) != n {
+				t.Fatalf("len = %d, want %d", len(b), n)
+			}
+			if !IsAligned(unsafe.Pointer(&b[0]), align) {
+				t.Fatalf("AlignedBytes(%d,%d) not aligned", n, align)
+			}
+		}
+	}
+}
+
+func TestAlignedBytesBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two alignment")
+		}
+	}()
+	AlignedBytes(8, 100)
+}
+
+func TestAlignedUint64s(t *testing.T) {
+	w := AlignedUint64s(32)
+	if len(w) != 32 {
+		t.Fatalf("len = %d, want 32", len(w))
+	}
+	if !IsAligned(unsafe.Pointer(&w[0]), LinePair) {
+		t.Fatal("words not line-pair aligned")
+	}
+	for i := range w {
+		w[i] = uint64(i)
+	}
+	for i := range w {
+		if w[i] != uint64(i) {
+			t.Fatalf("w[%d] = %d", i, w[i])
+		}
+	}
+}
+
+func TestPaddedAtomics(t *testing.T) {
+	var u64 Uint64
+	u64.Store(41)
+	if u64.Add(1) != 42 || u64.Load() != 42 {
+		t.Fatal("Uint64 ops wrong")
+	}
+	if !u64.CompareAndSwap(42, 7) || u64.CompareAndSwap(42, 9) {
+		t.Fatal("Uint64 CAS wrong")
+	}
+	var u32 Uint32
+	u32.Store(1)
+	if u32.Add(2) != 3 || u32.Load() != 3 {
+		t.Fatal("Uint32 ops wrong")
+	}
+	if !u32.CompareAndSwap(3, 5) || u32.CompareAndSwap(3, 5) {
+		t.Fatal("Uint32 CAS wrong")
+	}
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero Bool true")
+	}
+	b.Store(true)
+	if !b.Load() || !b.CompareAndSwap(true, false) || b.Load() {
+		t.Fatal("Bool ops wrong")
+	}
+}
+
+func TestPaddedCountersConcurrent(t *testing.T) {
+	var c Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 80000 {
+		t.Fatalf("counter = %d, want 80000", c.Load())
+	}
+}

@@ -1,0 +1,188 @@
+package rcl
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExecuteRoundTrip(t *testing.T) {
+	s := NewServer(4)
+	l := s.NewLock()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	counter := 0
+	for i := 1; i <= 1000; i++ {
+		got := c.Execute(l, func(any) uint64 {
+			counter++
+			return uint64(counter)
+		}, nil)
+		if got != uint64(i) {
+			t.Fatalf("Execute #%d returned %d", i, got)
+		}
+	}
+}
+
+func TestContextPassing(t *testing.T) {
+	s := NewServer(1)
+	l := s.NewLock()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	type ctx struct{ a, b uint64 }
+	got := c.Execute(l, func(x any) uint64 {
+		cc := x.(*ctx)
+		return cc.a * cc.b
+	}, &ctx{a: 6, b: 7})
+	if got != 42 {
+		t.Fatalf("Execute = %d, want 42", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	const workers, iters = 8, 3000
+	s := NewServer(workers)
+	l := s.NewLock()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.MustNewClient()
+			for i := 0; i < iters; i++ {
+				c.Execute(l, func(any) uint64 { counter++; return 0 }, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+	if s.Served() != workers*iters {
+		t.Fatalf("Served = %d, want %d", s.Served(), workers*iters)
+	}
+}
+
+func TestDirectLockCoexistence(t *testing.T) {
+	// The RCL guarantee: direct lock acquisitions on an un-ported path
+	// are mutually exclusive with delegated sections.
+	s := NewServer(4)
+	l := s.NewLock()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	counter := 0
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c := s.MustNewClient()
+		for i := 0; i < 3000; i++ {
+			c.Execute(l, func(any) uint64 { counter++; return 0 }, nil)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			l.LockDirect()
+			counter++
+			l.UnlockDirect()
+		}
+	}()
+	wg.Wait()
+	s.Stop()
+	if counter != 6000 {
+		t.Fatalf("counter = %d, want 6000 (direct/delegated exclusion broken)", counter)
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	s := NewServer(1)
+	if _, err := s.NewClient(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewClient(); err != ErrNoSlots {
+		t.Fatalf("err = %v, want ErrNoSlots", err)
+	}
+}
+
+func TestServerRestart(t *testing.T) {
+	s := NewServer(1)
+	l := s.NewLock()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.MustNewClient()
+	c.Execute(l, func(any) uint64 { return 1 }, nil)
+	s.Stop()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Execute(l, func(any) uint64 { return 2 }, nil); got != 2 {
+		t.Fatalf("Execute after restart = %d, want 2", got)
+	}
+	s.Stop()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.Start() == nil {
+		t.Fatal("double Start succeeded")
+	}
+}
+
+func BenchmarkRCLExecute(b *testing.B) {
+	s := NewServer(64)
+	l := s.NewLock()
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	counter := 0
+	b.RunParallel(func(pb *testing.PB) {
+		c := s.MustNewClient()
+		for pb.Next() {
+			c.Execute(l, func(any) uint64 { counter++; return 0 }, nil)
+		}
+	})
+}
+
+func TestMultipleLocksOneServer(t *testing.T) {
+	// RCL serves many locks from one server thread; critical sections
+	// under different locks still serialize through the server, but
+	// each lock's direct path stays mutually exclusive with its own
+	// delegated sections only.
+	s := NewServer(8)
+	l1 := s.NewLock()
+	l2 := s.NewLock()
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	var c1, c2 int
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.MustNewClient()
+			for i := 0; i < 2000; i++ {
+				c.Execute(l1, func(any) uint64 { c1++; return 0 }, nil)
+				c.Execute(l2, func(any) uint64 { c2++; return 0 }, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if c1 != 8000 || c2 != 8000 {
+		t.Fatalf("counters = %d,%d want 8000,8000", c1, c2)
+	}
+}

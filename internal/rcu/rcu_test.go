@@ -1,0 +1,199 @@
+package rcu
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+type set interface {
+	Contains(uint64) bool
+	Insert(uint64) bool
+	Remove(uint64) bool
+	Len() int
+}
+
+func factories() map[string]func() set {
+	return map[string]func() set{
+		"Tree":    func() set { return NewTree() },
+		"RLUTree": func() set { return NewRLUTree(4) },
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(300)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Insert(k), !model[k]; got != want {
+						t.Fatalf("op %d: Insert(%d) = %v want %v", i, k, got, want)
+					}
+					model[k] = true
+				case 1:
+					if got, want := s.Remove(k), model[k]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v want %v", i, k, got, want)
+					}
+					delete(model, k)
+				default:
+					if got, want := s.Contains(k), model[k]; got != want {
+						t.Fatalf("op %d: Contains(%d) = %v want %v", i, k, got, want)
+					}
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestReadersDuringWrites(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			// Stable keys that are never removed: readers must
+			// always find them, whatever the writers do around
+			// them.
+			for k := uint64(10); k <= 1000; k += 10 {
+				s.Insert(k)
+			}
+			stop := make(chan struct{})
+			var readers sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				readers.Add(1)
+				go func(seed int64) {
+					defer readers.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := (uint64(rng.Intn(100)) + 1) * 10
+						if !s.Contains(k) {
+							t.Errorf("stable key %d vanished during concurrent updates", k)
+							return
+						}
+					}
+				}(int64(r))
+			}
+			var writers sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				writers.Add(1)
+				go func(seed int64) {
+					defer writers.Done()
+					rng := rand.New(rand.NewSource(seed + 100))
+					for i := 0; i < 20000; i++ {
+						// Odd keys only: never collide with
+						// the stable multiples of 10.
+						k := uint64(rng.Intn(2000))*2 + 1
+						if rng.Intn(2) == 0 {
+							s.Insert(k)
+						} else {
+							s.Remove(k)
+						}
+					}
+				}(int64(w))
+			}
+			writers.Wait()
+			close(stop)
+			readers.Wait()
+		})
+	}
+}
+
+func TestTwoChildDeleteKeepsSubtrees(t *testing.T) {
+	s := NewTree()
+	for _, k := range []uint64{50, 25, 75, 12, 37, 62, 87, 30, 40} {
+		s.Insert(k)
+	}
+	if !s.Remove(25) { // two children (12, 37)
+		t.Fatal("Remove(25) failed")
+	}
+	for _, k := range []uint64{12, 30, 37, 40, 50, 62, 75, 87} {
+		if !s.Contains(k) {
+			t.Fatalf("key %d lost after two-child delete", k)
+		}
+	}
+	if !s.Remove(50) { // root with two children, successor deep
+		t.Fatal("Remove(50) failed")
+	}
+	for _, k := range []uint64{12, 30, 37, 40, 62, 75, 87} {
+		if !s.Contains(k) {
+			t.Fatalf("key %d lost after root delete", k)
+		}
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", s.Len())
+	}
+}
+
+func TestRLUTreeDomainsClamped(t *testing.T) {
+	s := NewRLUTree(0)
+	if !s.Insert(1) || !s.Contains(1) {
+		t.Fatal("clamped RLUTree broken")
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				base := uint64(w*100000 + 1)
+				go func() {
+					defer wg.Done()
+					for i := uint64(0); i < 1000; i++ {
+						k := base + i
+						if !s.Insert(k) {
+							t.Errorf("Insert(%d) failed", k)
+							return
+						}
+						if i%2 == 0 && !s.Remove(k) {
+							t.Errorf("Remove(%d) failed", k)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got, want := s.Len(), workers*500; got != want {
+				t.Fatalf("Len = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func BenchmarkRCUTreeReadHeavy(b *testing.B) {
+	for name, mk := range factories() {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			for i := uint64(1); i <= 1024; i++ {
+				s.Insert(i * 2)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					k := uint64(rng.Intn(2048)) + 1
+					switch rng.Intn(20) {
+					case 0:
+						s.Insert(k)
+					case 1:
+						s.Remove(k)
+					default:
+						s.Contains(k)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package rcu
+
+// RLUTree is the RLU-lite comparator: the same wait-free RCU read path,
+// but updaters that touch disjoint parts of the key space proceed in
+// parallel. Full Read-Log-Update gives writers fine-grained object locks
+// plus a per-writer log; under a garbage collector the log's only
+// observable effect in this benchmark is *writer parallelism*, which
+// RLUTree reproduces by partitioning the key space into independent writer
+// domains (each an RCU tree). The result is a linearizable set with
+// wait-free readers and disjoint-writer concurrency — the profile the
+// paper's RLU line exhibits.
+type RLUTree struct {
+	parts []*Tree
+}
+
+// NewRLUTree returns an RLU-lite tree with the given number of writer
+// domains (clamped to at least 1).
+func NewRLUTree(domains int) *RLUTree {
+	if domains < 1 {
+		domains = 1
+	}
+	t := &RLUTree{parts: make([]*Tree, domains)}
+	for i := range t.parts {
+		t.parts[i] = NewTree()
+	}
+	return t
+}
+
+// part routes key to its writer domain. Fibonacci hashing decorrelates the
+// domain from key order so range-local workloads still spread.
+func (t *RLUTree) part(key uint64) *Tree {
+	return t.parts[(key*0x9E3779B97F4A7C15)%uint64(len(t.parts))]
+}
+
+// Contains reports whether key is in the set; wait-free.
+func (t *RLUTree) Contains(key uint64) bool { return t.part(key).Contains(key) }
+
+// Insert adds key; it reports false if key was already present.
+func (t *RLUTree) Insert(key uint64) bool { return t.part(key).Insert(key) }
+
+// Remove deletes key; it reports false if key was absent.
+func (t *RLUTree) Remove(key uint64) bool { return t.part(key).Remove(key) }
+
+// Len returns the number of keys in the set.
+func (t *RLUTree) Len() int {
+	n := 0
+	for _, p := range t.parts {
+		n += p.Len()
+	}
+	return n
+}

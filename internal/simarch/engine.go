@@ -1,0 +1,70 @@
+package simarch
+
+import "container/heap"
+
+// Engine is a minimal deterministic discrete-event simulator. Time is in
+// nanoseconds (float64: the quantities involved are ns-scale latencies,
+// where float64 has far more than enough precision, and fractional costs
+// from cycle conversions are common). Events at equal times fire in
+// scheduling order.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventQueue
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// Now returns the current simulation time in ns.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time at (clamped to now).
+func (e *Engine) At(at float64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay ns from now.
+func (e *Engine) After(delay float64, fn func()) { e.At(e.now+delay, fn) }
+
+// Run executes events in time order until the queue empties or the clock
+// passes until. It returns the number of events executed.
+func (e *Engine) Run(until float64) int {
+	n := 0
+	for len(e.pq) > 0 {
+		if e.pq[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

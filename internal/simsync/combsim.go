@@ -1,0 +1,138 @@
+package simsync
+
+import (
+	"ffwd/internal/simarch"
+)
+
+// CombSimConfig parameterizes a combining simulation (FC, CC-Synch,
+// DSM-Synch, H-Synch, and the Sim universal construction).
+type CombSimConfig struct {
+	Machine     simarch.Machine
+	Method      Method
+	Threads     int
+	DelayPauses int
+	CS          CS
+	DurationNS  float64
+	Seed        uint64
+}
+
+// combSim: threads publish a request; one of them is the active combiner,
+// serving published requests (a remote read each) until the batch bound,
+// then hands the role to the next waiter.
+type combSim struct {
+	cfg            CombSimConfig
+	eng            simarch.Engine
+	rng            *simarch.RNG
+	sockets        []int
+	thinkNS        float64
+	waiters        []int // published, unserved requests (arrival order)
+	combiner       bool  // a combiner is active
+	combinerSocket int
+	served         int // requests served in the current combining pass
+	ops            uint64
+}
+
+const combineBound = 64 // the algorithms' batch bound h
+
+// SimulateCombining runs the configured combining simulation.
+func SimulateCombining(cfg CombSimConfig) Result {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.DurationNS <= 0 {
+		cfg.DurationNS = 1e6
+	}
+	s := &combSim{cfg: cfg, rng: simarch.NewRNG(cfg.Seed ^ 0xC0DE)}
+	m := cfg.Machine
+	s.sockets = make([]int, cfg.Threads)
+	for th := range s.sockets {
+		s.sockets[th] = m.SocketOf(th)
+	}
+	s.thinkNS = pauseNS(m, cfg.DelayPauses) + 3*m.CycleNS()
+	for th := 0; th < cfg.Threads; th++ {
+		th := th
+		s.eng.At(s.rng.Float64()*100, func() { s.publish(th) })
+	}
+	s.eng.Run(cfg.DurationNS)
+	return Result{Method: cfg.Method, Threads: cfg.Threads, Mops: opsScale(s.ops, cfg.DurationNS)}
+}
+
+// publish adds thread th's request; if no combiner is active, th becomes
+// the combiner.
+func (s *combSim) publish(th int) {
+	s.waiters = append(s.waiters, th)
+	if !s.combiner {
+		s.combiner = true
+		s.combinerSocket = s.sockets[th]
+		s.served = 0
+		// Becoming the combiner costs the role acquisition: a CAS or
+		// swap on a shared word.
+		m := s.cfg.Machine
+		s.eng.After(m.LocalLLCNS*0.5+10*m.CycleNS(), func() { s.serveOne() })
+	}
+}
+
+// serveOne executes the next published request under the combiner.
+func (s *combSim) serveOne() {
+	m := s.cfg.Machine
+	if len(s.waiters) == 0 || s.served >= combineBound {
+		// Batch over: hand off the combiner role.
+		s.combiner = false
+		if len(s.waiters) > 0 {
+			next := s.waiters[0]
+			handoff := m.TransferNS(s.combinerSocket, s.sockets[next])
+			s.eng.After(handoff, func() {
+				if !s.combiner {
+					s.combiner = true
+					s.combinerSocket = s.sockets[next]
+					s.served = 0
+					s.serveOne()
+				}
+			})
+		}
+		return
+	}
+	th := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.served++
+
+	// Reading the request: remote for other threads' records; H-Synch
+	// serves same-socket requests at local latency. The reads of a
+	// batch pipeline partially.
+	transfer := m.TransferNS(s.sockets[th], s.combinerSocket)
+	readCost := 0.5 * transfer
+	var overhead float64
+	switch s.cfg.Method {
+	case FC:
+		// Flat combining rescans the whole publication list every
+		// pass: per-request share of the scan.
+		overhead = 2.5 * float64(len(s.sockets)) * m.CycleNS() / 4
+	case CC, DSM:
+		overhead = 15 * m.CycleNS()
+	case H:
+		// Same-socket service; the global lock hop is amortized
+		// across the socket batch.
+		readCost = 0.5 * m.LocalLLCNS
+		overhead = 15*m.CycleNS() + m.RemoteLLCNS/float64(combineBound)
+	case SIM:
+		// Copy-apply-CAS rounds: per-op share of the state copy and
+		// installation.
+		overhead = 40 * m.CycleNS()
+	default:
+		overhead = 15 * m.CycleNS()
+	}
+	cs := s.cfg.CS.costNS(m, execMigrating, 0.3)
+	if s.cfg.Method == H {
+		cs = s.cfg.CS.costNS(m, execMigrating, 0.1)
+	}
+
+	s.eng.After(readCost+overhead+cs, func() {
+		s.ops++
+		// The served thread sees its response one transfer later,
+		// thinks, and republishes.
+		resp := m.TransferNS(s.combinerSocket, s.sockets[th])
+		think := s.thinkNS * (0.8 + 0.4*s.rng.Float64())
+		s.eng.After(resp+think, func() { s.publish(th) })
+		s.serveOne()
+	})
+}

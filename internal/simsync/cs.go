@@ -1,0 +1,116 @@
+package simsync
+
+import "ffwd/internal/simarch"
+
+// CS describes a critical section (or delegated function) for the cost
+// model. The same description costs differently depending on where it
+// executes — that locality difference is the heart of the paper.
+type CS struct {
+	// BaseNS is pure compute: loop iterations, arithmetic. Identical in
+	// every execution context.
+	BaseNS float64
+	// MemNS is the memory-bound portion of the section (a list
+	// traversal's pointer chase): under a contended lock it inflates
+	// with the number of spinning waiters, whose coherence traffic
+	// steals LLC and interconnect bandwidth from the holder.
+	MemNS float64
+	// SharedLineAccesses is the number of distinct shared cache lines
+	// the section reads or writes (fig2's randomly updated elements;
+	// a list traversal's nodes). Under locking these lines migrate
+	// between holders; under delegation they stay in the server's
+	// cache.
+	SharedLineAccesses int
+	// WorkingSetLines bounds how many distinct lines the structure
+	// spans; with a small working set even migrating accesses start
+	// hitting locally once re-fetched (capped contribution).
+	WorkingSetLines int
+	// ServerMissStores is the number of stores the *delegated* form
+	// issues to lines that concurrent clients also read (the lazy
+	// list's spliced nodes): each is a miss that occupies a store
+	// buffer entry (fig15's mechanism). Zero for server-private data.
+	ServerMissStores int
+	// MissStoreLatNS is how long each such store's RFO keeps its store-
+	// buffer entry occupied; zero means the plain server→client
+	// transfer latency.
+	MissStoreLatNS float64
+	// MissStoreWindow bounds how many of these stores' RFOs proceed in
+	// parallel: dependent load-store chains (read a node, write its
+	// neighbour) retire nearly serially, so the effective window is far
+	// below the architectural store-buffer size. Zero means the full
+	// store buffer.
+	MissStoreWindow int
+}
+
+// EmptyLoop returns the fig1 critical section: n iterations of an empty
+// for-loop, ≈1.4 cycles each with the loop overhead the paper's -O3 code
+// exhibits (320 Mops single-threaded at one iteration ⇒ ≈3.1 ns/op total,
+// of which ≈2 ns is call/loop overhead charged in the single-thread model).
+func EmptyLoop(m simarch.Machine, iterations int) CS {
+	return CS{BaseNS: float64(iterations) * 1.4 * m.CycleNS()}
+}
+
+// RandomUpdates returns the fig2 critical section: k random element
+// updates within a statically allocated array of arrayBytes.
+func RandomUpdates(k, arrayBytes int) CS {
+	return CS{
+		BaseNS:             float64(k) * 2, // index arithmetic etc.
+		SharedLineAccesses: k,
+		WorkingSetLines:    arrayBytes / 64,
+	}
+}
+
+// Execution contexts for costing a CS.
+type execContext int
+
+const (
+	// execSingle: data owned by one thread, hot in its private cache.
+	execSingle execContext = iota
+	// execServer: executed by a delegation server that owns the data;
+	// hits are local (L2/LLC), no coherence traffic.
+	execServer
+	// execMigrating: executed under a lock by rotating holders; shared
+	// lines were last written by another holder, usually on another
+	// socket, and must be transferred.
+	execMigrating
+)
+
+// costNS returns the execution time of the critical section in the given
+// context on machine m. remoteFrac is the fraction of other participants
+// on remote sockets (how often a migrating line comes from another socket).
+func (cs CS) costNS(m simarch.Machine, ctx execContext, remoteFrac float64) float64 {
+	t := cs.BaseNS + cs.MemNS
+	if cs.SharedLineAccesses == 0 {
+		return t
+	}
+	switch ctx {
+	case execSingle:
+		// Private-cache hits, a few cycles each.
+		t += float64(cs.SharedLineAccesses) * 1.5 * m.CycleNS()
+	case execServer:
+		// The server owns the data; repeated access keeps it in L2/
+		// LLC. Cost a partially-pipelined local hit per line.
+		hit := 4 * m.CycleNS()
+		if cs.WorkingSetLines > 8192 {
+			// Working set exceeds L2: some LLC trips, still
+			// local and pipelined.
+			hit = m.LocalLLCNS * 0.25
+		}
+		t += float64(cs.SharedLineAccesses) * hit
+	case execMigrating:
+		// Each shared line was last touched by a previous holder:
+		// local or remote LLC-to-LLC transfer. Small working sets
+		// amortize (a line may already be here from our last turn).
+		transfer := (1-remoteFrac)*m.LocalLLCNS + remoteFrac*m.RemoteLLCNS
+		reuse := 1.0
+		if cs.WorkingSetLines > 0 && cs.WorkingSetLines < 256 {
+			// Tiny structures: high chance the line is still
+			// locally valid from a recent holding.
+			reuse = 0.5
+		}
+		// Independent accesses overlap in the memory system; charge
+		// a pipelining factor rather than the full serial latency.
+		const pipeline = 0.6
+		t += float64(cs.SharedLineAccesses) * transfer * reuse * pipeline
+	}
+	return t
+}

@@ -1,0 +1,310 @@
+package simsync
+
+import (
+	"ffwd/internal/simarch"
+)
+
+// DelegSimConfig parameterizes a delegation simulation: Clients client
+// threads delegate a function to one of Servers dedicated servers in a
+// closed loop. Method selects the protocol costs (FFWD, FFWDx2, RCL).
+type DelegSimConfig struct {
+	Machine simarch.Machine
+	Method  Method
+	// Clients is the number of client threads (the bench layer maps
+	// hardware-thread counts to client counts, reserving server cores
+	// as the paper does).
+	Clients int
+	// Servers is the number of delegation servers; they are placed on
+	// distinct sockets (one per socket, as in the paper's setup).
+	Servers int
+	// Vars is the number of delegated variables, assigned round-robin
+	// to servers; clients pick one uniformly per operation.
+	Vars int
+	// DelayPauses is the inter-operation delay in PAUSE instructions.
+	DelayPauses int
+	// CS is the delegated function, costed in the server-local context.
+	CS CS
+	// ClientWorkNS is client-side parallel work per operation that is
+	// not delegated (e.g. the lazy list's traversal phase).
+	ClientWorkNS float64
+	// DelegateRatio is the fraction of operations that actually reach
+	// the server (FFWD-LZ delegates only the 30% updates; reads finish
+	// client-side after ClientWorkNS). Zero means 1.0.
+	DelegateRatio float64
+	// DurationNS is the simulated horizon; default 1e6.
+	DurationNS float64
+	Seed       uint64
+
+	// WriteThrough disables response batching (ablation): one response-
+	// line flush per request instead of per group.
+	WriteThrough bool
+	// PrivateResponses gives every client its own response line
+	// (ablation): same flush count as WriteThrough plus an extra line.
+	PrivateResponses bool
+	// ServerLockNS adds a per-request cost for a server-side lock
+	// acquisition (the paper's 55→26 Mops ablation). RCL pays its lock
+	// inherently; this knob exists for the FFWD ablation.
+	ServerLockNS float64
+	// RemoteRequestLines, if true, charges the NUMA-ablation penalty:
+	// request/response lines allocated on the wrong node add an extra
+	// hop to every transfer.
+	RemoteRequestLines bool
+}
+
+// delegServer is one simulated delegation server.
+type delegServer struct {
+	socket    int
+	queue     []delegReq
+	busy      bool
+	storeQ    []float64 // completion times of in-flight stores (FIFO)
+	stallNS   float64
+	busyNS    float64
+	ops       uint64
+	storeDebt float64
+}
+
+type delegReq struct {
+	client   int
+	issuedAt float64
+}
+
+type delegSim struct {
+	cfg     DelegSimConfig
+	eng     simarch.Engine
+	rng     *simarch.RNG
+	servers []*delegServer
+	sockets []int // client -> socket
+	thinkNS float64
+	ops     uint64
+	// latency accounting for delegated operations.
+	latencySum float64
+	latencyN   uint64
+}
+
+// SimulateDelegation runs the configured delegation simulation.
+func SimulateDelegation(cfg DelegSimConfig) Result {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.Servers < 1 {
+		cfg.Servers = 1
+	}
+	if cfg.Vars < 1 {
+		cfg.Vars = 1
+	}
+	if cfg.Vars < cfg.Servers {
+		// No more servers than variables can be useful.
+		cfg.Servers = cfg.Vars
+	}
+	if cfg.DurationNS <= 0 {
+		cfg.DurationNS = 1e6
+	}
+	m := cfg.Machine
+	s := &delegSim{cfg: cfg, rng: simarch.NewRNG(cfg.Seed ^ 0x5EED)}
+	for i := 0; i < cfg.Servers; i++ {
+		s.servers = append(s.servers, &delegServer{socket: i % m.Sockets})
+	}
+	s.sockets = make([]int, cfg.Clients)
+	for c := range s.sockets {
+		// Clients fill the machine in pinning order; the bench layer
+		// already excludes server cores from the count.
+		s.sockets[c] = m.SocketOf(c)
+	}
+	s.thinkNS = pauseNS(m, cfg.DelayPauses) + 3*m.CycleNS()
+
+	outstanding := 1
+	if cfg.Method == FFWDx2 {
+		outstanding = 2
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		for k := 0; k < outstanding; k++ {
+			s.eng.At(s.rng.Float64()*200, func() { s.clientCycle(c) })
+		}
+	}
+	s.eng.Run(cfg.DurationNS)
+
+	res := Result{Method: cfg.Method, Threads: cfg.Clients, Mops: opsScale(s.ops, cfg.DurationNS)}
+	var stall float64
+	for _, sv := range s.servers {
+		stall += sv.stallNS
+	}
+	// Stall percentage of total runtime, as the paper's fig15 reports.
+	res.StallPct = 100 * stall / (cfg.DurationNS * float64(len(s.servers)))
+	res.MissesPerOp = s.missesPerOp()
+	if s.latencyN > 0 {
+		res.MeanLatencyNS = s.latencySum / float64(s.latencyN)
+	}
+	return res
+}
+
+// missesPerOp reports the protocol's modelled coherence transfers per
+// operation: ffwd pays one request-line read (partially prefetched) plus a
+// 1/15 share of the response pair; RCL pays request + context + response.
+func (s *delegSim) missesPerOp() float64 {
+	if s.cfg.Method == RCL {
+		return 3.0
+	}
+	const prefetchFactor = 0.62 // spatial prefetcher hides part of the read
+	share := 2.0 / 15
+	if s.cfg.WriteThrough || s.cfg.PrivateResponses {
+		share = 1
+	}
+	return prefetchFactor + share
+}
+
+// clientCycle: think + local work, then issue a request (or complete
+// locally for the non-delegated fraction).
+func (s *delegSim) clientCycle(c int) {
+	think := s.thinkNS*(0.8+0.4*s.rng.Float64()) + s.cfg.ClientWorkNS
+	s.eng.After(think, func() {
+		if s.cfg.DelegateRatio > 0 && s.rng.Float64() >= s.cfg.DelegateRatio {
+			// Client-side operation (e.g. a lazy-list read): done.
+			s.ops++
+			s.clientCycle(c)
+			return
+		}
+		s.issue(c)
+	})
+}
+
+// issue sends client c's request; it reaches the owning server one line
+// transfer later.
+func (s *delegSim) issue(c int) {
+	v := 0
+	if s.cfg.Vars > 1 {
+		v = s.rng.Intn(s.cfg.Vars)
+	}
+	srv := s.servers[v%len(s.servers)]
+	m := s.cfg.Machine
+	issued := s.eng.Now()
+	lat := m.TransferNS(s.sockets[c], srv.socket)
+	if s.cfg.RemoteRequestLines {
+		lat += 0.4 * m.RemoteLLCNS // extra home-agent hop
+	}
+	s.eng.After(lat, func() {
+		srv.queue = append(srv.queue, delegReq{client: c, issuedAt: issued})
+		s.serveNext(srv)
+	})
+}
+
+// serveNext starts service on srv if it is idle and work is queued.
+func (s *delegSim) serveNext(srv *delegServer) {
+	if srv.busy || len(srv.queue) == 0 {
+		return
+	}
+	req := srv.queue[0]
+	srv.queue = srv.queue[1:]
+	srv.busy = true
+	m := s.cfg.Machine
+	start := s.eng.Now()
+
+	var service float64
+	switch s.cfg.Method {
+	case RCL:
+		// Request read (poorly pipelined: the server must see the
+		// request before chasing the context), dependent context
+		// miss, the lock, the section, the response store.
+		reqRead := 0.35 * m.TransferNS(s.sockets[req.client], srv.socket)
+		ctxMiss := m.TransferNS(s.sockets[req.client], srv.socket)
+		lock := 20 * m.CycleNS()
+		service = reqRead + ctxMiss + lock + s.cfg.CS.costNS(m, execServer, 0)
+	default:
+		// ffwd: ≈40 cycles of demarshalling (load header, load
+		// args, indirect call, buffer result) plus the function.
+		odel := 40 * m.CycleNS()
+		service = odel + s.cfg.CS.costNS(m, execServer, 0) + s.cfg.ServerLockNS
+	}
+
+	s.eng.After(service, func() { s.finishService(srv, req, start) })
+}
+
+// finishService pushes the response (and any delegated-function miss
+// stores) through the store buffer, delivers the response, and frees the
+// server.
+func (s *delegSim) finishService(srv *delegServer, req delegReq, start float64) {
+	m := s.cfg.Machine
+	now := s.eng.Now()
+
+	// How many store-buffer-occupying stores does this request cost?
+	// Batched responses: a 2-line flush per 15 requests. Unbatched: one
+	// line per request (plus one for a private pair).
+	spr := 2.0 / 15
+	if s.cfg.WriteThrough {
+		spr = 1
+	}
+	if s.cfg.PrivateResponses {
+		spr = 2
+	}
+	if s.cfg.Method == RCL {
+		spr = 1
+	}
+	srv.storeDebt += spr
+	nResp := int(srv.storeDebt)
+	srv.storeDebt -= float64(nResp)
+
+	storeLat := m.TransferNS(srv.socket, s.sockets[req.client])
+	if s.cfg.RemoteRequestLines {
+		storeLat += 0.4 * m.RemoteLLCNS
+	}
+	t := now
+	sbCap := m.StoreBufferEntries
+	// pushStore retires one store through the buffer: it stalls the
+	// server (advances t) when the effective window is full.
+	pushStore := func(lat float64, window int) {
+		for len(srv.storeQ) > 0 && srv.storeQ[0] <= t {
+			srv.storeQ = srv.storeQ[1:]
+		}
+		if len(srv.storeQ) >= window {
+			t = srv.storeQ[0]
+			srv.storeQ = srv.storeQ[1:]
+		}
+		srv.storeQ = append(srv.storeQ, t+lat)
+	}
+	for i := 0; i < nResp; i++ {
+		pushStore(storeLat, sbCap)
+	}
+	// Delegated-function miss stores (e.g. lazy-list splices): dependent
+	// load-store chains retire through a much narrower effective window.
+	missLat := s.cfg.CS.MissStoreLatNS
+	if missLat <= 0 {
+		missLat = storeLat
+	}
+	missWindow := s.cfg.CS.MissStoreWindow
+	if missWindow <= 0 || missWindow > sbCap {
+		missWindow = sbCap
+	}
+	for i := 0; i < s.cfg.CS.ServerMissStores; i++ {
+		pushStore(missLat, missWindow)
+	}
+	// Issuing stores costs the server pipeline time even when the
+	// buffer absorbs them — this is what makes unbatched responses
+	// slower at saturation (the paper's motivation for buffering).
+	issued := nResp + s.cfg.CS.ServerMissStores
+	t += float64(issued) * 1.2
+
+	stall := t - now
+	srv.stallNS += stall
+	srv.busyNS += (now - start) + stall
+	srv.ops++
+
+	// Response reaches the client one transfer after its store issues.
+	respAt := t + storeLat
+	c := req.client
+	s.eng.At(respAt, func() {
+		s.ops++
+		s.latencySum += s.eng.Now() - req.issuedAt
+		s.latencyN++
+		s.clientCycle(c)
+	})
+
+	free := func() {
+		srv.busy = false
+		s.serveNext(srv)
+	}
+	if stall > 0 {
+		s.eng.After(stall, free)
+	} else {
+		free()
+	}
+}

@@ -1,0 +1,322 @@
+package simsync
+
+import (
+	"ffwd/internal/simarch"
+)
+
+// LockSimConfig parameterizes a lock-based (or atomic-instruction) closed-
+// loop simulation: Threads threads repeatedly pick one of Vars variables at
+// random, acquire its lock, run the critical section, release, then delay.
+type LockSimConfig struct {
+	Machine simarch.Machine
+	Method  Method
+	Threads int
+	// Vars is the number of independent variables, each with its own
+	// lock (fig8's x-axis). Default 1.
+	Vars int
+	// DelayPauses is the inter-critical-section delay in PAUSE
+	// instructions (fig7's x-axis; 25 elsewhere).
+	DelayPauses int
+	CS          CS
+	// DurationNS is the simulated horizon; default 1e6 (1 ms).
+	DurationNS float64
+	Seed       uint64
+}
+
+// lockState is one simulated lock/variable.
+type lockState struct {
+	held       bool
+	lastSocket int // socket of the last holder (where the line lives)
+	lastThread int
+	// consecutive local passes (HTICKET cohort bound).
+	localPasses int
+	waiters     []int // thread ids, arrival order
+}
+
+// lockSim carries one simulation run.
+type lockSim struct {
+	cfg     LockSimConfig
+	eng     simarch.Engine
+	rng     *simarch.RNG
+	locks   []lockState
+	sockets []int // thread -> socket
+	// remoteFrac[socket] = fraction of other threads on other sockets.
+	remoteFrac []float64
+	thinkNS    float64
+	ops        uint64
+	b2b        uint64
+	contended  uint64 // acquisitions with waiters present, for B2B%
+	misses     float64
+}
+
+// SimulateLock runs the configured lock simulation and returns its result.
+func SimulateLock(cfg LockSimConfig) Result {
+	if cfg.Vars < 1 {
+		cfg.Vars = 1
+	}
+	if cfg.DurationNS <= 0 {
+		cfg.DurationNS = 1e6
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	s := &lockSim{
+		cfg:   cfg,
+		rng:   simarch.NewRNG(cfg.Seed ^ 0xABCD),
+		locks: make([]lockState, cfg.Vars),
+	}
+	m := cfg.Machine
+	for i := range s.locks {
+		s.locks[i].lastSocket = i % m.Sockets
+		s.locks[i].lastThread = -1
+	}
+	s.sockets = make([]int, cfg.Threads)
+	perSocket := make([]int, m.Sockets)
+	for th := 0; th < cfg.Threads; th++ {
+		s.sockets[th] = m.SocketOf(th)
+		perSocket[s.sockets[th]]++
+	}
+	s.remoteFrac = make([]float64, m.Sockets)
+	for sk := range s.remoteFrac {
+		if cfg.Threads > 1 {
+			s.remoteFrac[sk] = float64(cfg.Threads-perSocket[sk]) / float64(cfg.Threads-1+1)
+		}
+	}
+	// Think = delay loop + per-iteration loop overhead.
+	s.thinkNS = pauseNS(m, cfg.DelayPauses) + 3*m.CycleNS()
+
+	for th := 0; th < cfg.Threads; th++ {
+		th := th
+		// Staggered start decorrelates the initial burst.
+		s.eng.At(s.rng.Float64()*100, func() { s.request(th) })
+	}
+	s.eng.Run(cfg.DurationNS)
+
+	res := Result{
+		Method:  cfg.Method,
+		Threads: cfg.Threads,
+		Mops:    opsScale(s.ops, cfg.DurationNS),
+	}
+	if s.ops > 0 {
+		res.MissesPerOp = s.misses / float64(s.ops)
+		res.B2BPct = 100 * float64(s.b2b) / float64(s.ops)
+	}
+	return res
+}
+
+// request is thread th asking for a (random) lock.
+func (s *lockSim) request(th int) {
+	v := 0
+	if len(s.locks) > 1 {
+		v = s.rng.Intn(len(s.locks))
+	}
+	l := &s.locks[v]
+	if !l.held {
+		l.held = true
+		m := s.cfg.Machine
+		var cost float64
+		if l.lastThread == th {
+			// Line still ours; waiters (none here) aside, cheap.
+			cost = 4 * m.CycleNS()
+		} else {
+			// Fetch the lock line from wherever it last lived,
+			// plus the atomic op.
+			cost = m.TransferNS(l.lastSocket, s.sockets[th]) + 10*m.CycleNS()
+			s.misses++
+		}
+		s.startCS(th, v, cost)
+		return
+	}
+	l.waiters = append(l.waiters, th)
+}
+
+// startCS charges acqCost plus the critical section for thread th, which
+// now owns lock v, and schedules the release.
+func (s *lockSim) startCS(th, v int, acqCost float64) {
+	m := s.cfg.Machine
+	l := &s.locks[v]
+	if l.lastThread == th && len(l.waiters) > 0 {
+		s.b2b++
+	}
+	if len(l.waiters) > 0 {
+		s.contended++
+	}
+	cs := s.cfg.CS.costNS(m, execMigrating, s.remoteFrac[s.sockets[th]])
+	// Spinning waiters degrade the holder's memory-bound work: their
+	// polling consumes LLC and interconnect bandwidth.
+	if w := len(l.waiters); w > 0 && s.cfg.CS.MemNS > 0 {
+		n := w
+		if n > 24 {
+			n = 24
+		}
+		cs += s.cfg.CS.MemNS * 0.08 * float64(n)
+	}
+	s.misses += float64(s.cfg.CS.SharedLineAccesses)
+	l.lastThread = th
+	l.lastSocket = s.sockets[th]
+	s.eng.After(acqCost+cs, func() { s.release(th, v) })
+}
+
+// release ends th's holding of lock v, picks the next holder per the
+// method's policy, and cycles th back through its delay. Ownership passes
+// directly to the winner: the lock is only marked free when no one waits.
+func (s *lockSim) release(th, v int) {
+	s.ops++
+	l := &s.locks[v]
+
+	think := s.thinkNS * (0.8 + 0.4*s.rng.Float64())
+
+	// Greedy locks: if the releaser comes back before any waiter can
+	// observe the release (one line transfer away), it re-acquires —
+	// the paper's back-to-back acquisition (fig7). With several
+	// variables a thread moves on to a random other variable, so the
+	// shortcut only applies to the single-lock workload.
+	greedy := s.greedy() && len(s.locks) == 1
+	// The effective observation window varies draw to draw: waiters sit
+	// at different points of their PAUSE loops and different distances.
+	obsWindow := s.observationWindow(th, l) * (0.4 + 1.6*s.rng.Float64())
+	if greedy && len(l.waiters) > 0 && think < obsWindow {
+		tax := s.contentionTax(len(l.waiters))
+		s.eng.After(think, func() {
+			s.startCS(th, v, 4*s.cfg.Machine.CycleNS()+tax)
+		})
+		return
+	}
+
+	if len(l.waiters) > 0 {
+		winner, handoff := s.pickWinner(l, th)
+		s.misses++
+		s.eng.After(handoff, func() { s.startCS(winner, v, 0) })
+	} else {
+		l.held = false
+	}
+	s.eng.After(think, func() { s.request(th) })
+}
+
+// contentionTax models spinning waiters stealing the lock line from its
+// holder: every holder-side access slows as the waiter count grows.
+func (s *lockSim) contentionTax(waiters int) float64 {
+	if !s.greedy() || waiters == 0 {
+		return 0
+	}
+	n := waiters
+	if n > 12 {
+		n = 12
+	}
+	return s.cfg.Machine.LocalLLCNS * 0.25 * float64(n)
+}
+
+// greedy reports whether the method lets a releasing thread barge ahead of
+// waiters.
+func (s *lockSim) greedy() bool {
+	switch s.cfg.Method {
+	case TAS, TTAS, MUTEX, ATOMIC, MS, LF, BLF:
+		return true
+	}
+	return false
+}
+
+// observationWindow is how long it takes the fastest waiter to observe the
+// release: one transfer of the lock line to its socket.
+func (s *lockSim) observationWindow(th int, l *lockState) float64 {
+	m := s.cfg.Machine
+	// If any waiter shares our socket it observes at local latency.
+	for _, w := range l.waiters {
+		if s.sockets[w] == s.sockets[th] {
+			return m.LocalLLCNS
+		}
+	}
+	return m.RemoteLLCNS
+}
+
+// pickWinner removes and returns the next lock holder and the handoff
+// latency, according to the method's policy.
+func (s *lockSim) pickWinner(l *lockState, releaser int) (winner int, handoffNS float64) {
+	m := s.cfg.Machine
+	n := len(l.waiters)
+	idx := 0
+	switch s.cfg.Method {
+	case TICKET, MCS, CLH:
+		idx = 0 // FIFO
+	case HTICKET:
+		// Prefer a same-socket waiter, up to the cohort bound.
+		idx = 0
+		if l.localPasses < 64 {
+			for i, w := range l.waiters {
+				if s.sockets[w] == s.sockets[releaser] {
+					idx = i
+					break
+				}
+			}
+		}
+		if s.sockets[l.waiters[idx]] == s.sockets[releaser] {
+			l.localPasses++
+		} else {
+			l.localPasses = 0
+		}
+	default:
+		// Unfair locks: biased random — same-socket waiters win 3×
+		// more often (they observe the release sooner).
+		weights := make([]float64, n)
+		total := 0.0
+		for i, w := range l.waiters {
+			wt := 1.0
+			if s.sockets[w] == s.sockets[releaser] {
+				wt = 3.0
+			}
+			weights[i] = wt
+			total += wt
+		}
+		r := s.rng.Float64() * total
+		for i, wt := range weights {
+			r -= wt
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+	}
+	winner = l.waiters[idx]
+	l.waiters = append(l.waiters[:idx], l.waiters[idx+1:]...)
+
+	transfer := m.TransferNS(s.sockets[releaser], s.sockets[winner])
+	switch s.cfg.Method {
+	case MCS, CLH:
+		// Targeted handoff: one store to the winner's spin line.
+		handoffNS = transfer
+	case TICKET:
+		// Release invalidates every spinner's copy of now-serving;
+		// the directory serves the refill requests serially enough
+		// to add a per-waiter broadcast penalty.
+		handoffNS = transfer * (1 + 0.02*float64(n))
+	case HTICKET:
+		handoffNS = transfer * (1 + 0.02*float64(min(n, 16)))
+	case TAS:
+		// Failed swaps keep stealing the line from the winner.
+		handoffNS = transfer * (1 + 0.06*float64(n))
+	case TTAS:
+		// Read-spinners reload, then a thundering herd of swaps.
+		handoffNS = transfer * (1 + 0.035*float64(n))
+	case MUTEX:
+		// Sleeping waiters need a futex wake.
+		handoffNS = transfer + 25*m.CycleNS()
+		if n > 4 {
+			handoffNS += 300
+		}
+	case ATOMIC:
+		// Hardware fetch-and-add: line transfer, well pipelined.
+		handoffNS = transfer * 0.55
+	case MS:
+		// CAS on head/tail: like atomic but failed CASes of other
+		// contenders steal the line between retries.
+		handoffNS = transfer * (0.7 + 0.025*float64(min(n, 16)))
+	case LF:
+		handoffNS = transfer * (0.6 + 0.02*float64(min(n, 16)))
+	case BLF:
+		// Bounded ring: the shared positions CAS plus a slot store.
+		handoffNS = transfer * (0.85 + 0.03*float64(min(n, 16)))
+	default:
+		handoffNS = transfer
+	}
+	return winner, handoffNS
+}

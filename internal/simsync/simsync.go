@@ -1,0 +1,89 @@
+// Package simsync simulates the synchronization methods of the ffwd paper
+// on the machine models of internal/simarch, by running the paper's §2
+// cost analysis as a discrete-event simulation:
+//
+//   - locking serializes coordination *and* critical sections: each
+//     acquisition hands a cache line from the previous holder's socket to
+//     the next holder's, so single-lock throughput is bounded by
+//     1/(transfer + cs) — ≈5 Mops cross-socket on these machines;
+//   - delegation serializes only the delegated function: requests and
+//     responses cross the interconnect in parallel, so throughput is
+//     bounded by server processing (odel + cdel), the per-client round
+//     trip 2l, the store buffer, and interconnect bandwidth;
+//   - combining sits between the two: a waiter becomes the combiner and
+//     batches waiting critical sections, paying a remote read per request.
+//
+// Every simulator is deterministic given its seed. Costs are calibrated to
+// the constants the paper reports (≈40 cycles/request server overhead,
+// ≈5 Mops/lock, ≈320 Mops single-threaded, 55→26 Mops with a server-side
+// lock), and EXPERIMENTS.md records paper-vs-simulated values per figure.
+package simsync
+
+import "ffwd/internal/simarch"
+
+// Method names every simulated synchronization scheme, using the labels of
+// the paper's figures.
+type Method string
+
+// Methods, grouped as in the paper's legends.
+const (
+	FFWD    Method = "FFWD"
+	FFWDx2  Method = "FFWDx2"
+	RCL     Method = "RCL"
+	MUTEX   Method = "MUTEX"
+	TAS     Method = "TAS"
+	TTAS    Method = "TTAS"
+	TICKET  Method = "TICKET"
+	HTICKET Method = "HTICKET"
+	MCS     Method = "MCS"
+	CLH     Method = "CLH"
+	FC      Method = "FC"
+	CC      Method = "CC"  // CC-Synch
+	DSM     Method = "DSM" // DSM-Synch
+	H       Method = "H"   // H-Synch
+	SIM     Method = "SIM" // wait-free universal construction
+	MS      Method = "MS"  // Michael–Scott lock-free queue
+	LF      Method = "LF"  // Fatourou–Kallimanis lock-free queue
+	BLF     Method = "BLF" // Boost-style bounded lock-free queue
+	ATOMIC  Method = "ATOMIC"
+	STM     Method = "STM"
+	SINGLE  Method = "Single threaded"
+)
+
+// LockMethods lists the plain lock kinds in legend order.
+var LockMethods = []Method{MUTEX, TAS, TTAS, TICKET, HTICKET, MCS, CLH}
+
+// Result is the outcome of one simulated benchmark configuration.
+type Result struct {
+	Method  Method
+	Threads int
+	// Mops is operations per second, in millions.
+	Mops float64
+	// B2BPct is the percentage of lock acquisitions that were
+	// back-to-back (same thread re-acquiring with waiters present);
+	// meaningful for lock simulations only.
+	B2BPct float64
+	// StallPct is the fraction of server busy time spent stalled on a
+	// full store buffer; meaningful for delegation simulations only.
+	StallPct float64
+	// MissesPerOp is the modelled cache-line transfers per operation.
+	MissesPerOp float64
+	// MeanLatencyNS is the mean request-to-response latency of delegated
+	// operations (zero for non-delegation simulations).
+	MeanLatencyNS float64
+}
+
+// opsScale converts an op count over a duration (ns) to Mops.
+func opsScale(ops uint64, durNS float64) float64 {
+	if durNS <= 0 {
+		return 0
+	}
+	return float64(ops) / durNS * 1e3
+}
+
+// pauseNS converts a PAUSE-loop count to nanoseconds on machine m. The
+// paper's 25-PAUSE delay is ≈500 cycles on its Xeons, i.e. ≈20 cycles per
+// PAUSE.
+func pauseNS(m simarch.Machine, pauses int) float64 {
+	return float64(pauses) * 20 * m.CycleNS()
+}

@@ -1,0 +1,14 @@
+package simsync
+
+import "ffwd/internal/simarch"
+
+// SimulateSingleThread models the paper's single-threaded upper bound: one
+// thread repeatedly calling the critical-section function with no
+// synchronization at all, all data hot in its private cache. Calibrated to
+// the paper's 320 Mops for a one-iteration empty loop (≈2.5 ns of call and
+// loop overhead per operation at 2.2 GHz).
+func SimulateSingleThread(m simarch.Machine, cs CS) Result {
+	overhead := 5.5 * m.CycleNS()
+	op := overhead + cs.costNS(m, execSingle, 0)
+	return Result{Method: SINGLE, Threads: 1, Mops: 1e3 / op}
+}

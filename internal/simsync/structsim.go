@@ -1,0 +1,152 @@
+package simsync
+
+import (
+	"ffwd/internal/simarch"
+)
+
+// StructSimConfig parameterizes the parallel-data-structure simulation used
+// for the list/tree/hash-table comparators whose reads proceed in parallel
+// (lazy list, Harris, STM, RCU, RLU, VTree): Threads threads run a mix of
+// read and update operations; reads cost ReadNS and run fully in parallel;
+// updates additionally pass through one of SerialDomains serial resources
+// (writer lock, commit point, root CAS) and may abort and retry.
+type StructSimConfig struct {
+	Machine simarch.Machine
+	Method  Method
+	Threads int
+	// UpdateRatio is the fraction of operations that are updates.
+	UpdateRatio float64
+	// ReadNS is the parallel cost of a read operation.
+	ReadNS float64
+	// UpdateNS is the parallel (pre-serialization) cost of an update:
+	// traversal, speculation, path copying.
+	UpdateNS float64
+	// SerialNS is the serialized portion of an update: the writer
+	// critical section, the commit, the root CAS.
+	SerialNS float64
+	// SerialDomains is how many independent serial resources exist:
+	// 1 = a global writer lock (RCU, STM clock, VTree root);
+	// k = RLU writer domains; a large value ≈ fine-grained per-node
+	// locking (lazy list, Harris), where waiting is rare.
+	SerialDomains int
+	// AbortProb is the probability an update aborts at its serial point
+	// and retries its parallel part, as a function of the number of
+	// updates currently in flight (STM conflicts, CAS failures). Nil
+	// means no aborts.
+	AbortProb func(inflightUpdaters int) float64
+	// ReadAbortProb is the same for read operations (STM read-set
+	// invalidation by concurrent commits). Nil means reads never retry.
+	ReadAbortProb func(inflightUpdaters int) float64
+	// DelayPauses is the inter-operation delay.
+	DelayPauses int
+	DurationNS  float64
+	Seed        uint64
+}
+
+type structSim struct {
+	cfg      StructSimConfig
+	eng      simarch.Engine
+	rng      *simarch.RNG
+	thinkNS  float64
+	domains  []structDomain
+	inflight int // updates currently past their parallel phase or queued
+	ops      uint64
+}
+
+type structDomain struct {
+	busy  bool
+	queue []func()
+}
+
+// SimulateStructure runs the configured parallel-structure simulation.
+func SimulateStructure(cfg StructSimConfig) Result {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.SerialDomains < 1 {
+		cfg.SerialDomains = 1
+	}
+	if cfg.DurationNS <= 0 {
+		cfg.DurationNS = 1e6
+	}
+	s := &structSim{
+		cfg:     cfg,
+		rng:     simarch.NewRNG(cfg.Seed ^ 0x57AC),
+		domains: make([]structDomain, cfg.SerialDomains),
+	}
+	s.thinkNS = pauseNS(cfg.Machine, cfg.DelayPauses) + 3*cfg.Machine.CycleNS()
+	for th := 0; th < cfg.Threads; th++ {
+		s.eng.At(s.rng.Float64()*100, func() { s.cycle() })
+	}
+	s.eng.Run(cfg.DurationNS)
+	return Result{Method: cfg.Method, Threads: cfg.Threads, Mops: opsScale(s.ops, cfg.DurationNS)}
+}
+
+// cycle runs one think + operation for a thread token.
+func (s *structSim) cycle() {
+	think := s.thinkNS * (0.8 + 0.4*s.rng.Float64())
+	s.eng.After(think, func() {
+		if s.rng.Float64() < s.cfg.UpdateRatio {
+			s.update()
+		} else {
+			s.read()
+		}
+	})
+}
+
+func (s *structSim) read() {
+	s.eng.After(s.cfg.ReadNS, func() {
+		if s.cfg.ReadAbortProb != nil &&
+			s.rng.Float64() < s.cfg.ReadAbortProb(s.inflight) {
+			s.read() // invalidated by a concurrent commit: retry
+			return
+		}
+		s.ops++
+		s.cycle()
+	})
+}
+
+func (s *structSim) update() {
+	// inflight spans the whole update — parallel phase included — since
+	// that is the window in which it can conflict with others.
+	s.inflight++
+	s.eng.After(s.cfg.UpdateNS, func() {
+		d := &s.domains[0]
+		if len(s.domains) > 1 {
+			d = &s.domains[s.rng.Intn(len(s.domains))]
+		}
+		work := func() { s.serial(d) }
+		if d.busy {
+			d.queue = append(d.queue, work)
+			return
+		}
+		d.busy = true
+		work()
+	})
+}
+
+// serial runs the serialized update portion on domain d, handling aborts.
+// inflight was incremented when the updater entered the serial system and
+// drops when its serial section completes, abort or not.
+func (s *structSim) serial(d *structDomain) {
+	s.eng.After(s.cfg.SerialNS, func() {
+		aborted := s.cfg.AbortProb != nil &&
+			s.rng.Float64() < s.cfg.AbortProb(s.inflight)
+		s.inflight--
+		// Hand the domain to the next queued updater.
+		if len(d.queue) > 0 {
+			next := d.queue[0]
+			d.queue = d.queue[1:]
+			next()
+		} else {
+			d.busy = false
+		}
+		if aborted {
+			// Retry the whole update: redo the parallel phase.
+			s.update()
+			return
+		}
+		s.ops++
+		s.cycle()
+	})
+}

@@ -1,0 +1,103 @@
+package simsync
+
+import "ffwd/internal/simarch"
+
+// TraverseNS estimates the single-thread cost of chasing nodes pointers
+// through a structure of totalLines cache lines: a dependent-load chain
+// whose per-node cost scales from L1/L2 hits for small structures to
+// local-LLC and DRAM-class latency once the structure exceeds the caches.
+func TraverseNS(m simarch.Machine, nodes int, totalLines int) float64 {
+	var perNode float64
+	switch {
+	case totalLines <= 4096: // ≤256 KB: L2-resident chase
+		perNode = 7 * m.CycleNS()
+	case totalLines <= 32768: // ≤2 MB: LLC-resident
+		perNode = 0.3 * m.LocalLLCNS
+	case totalLines <= 262144: // ≤16 MB: LLC boundary
+		perNode = 0.6 * m.LocalLLCNS
+	default: // DRAM-bound pointer chase
+		perNode = 0.8 * m.LocalRAMNS
+	}
+	return float64(nodes) * perNode
+}
+
+// SharedTraverseNS is TraverseNS for a structure concurrently traversed
+// and *updated* by threads threads: a node that an updater wrote recently
+// is invalid in the reader's cache and costs a remote transfer. The dirty
+// probability scales with how densely updates hit the structure —
+// threads/(2·size) — so small hot structures are miss-dominated while
+// large ones approach the clean chase.
+func SharedTraverseNS(m simarch.Machine, nodes, totalLines, threads int) float64 {
+	var clean float64
+	switch {
+	case totalLines <= 32768: // ≤2 MB: prefetch-friendly chain, L2/LLC
+		clean = 5 * m.CycleNS() * 2.2
+	case totalLines <= 262144:
+		clean = 0.5 * m.LocalLLCNS
+	default:
+		clean = 0.8 * m.LocalRAMNS
+	}
+	dirty := minFloat(1, float64(threads)/(2*float64(maxIntT(totalLines, 1))))
+	perNode := clean + dirty*0.8*m.RemoteLLCNS
+	return float64(nodes) * perNode
+}
+
+// ServerTraverseNS is TraverseNS for a delegation server that owns the
+// structure outright: no coherence downgrades, best-case locality.
+func ServerTraverseNS(m simarch.Machine, nodes int, totalLines int) float64 {
+	var perNode float64
+	switch {
+	case totalLines <= 512:
+		perNode = 5 * m.CycleNS()
+	case totalLines <= 4096:
+		perNode = 7 * m.CycleNS()
+	case totalLines <= 32768:
+		perNode = 0.2 * m.LocalLLCNS
+	case totalLines <= 262144:
+		perNode = 0.5 * m.LocalLLCNS
+	default:
+		perNode = 0.8 * m.LocalRAMNS
+	}
+	return float64(nodes) * perNode
+}
+
+// Log2 returns floor(log2(n)) for n ≥ 1, the expected search depth factor
+// for balanced trees and skip lists.
+func Log2(n int) int {
+	d := 0
+	for n > 1 {
+		n >>= 1
+		d++
+	}
+	return d
+}
+
+// ServerListTraverseNS is the delegation server's cost to walk a linked
+// list it owns: nodes are allocated in order, so the hardware prefetchers
+// stream the chain far more cheaply than a random tree descent.
+func ServerListTraverseNS(m simarch.Machine, nodes int, totalLines int) float64 {
+	var perNode float64
+	switch {
+	case totalLines <= 32768:
+		perNode = 4.5 * m.CycleNS()
+	case totalLines <= 262144:
+		perNode = 0.3 * m.LocalLLCNS
+	default:
+		perNode = 0.6 * m.LocalRAMNS
+	}
+	return float64(nodes) * perNode
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxIntT(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

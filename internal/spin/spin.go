@@ -1,0 +1,60 @@
+// Package spin provides polite busy-wait primitives.
+//
+// The paper's clients spin on a response slot with the x86 PAUSE
+// instruction. Go exposes no PAUSE intrinsic and may multiplex many
+// goroutines onto few OS threads (in this environment, exactly one), so a
+// correct spin loop must eventually yield to the scheduler or the writer it
+// is waiting for may never run. Waiter spins a short bounded loop and then
+// calls runtime.Gosched, which approximates spin-then-yield waiting and is
+// live at GOMAXPROCS=1.
+package spin
+
+import "runtime"
+
+// defaultSpins is the number of busy iterations before the first yield.
+// Chosen small: at GOMAXPROCS=1 every spin iteration beyond the first few
+// is wasted work.
+const defaultSpins = 32
+
+// Waiter is a bounded spin-then-yield helper. The zero value is ready to
+// use. It is not safe for concurrent use; each waiting goroutine owns one.
+type Waiter struct {
+	n int
+}
+
+// Wait performs one waiting step: a busy spin while under the bound, a
+// scheduler yield afterwards.
+func (w *Waiter) Wait() {
+	if w.n < defaultSpins {
+		w.n++
+		pause()
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset restarts the bounded spin phase. Call after the awaited condition
+// was observed so the next wait starts cheap again.
+func (w *Waiter) Reset() { w.n = 0 }
+
+//go:noinline
+func pause() {
+	// A call that the compiler must not elide; close to a PAUSE in spirit
+	// (a handful of cycles, no memory traffic).
+}
+
+// Delay busy-loops for approximately n PAUSE-equivalents. It is used to
+// reproduce the paper's "25 PAUSE between critical sections" delay loops.
+func Delay(n int) {
+	for i := 0; i < n; i++ {
+		pause()
+	}
+}
+
+// UntilEqualUint32 spins (politely) until load() == want.
+func UntilEqualUint32(load func() uint32, want uint32) {
+	var w Waiter
+	for load() != want {
+		w.Wait()
+	}
+}

@@ -1,0 +1,46 @@
+package spin
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWaiterMakesProgressAtGOMAXPROCS1(t *testing.T) {
+	// The waiter must yield so the setter goroutine can run even on a
+	// single P.
+	var flag atomic.Uint32
+	go flag.Store(1)
+	var w Waiter
+	for flag.Load() == 0 {
+		w.Wait()
+	}
+}
+
+func TestWaiterReset(t *testing.T) {
+	var w Waiter
+	for i := 0; i < 100; i++ {
+		w.Wait()
+	}
+	w.Reset()
+	if w.n != 0 {
+		t.Fatalf("Reset did not clear spin count: %d", w.n)
+	}
+}
+
+func TestUntilEqualUint32(t *testing.T) {
+	var v atomic.Uint32
+	go v.Store(7)
+	UntilEqualUint32(v.Load, 7)
+}
+
+func TestDelayReturns(t *testing.T) {
+	Delay(0)
+	Delay(25)
+	Delay(1000)
+}
+
+func BenchmarkDelay25(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Delay(25)
+	}
+}

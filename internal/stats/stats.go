@@ -1,0 +1,79 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness uses for reporting: summaries over repeated runs and speedup
+// ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N                int
+	Mean, Stddev     float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		s.Median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String formats the summary as "mean ± stddev [min..max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3g ± %.2g [%.3g..%.3g] (n=%d)", s.Mean, s.Stddev, s.Min, s.Max, s.N)
+}
+
+// GeoMean returns the geometric mean of xs (which must be positive);
+// it returns 0 for an empty sample.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Speedup returns base/measured — how many times faster measured is than
+// base when both are durations, or measured/base when both are rates. The
+// caller picks the orientation; this helper just guards division.
+func Speedup(numerator, denominator float64) float64 {
+	if denominator == 0 {
+		return 0
+	}
+	return numerator / denominator
+}

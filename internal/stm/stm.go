@@ -1,0 +1,199 @@
+// Package stm implements a word-based software transactional memory in the
+// TL2 style (lazy versioning, commit-time locking, global version clock) —
+// the class of system the ffwd paper benchmarks as STM/SwissTM.
+//
+// Shared state lives in TVars. A transaction body reads and writes TVars
+// through its Tx; writes are buffered and only published at commit, after
+// the read set validates against the global clock. Conflicts abort and
+// transparently retry with backoff, so transactions must be pure apart
+// from their TVar accesses.
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"ffwd/internal/spin"
+)
+
+// TVar is a transactional variable holding an arbitrary immutable value.
+// Mutate only by storing a new value; never mutate a value reachable from
+// a TVar in place.
+type TVar struct {
+	// vlock is the TL2 versioned lock: bit 0 = locked, upper bits =
+	// version (the global clock value of the last commit that wrote it).
+	vlock atomic.Uint64
+	val   atomic.Pointer[any]
+}
+
+// NewTVar returns a TVar holding initial.
+func NewTVar(initial any) *TVar {
+	v := &TVar{}
+	v.val.Store(&initial)
+	return v
+}
+
+const lockedBit = 1
+
+// STM is a transactional memory domain: TVars used together must be run
+// under the same STM (they share its version clock).
+type STM struct {
+	clock   atomic.Uint64
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// New returns an empty STM domain.
+func New() *STM { return &STM{} }
+
+// Stats returns the cumulative commit and abort counts.
+func (s *STM) Stats() (commits, aborts uint64) {
+	return s.commits.Load(), s.aborts.Load()
+}
+
+// Tx is a running transaction. It is valid only inside the Atomically body
+// that created it.
+type Tx struct {
+	s        *STM
+	rv       uint64
+	reads    []readEntry
+	writes   map[*TVar]any
+	conflict bool
+}
+
+type readEntry struct {
+	v       *TVar
+	version uint64
+}
+
+// abortError is the sentinel panic used to unwind an aborted transaction
+// body.
+type abortError struct{}
+
+// Atomically runs fn as a transaction, retrying on conflict until it
+// commits. fn may be executed several times; it must have no effects other
+// than TVar accesses through tx.
+func (s *STM) Atomically(fn func(tx *Tx)) {
+	backoff := 1
+	for {
+		tx := &Tx{s: s, rv: s.clock.Load()}
+		if s.attempt(tx, fn) {
+			s.commits.Add(1)
+			return
+		}
+		s.aborts.Add(1)
+		// Bounded randomized-ish backoff: linear growth, capped.
+		spin.Delay(backoff * 16)
+		runtime.Gosched()
+		if backoff < 64 {
+			backoff *= 2
+		}
+	}
+}
+
+// attempt runs fn once and tries to commit; it reports success.
+func (s *STM) attempt(tx *Tx, fn func(tx *Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortError); ok {
+				committed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+// abort unwinds the transaction body.
+func (tx *Tx) abort() {
+	tx.conflict = true
+	panic(abortError{})
+}
+
+// Load returns v's current value within the transaction.
+func (tx *Tx) Load(v *TVar) any {
+	if tx.writes != nil {
+		if val, ok := tx.writes[v]; ok {
+			return val
+		}
+	}
+	// TL2 read: sample the lock, read the value, re-sample; the version
+	// must be stable, unlocked, and no newer than our read version.
+	v1 := v.vlock.Load()
+	val := v.val.Load()
+	v2 := v.vlock.Load()
+	if v1 != v2 || v1&lockedBit != 0 || v1>>1 > tx.rv {
+		tx.abort()
+	}
+	tx.reads = append(tx.reads, readEntry{v: v, version: v1})
+	return *val
+}
+
+// Store buffers a write of val to v, visible to this transaction's later
+// Loads and published at commit.
+func (tx *Tx) Store(v *TVar, val any) {
+	if tx.writes == nil {
+		tx.writes = make(map[*TVar]any, 8)
+	}
+	tx.writes[v] = val
+}
+
+// commit validates and publishes the transaction.
+func (tx *Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only transactions were validated read-by-read.
+		return true
+	}
+	// Phase 1: lock the write set.
+	locked := make([]*TVar, 0, len(tx.writes))
+	ok := true
+	for v := range tx.writes {
+		cur := v.vlock.Load()
+		if cur&lockedBit != 0 || cur>>1 > tx.rv || !v.vlock.CompareAndSwap(cur, cur|lockedBit) {
+			ok = false
+			break
+		}
+		locked = append(locked, v)
+	}
+	if !ok {
+		for _, v := range locked {
+			v.vlock.Store(v.vlock.Load() &^ lockedBit)
+		}
+		return false
+	}
+	// Phase 2: increment the clock.
+	wv := tx.s.clock.Add(1)
+	// Phase 3: validate the read set (skippable when no concurrent
+	// commit happened).
+	if wv != tx.rv+1 {
+		for _, re := range tx.reads {
+			cur := re.v.vlock.Load()
+			if cur&lockedBit != 0 {
+				if _, mine := tx.writes[re.v]; !mine {
+					ok = false
+					break
+				}
+				cur &^= lockedBit
+			}
+			if cur>>1 > tx.rv {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			for _, v := range locked {
+				v.vlock.Store(v.vlock.Load() &^ lockedBit)
+			}
+			return false
+		}
+	}
+	// Phase 4: publish values and release locks with the new version.
+	for v, val := range tx.writes {
+		val := val
+		v.val.Store(&val)
+		v.vlock.Store(wv << 1)
+	}
+	return true
+}

@@ -1,0 +1,308 @@
+package stm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTVarLoadStore(t *testing.T) {
+	s := New()
+	v := NewTVar(uint64(10))
+	s.Atomically(func(tx *Tx) {
+		if got := tx.Load(v).(uint64); got != 10 {
+			t.Fatalf("Load = %d, want 10", got)
+		}
+		tx.Store(v, uint64(20))
+		if got := tx.Load(v).(uint64); got != 20 {
+			t.Fatalf("Load after buffered Store = %d, want 20", got)
+		}
+	})
+	s.Atomically(func(tx *Tx) {
+		if got := tx.Load(v).(uint64); got != 20 {
+			t.Fatalf("Load in next tx = %d, want 20", got)
+		}
+	})
+}
+
+func TestAtomicIncrementNoLostUpdates(t *testing.T) {
+	s := New()
+	v := NewTVar(uint64(0))
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Atomically(func(tx *Tx) {
+					tx.Store(v, tx.Load(v).(uint64)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Atomically(func(tx *Tx) {
+		if got := tx.Load(v).(uint64); got != workers*iters {
+			t.Fatalf("counter = %d, want %d (lost updates)", got, workers*iters)
+		}
+	})
+	commits, _ := s.Stats()
+	if commits < workers*iters {
+		t.Fatalf("commits = %d, want >= %d", commits, workers*iters)
+	}
+}
+
+func TestTransferInvariant(t *testing.T) {
+	// Classic bank-transfer test: total must be conserved at every
+	// atomic snapshot.
+	s := New()
+	const accounts = 10
+	const total = 1000 * accounts
+	vars := make([]*TVar, accounts)
+	for i := range vars {
+		vars[i] = NewTVar(uint64(1000))
+	}
+	stop := make(chan struct{})
+	var transfers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		transfers.Add(1)
+		go func(seed int64) {
+			defer transfers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				s.Atomically(func(tx *Tx) {
+					f := tx.Load(vars[from]).(uint64)
+					if f == 0 {
+						return
+					}
+					tx.Store(vars[from], f-1)
+					tx.Store(vars[to], tx.Load(vars[to]).(uint64)+1)
+				})
+			}
+		}(int64(w))
+	}
+	// Concurrent invariant checker: every atomic snapshot must conserve
+	// the total.
+	checker := make(chan struct{})
+	go func() {
+		defer close(checker)
+		for {
+			var sum uint64
+			s.Atomically(func(tx *Tx) {
+				sum = 0
+				for _, v := range vars {
+					sum += tx.Load(v).(uint64)
+				}
+			})
+			if sum != total {
+				t.Errorf("snapshot sum = %d, want %d (atomicity broken)", sum, total)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	transfers.Wait()
+	close(stop)
+	<-checker
+	var sum uint64
+	s.Atomically(func(tx *Tx) {
+		sum = 0
+		for _, v := range vars {
+			sum += tx.Load(v).(uint64)
+		}
+	})
+	if sum != total {
+		t.Fatalf("final sum = %d, want %d", sum, total)
+	}
+}
+
+func TestReadOnlySnapshotConsistency(t *testing.T) {
+	// Two vars always updated together; a reader must never observe
+	// them out of sync.
+	s := New()
+	a, b := NewTVar(uint64(0)), NewTVar(uint64(0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); i <= 5000; i++ {
+			s.Atomically(func(tx *Tx) {
+				tx.Store(a, i)
+				tx.Store(b, i)
+			})
+		}
+	}()
+	for {
+		var av, bv uint64
+		s.Atomically(func(tx *Tx) {
+			av = tx.Load(a).(uint64)
+			bv = tx.Load(b).(uint64)
+		})
+		if av != bv {
+			t.Fatalf("torn read: a=%d b=%d", av, bv)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func TestListSetSequential(t *testing.T) {
+	s := New()
+	l := NewListSet(s)
+	if l.Contains(5) {
+		t.Fatal("empty set contains 5")
+	}
+	for _, k := range []uint64{5, 3, 9, 7} {
+		if !l.Insert(k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if l.Insert(5) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if !l.Remove(3) || l.Remove(3) {
+		t.Fatal("remove semantics wrong")
+	}
+	for _, want := range []struct {
+		k  uint64
+		in bool
+	}{{3, false}, {5, true}, {7, true}, {9, true}} {
+		if got := l.Contains(want.k); got != want.in {
+			t.Fatalf("Contains(%d) = %v, want %v", want.k, got, want.in)
+		}
+	}
+}
+
+func TestListSetConcurrent(t *testing.T) {
+	s := New()
+	l := NewListSet(s)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w*1000 + 1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 100; i++ {
+				k := base + i
+				if !l.Insert(k) {
+					t.Errorf("Insert(%d) failed on owned key", k)
+					return
+				}
+				if i%2 == 1 && !l.Remove(k) {
+					t.Errorf("Remove(%d) failed on owned key", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := l.Len(), workers*50; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func TestTreeSetMatchesModel(t *testing.T) {
+	s := New()
+	tr := NewTreeSet(s)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(200)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := tr.Insert(k), !model[k]; got != want {
+				t.Fatalf("op %d: Insert(%d) = %v want %v", i, k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := tr.Remove(k), model[k]; got != want {
+				t.Fatalf("op %d: Remove(%d) = %v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := tr.Contains(k), model[k]; got != want {
+				t.Fatalf("op %d: Contains(%d) = %v want %v", i, k, got, want)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+}
+
+func TestTreeSetConcurrent(t *testing.T) {
+	s := New()
+	tr := NewTreeSet(s)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		base := uint64(w*1000 + 1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 150; i++ {
+				k := base + i
+				if !tr.Insert(k) {
+					t.Errorf("Insert(%d) failed", k)
+					return
+				}
+				if i%3 == 0 && !tr.Remove(k) {
+					t.Errorf("Remove(%d) failed", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	commits, aborts := s.Stats()
+	t.Logf("commits=%d aborts=%d", commits, aborts)
+	if got, want := tr.Len(), workers*100; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkSTMCounter(b *testing.B) {
+	s := New()
+	v := NewTVar(uint64(0))
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Atomically(func(tx *Tx) {
+				tx.Store(v, tx.Load(v).(uint64)+1)
+			})
+		}
+	})
+}
+
+func BenchmarkSTMListSet(b *testing.B) {
+	s := New()
+	l := NewListSet(s)
+	for i := uint64(1); i <= 256; i++ {
+		l.Insert(i * 2)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(1))
+		for pb.Next() {
+			k := uint64(rng.Intn(512)) + 1
+			switch rng.Intn(10) {
+			case 0:
+				l.Insert(k)
+			case 1:
+				l.Remove(k)
+			default:
+				l.Contains(k)
+			}
+		}
+	})
+}

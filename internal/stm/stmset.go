@@ -1,0 +1,230 @@
+package stm
+
+import "math"
+
+// stmListNode is an immutable-key list node whose successor pointer lives
+// in a TVar (values stored in TVars are never mutated in place).
+type stmListNode struct {
+	key  uint64
+	next *TVar // holds *stmListNode
+}
+
+// ListSet is a sorted linked-list integer set where every link is a TVar:
+// the paper's STM linked-list benchmark. Concurrent, atomic, and —
+// as the paper observes — slower per operation but gracefully degrading
+// under load because independent operations commute.
+type ListSet struct {
+	s    *STM
+	head *stmListNode
+}
+
+// NewListSet returns an empty set over the given STM domain. Keys must be
+// strictly between 0 and MaxUint64.
+func NewListSet(s *STM) *ListSet {
+	tail := &stmListNode{key: math.MaxUint64, next: NewTVar((*stmListNode)(nil))}
+	head := &stmListNode{key: 0, next: NewTVar(tail)}
+	return &ListSet{s: s, head: head}
+}
+
+// find positions tx at the pair (pred, curr) with pred.key < key <= curr.key.
+func (l *ListSet) find(tx *Tx, key uint64) (pred, curr *stmListNode) {
+	pred = l.head
+	curr = tx.Load(pred.next).(*stmListNode)
+	for curr.key < key {
+		pred = curr
+		curr = tx.Load(pred.next).(*stmListNode)
+	}
+	return pred, curr
+}
+
+// Contains reports whether key is in the set.
+func (l *ListSet) Contains(key uint64) bool {
+	var found bool
+	l.s.Atomically(func(tx *Tx) {
+		_, curr := l.find(tx, key)
+		found = curr.key == key
+	})
+	return found
+}
+
+// Insert adds key; it reports false if key was already present.
+func (l *ListSet) Insert(key uint64) bool {
+	var added bool
+	l.s.Atomically(func(tx *Tx) {
+		pred, curr := l.find(tx, key)
+		if curr.key == key {
+			added = false
+			return
+		}
+		n := &stmListNode{key: key, next: NewTVar(curr)}
+		tx.Store(pred.next, n)
+		added = true
+	})
+	return added
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (l *ListSet) Remove(key uint64) bool {
+	var removed bool
+	l.s.Atomically(func(tx *Tx) {
+		pred, curr := l.find(tx, key)
+		if curr.key != key {
+			removed = false
+			return
+		}
+		next := tx.Load(curr.next).(*stmListNode)
+		tx.Store(pred.next, next)
+		removed = true
+	})
+	return removed
+}
+
+// Len counts the keys transactionally.
+func (l *ListSet) Len() int {
+	var n int
+	l.s.Atomically(func(tx *Tx) {
+		n = 0
+		curr := tx.Load(l.head.next).(*stmListNode)
+		for curr.key != math.MaxUint64 {
+			n++
+			curr = tx.Load(curr.next).(*stmListNode)
+		}
+	})
+	return n
+}
+
+// stmTreeNode is an immutable BST node; children live in TVars.
+type stmTreeNode struct {
+	key         uint64
+	left, right *TVar // hold *stmTreeNode
+}
+
+// TreeSet is an unbalanced transactional BST — the shape of the paper's
+// SwissTM tree benchmark (same barebones tree as the delegated version,
+// accessed under transactions).
+type TreeSet struct {
+	s    *STM
+	root *TVar // holds *stmTreeNode
+}
+
+// NewTreeSet returns an empty transactional tree over the STM domain.
+func NewTreeSet(s *STM) *TreeSet {
+	return &TreeSet{s: s, root: NewTVar((*stmTreeNode)(nil))}
+}
+
+// Contains reports whether key is in the set.
+func (t *TreeSet) Contains(key uint64) bool {
+	var found bool
+	t.s.Atomically(func(tx *Tx) {
+		found = false
+		n := tx.Load(t.root).(*stmTreeNode)
+		for n != nil {
+			switch {
+			case key < n.key:
+				n = tx.Load(n.left).(*stmTreeNode)
+			case key > n.key:
+				n = tx.Load(n.right).(*stmTreeNode)
+			default:
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// Insert adds key; it reports false if key was already present.
+func (t *TreeSet) Insert(key uint64) bool {
+	var added bool
+	t.s.Atomically(func(tx *Tx) {
+		slot := t.root
+		n := tx.Load(slot).(*stmTreeNode)
+		for n != nil {
+			switch {
+			case key < n.key:
+				slot = n.left
+			case key > n.key:
+				slot = n.right
+			default:
+				added = false
+				return
+			}
+			n = tx.Load(slot).(*stmTreeNode)
+		}
+		tx.Store(slot, &stmTreeNode{
+			key:   key,
+			left:  NewTVar((*stmTreeNode)(nil)),
+			right: NewTVar((*stmTreeNode)(nil)),
+		})
+		added = true
+	})
+	return added
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *TreeSet) Remove(key uint64) bool {
+	var removed bool
+	t.s.Atomically(func(tx *Tx) {
+		slot := t.root
+		n := tx.Load(slot).(*stmTreeNode)
+		for n != nil && n.key != key {
+			if key < n.key {
+				slot = n.left
+			} else {
+				slot = n.right
+			}
+			n = tx.Load(slot).(*stmTreeNode)
+		}
+		if n == nil {
+			removed = false
+			return
+		}
+		left := tx.Load(n.left).(*stmTreeNode)
+		right := tx.Load(n.right).(*stmTreeNode)
+		switch {
+		case left == nil:
+			tx.Store(slot, right)
+		case right == nil:
+			tx.Store(slot, left)
+		default:
+			// Splice in the in-order successor.
+			succSlot := n.right
+			succ := right
+			for {
+				l := tx.Load(succ.left).(*stmTreeNode)
+				if l == nil {
+					break
+				}
+				succSlot = succ.left
+				succ = l
+			}
+			tx.Store(succSlot, tx.Load(succ.right).(*stmTreeNode))
+			repl := &stmTreeNode{key: succ.key, left: n.left, right: n.right}
+			if succSlot == n.right {
+				// Successor was n's direct right child: its
+				// (updated) subtree replaces the right link.
+				repl.right = NewTVar(tx.Load(succ.right).(*stmTreeNode))
+			}
+			tx.Store(slot, repl)
+		}
+		removed = true
+	})
+	return removed
+}
+
+// Len counts the keys transactionally.
+func (t *TreeSet) Len() int {
+	var n int
+	t.s.Atomically(func(tx *Tx) {
+		n = t.count(tx, tx.Load(t.root).(*stmTreeNode))
+	})
+	return n
+}
+
+func (t *TreeSet) count(tx *Tx, n *stmTreeNode) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + t.count(tx, tx.Load(n.left).(*stmTreeNode)) +
+		t.count(tx, tx.Load(n.right).(*stmTreeNode))
+}

@@ -1,0 +1,125 @@
+package vtree
+
+import "sync/atomic"
+
+// Balanced is the balanced persistent tree (the paper's VRBTREE
+// comparator): a persistent treap whose priorities are a fixed hash of the
+// key, so every version of the tree over a given key set has the same,
+// expected-O(log n)-depth shape. Readers are wait-free; writers install new
+// versions with a CAS and retry on contention.
+type Balanced struct {
+	root atomic.Pointer[vnode]
+	n    atomic.Int64
+}
+
+// NewBalanced returns an empty balanced tree.
+func NewBalanced() *Balanced { return &Balanced{} }
+
+// prioOf derives a deterministic heap priority from the key (splitmix64
+// finalizer), decorrelating priority order from key order.
+func prioOf(key uint64) uint64 {
+	z := key + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Contains reports whether key is in the set; wait-free.
+func (t *Balanced) Contains(key uint64) bool { return lookup(t.root.Load(), key) }
+
+// Insert adds key; it reports false if key was already present.
+func (t *Balanced) Insert(key uint64) bool {
+	for {
+		old := t.root.Load()
+		if lookup(old, key) {
+			return false
+		}
+		next := treapInsert(old, key, prioOf(key))
+		if t.root.CompareAndSwap(old, next) {
+			t.n.Add(1)
+			return true
+		}
+	}
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *Balanced) Remove(key uint64) bool {
+	for {
+		old := t.root.Load()
+		if !lookup(old, key) {
+			return false
+		}
+		next := treapRemove(old, key)
+		if t.root.CompareAndSwap(old, next) {
+			t.n.Add(-1)
+			return true
+		}
+	}
+}
+
+// Len returns the number of keys in the set.
+func (t *Balanced) Len() int { return int(t.n.Load()) }
+
+// Depth returns the depth of the current version; used by balance tests.
+func (t *Balanced) Depth() int { return depth(t.root.Load()) }
+
+func depth(n *vnode) int {
+	if n == nil {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// treapInsert returns a new version containing (key, prio); key must not
+// already be present.
+func treapInsert(n *vnode, key, prio uint64) *vnode {
+	if n == nil {
+		return &vnode{key: key, prio: prio}
+	}
+	if key < n.key {
+		l := treapInsert(n.left, key, prio)
+		if l.prio > n.prio {
+			// Rotate right: l becomes the root of this subtree.
+			return &vnode{key: l.key, prio: l.prio, left: l.left,
+				right: &vnode{key: n.key, prio: n.prio, left: l.right, right: n.right}}
+		}
+		return &vnode{key: n.key, prio: n.prio, left: l, right: n.right}
+	}
+	r := treapInsert(n.right, key, prio)
+	if r.prio > n.prio {
+		// Rotate left.
+		return &vnode{key: r.key, prio: r.prio, right: r.right,
+			left: &vnode{key: n.key, prio: n.prio, left: n.left, right: r.left}}
+	}
+	return &vnode{key: n.key, prio: n.prio, left: n.left, right: r}
+}
+
+// treapRemove returns a new version without key; key must be present.
+func treapRemove(n *vnode, key uint64) *vnode {
+	switch {
+	case key < n.key:
+		return &vnode{key: n.key, prio: n.prio, left: treapRemove(n.left, key), right: n.right}
+	case key > n.key:
+		return &vnode{key: n.key, prio: n.prio, left: n.left, right: treapRemove(n.right, key)}
+	default:
+		return treapMerge(n.left, n.right)
+	}
+}
+
+// treapMerge joins two treaps where every key of a precedes every key of b.
+func treapMerge(a, b *vnode) *vnode {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.prio > b.prio:
+		return &vnode{key: a.key, prio: a.prio, left: a.left, right: treapMerge(a.right, b)}
+	default:
+		return &vnode{key: b.key, prio: b.prio, left: treapMerge(a, b.left), right: b.right}
+	}
+}

@@ -1,0 +1,147 @@
+// Package vtree implements versioned-programming trees in the style of
+// Zhan & Porter's VTree/VRBTree comparators: fully persistent
+// (path-copying) trees published through a single atomic root pointer.
+// Readers load the root once and traverse an immutable snapshot — wait-free
+// and always consistent; writers build a new version and install it with a
+// CAS, retrying on contention.
+//
+// VTree is the unbalanced persistent BST. Balanced is the balanced
+// variant; where the paper uses a red-black tree, this package uses a
+// persistent treap with deterministic key-derived priorities — the same
+// O(log n) balanced-path behaviour with a tractable persistent delete
+// (functional red-black deletion adds complexity without changing the
+// benchmark's cost profile; DESIGN.md records the substitution).
+package vtree
+
+import "sync/atomic"
+
+type vnode struct {
+	key         uint64
+	prio        uint64 // heap priority (treap); ignored by VTree
+	left, right *vnode
+}
+
+// VTree is the unbalanced persistent binary search tree with a CAS-published
+// root. All methods are safe for any number of concurrent readers and
+// writers; writers are lock-free (retry on CAS failure).
+type VTree struct {
+	root atomic.Pointer[vnode]
+	n    atomic.Int64
+}
+
+// NewVTree returns an empty tree.
+func NewVTree() *VTree { return &VTree{} }
+
+// Contains reports whether key is in the set; wait-free.
+func (t *VTree) Contains(key uint64) bool { return lookup(t.root.Load(), key) }
+
+func lookup(n *vnode, key uint64) bool {
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key; it reports false if key was already present.
+func (t *VTree) Insert(key uint64) bool {
+	for {
+		old := t.root.Load()
+		next, added := bstInsert(old, key)
+		if !added {
+			return false
+		}
+		if t.root.CompareAndSwap(old, next) {
+			t.n.Add(1)
+			return true
+		}
+	}
+}
+
+// Remove deletes key; it reports false if key was absent.
+func (t *VTree) Remove(key uint64) bool {
+	for {
+		old := t.root.Load()
+		next, removed := bstRemove(old, key)
+		if !removed {
+			return false
+		}
+		if t.root.CompareAndSwap(old, next) {
+			t.n.Add(-1)
+			return true
+		}
+	}
+}
+
+// Len returns the number of keys in the set.
+func (t *VTree) Len() int { return int(t.n.Load()) }
+
+// bstInsert returns the root of a new version containing key.
+func bstInsert(n *vnode, key uint64) (*vnode, bool) {
+	if n == nil {
+		return &vnode{key: key}, true
+	}
+	switch {
+	case key < n.key:
+		l, added := bstInsert(n.left, key)
+		if !added {
+			return n, false
+		}
+		return &vnode{key: n.key, prio: n.prio, left: l, right: n.right}, true
+	case key > n.key:
+		r, added := bstInsert(n.right, key)
+		if !added {
+			return n, false
+		}
+		return &vnode{key: n.key, prio: n.prio, left: n.left, right: r}, true
+	default:
+		return n, false
+	}
+}
+
+// bstRemove returns the root of a new version without key.
+func bstRemove(n *vnode, key uint64) (*vnode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch {
+	case key < n.key:
+		l, removed := bstRemove(n.left, key)
+		if !removed {
+			return n, false
+		}
+		return &vnode{key: n.key, prio: n.prio, left: l, right: n.right}, true
+	case key > n.key:
+		r, removed := bstRemove(n.right, key)
+		if !removed {
+			return n, false
+		}
+		return &vnode{key: n.key, prio: n.prio, left: n.left, right: r}, true
+	default:
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Pull up the in-order successor, path-copying down
+			// to it.
+			succKey := minKey(n.right)
+			r, _ := bstRemove(n.right, succKey)
+			return &vnode{key: succKey, prio: n.prio, left: n.left, right: r}, true
+		}
+	}
+}
+
+func minKey(n *vnode) uint64 {
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key
+}

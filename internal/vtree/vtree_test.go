@@ -1,0 +1,166 @@
+package vtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+type set interface {
+	Contains(uint64) bool
+	Insert(uint64) bool
+	Remove(uint64) bool
+	Len() int
+}
+
+func factories() map[string]func() set {
+	return map[string]func() set{
+		"VTree":    func() set { return NewVTree() },
+		"Balanced": func() set { return NewBalanced() },
+	}
+}
+
+func TestMatchesMapModel(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			model := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(300)) + 1
+				switch rng.Intn(3) {
+				case 0:
+					if got, want := s.Insert(k), !model[k]; got != want {
+						t.Fatalf("op %d: Insert(%d) = %v want %v", i, k, got, want)
+					}
+					model[k] = true
+				case 1:
+					if got, want := s.Remove(k), model[k]; got != want {
+						t.Fatalf("op %d: Remove(%d) = %v want %v", i, k, got, want)
+					}
+					delete(model, k)
+				default:
+					if got, want := s.Contains(k), model[k]; got != want {
+						t.Fatalf("op %d: Contains(%d) = %v want %v", i, k, got, want)
+					}
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+			}
+		})
+	}
+}
+
+func TestSnapshotsAreImmutable(t *testing.T) {
+	// A reader that captured a version must see it unchanged while
+	// writers churn: VTree's core guarantee.
+	tr := NewVTree()
+	for k := uint64(1); k <= 100; k++ {
+		tr.Insert(k)
+	}
+	snap := tr.root.Load()
+	for k := uint64(1); k <= 100; k++ {
+		tr.Remove(k)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if !lookup(snap, k) {
+			t.Fatalf("snapshot lost key %d after removals in later versions", k)
+		}
+		if tr.Contains(k) {
+			t.Fatalf("current version still has key %d", k)
+		}
+	}
+}
+
+func TestBalancedDepthLogarithmic(t *testing.T) {
+	tr := NewBalanced()
+	for k := uint64(1); k <= 1<<14; k++ {
+		tr.Insert(k) // sequential keys: the worst case for a plain BST
+	}
+	if d := tr.Depth(); d > 60 {
+		t.Fatalf("depth %d after 16384 sequential inserts; treap not balancing", d)
+	}
+	// Compare: an unbalanced VTree on the same keys would be depth 16384.
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			const workers = 8
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				base := uint64(w*10000 + 1)
+				go func() {
+					defer wg.Done()
+					for i := uint64(0); i < 300; i++ {
+						k := base + i
+						if !s.Insert(k) {
+							t.Errorf("Insert(%d) failed", k)
+							return
+						}
+						if i%2 == 0 && !s.Remove(k) {
+							t.Errorf("Remove(%d) failed", k)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got, want := s.Len(), workers*150; got != want {
+				t.Fatalf("Len = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestTreapPriorityHeapProperty(t *testing.T) {
+	tr := NewBalanced()
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(rng.Intn(10000)) + 1)
+	}
+	var check func(n *vnode) bool
+	check = func(n *vnode) bool {
+		if n == nil {
+			return true
+		}
+		if n.left != nil && (n.left.prio > n.prio || n.left.key >= n.key) {
+			return false
+		}
+		if n.right != nil && (n.right.prio > n.prio || n.right.key <= n.key) {
+			return false
+		}
+		return check(n.left) && check(n.right)
+	}
+	if !check(tr.root.Load()) {
+		t.Fatal("treap heap/BST property violated")
+	}
+}
+
+func BenchmarkVTreeMixed(b *testing.B) {
+	for name, mk := range factories() {
+		b.Run(name, func(b *testing.B) {
+			s := mk()
+			for i := uint64(1); i <= 1024; i++ {
+				s.Insert(i * 2)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					k := uint64(rng.Intn(2048)) + 1
+					switch rng.Intn(4) {
+					case 0:
+						s.Insert(k)
+					case 1:
+						s.Remove(k)
+					default:
+						s.Contains(k)
+					}
+				}
+			})
+		})
+	}
+}

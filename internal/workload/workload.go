@@ -1,0 +1,97 @@
+// Package workload generates the benchmark drivers' inputs: key streams
+// (uniform and Zipfian), operation mixes (the paper's 70/30 and 50/50
+// read/update splits), and the inter-critical-section delay loops.
+package workload
+
+import (
+	"math/rand"
+
+	"ffwd/internal/spin"
+)
+
+// KeyGen produces a stream of keys in [1, Max].
+type KeyGen interface {
+	Next() uint64
+}
+
+// Uniform draws keys uniformly from [1, max].
+type Uniform struct {
+	rng *rand.Rand
+	max uint64
+}
+
+// NewUniform returns a uniform generator over [1, max].
+func NewUniform(seed int64, max uint64) *Uniform {
+	if max < 1 {
+		max = 1
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), max: max}
+}
+
+// Next returns the next key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.max))) + 1 }
+
+// Zipf draws keys Zipf-distributed over [1, max] — the skewed key
+// popularity of cache workloads like memcached.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf generator with skew s (>1; 1.1 is mild, 1.5
+// heavy) over [1, max].
+func NewZipf(seed int64, s float64, max uint64) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	if max < 1 {
+		max = 1
+	}
+	return &Zipf{z: rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, max-1)}
+}
+
+// Next returns the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() + 1 }
+
+// Op is a set operation kind.
+type Op int
+
+// Operation kinds for set benchmarks.
+const (
+	OpContains Op = iota
+	OpInsert
+	OpRemove
+)
+
+// Mix generates the paper's operation mixes: updateRatio of operations are
+// updates, split evenly between alternating inserts and removes (the
+// paper's "alternate inserting members into, and removing members from the
+// list").
+type Mix struct {
+	rng         *rand.Rand
+	updateRatio float64
+	nextInsert  bool
+}
+
+// NewMix returns a mix with the given update ratio in [0,1].
+func NewMix(seed int64, updateRatio float64) *Mix {
+	return &Mix{rng: rand.New(rand.NewSource(seed)), updateRatio: updateRatio, nextInsert: true}
+}
+
+// Next returns the next operation kind.
+func (m *Mix) Next() Op {
+	if m.rng.Float64() >= m.updateRatio {
+		return OpContains
+	}
+	m.nextInsert = !m.nextInsert
+	if m.nextInsert {
+		return OpRemove
+	}
+	return OpInsert
+}
+
+// Delay busy-waits for the paper's standard 25-PAUSE inter-critical-
+// section delay.
+func Delay() { spin.Delay(25) }
+
+// DelayN busy-waits for n PAUSE iterations.
+func DelayN(n int) { spin.Delay(n) }

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformRange(t *testing.T) {
+	g := NewUniform(1, 100)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		k := g.Next()
+		if k < 1 || k > 100 {
+			t.Fatalf("key %d out of [1,100]", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("only %d distinct keys out of 100", len(seen))
+	}
+}
+
+func TestUniformClampsMax(t *testing.T) {
+	g := NewUniform(1, 0)
+	for i := 0; i < 100; i++ {
+		if g.Next() != 1 {
+			t.Fatal("max 0 should clamp to 1")
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a, b := NewUniform(7, 1000), NewUniform(7, 1000)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipf(1, 1.3, 1000)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		if k < 1 || k > 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The most popular key must dominate a uniform share.
+	if counts[1] < n/100 {
+		t.Fatalf("key 1 drawn %d times; zipf skew missing", counts[1])
+	}
+}
+
+func TestZipfClampsParams(t *testing.T) {
+	g := NewZipf(1, 0.5, 0) // s ≤ 1 and max < 1 both clamped
+	if k := g.Next(); k != 1 {
+		t.Fatalf("clamped zipf returned %d", k)
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	m := NewMix(3, 0.30)
+	var reads, inserts, removes int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch m.Next() {
+		case OpContains:
+			reads++
+		case OpInsert:
+			inserts++
+		case OpRemove:
+			removes++
+		}
+	}
+	if frac := float64(reads) / n; math.Abs(frac-0.70) > 0.02 {
+		t.Fatalf("read fraction = %.3f, want 0.70", frac)
+	}
+	// Inserts and removes alternate: counts within one of each other.
+	if d := inserts - removes; d < -1 || d > 1 {
+		t.Fatalf("inserts %d vs removes %d: must alternate", inserts, removes)
+	}
+}
+
+func TestMixAllReads(t *testing.T) {
+	m := NewMix(1, 0)
+	for i := 0; i < 1000; i++ {
+		if m.Next() != OpContains {
+			t.Fatal("zero update ratio produced an update")
+		}
+	}
+}
+
+func TestDelayRuns(t *testing.T) {
+	Delay()
+	DelayN(0)
+	DelayN(100)
+}
