@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures ablations coverage clean
+.PHONY: all build vet test race bench check figures ablations coverage clean
 
 all: build vet test
+
+# The pre-merge gate: vet, full build, race-enabled tests of the hot-path
+# packages, and a smoke run of the core microbenches (100 iterations — just
+# enough to prove they still execute).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/core/... ./internal/delegated/...
+	$(GO) test -run=none -bench=Core -benchtime=100x ./internal/core/
 
 build:
 	$(GO) build ./...

@@ -17,6 +17,7 @@ func FuzzDispatch(f *testing.F) {
 		"set 1 2 3", "get -1", "set 1 18446744073709551615",
 		"GET 007", "sEt 5 5", "del\t9", "quit extra", "get 99999999999999999999",
 		"\x00", "set \x01 2", strings.Repeat("a ", 100),
+		"mget 1 2 3", "mget", "MGET 4", strings.Repeat("mget 1", 1) + strings.Repeat(" 2", 100),
 	} {
 		f.Add(seed)
 	}
@@ -31,8 +32,8 @@ func FuzzDispatch(f *testing.F) {
 			t.Fatalf("multi-line response for %q: %q", line, out)
 		}
 		switch {
-		case strings.HasPrefix(out, "VALUE "), out == "NOT_FOUND",
-			out == "STORED", out == "DELETED",
+		case strings.HasPrefix(out, "VALUE "), strings.HasPrefix(out, "VALUES"),
+			out == "NOT_FOUND", out == "STORED", out == "DELETED",
 			strings.HasPrefix(out, "LEN "), strings.HasPrefix(out, "STATS "),
 			strings.HasPrefix(out, "ERROR "):
 		default:

@@ -7,12 +7,17 @@
 //
 //	set <key> <value>   → STORED
 //	get <key>           → VALUE <v> | NOT_FOUND
+//	mget <k1> <k2> ...  → VALUES <v|-> <v|-> ...   (pipelined multi-get)
 //	del <key>           → DELETED | NOT_FOUND
 //	len                 → LEN <n>
 //	stats               → STATS hits=<h> misses=<m> evictions=<e>
 //	quit                → closes the connection
 //
 // Keys and values are unsigned 64-bit integers (value 2^64-1 is reserved).
+//
+// The delegation server uses the adaptive idle policy: at zero load it
+// parks instead of spinning, so an idle ffwdserve burns no core; the first
+// request after an idle period wakes it. Tune with -idle-park-after.
 //
 // Usage:
 //
@@ -31,11 +36,27 @@ import (
 	"sync"
 
 	"ffwd/internal/apps"
+	"ffwd/internal/core"
 )
+
+// mgetMax bounds the number of keys per mget so one command line cannot
+// monopolize the pooled pipeline client.
+const mgetMax = 64
 
 // backend abstracts the two store configurations.
 type backend interface {
 	handle(line string) string
+}
+
+// ffwdConn is one pooled delegation handle: a synchronous channel for
+// single-key commands plus a pipelined window for mget.
+type ffwdConn struct {
+	kv   *apps.KVClient
+	pipe *apps.KVPipeClient
+	// mget scratch, reused so a command allocates only the response
+	// string.
+	vals  []uint64
+	found []bool
 }
 
 type ffwdBackend struct {
@@ -43,18 +64,28 @@ type ffwdBackend struct {
 	// Delegation client slots are a bounded resource, so they live in a
 	// fixed channel-based pool: a command borrows one and returns it.
 	// (sync.Pool is wrong here — it may drop items, leaking slots.)
-	clients chan *apps.KVClient
+	clients chan *ffwdConn
 }
 
-// newFFWDBackendPool preallocates every client slot.
-func newFFWDBackendPool(d *apps.DelegatedKV, n int) (*ffwdBackend, error) {
-	fb := &ffwdBackend{d: d, clients: make(chan *apps.KVClient, n)}
+// newFFWDBackendPool preallocates every client slot: n pooled handles,
+// each owning one synchronous channel and a pipeline of depth pipeDepth.
+func newFFWDBackendPool(d *apps.DelegatedKV, n, pipeDepth int) (*ffwdBackend, error) {
+	fb := &ffwdBackend{d: d, clients: make(chan *ffwdConn, n)}
 	for i := 0; i < n; i++ {
-		c, err := d.NewClient()
+		kv, err := d.NewClient()
 		if err != nil {
 			return nil, err
 		}
-		fb.clients <- c
+		pipe, err := d.NewPipelinedClient(pipeDepth)
+		if err != nil {
+			return nil, err
+		}
+		fb.clients <- &ffwdConn{
+			kv:    kv,
+			pipe:  pipe,
+			vals:  make([]uint64, mgetMax),
+			found: make([]bool, mgetMax),
+		}
 	}
 	return fb, nil
 }
@@ -65,21 +96,31 @@ type mutexBackend struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:11211", "listen address")
-		capacity = flag.Int("capacity", 1<<16, "store capacity (entries)")
-		kind     = flag.String("backend", "ffwd", "ffwd or mutex")
-		clients  = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend)")
+		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
+		capacity  = flag.Int("capacity", 1<<16, "store capacity (entries)")
+		kind      = flag.String("backend", "ffwd", "ffwd or mutex")
+		clients   = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend)")
+		pipeDepth = flag.Int("pipeline", 8, "pipelined requests in flight per mget (ffwd backend)")
+		parkAfter = flag.Int("idle-park-after", 0, "empty sweeps before the idle server parks (0 = default, negative = never park)")
 	)
 	flag.Parse()
 
 	var b backend
 	switch *kind {
 	case "ffwd":
-		d := apps.NewDelegatedKV(*capacity, *clients)
+		if *pipeDepth < 1 {
+			*pipeDepth = 1
+		}
+		// Each pooled handle owns 1 synchronous slot + pipeDepth
+		// pipelined slots.
+		d := apps.NewDelegatedKVConfig(*capacity, core.Config{
+			MaxClients:    *clients * (1 + *pipeDepth),
+			IdleParkAfter: *parkAfter,
+		})
 		if err := d.Start(); err != nil {
 			log.Fatal(err)
 		}
-		fb, err := newFFWDBackendPool(d, *clients)
+		fb, err := newFFWDBackendPool(d, *clients, *pipeDepth)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -145,20 +186,36 @@ func (f *ffwdBackend) handle(line string) string {
 	c := <-f.clients
 	defer func() { f.clients <- c }()
 	return dispatchStats(line,
-		func(k uint64) (uint64, bool) { return c.Get(k) },
-		func(k, v uint64) { c.Set(k, v) },
-		func(k uint64) bool { return c.Delete(k) },
-		func() int { return c.Len() },
-		c.Stats,
+		func(k uint64) (uint64, bool) { return c.kv.Get(k) },
+		func(k, v uint64) { c.kv.Set(k, v) },
+		func(k uint64) bool { return c.kv.Delete(k) },
+		func() int { return c.kv.Len() },
+		c.kv.Stats,
+		func(keys []uint64) ([]uint64, []bool) {
+			c.pipe.MultiGet(keys, c.vals, c.found)
+			return c.vals[:len(keys)], c.found[:len(keys)]
+		},
 	)
 }
 
 func (m *mutexBackend) handle(line string) string {
-	return dispatchStats(line, m.kv.Get, m.kv.Set, m.kv.Delete, m.kv.Len, m.kv.Stats)
+	return dispatchStats(line, m.kv.Get, m.kv.Set, m.kv.Delete, m.kv.Len, m.kv.Stats,
+		func(keys []uint64) ([]uint64, []bool) {
+			// No pipelining behind a lock: the multi-get is just a loop.
+			vals := make([]uint64, len(keys))
+			found := make([]bool, len(keys))
+			for i, k := range keys {
+				vals[i], found[i] = m.kv.Get(k)
+			}
+			return vals, found
+		})
 }
 
+const usageMsg = "ERROR usage: get k | mget k... | set k v | del k | len | stats | quit"
+
 func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64, uint64),
-	del func(uint64) bool, length func() int, stats func() (h, m, e uint64)) string {
+	del func(uint64) bool, length func() int, stats func() (h, m, e uint64),
+	mget func([]uint64) ([]uint64, []bool)) string {
 	op, args, err := parse(line)
 	if err != nil {
 		return "ERROR " + err.Error()
@@ -169,6 +226,21 @@ func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64
 			return fmt.Sprintf("VALUE %d", v)
 		}
 		return "NOT_FOUND"
+	case op == "mget" && len(args) >= 1 && mget != nil:
+		if len(args) > mgetMax {
+			return fmt.Sprintf("ERROR mget limited to %d keys", mgetMax)
+		}
+		vals, found := mget(args)
+		var sb strings.Builder
+		sb.WriteString("VALUES")
+		for i := range args {
+			if found[i] {
+				fmt.Fprintf(&sb, " %d", vals[i])
+			} else {
+				sb.WriteString(" -")
+			}
+		}
+		return sb.String()
 	case op == "set" && len(args) == 2:
 		if args[1] == ^uint64(0) {
 			return "ERROR value reserved"
@@ -186,6 +258,6 @@ func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64
 		h, m, e := stats()
 		return fmt.Sprintf("STATS hits=%d misses=%d evictions=%d", h, m, e)
 	default:
-		return "ERROR usage: get k | set k v | del k | len | stats | quit"
+		return usageMsg
 	}
 }

@@ -12,12 +12,13 @@ import (
 
 func newFFWDBackend(t *testing.T, capacity, clients int) *ffwdBackend {
 	t.Helper()
-	d := apps.NewDelegatedKV(capacity, clients)
+	const depth = 2
+	d := apps.NewDelegatedKV(capacity, clients*(1+depth))
 	if err := d.Start(); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(d.Stop)
-	fb, err := newFFWDBackendPool(d, clients)
+	fb, err := newFFWDBackendPool(d, clients, depth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +62,14 @@ func TestDispatchProtocol(t *testing.T) {
 				{"del 1", "NOT_FOUND"},
 				{"get 1", "NOT_FOUND"},
 				{"set 2 18446744073709551615", "ERROR value reserved"},
-				{"bogus", "ERROR usage: get k | set k v | del k | len | stats | quit"},
+				{"bogus", usageMsg},
 				{"set x y", "ERROR bad number \"x\""},
-				{"get 1 2", "ERROR usage: get k | set k v | del k | len | stats | quit"},
-				{"stats", "STATS hits=2 misses=2 evictions=0"},
+				{"get 1 2", usageMsg},
+				{"set 10 100", "STORED"},
+				{"set 12 120", "STORED"},
+				{"mget 10 11 12", "VALUES 100 - 120"},
+				{"mget", usageMsg},
+				{"stats", "STATS hits=4 misses=3 evictions=0"},
 			}
 			for _, s := range steps {
 				if got := tc.b.handle(s.in); got != s.want {

@@ -1,0 +1,112 @@
+package apps
+
+import "testing"
+
+func TestKVMultiGet(t *testing.T) {
+	d := NewDelegatedKV(1<<10, 12)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	c, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.NewPipelinedClient(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window() != 4 {
+		t.Fatalf("Window = %d", p.Window())
+	}
+	for k := uint64(0); k < 100; k += 2 {
+		c.Set(k, k*10)
+	}
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	if hits := p.MultiGet(keys, vals, found); hits != 50 {
+		t.Fatalf("MultiGet hits = %d, want 50", hits)
+	}
+	for i, k := range keys {
+		if wantFound := k%2 == 0; found[i] != wantFound {
+			t.Fatalf("found[%d] = %v, want %v", i, found[i], wantFound)
+		}
+		if found[i] && vals[i] != k*10 {
+			t.Fatalf("vals[%d] = %d, want %d", i, vals[i], k*10)
+		}
+		if !found[i] && vals[i] != 0 {
+			t.Fatalf("vals[%d] = %d for a miss, want 0", i, vals[i])
+		}
+	}
+	// Misses count in the store statistics exactly once per missed key.
+	_, misses, _ := c.Stats()
+	if misses != 50 {
+		t.Fatalf("store misses = %d, want 50", misses)
+	}
+}
+
+func TestKVMultiGetAllocationFree(t *testing.T) {
+	d := NewDelegatedKV(1<<10, 9)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	c, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.NewPipelinedClient(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i)
+		c.Set(uint64(i), uint64(i))
+	}
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	p.MultiGet(keys, vals, found) // warm up
+	if allocs := testing.AllocsPerRun(100, func() { p.MultiGet(keys, vals, found) }); allocs > 0 {
+		t.Fatalf("MultiGet allocates %.2f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkKVMultiGet(b *testing.B) {
+	const nKeys = 64
+	setup := func(b *testing.B, window int) (*KVPipeClient, []uint64, []uint64, []bool) {
+		b.Helper()
+		d := NewDelegatedKV(1<<12, window+1)
+		if err := d.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(d.Stop)
+		c, err := d.NewClient()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := d.NewPipelinedClient(window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := make([]uint64, nKeys)
+		for i := range keys {
+			keys[i] = uint64(i)
+			c.Set(uint64(i), uint64(i))
+		}
+		return p, keys, make([]uint64, nKeys), make([]bool, nKeys)
+	}
+	for _, window := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "window=1", 4: "window=4", 8: "window=8"}[window], func(b *testing.B) {
+			p, keys, vals, found := setup(b, window)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.MultiGet(keys, vals, found)
+			}
+		})
+	}
+}

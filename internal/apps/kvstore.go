@@ -195,8 +195,14 @@ type DelegatedKV struct {
 
 // NewDelegatedKV builds the store and its server (not yet started).
 func NewDelegatedKV(capacity, maxClients int) *DelegatedKV {
+	return NewDelegatedKVConfig(capacity, core.Config{MaxClients: maxClients})
+}
+
+// NewDelegatedKVConfig is NewDelegatedKV with full control of the
+// delegation server configuration (idle policy, group size, ...).
+func NewDelegatedKVConfig(capacity int, cfg core.Config) *DelegatedKV {
 	d := &DelegatedKV{
-		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		srv: core.NewServer(cfg),
 		s:   NewKVStore(capacity),
 	}
 	d.fidGet = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
@@ -321,4 +327,70 @@ func (k *KVClient) Stats() (hits, misses, evictions uint64) {
 	return k.c.Delegate0(k.d.fidStats[0]),
 		k.c.Delegate0(k.d.fidStats[1]),
 		k.c.Delegate0(k.d.fidStats[2])
+}
+
+// KVPipeClient is a pipelined handle to a DelegatedKV: it keeps up to its
+// window of Get requests in flight at once, so a multi-key lookup pays
+// roughly one round-trip latency per window instead of per key — the
+// memcached multi-get, served over delegation.
+type KVPipeClient struct {
+	d *DelegatedKV
+	g *core.AsyncGroup
+
+	// Per-call state threaded to recordFn (built once, so MultiGet
+	// allocates nothing).
+	vals     []uint64
+	found    []bool
+	next     int
+	hits     int
+	recordFn func(uint64)
+}
+
+// NewPipelinedClient allocates window delegation channels for pipelined
+// multi-key operations. window is clamped to at least 1.
+func (d *DelegatedKV) NewPipelinedClient(window int) (*KVPipeClient, error) {
+	g, err := core.NewAsyncGroup(d.srv, window)
+	if err != nil {
+		return nil, err
+	}
+	p := &KVPipeClient{d: d, g: g}
+	p.recordFn = p.record
+	return p, nil
+}
+
+// Close releases the client's delegation channels.
+func (p *KVPipeClient) Close() { p.g.Close() }
+
+// Window returns the pipeline depth.
+func (p *KVPipeClient) Window() int { return p.g.Window() }
+
+func (p *KVPipeClient) record(r uint64) {
+	if r == kvMissSentinel {
+		p.vals[p.next] = 0
+		p.found[p.next] = false
+	} else {
+		p.vals[p.next] = r
+		p.found[p.next] = true
+		p.hits++
+	}
+	p.next++
+}
+
+// MultiGet looks up every key, filling vals[i] and found[i] (misses get
+// vals[i] = 0), and returns the number of keys found. Responses complete
+// in issue order, so up to Window requests overlap inside the store's
+// polling sweeps. MultiGet allocates nothing.
+func (p *KVPipeClient) MultiGet(keys []uint64, vals []uint64, found []bool) int {
+	if len(vals) < len(keys) || len(found) < len(keys) {
+		panic("apps: MultiGet output slices shorter than keys")
+	}
+	p.vals, p.found, p.next, p.hits = vals, found, 0, 0
+	for _, k := range keys {
+		if r, ok := p.g.Submit1(p.d.fidGet, k); ok {
+			p.record(r)
+		}
+	}
+	p.g.Flush(p.recordFn)
+	p.vals, p.found = nil, nil
+	return p.hits
 }

@@ -8,7 +8,8 @@ package core
 //
 // Operations complete in issue order; Submit returns the result of the
 // oldest in-flight request once the window is full, so a caller that
-// needs results can treat it as a shallow pipeline.
+// needs results can treat it as a shallow pipeline. The fixed-arity
+// Submit0–Submit3 forms are allocation-free, mirroring Delegate0–3.
 type AsyncGroup struct {
 	clients []*Client
 	// head is the index of the oldest in-flight request; size is the
@@ -17,6 +18,7 @@ type AsyncGroup struct {
 }
 
 // NewAsyncGroup allocates k client slots on s. k is clamped to at least 1.
+// On slot exhaustion no slots are consumed.
 func NewAsyncGroup(s *Server, k int) (*AsyncGroup, error) {
 	if k < 1 {
 		k = 1
@@ -25,6 +27,9 @@ func NewAsyncGroup(s *Server, k int) (*AsyncGroup, error) {
 	for i := range g.clients {
 		c, err := s.NewClient()
 		if err != nil {
+			for _, prev := range g.clients[:i] {
+				prev.Close()
+			}
 			return nil, err
 		}
 		g.clients[i] = c
@@ -38,20 +43,90 @@ func (g *AsyncGroup) Window() int { return len(g.clients) }
 // InFlight returns the number of outstanding requests.
 func (g *AsyncGroup) InFlight() int { return g.size }
 
-// Submit issues fid(args...) asynchronously. If the pipeline was full it
-// first waits for the oldest request and returns (its result, true);
-// otherwise it returns (0, false) without blocking.
-func (g *AsyncGroup) Submit(fid FuncID, args ...uint64) (oldest uint64, completed bool) {
+// Close releases every client slot of the group. All in-flight requests
+// must have been Flushed first.
+func (g *AsyncGroup) Close() {
+	if g.size > 0 {
+		panic("core: AsyncGroup.Close with requests in flight")
+	}
+	for _, c := range g.clients {
+		c.Close()
+	}
+}
+
+// next returns the client channel the following request should issue on,
+// first completing the oldest in-flight request when the window is full.
+func (g *AsyncGroup) next() (c *Client, oldest uint64, completed bool) {
 	if g.size == len(g.clients) {
 		oldest = g.clients[g.head].Wait()
 		g.head = (g.head + 1) % len(g.clients)
 		g.size--
 		completed = true
 	}
-	slot := (g.head + g.size) % len(g.clients)
-	g.clients[slot].Issue(fid, args...)
+	c = g.clients[(g.head+g.size)%len(g.clients)]
+	return c, oldest, completed
+}
+
+// Submit issues fid(args...) asynchronously. If the pipeline was full it
+// first waits for the oldest request and returns (its result, true);
+// otherwise it returns (0, false) without blocking.
+func (g *AsyncGroup) Submit(fid FuncID, args ...uint64) (oldest uint64, completed bool) {
+	c, oldest, completed := g.next()
+	c.Issue(fid, args...)
 	g.size++
 	return oldest, completed
+}
+
+// Submit0 is the allocation-free zero-argument form of Submit.
+func (g *AsyncGroup) Submit0(fid FuncID) (oldest uint64, completed bool) {
+	c, oldest, completed := g.next()
+	c.issueHdr(fid, 0)
+	g.size++
+	return oldest, completed
+}
+
+// Submit1 is the allocation-free one-argument form of Submit.
+func (g *AsyncGroup) Submit1(fid FuncID, a0 uint64) (oldest uint64, completed bool) {
+	c, oldest, completed := g.next()
+	c.req[1] = a0
+	c.issueHdr(fid, 1)
+	g.size++
+	return oldest, completed
+}
+
+// Submit2 is the allocation-free two-argument form of Submit.
+func (g *AsyncGroup) Submit2(fid FuncID, a0, a1 uint64) (oldest uint64, completed bool) {
+	c, oldest, completed := g.next()
+	c.req[1] = a0
+	c.req[2] = a1
+	c.issueHdr(fid, 2)
+	g.size++
+	return oldest, completed
+}
+
+// Submit3 is the allocation-free three-argument form of Submit.
+func (g *AsyncGroup) Submit3(fid FuncID, a0, a1, a2 uint64) (oldest uint64, completed bool) {
+	c, oldest, completed := g.next()
+	c.req[1] = a0
+	c.req[2] = a1
+	c.req[3] = a2
+	c.issueHdr(fid, 3)
+	g.size++
+	return oldest, completed
+}
+
+// TryReap completes the oldest in-flight request without blocking. It
+// reports whether a response was collected.
+func (g *AsyncGroup) TryReap() (ret uint64, ok bool) {
+	if g.size == 0 {
+		return 0, false
+	}
+	ret, ok = g.clients[g.head].TryWait()
+	if ok {
+		g.head = (g.head + 1) % len(g.clients)
+		g.size--
+	}
+	return ret, ok
 }
 
 // Flush waits for every in-flight request, invoking each result on fn (in

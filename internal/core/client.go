@@ -8,8 +8,9 @@ import (
 
 // Client is one delegation channel to a Server: a request slot plus a
 // response-slot view. A Client must be used by at most one goroutine at a
-// time. All requests must be issued while the server is running; stop
-// issuing before calling Server.Stop.
+// time. All requests must be issued while the server is running (parked
+// counts as running; the first Issue wakes it); stop issuing before
+// calling Server.Stop. Close returns the slot for reuse.
 type Client struct {
 	s      *Server
 	slot   int
@@ -24,6 +25,25 @@ type Client struct {
 
 // Slot returns the client's slot index on its server.
 func (c *Client) Slot() int { return c.slot }
+
+// Close releases the client's slot back to its server: the occupancy bit
+// is cleared (so sweeps stop touching the request line) and the slot
+// becomes allocatable by a future NewClient, which adopts its toggle
+// state. Close panics if a request is in flight; a closed client must not
+// be used again. Close is a no-op on an already-closed client.
+func (c *Client) Close() {
+	if c.s == nil {
+		return
+	}
+	if c.pending {
+		panic("core: Close with a request in flight")
+	}
+	s := c.s
+	c.s = nil
+	group := c.slot / s.groupSize
+	s.andOcc(group, ^c.bit)
+	s.freeSlot(c.slot)
+}
 
 // Issue sends an asynchronous request to execute fid with the given
 // arguments. Exactly one Wait must follow before the next Issue. Issue and
@@ -40,13 +60,7 @@ func (c *Client) Issue(fid FuncID, args ...uint64) {
 	for i, a := range args {
 		c.req[1+i] = a
 	}
-	c.toggle ^= 1
-	hdr := uint64(fid)<<hdrFuncShift |
-		uint64(len(args))<<hdrArgcShift |
-		hdrSeededBit | c.toggle
-	// The atomic header store publishes the argument words.
-	atomic.StoreUint64(&c.req[0], hdr)
-	c.pending = true
+	c.issueHdr(fid, len(args))
 }
 
 // TryWait polls for the response to the in-flight request. It reports
@@ -66,8 +80,10 @@ func (c *Client) TryWait() (ret uint64, ok bool) {
 	return *c.respV, true
 }
 
-// Wait blocks (spinning politely) until the in-flight request's response
-// arrives and returns the delegated function's return value.
+// Wait blocks until the in-flight request's response arrives and returns
+// the delegated function's return value. The wait climbs spin.Waiter's
+// spin → yield → sleep ladder, so a response that is many sweeps away (or
+// a server descheduled under load) does not cost a burning core.
 func (c *Client) Wait() uint64 {
 	var w spin.Waiter
 	for {
@@ -85,7 +101,10 @@ func (c *Client) Delegate(fid FuncID, args ...uint64) uint64 {
 	return c.Wait()
 }
 
-// issueHdr publishes a fully prepared request header.
+// issueHdr publishes a fully prepared request header and wakes the server
+// if it parked. The parked check is one atomic load of a line that is
+// read-shared among every client while the server runs hot; the CAS+send
+// in wakeServer happens only on the park slow path.
 func (c *Client) issueHdr(fid FuncID, argc int) {
 	if c.pending {
 		panic("core: Issue called with a request already in flight")
@@ -94,8 +113,15 @@ func (c *Client) issueHdr(fid FuncID, argc int) {
 	hdr := uint64(fid)<<hdrFuncShift |
 		uint64(argc)<<hdrArgcShift |
 		hdrSeededBit | c.toggle
+	// The atomic header store publishes the argument words; it is
+	// sequentially consistent with the server's parked-flag store, so
+	// either the server's post-park sweep sees this header or the load
+	// below sees the flag — never neither.
 	atomic.StoreUint64(&c.req[0], hdr)
 	c.pending = true
+	if c.s.parked.Load() {
+		c.s.wakeServer()
+	}
 }
 
 // Delegate0 is the allocation-free form of Delegate with no arguments —

@@ -25,11 +25,35 @@
 // order. Argument words remain plain stores, ordered by the toggle
 // publication exactly as the paper's design orders them by the final toggle
 // write.
+//
+// # Hot path
+//
+// Two structures keep the polling loop proportional to the number of live
+// clients rather than the number of provisioned slots: a per-group
+// occupancy bitmask (bit set when NewClient hands out the slot, cleared by
+// Client.Close) and an active-group high-water mark. A sweep loads one
+// mask word per active group and walks only its set bits, so a server
+// provisioned for hundreds of clients but serving one touches one request
+// line per pass; trailing all-empty groups are skipped without even
+// loading their mask.
+//
+// # Idle policy
+//
+// An idle server descends a spin → yield → park ladder: empty sweeps
+// first yield the processor (Config.IdleYieldAfter), and after
+// Config.IdleParkAfter consecutive empty sweeps the server parks on a
+// notification word and blocks. Clients check that word after publishing a
+// request header — a single atomic load on an otherwise read-shared line —
+// and the first Issue against a parked server performs the one-time
+// CAS+wake handoff. A Dekker-style re-sweep after setting the parked flag
+// closes the race between a client publishing just before the flag was
+// visible and the server blocking.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,6 +88,12 @@ const (
 	hdrSeededBit = 1 << 4 // distinguishes slot-never-used from toggle 0
 )
 
+// defaultIdleParkAfter is the number of consecutive empty sweeps after
+// which an idle server parks. Large enough that a server under bursty
+// load never parks between bursts, small enough that a genuinely idle
+// server stops consuming its processor within microseconds.
+const defaultIdleParkAfter = 64
+
 // Func is a delegated function: it receives up to MaxArgs argument words
 // and returns one word. It runs on the server goroutine and must not
 // block — exactly the paper's contract ("any non-blocking C function").
@@ -97,6 +127,12 @@ type Config struct {
 	// after which the server yields the processor. Default 1 — at
 	// GOMAXPROCS=1 the server must yield promptly or clients never run.
 	IdleYieldAfter int
+	// IdleParkAfter is the number of consecutive empty polling sweeps
+	// after which the server parks on its notification word and stops
+	// consuming the processor entirely until the next Issue wakes it.
+	// 0 selects the default (64); a negative value disables parking —
+	// the server then spins and yields forever, the pre-park behaviour.
+	IdleParkAfter int
 }
 
 // Stats is a snapshot of server activity counters.
@@ -110,6 +146,17 @@ type Stats struct {
 	// IdleYields is the number of times the server yielded for lack of
 	// work.
 	IdleYields uint64
+	// IdleParks is the number of times the server parked on its
+	// notification word for lack of work.
+	IdleParks uint64
+	// Wakes is the number of times a client (or Stop) woke a parked
+	// server.
+	Wakes uint64
+	// SlotsSkipped is the number of request slots that polling sweeps
+	// passed over without loading their request line, because the
+	// occupancy mask showed them unallocated (including every slot of a
+	// group beyond the active-group high-water mark).
+	SlotsSkipped uint64
 	// Panics is the number of delegated functions that panicked; each
 	// was answered with the all-ones sentinel.
 	Panics uint64
@@ -130,21 +177,50 @@ type Server struct {
 	// then return values.
 	resp []uint64
 
+	// occ[g] is the occupancy bitmask of group g: bit m set iff slot
+	// g*groupSize+m has been handed to a client (and not Closed).
+	// Written with atomic RMWs by NewClient/Close, loaded atomically —
+	// once per group, not per slot — by the server's sweep.
+	occ []uint64
+	// activeGroups is a high-water bound: 1 + the highest group index
+	// that has ever held a client. Sweeps do not look past it. It never
+	// shrinks — a freed slot leaves its group cheap to scan (one mask
+	// load) but still scanned.
+	activeGroups atomic.Int32
+
 	// funcs is the append-only function registry, swapped atomically so
 	// the server reads it without locks.
 	funcs atomic.Pointer[[]Func]
 	regMu sync.Mutex
 
-	nextSlot atomic.Int32
+	// nextSlot is the bump allocator for never-used slots; freeSlots
+	// (under slotMu) holds slots returned by Client.Close for reuse.
+	nextSlot  atomic.Int32
+	slotMu    sync.Mutex
+	freeSlots []int
+
+	// lifeMu serializes Start/Stop so a restart cannot race a concurrent
+	// Stop reading the previous generation's done channel.
+	lifeMu   sync.Mutex
 	running  atomic.Bool
 	stopping padded.Bool
 	done     chan struct{}
 
-	nRequests   padded.Uint64
-	nSweeps     padded.Uint64
-	nBatches    padded.Uint64
-	nIdleYields padded.Uint64
-	nPanics     padded.Uint64
+	// parked is set by the server just before it blocks on wake; a
+	// client that observes it after publishing a request performs the
+	// CAS+send handoff in wakeServer. wake is buffered and allocated
+	// once: the CAS gate admits at most one in-flight token.
+	parked padded.Bool
+	wake   chan struct{}
+
+	nRequests     padded.Uint64
+	nSweeps       padded.Uint64
+	nBatches      padded.Uint64
+	nIdleYields   padded.Uint64
+	nIdleParks    padded.Uint64
+	nWakes        padded.Uint64
+	nSlotsSkipped padded.Uint64
+	nPanics       padded.Uint64
 }
 
 // NewServer returns a stopped server with the given configuration.
@@ -161,14 +237,20 @@ func NewServer(cfg Config) *Server {
 	if cfg.IdleYieldAfter <= 0 {
 		cfg.IdleYieldAfter = 1
 	}
+	if cfg.IdleParkAfter == 0 {
+		cfg.IdleParkAfter = defaultIdleParkAfter
+	}
 	s := &Server{
 		cfg:       cfg,
 		groupSize: gs,
 		nGroups:   nGroups,
 		req:       padded.AlignedUint64s(nGroups * gs * reqWords),
 		resp:      padded.AlignedUint64s(nGroups * respWords),
+		occ:       make([]uint64, nGroups),
 		done:      make(chan struct{}),
+		wake:      make(chan struct{}, 1),
 	}
+	close(s.done) // a never-started server is already "stopped"
 	empty := make([]Func, 0, 16)
 	s.funcs.Store(&empty)
 	return s
@@ -193,24 +275,91 @@ func (s *Server) MaxClients() int { return s.nGroups * s.groupSize }
 // ErrNoSlots is returned by NewClient when every client slot is taken.
 var ErrNoSlots = errors.New("core: all client slots in use")
 
+// allocSlot hands out a free slot index: a Closed slot if one is waiting,
+// else the next never-used one. Exhaustion is non-destructive — a failed
+// allocation consumes nothing, so slots freed later remain allocatable.
+func (s *Server) allocSlot() (int, bool) {
+	s.slotMu.Lock()
+	if n := len(s.freeSlots); n > 0 {
+		slot := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		s.slotMu.Unlock()
+		return slot, true
+	}
+	s.slotMu.Unlock()
+	for {
+		next := s.nextSlot.Load()
+		if int(next) >= s.MaxClients() {
+			return 0, false
+		}
+		if s.nextSlot.CompareAndSwap(next, next+1) {
+			return int(next), true
+		}
+	}
+}
+
+// freeSlot returns a slot to the allocator after its occupancy bit has
+// been cleared.
+func (s *Server) freeSlot(slot int) {
+	s.slotMu.Lock()
+	s.freeSlots = append(s.freeSlots, slot)
+	s.slotMu.Unlock()
+}
+
+// orOcc sets mask bits in occ[group] atomically. (A CAS loop rather than
+// atomic.OrUint64 keeps the module buildable at its declared go version;
+// this is a cold path.)
+func (s *Server) orOcc(group int, mask uint64) {
+	for {
+		old := atomic.LoadUint64(&s.occ[group])
+		if old&mask == mask || atomic.CompareAndSwapUint64(&s.occ[group], old, old|mask) {
+			return
+		}
+	}
+}
+
+// andOcc clears the complement of mask bits in occ[group] atomically.
+func (s *Server) andOcc(group int, mask uint64) {
+	for {
+		old := atomic.LoadUint64(&s.occ[group])
+		if old&^mask == 0 || atomic.CompareAndSwapUint64(&s.occ[group], old, old&mask) {
+			return
+		}
+	}
+}
+
 // NewClient allocates a client channel. Each Client must be used by one
-// goroutine at a time.
+// goroutine at a time. Close the client to return its slot for reuse;
+// exhaustion (ErrNoSlots) does not consume a slot.
 func (s *Server) NewClient() (*Client, error) {
-	slot := int(s.nextSlot.Add(1)) - 1
-	if slot >= s.MaxClients() {
+	slot, ok := s.allocSlot()
+	if !ok {
 		return nil, ErrNoSlots
 	}
 	group := slot / s.groupSize
 	member := slot % s.groupSize
-	return &Client{
+	// A recycled slot's request header still carries its last toggle;
+	// adopting it keeps the channel protocol coherent across owners.
+	toggle := atomic.LoadUint64(&s.req[slot*reqWords]) & hdrToggleBit
+	c := &Client{
 		s:      s,
 		slot:   slot,
 		req:    s.req[slot*reqWords : (slot+1)*reqWords],
 		respT:  &s.resp[group*respWords],
 		respV:  &s.resp[group*respWords+1+member],
 		bit:    uint64(1) << uint(member),
-		toggle: 0,
-	}, nil
+		toggle: toggle,
+	}
+	// Publish occupancy last: once the bit is visible the server will
+	// poll this slot's request line.
+	s.orOcc(group, c.bit)
+	for {
+		ag := s.activeGroups.Load()
+		if int(ag) > group || s.activeGroups.CompareAndSwap(ag, int32(group+1)) {
+			break
+		}
+	}
+	return c, nil
 }
 
 // MustNewClient is NewClient but panics when slots are exhausted.
@@ -223,42 +372,69 @@ func (s *Server) MustNewClient() *Client {
 }
 
 // Start launches the server goroutine. It returns an error if the server
-// is already running.
+// is already running. Start after Stop is safe, from any goroutine.
 func (s *Server) Start() error {
-	if !s.running.CompareAndSwap(false, true) {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.running.Load() {
 		return fmt.Errorf("core: server already running")
 	}
 	s.stopping.Store(false)
 	s.done = make(chan struct{})
+	s.running.Store(true)
 	go s.run()
 	return nil
 }
 
 // Stop halts the server after the current sweep and waits for it to exit.
 // Outstanding requests issued before Stop are still served. Stop is
-// idempotent on a stopped server.
+// idempotent on a stopped server and may race a concurrent Start; the two
+// serialize.
 func (s *Server) Stop() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	if !s.running.Load() {
 		return
 	}
 	s.stopping.Store(true)
+	s.wakeServer() // a parked server must notice stopping
 	<-s.done
 	s.running.Store(false)
+}
+
+// wakeServer performs the park/wake handoff: whoever transitions parked
+// from true to false owns the token send. The send is non-blocking: it
+// can only find the buffer full when a stale token from an earlier
+// retracted park is still queued, and that token wakes the server just as
+// well.
+func (s *Server) wakeServer() {
+	if s.parked.CompareAndSwap(true, false) {
+		s.nWakes.Add(1)
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Stats returns a snapshot of the server's activity counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:   s.nRequests.Load(),
-		Sweeps:     s.nSweeps.Load(),
-		Batches:    s.nBatches.Load(),
-		IdleYields: s.nIdleYields.Load(),
-		Panics:     s.nPanics.Load(),
+		Requests:     s.nRequests.Load(),
+		Sweeps:       s.nSweeps.Load(),
+		Batches:      s.nBatches.Load(),
+		IdleYields:   s.nIdleYields.Load(),
+		IdleParks:    s.nIdleParks.Load(),
+		Wakes:        s.nWakes.Load(),
+		SlotsSkipped: s.nSlotsSkipped.Load(),
+		Panics:       s.nPanics.Load(),
 	}
 }
 
 // run is the server loop: poll every request slot group by group, execute
-// new requests, buffer return values, flush per group.
+// new requests, buffer return values, flush per group. Empty sweeps climb
+// the idle ladder: yield every IdleYieldAfter sweeps, park (block on the
+// notification word) after IdleParkAfter.
 func (s *Server) run() {
 	defer close(s.done)
 
@@ -270,6 +446,8 @@ func (s *Server) run() {
 	// which the Func contract states.
 	var args [MaxArgs]uint64
 	idleSweeps := 0
+	parkAfter := s.cfg.IdleParkAfter
+	yieldAfter := s.cfg.IdleYieldAfter
 	// served toggle state per group is the response toggle word itself;
 	// the server is its only writer, so it may read it plainly.
 	for {
@@ -278,17 +456,50 @@ func (s *Server) run() {
 			s.sweep(gs, &retBuf, &args)
 			return
 		}
-		if served := s.sweep(gs, &retBuf, &args); served == 0 {
-			idleSweeps++
-			if idleSweeps >= s.cfg.IdleYieldAfter {
-				s.nIdleYields.Add(1)
-				runtime.Gosched()
-				idleSweeps = 0
-			}
-		} else {
+		if served := s.sweep(gs, &retBuf, &args); served > 0 {
 			idleSweeps = 0
+			continue
+		}
+		idleSweeps++
+		if parkAfter > 0 && idleSweeps >= parkAfter {
+			s.park(gs, &retBuf, &args)
+			idleSweeps = 0
+			continue
+		}
+		if idleSweeps%yieldAfter == 0 {
+			s.nIdleYields.Add(1)
+			runtime.Gosched()
 		}
 	}
+}
+
+// park blocks the server on its notification word until the next Issue
+// (or Stop) wakes it. The re-sweep after publishing the parked flag is
+// the Dekker-style race closer: a client that issued before observing the
+// flag is caught here; one that issues afterwards sees the flag and
+// performs the wake.
+func (s *Server) park(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) {
+	s.parked.Store(true)
+	if s.sweep(gs, retBuf, args) > 0 || s.stopping.Load() {
+		// Work (or shutdown) arrived while the flag went up; retract
+		// it. If a waker already CAS'd the flag down, consume its
+		// token so a later park does not wake spuriously (a missed
+		// drain here is harmless — it only causes one extra ladder
+		// climb).
+		if !s.parked.CompareAndSwap(true, false) {
+			select {
+			case <-s.wake:
+			default:
+			}
+		}
+		return
+	}
+	s.nIdleParks.Add(1)
+	<-s.wake
+	// Normally the waker's CAS already lowered the flag; a stale token
+	// from a retracted park wakes us with it still raised. Lower it
+	// unconditionally — the server is the only goroutine that raises it.
+	s.parked.Store(false)
 }
 
 // call executes one delegated function, converting a panic into the
@@ -305,58 +516,75 @@ func (s *Server) call(f Func, args *[MaxArgs]uint64) (ret uint64) {
 }
 
 // sweep performs one full polling pass and returns the number of requests
-// served.
+// served. It touches only the request lines of occupied slots: one
+// atomic occupancy-mask load per active group replaces the per-slot
+// header loads for empty slots, and groups past the active high-water
+// mark are skipped without any load at all.
 func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) int {
 	funcs := *s.funcs.Load()
+	useLock := s.cfg.ServerLock != nil
+	writeThrough := s.cfg.WriteThrough
 	served := 0
-	for g := 0; g < s.nGroups; g++ {
+	active := int(s.activeGroups.Load())
+	// Trailing groups beyond the high-water mark are skipped wholesale,
+	// without even loading their occupancy word.
+	skipped := (s.nGroups - active) * gs
+	for g := 0; g < active; g++ {
+		occ := atomic.LoadUint64(&s.occ[g])
+		if occ == 0 {
+			skipped += gs
+			continue
+		}
+		skipped += gs - bits.OnesCount64(occ)
 		respBase := g * respWords
+		reqBase := g * gs * reqWords
 		toggles := s.resp[respBase] // our own last store; plain read OK
 		groupServed := uint64(0)
-		for m := 0; m < gs; m++ {
-			slot := g*gs + m
-			hdrAddr := &s.req[slot*reqWords]
-			hdr := atomic.LoadUint64(hdrAddr)
-			if hdr&hdrSeededBit == 0 {
-				continue // slot never used
+		for rest := occ; rest != 0; rest &= rest - 1 {
+			m := bits.TrailingZeros64(rest)
+			base := reqBase + m*reqWords
+			hdr := atomic.LoadUint64(&s.req[base])
+			if (hdr^(toggles>>uint(m)))&hdrToggleBit == 0 {
+				continue // no new request (or slot never seeded)
 			}
-			reqToggle := hdr & hdrToggleBit
-			bit := uint64(1) << uint(m)
-			srvToggle := uint64(0)
-			if toggles&bit != 0 {
-				srvToggle = 1
-			}
-			if reqToggle == srvToggle {
-				continue // no new request
-			}
-			// New request: decode and execute.
+			// New request: decode and execute. aw aliases the
+			// argument words; reading them plainly is ordered by the
+			// acquiring header load above.
+			aw := s.req[base+1 : base+1+MaxArgs : base+1+MaxArgs]
 			argc := int(hdr&hdrArgcMask) >> hdrArgcShift
-			base := slot * reqWords
-			for a := 0; a < argc; a++ {
-				args[a] = s.req[base+1+a]
-			}
-			// Zero the tail so a function reading beyond argc sees
-			// zeroes, not a previous request's arguments.
-			for a := argc; a < MaxArgs; a++ {
-				args[a] = 0
+			if argc == MaxArgs {
+				// Full-arity fast path: copy the whole line, no
+				// tail zeroing.
+				args[0], args[1], args[2] = aw[0], aw[1], aw[2]
+				args[3], args[4], args[5] = aw[3], aw[4], aw[5]
+			} else {
+				for a := 0; a < argc; a++ {
+					args[a] = aw[a]
+				}
+				// Zero the tail so a function reading beyond argc
+				// sees zeroes, not a previous request's arguments.
+				for a := argc; a < MaxArgs; a++ {
+					args[a] = 0
+				}
 			}
 			fid := hdr >> hdrFuncShift
 			var ret uint64
 			if int(fid) < len(funcs) {
-				if s.cfg.ServerLock != nil {
+				if useLock {
 					s.cfg.ServerLock.Lock()
 				}
 				ret = s.call(funcs[fid], args)
-				if s.cfg.ServerLock != nil {
+				if useLock {
 					s.cfg.ServerLock.Unlock()
 				}
 			} else {
 				ret = ^uint64(0) // unknown function: all-ones sentinel
 			}
+			bit := uint64(1) << uint(m)
 			retBuf[m] = ret
 			groupServed |= bit
 			served++
-			if s.cfg.WriteThrough {
+			if writeThrough {
 				// Ablation: flush this response immediately.
 				s.resp[respBase+1+m] = ret
 				newToggles := toggles ^ bit
@@ -382,6 +610,9 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 	s.nSweeps.Add(1)
 	if served > 0 {
 		s.nRequests.Add(uint64(served))
+	}
+	if skipped > 0 {
+		s.nSlotsSkipped.Add(uint64(skipped))
 	}
 	return served
 }

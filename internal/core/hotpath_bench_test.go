@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+// BenchmarkCoreSweepSparse measures the cost of a delegation round trip on
+// a server whose slot space is mostly empty: one active client out of 60
+// slots (4 groups of 15). Before occupancy-tracked sweeps every polling
+// pass paid an atomic load for all 60 request headers; with occupancy
+// masks a sweep touches one group word per group plus the single seeded
+// slot, so the round trip gets cheaper as the slot space grows.
+func BenchmarkCoreSweepSparse(b *testing.B) {
+	for _, maxClients := range []int{15, 60, 240} {
+		b.Run(map[int]string{15: "slots=15", 60: "slots=60", 240: "slots=240"}[maxClients], func(b *testing.B) {
+			s := startServer(b, Config{MaxClients: maxClients})
+			fid := s.Register(func(*[MaxArgs]uint64) uint64 { return 0 })
+			c := s.MustNewClient()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Delegate0(fid)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreDelegateArgs measures the fixed-arity delegation forms,
+// including the full-arity variadic path (which skips arg-tail zeroing on
+// the server).
+func BenchmarkCoreDelegateArgs(b *testing.B) {
+	s := startServer(b, Config{})
+	fid := s.Register(func(a *[MaxArgs]uint64) uint64 { return a[0] + a[5] })
+	c := s.MustNewClient()
+	b.Run("arity0", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Delegate0(fid)
+		}
+	})
+	b.Run("arity3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Delegate3(fid, 1, 2, 3)
+		}
+	})
+	b.Run("arity6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Delegate(fid, 1, 2, 3, 4, 5, 6)
+		}
+	})
+}

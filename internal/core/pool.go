@@ -70,18 +70,36 @@ func (p *Pool) StopAll() {
 }
 
 // PoolClient bundles one Client per server so a goroutine can delegate to
-// any shard.
+// any shard. Beyond the synchronous key-routed Delegate family it offers a
+// pipelined mode — IssueTo/IssueTo0–3 plus Flush — that keeps one request
+// in flight per shard, so a goroutine touching k different shards overlaps
+// k round trips (the FFWDx2 idea generalised across a sharded pool; see
+// Pool.NewPipeline for depth beyond one per shard).
 type PoolClient struct {
 	p       *Pool
 	clients []*Client
+	// inFlight counts shards with an outstanding IssueTo; depthHist[d]
+	// counts issues observed with d requests in flight (after the
+	// issue), quantifying how much pipelining a workload achieves.
+	inFlight  int
+	depthHist []uint64
 }
 
-// NewClient allocates one client slot on every server of the pool.
+// NewClient allocates one client slot on every server of the pool. On
+// partial failure every slot already allocated is released — a failed
+// NewClient consumes nothing.
 func (p *Pool) NewClient() (*PoolClient, error) {
-	pc := &PoolClient{p: p, clients: make([]*Client, len(p.servers))}
+	pc := &PoolClient{
+		p:         p,
+		clients:   make([]*Client, len(p.servers)),
+		depthHist: make([]uint64, len(p.servers)+1),
+	}
 	for i, s := range p.servers {
 		c, err := s.NewClient()
 		if err != nil {
+			for _, prev := range pc.clients[:i] {
+				prev.Close()
+			}
 			return nil, err
 		}
 		pc.clients[i] = c
@@ -98,11 +116,259 @@ func (p *Pool) MustNewClient() *PoolClient {
 	return pc
 }
 
+// Close releases every per-shard client slot. All pipelined requests must
+// have been Flushed first.
+func (pc *PoolClient) Close() {
+	for _, c := range pc.clients {
+		c.Close()
+	}
+}
+
 // Delegate routes fid(args...) to the server owning key's shard.
 func (pc *PoolClient) Delegate(key uint64, fid FuncID, args ...uint64) uint64 {
 	return pc.clients[pc.p.ShardOf(key)].Delegate(fid, args...)
 }
 
+// Delegate0 is the allocation-free zero-argument key-routed delegate.
+func (pc *PoolClient) Delegate0(key uint64, fid FuncID) uint64 {
+	return pc.clients[pc.p.ShardOf(key)].Delegate0(fid)
+}
+
+// Delegate1 is the allocation-free one-argument key-routed delegate.
+func (pc *PoolClient) Delegate1(key uint64, fid FuncID, a0 uint64) uint64 {
+	return pc.clients[pc.p.ShardOf(key)].Delegate1(fid, a0)
+}
+
+// Delegate2 is the allocation-free two-argument key-routed delegate.
+func (pc *PoolClient) Delegate2(key uint64, fid FuncID, a0, a1 uint64) uint64 {
+	return pc.clients[pc.p.ShardOf(key)].Delegate2(fid, a0, a1)
+}
+
+// Delegate3 is the allocation-free three-argument key-routed delegate.
+func (pc *PoolClient) Delegate3(key uint64, fid FuncID, a0, a1, a2 uint64) uint64 {
+	return pc.clients[pc.p.ShardOf(key)].Delegate3(fid, a0, a1, a2)
+}
+
 // Client returns the underlying client for shard i, for callers that
 // route by something other than key modulus.
 func (pc *PoolClient) Client(i int) *Client { return pc.clients[i] }
+
+// InFlight returns the number of shards with an outstanding pipelined
+// request.
+func (pc *PoolClient) InFlight() int { return pc.inFlight }
+
+// DepthHist returns the pipeline depth histogram: DepthHist()[d] is the
+// number of IssueTo calls that left d requests in flight. Indices above 1
+// measure genuine cross-shard overlap.
+func (pc *PoolClient) DepthHist() []uint64 { return pc.depthHist }
+
+// reap completes shard's outstanding request, if any.
+func (pc *PoolClient) reap(shard int) (ret uint64, completed bool) {
+	c := pc.clients[shard]
+	if !c.pending {
+		return 0, false
+	}
+	ret = c.Wait()
+	pc.inFlight--
+	return ret, true
+}
+
+// noteIssued records a pipelined issue in the depth accounting.
+func (pc *PoolClient) noteIssued() {
+	pc.inFlight++
+	pc.depthHist[pc.inFlight]++
+}
+
+// IssueTo issues fid(args...) on shard without waiting for the response.
+// If that shard already had a request in flight, IssueTo first completes
+// it and returns (its result, true). Requests to different shards proceed
+// in parallel on their servers; collect stragglers with Flush.
+func (pc *PoolClient) IssueTo(shard int, fid FuncID, args ...uint64) (prev uint64, completed bool) {
+	prev, completed = pc.reap(shard)
+	pc.clients[shard].Issue(fid, args...)
+	pc.noteIssued()
+	return prev, completed
+}
+
+// IssueTo0 is the allocation-free zero-argument form of IssueTo.
+func (pc *PoolClient) IssueTo0(shard int, fid FuncID) (prev uint64, completed bool) {
+	prev, completed = pc.reap(shard)
+	pc.clients[shard].issueHdr(fid, 0)
+	pc.noteIssued()
+	return prev, completed
+}
+
+// IssueTo1 is the allocation-free one-argument form of IssueTo.
+func (pc *PoolClient) IssueTo1(shard int, fid FuncID, a0 uint64) (prev uint64, completed bool) {
+	prev, completed = pc.reap(shard)
+	c := pc.clients[shard]
+	c.req[1] = a0
+	c.issueHdr(fid, 1)
+	pc.noteIssued()
+	return prev, completed
+}
+
+// IssueTo2 is the allocation-free two-argument form of IssueTo.
+func (pc *PoolClient) IssueTo2(shard int, fid FuncID, a0, a1 uint64) (prev uint64, completed bool) {
+	prev, completed = pc.reap(shard)
+	c := pc.clients[shard]
+	c.req[1] = a0
+	c.req[2] = a1
+	c.issueHdr(fid, 2)
+	pc.noteIssued()
+	return prev, completed
+}
+
+// IssueTo3 is the allocation-free three-argument form of IssueTo.
+func (pc *PoolClient) IssueTo3(shard int, fid FuncID, a0, a1, a2 uint64) (prev uint64, completed bool) {
+	prev, completed = pc.reap(shard)
+	c := pc.clients[shard]
+	c.req[1] = a0
+	c.req[2] = a1
+	c.req[3] = a2
+	c.issueHdr(fid, 3)
+	pc.noteIssued()
+	return prev, completed
+}
+
+// WaitShard completes shard's outstanding pipelined request, if any,
+// reporting whether there was one.
+func (pc *PoolClient) WaitShard(shard int) (ret uint64, completed bool) {
+	return pc.reap(shard)
+}
+
+// Flush completes every outstanding pipelined request, invoking fn (if
+// non-nil) with each shard index and result, in shard order.
+func (pc *PoolClient) Flush(fn func(shard int, ret uint64)) {
+	for i := range pc.clients {
+		if ret, ok := pc.reap(i); ok && fn != nil {
+			fn(i, ret)
+		}
+	}
+}
+
+// PoolPipeline deepens PoolClient's pipelining: one AsyncGroup of window
+// k per server, so up to k requests per shard — k × Pool.Size() in total —
+// stay in flight from a single goroutine. Within a shard, responses
+// complete in issue order (the AsyncGroup guarantee); across shards,
+// completion order is unspecified.
+type PoolPipeline struct {
+	p      *Pool
+	groups []*AsyncGroup
+	// inFlight counts outstanding requests across all shards;
+	// depthHist[d] counts issues that left d requests in flight.
+	inFlight  int
+	depthHist []uint64
+}
+
+// NewPipeline allocates an AsyncGroup of window k on every server. On
+// partial failure every slot already allocated is released.
+func (p *Pool) NewPipeline(k int) (*PoolPipeline, error) {
+	if k < 1 {
+		k = 1
+	}
+	pl := &PoolPipeline{
+		p:         p,
+		groups:    make([]*AsyncGroup, len(p.servers)),
+		depthHist: make([]uint64, k*len(p.servers)+1),
+	}
+	for i, s := range p.servers {
+		g, err := NewAsyncGroup(s, k)
+		if err != nil {
+			for _, prev := range pl.groups[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		pl.groups[i] = g
+	}
+	return pl, nil
+}
+
+// Window returns the per-shard pipeline depth k.
+func (pl *PoolPipeline) Window() int { return pl.groups[0].Window() }
+
+// InFlight returns the number of outstanding requests across all shards.
+func (pl *PoolPipeline) InFlight() int { return pl.inFlight }
+
+// DepthHist returns the pipeline depth histogram: DepthHist()[d] is the
+// number of issues that left d requests in flight across all shards.
+func (pl *PoolPipeline) DepthHist() []uint64 { return pl.depthHist }
+
+// Close releases every slot of every shard's group. Flush first.
+func (pl *PoolPipeline) Close() {
+	for _, g := range pl.groups {
+		g.Close()
+	}
+}
+
+// note updates the depth accounting around an issue: completed reports
+// whether the issue displaced (and completed) the shard's oldest request.
+func (pl *PoolPipeline) note(completed bool) {
+	if completed {
+		pl.inFlight--
+	}
+	pl.inFlight++
+	pl.depthHist[pl.inFlight]++
+}
+
+// IssueTo issues fid(args...) on shard. If that shard's window was full,
+// the oldest request is completed first and returned as (prev, true).
+func (pl *PoolPipeline) IssueTo(shard int, fid FuncID, args ...uint64) (prev uint64, completed bool) {
+	prev, completed = pl.groups[shard].Submit(fid, args...)
+	pl.note(completed)
+	return prev, completed
+}
+
+// IssueTo0 is the allocation-free zero-argument form of IssueTo.
+func (pl *PoolPipeline) IssueTo0(shard int, fid FuncID) (prev uint64, completed bool) {
+	prev, completed = pl.groups[shard].Submit0(fid)
+	pl.note(completed)
+	return prev, completed
+}
+
+// IssueTo1 is the allocation-free one-argument form of IssueTo.
+func (pl *PoolPipeline) IssueTo1(shard int, fid FuncID, a0 uint64) (prev uint64, completed bool) {
+	prev, completed = pl.groups[shard].Submit1(fid, a0)
+	pl.note(completed)
+	return prev, completed
+}
+
+// IssueTo2 is the allocation-free two-argument form of IssueTo.
+func (pl *PoolPipeline) IssueTo2(shard int, fid FuncID, a0, a1 uint64) (prev uint64, completed bool) {
+	prev, completed = pl.groups[shard].Submit2(fid, a0, a1)
+	pl.note(completed)
+	return prev, completed
+}
+
+// IssueTo3 is the allocation-free three-argument form of IssueTo.
+func (pl *PoolPipeline) IssueTo3(shard int, fid FuncID, a0, a1, a2 uint64) (prev uint64, completed bool) {
+	prev, completed = pl.groups[shard].Submit3(fid, a0, a1, a2)
+	pl.note(completed)
+	return prev, completed
+}
+
+// FlushShard completes every in-flight request on shard, invoking fn (in
+// issue order) if non-nil.
+func (pl *PoolPipeline) FlushShard(shard int, fn func(uint64)) {
+	g := pl.groups[shard]
+	n := g.InFlight()
+	g.Flush(fn)
+	pl.inFlight -= n
+}
+
+// Flush completes every in-flight request on every shard, invoking fn (if
+// non-nil) with each shard index and result — issue order within a shard,
+// shard order across shards.
+func (pl *PoolPipeline) Flush(fn func(shard int, ret uint64)) {
+	for i, g := range pl.groups {
+		n := g.InFlight()
+		if fn == nil {
+			g.Flush(nil)
+		} else {
+			i := i
+			g.Flush(func(r uint64) { fn(i, r) })
+		}
+		pl.inFlight -= n
+	}
+}

@@ -1,0 +1,143 @@
+package delegated
+
+import (
+	"testing"
+
+	"ffwd/internal/ds"
+)
+
+func newPipeSet(t *testing.T, shards, slots, depth int) (*ShardedSet, *ShardedPipeClient) {
+	t.Helper()
+	s := NewShardedSet(shards, slots, func() ds.Set { return ds.NewSkipList() })
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	c, err := s.NewPipelinedClient(depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func TestShardedPipeBatchMatchesSingles(t *testing.T) {
+	s, pipe := newPipeSet(t, 4, 8, 2)
+	single := s.MustNewClient()
+
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = uint64(i * 37)
+	}
+	out := make([]bool, len(keys))
+
+	if n := pipe.InsertBatch(keys, out); n != len(keys) {
+		t.Fatalf("InsertBatch inserted %d, want %d", n, len(keys))
+	}
+	for i, ok := range out {
+		if !ok {
+			t.Fatalf("key %d not reported newly inserted", keys[i])
+		}
+	}
+	// Re-inserting must report zero new keys.
+	if n := pipe.InsertBatch(keys, out); n != 0 {
+		t.Fatalf("second InsertBatch inserted %d, want 0", n)
+	}
+	if n := pipe.ContainsBatch(keys, out); n != len(keys) {
+		t.Fatalf("ContainsBatch found %d, want %d", n, len(keys))
+	}
+	// The plain client must agree key by key.
+	for _, k := range keys {
+		if !single.Contains(k) {
+			t.Fatalf("single client cannot see key %d inserted by batch", k)
+		}
+	}
+	// Remove the even-indexed keys through the batch path.
+	evens := keys[:0:0]
+	for i, k := range keys {
+		if i%2 == 0 {
+			evens = append(evens, k)
+		}
+	}
+	if n := pipe.RemoveBatch(evens, out[:len(evens)]); n != len(evens) {
+		t.Fatalf("RemoveBatch removed %d, want %d", n, len(evens))
+	}
+	for i, k := range keys {
+		if got, want := single.Contains(k), i%2 == 1; got != want {
+			t.Fatalf("Contains(%d) = %v after batch removal, want %v", k, got, want)
+		}
+	}
+}
+
+func TestShardedPipeOverlapsShards(t *testing.T) {
+	_, pipe := newPipeSet(t, 4, 8, 2)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	out := make([]bool, len(keys))
+	pipe.InsertBatch(keys, out)
+	hist := pipe.DepthHist()
+	deep := uint64(0)
+	for d := 2; d < len(hist); d++ {
+		deep += hist[d]
+	}
+	if deep == 0 {
+		t.Fatalf("batch never had more than one request in flight: %v", hist)
+	}
+}
+
+func TestShardedPipeBatchAllocationFree(t *testing.T) {
+	_, pipe := newPipeSet(t, 2, 4, 2)
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	out := make([]bool, len(keys))
+	pipe.InsertBatch(keys, out)
+	allocs := testing.AllocsPerRun(100, func() { pipe.ContainsBatch(keys, out) })
+	if allocs > 0 {
+		t.Fatalf("ContainsBatch allocates %.2f objects per batch, want 0", allocs)
+	}
+}
+
+func BenchmarkShardedBatchVsSingle(b *testing.B) {
+	const shards, nKeys = 4, 64
+	mk := func() (*ShardedSet, []uint64, []bool) {
+		s := NewShardedSet(shards, 8, func() ds.Set { return ds.NewSkipList() })
+		if err := s.Start(); err != nil {
+			b.Fatal(err)
+		}
+		keys := make([]uint64, nKeys)
+		for i := range keys {
+			keys[i] = uint64(i * 13)
+		}
+		return s, keys, make([]bool, nKeys)
+	}
+	b.Run("single", func(b *testing.B) {
+		s, keys, _ := mk()
+		defer s.Stop()
+		c := s.MustNewClient()
+		for _, k := range keys {
+			c.Insert(k)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				c.Contains(k)
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		s, keys, out := mk()
+		defer s.Stop()
+		c, err := s.NewPipelinedClient(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs := s.MustNewClient()
+		for _, k := range keys {
+			cs.Insert(k)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.ContainsBatch(keys, out)
+		}
+	})
+}

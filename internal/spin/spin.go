@@ -4,38 +4,84 @@
 // instruction. Go exposes no PAUSE intrinsic and may multiplex many
 // goroutines onto few OS threads (in this environment, exactly one), so a
 // correct spin loop must eventually yield to the scheduler or the writer it
-// is waiting for may never run. Waiter spins a short bounded loop and then
-// calls runtime.Gosched, which approximates spin-then-yield waiting and is
-// live at GOMAXPROCS=1.
+// is waiting for may never run. Waiter implements a three-rung
+// spin → yield → sleep ladder: a short busy spin for responses that are
+// already in flight, scheduler yields for responses a sweep or two away,
+// and finally exponentially backed-off sleeps so a waiter whose peer is
+// genuinely slow (or parked) stops consuming its processor. The ladder is
+// live at GOMAXPROCS=1 and burns no core when the awaited event is far off.
 package spin
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // defaultSpins is the number of busy iterations before the first yield.
 // Chosen small: at GOMAXPROCS=1 every spin iteration beyond the first few
 // is wasted work.
 const defaultSpins = 32
 
-// Waiter is a bounded spin-then-yield helper. The zero value is ready to
-// use. It is not safe for concurrent use; each waiting goroutine owns one.
+// defaultYields is the number of scheduler yields before the waiter starts
+// sleeping. Yields are cheap but still burn the processor; once the
+// awaited event has not arrived after this many yields it is not
+// imminent, and sleeping is kinder to the rest of the machine.
+const defaultYields = 64
+
+// Sleep back-off bounds: the first sleep is sleepMin, each subsequent wait
+// doubles it up to sleepMax. The cap keeps worst-case added latency small
+// while still dropping CPU usage to ~0 for long waits.
+const (
+	sleepMin = 10 * time.Microsecond
+	sleepMax = time.Millisecond
+)
+
+// Waiter is a bounded spin-then-yield-then-sleep helper. The zero value is
+// ready to use. It is not safe for concurrent use; each waiting goroutine
+// owns one.
 type Waiter struct {
-	n int
+	spins  int
+	yields int
+	sleep  time.Duration
 }
 
-// Wait performs one waiting step: a busy spin while under the bound, a
-// scheduler yield afterwards.
+// Wait performs one waiting step: a busy spin while under the spin bound,
+// a scheduler yield while under the yield bound, and an exponentially
+// backed-off sleep afterwards.
 func (w *Waiter) Wait() {
-	if w.n < defaultSpins {
-		w.n++
+	if w.spins < defaultSpins {
+		w.spins++
 		pause()
 		return
 	}
-	runtime.Gosched()
+	if w.yields < defaultYields {
+		w.yields++
+		runtime.Gosched()
+		return
+	}
+	d := w.sleep
+	if d <= 0 {
+		d = sleepMin
+	}
+	time.Sleep(d)
+	d *= 2
+	if d > sleepMax {
+		d = sleepMax
+	}
+	w.sleep = d
 }
 
-// Reset restarts the bounded spin phase. Call after the awaited condition
-// was observed so the next wait starts cheap again.
-func (w *Waiter) Reset() { w.n = 0 }
+// Yielded reports whether the waiter has exhausted its busy-spin phase,
+// i.e. at least one Wait call reached the yield or sleep rung.
+func (w *Waiter) Yielded() bool { return w.spins >= defaultSpins }
+
+// Sleeping reports whether the waiter has reached the sleep rung of the
+// ladder.
+func (w *Waiter) Sleeping() bool { return w.yields >= defaultYields }
+
+// Reset restarts the ladder from the busy-spin rung. Call after the
+// awaited condition was observed so the next wait starts cheap again.
+func (w *Waiter) Reset() { *w = Waiter{} }
 
 //go:noinline
 func pause() {

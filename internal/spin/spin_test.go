@@ -3,6 +3,7 @@ package spin
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWaiterMakesProgressAtGOMAXPROCS1(t *testing.T) {
@@ -18,12 +19,67 @@ func TestWaiterMakesProgressAtGOMAXPROCS1(t *testing.T) {
 
 func TestWaiterReset(t *testing.T) {
 	var w Waiter
-	for i := 0; i < 100; i++ {
+	for i := 0; i < 200; i++ {
 		w.Wait()
 	}
+	if !w.Yielded() || !w.Sleeping() {
+		t.Fatalf("after 200 waits: Yielded=%v Sleeping=%v, want both true", w.Yielded(), w.Sleeping())
+	}
 	w.Reset()
-	if w.n != 0 {
-		t.Fatalf("Reset did not clear spin count: %d", w.n)
+	if w.spins != 0 || w.yields != 0 || w.sleep != 0 {
+		t.Fatalf("Reset did not clear the ladder: %+v", w)
+	}
+	if w.Yielded() || w.Sleeping() {
+		t.Fatal("Reset left the waiter past the spin rung")
+	}
+}
+
+func TestWaiterLadderOrder(t *testing.T) {
+	var w Waiter
+	for i := 0; i < defaultSpins; i++ {
+		if w.Yielded() {
+			t.Fatalf("Yielded true after only %d waits", i)
+		}
+		w.Wait()
+	}
+	if !w.Yielded() {
+		t.Fatal("spin phase did not end after defaultSpins waits")
+	}
+	for i := 0; i < defaultYields; i++ {
+		if w.Sleeping() {
+			t.Fatalf("Sleeping true after only %d yields", i)
+		}
+		w.Wait()
+	}
+	if !w.Sleeping() {
+		t.Fatal("yield phase did not end after defaultYields waits")
+	}
+}
+
+func TestWaiterSleepBacksOffAndCaps(t *testing.T) {
+	var w Waiter
+	// Burn through the spin and yield rungs.
+	for i := 0; i < defaultSpins+defaultYields; i++ {
+		w.Wait()
+	}
+	start := time.Now()
+	w.Wait() // first sleep: sleepMin
+	if elapsed := time.Since(start); elapsed < sleepMin {
+		t.Fatalf("first sleep lasted %v, want >= %v", elapsed, sleepMin)
+	}
+	// The stored back-off must double and then saturate at sleepMax.
+	for i := 0; i < 20; i++ {
+		if w.sleep > sleepMax {
+			t.Fatalf("back-off %v exceeds cap %v", w.sleep, sleepMax)
+		}
+		prev := w.sleep
+		w.Wait()
+		if w.sleep < prev {
+			t.Fatalf("back-off shrank from %v to %v", prev, w.sleep)
+		}
+	}
+	if w.sleep != sleepMax {
+		t.Fatalf("back-off settled at %v, want cap %v", w.sleep, sleepMax)
 	}
 }
 
