@@ -1,8 +1,9 @@
 # Development targets for the ffwd reproduction.
 
 GO ?= go
+CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench check figures ablations coverage clean
+.PHONY: all build vet test race bench check chaos figures ablations coverage clean
 
 all: build vet test
 
@@ -26,6 +27,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos runs: the fault-injection suite (delayed sweeps, dropped wakes,
+# panicking calls, server kills) under the race detector, deterministic
+# from CHAOS_SEED (e.g. `make chaos CHAOS_SEED=7`).
+chaos:
+	FFWD_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run Chaos -v ./internal/core/ ./internal/fault/
 
 # One testing.B benchmark per paper table/figure plus native benches.
 bench:

@@ -19,10 +19,18 @@
 // parks instead of spinning, so an idle ffwdserve burns no core; the first
 // request after an idle period wakes it. Tune with -idle-park-after.
 //
+// The ffwd backend runs under a core.Supervisor, which restarts the
+// delegation server if it ever crashes. SIGINT/SIGTERM shut down
+// gracefully: accepting stops, in-flight connections drain (bounded by
+// -drain-timeout), and the delegation server's final stats are logged.
+// -chaos-seed injects a deterministic fault mix (see internal/fault) for
+// resilience testing against a live server.
+//
 // Usage:
 //
 //	ffwdserve -addr :11211 -capacity 65536 -backend ffwd
 //	ffwdserve -backend mutex     # global-lock baseline, for comparison
+//	ffwdserve -chaos-seed 7      # fault-injected resilience run
 package main
 
 import (
@@ -31,12 +39,17 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"ffwd/internal/apps"
 	"ffwd/internal/core"
+	"ffwd/internal/fault"
 )
 
 // mgetMax bounds the number of keys per mget so one command line cannot
@@ -102,21 +115,33 @@ func main() {
 		clients   = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend)")
 		pipeDepth = flag.Int("pipeline", 8, "pipelined requests in flight per mget (ffwd backend)")
 		parkAfter = flag.Int("idle-park-after", 0, "empty sweeps before the idle server parks (0 = default, negative = never park)")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "inject a seed-derived fault mix into the delegation server (0 = off; ffwd backend)")
+		drainWait = flag.Duration("drain-timeout", 2*time.Second, "grace period for in-flight connections on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	var b backend
+	var (
+		b  backend
+		d  *apps.DelegatedKV
+		sv *core.Supervisor
+	)
 	switch *kind {
 	case "ffwd":
 		if *pipeDepth < 1 {
 			*pipeDepth = 1
 		}
-		// Each pooled handle owns 1 synchronous slot + pipeDepth
-		// pipelined slots.
-		d := apps.NewDelegatedKVConfig(*capacity, core.Config{
+		cfg := core.Config{
+			// Each pooled handle owns 1 synchronous slot + pipeDepth
+			// pipelined slots.
 			MaxClients:    *clients * (1 + *pipeDepth),
 			IdleParkAfter: *parkAfter,
-		})
+		}
+		if *chaosSeed != 0 {
+			inj := fault.FromSeed(*chaosSeed)
+			cfg.Hooks = inj
+			log.Printf("ffwdserve: chaos injection on: %v", inj)
+		}
+		d = apps.NewDelegatedKVConfig(*capacity, cfg)
 		if err := d.Start(); err != nil {
 			log.Fatal(err)
 		}
@@ -125,6 +150,18 @@ func main() {
 			log.Fatal(err)
 		}
 		b = fb
+		// Supervise the delegation server: restart it if it crashes
+		// (mandatory under chaos injection, cheap insurance without).
+		// The cadence is gentler than the library default: a rescue
+		// kick wakes the parked server and costs a full idle-ladder
+		// climb, so one per 100ms keeps an idle ffwdserve near zero
+		// CPU while still repairing a crash within 5ms and a lost
+		// wake within 100ms.
+		sv = core.NewSupervisor(d.Server(), core.SupervisorConfig{
+			Interval:  5 * time.Millisecond,
+			KickAfter: 20,
+		})
+		sv.Start()
 	case "mutex":
 		b = &mutexBackend{kv: apps.NewLockedKV(*capacity, func() sync.Locker { return &sync.Mutex{} })}
 	default:
@@ -136,14 +173,72 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("ffwdserve: %s backend listening on %s", *kind, ln.Addr())
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, give in-flight
+	// connections a grace period to drain, then force-close stragglers
+	// and print the delegation server's final stats.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("ffwdserve: %v: stopped accepting, draining connections (up to %v)", sig, *drainWait)
+		ln.Close()
+	}()
+
+	var (
+		connMu sync.Mutex
+		conns  = make(map[net.Conn]struct{})
+		inWG   sync.WaitGroup
+	)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("accept: %v", err)
-			return
+			// Listener closed by the signal handler (or a fatal accept
+			// error): fall through to the drain.
+			break
 		}
-		go serve(conn, b)
+		connMu.Lock()
+		conns[conn] = struct{}{}
+		connMu.Unlock()
+		inWG.Add(1)
+		go func() {
+			defer inWG.Done()
+			serve(conn, b)
+			connMu.Lock()
+			delete(conns, conn)
+			connMu.Unlock()
+		}()
 	}
+
+	drained := make(chan struct{})
+	go func() { inWG.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(*drainWait):
+		connMu.Lock()
+		n := len(conns)
+		for c := range conns {
+			c.Close()
+		}
+		connMu.Unlock()
+		log.Printf("ffwdserve: drain timeout: force-closed %d connection(s)", n)
+		<-drained
+	}
+
+	if sv != nil {
+		sv.Stop()
+	}
+	if d != nil {
+		st := d.Server().Stats()
+		log.Printf("ffwdserve: final stats: requests=%d sweeps=%d batches=%d panics=%d crashes=%d restarts=%d kicks=%d heartbeat-misses=%d abandoned-slots=%d",
+			st.Requests, st.Sweeps, st.Batches, st.Panics, st.ServerCrashes,
+			st.Restarts, st.Kicks, st.HeartbeatMisses, st.AbandonedSlots)
+		if st.LastPanic != nil {
+			log.Printf("ffwdserve: last panic: %v", st.LastPanic)
+		}
+		d.Stop()
+	}
+	log.Print("ffwdserve: shutdown complete")
 }
 
 func serve(conn net.Conn, b backend) {

@@ -255,6 +255,10 @@ func (d *DelegatedKV) Start() error { return d.srv.Start() }
 // Stop halts the delegation server.
 func (d *DelegatedKV) Stop() { d.srv.Stop() }
 
+// Server exposes the underlying delegation server, for supervision and
+// stats reporting (e.g. ffwdserve's shutdown summary).
+func (d *DelegatedKV) Server() *core.Server { return d.srv }
+
 // KVClient is a per-goroutine handle to a DelegatedKV.
 type KVClient struct {
 	d *DelegatedKV

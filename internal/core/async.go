@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // AsyncGroup generalizes the paper's FFWDx2 over-subscription: it manages
 // k client channels for a single goroutine, keeping up to k requests in
 // flight to hide the request/response round-trip latency. FFWDx2 is
@@ -44,11 +46,16 @@ func (g *AsyncGroup) Window() int { return len(g.clients) }
 func (g *AsyncGroup) InFlight() int { return g.size }
 
 // Close releases every client slot of the group. All in-flight requests
-// must have been Flushed first.
+// must have been Flushed first — except abandoned ones (a FlushTimeout
+// gave up on them), whose slots each Client.Close retires rather than
+// recycles if the late response still has not arrived.
 func (g *AsyncGroup) Close() {
-	if g.size > 0 {
-		panic("core: AsyncGroup.Close with requests in flight")
+	for i := 0; i < g.size; i++ {
+		if !g.clients[(g.head+i)%len(g.clients)].abandoned {
+			panic("core: AsyncGroup.Close with requests in flight")
+		}
 	}
+	g.size = 0
 	for _, c := range g.clients {
 		c.Close()
 	}
@@ -140,4 +147,28 @@ func (g *AsyncGroup) Flush(fn func(uint64)) {
 			fn(r)
 		}
 	}
+}
+
+// FlushTimeout is Flush with a deadline covering the whole drain. On
+// ErrTimeout/ErrServerStopped the request that failed and everything
+// younger stay in flight, marked abandoned: a later FlushTimeout (for
+// example after a Supervisor restart) can still collect them in issue
+// order, and Close retires the slots of any that never complete.
+func (g *AsyncGroup) FlushTimeout(timeout time.Duration, fn func(uint64)) error {
+	deadline := time.Now().Add(timeout)
+	for g.size > 0 {
+		ret, err := g.clients[g.head].waitUntil(deadline)
+		if err != nil {
+			for i := 0; i < g.size; i++ {
+				g.clients[(g.head+i)%len(g.clients)].abandoned = true
+			}
+			return err
+		}
+		g.head = (g.head + 1) % len(g.clients)
+		g.size--
+		if fn != nil {
+			fn(ret)
+		}
+	}
+	return nil
 }

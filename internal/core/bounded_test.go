@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Unit tests for the bounded-wait surface: WaitFor/DelegateTimeout error
+// semantics, abandoned-request drains, slot retirement on Close, and the
+// AsyncGroup/FlushTimeout recovery path.
+
+func boundedEcho(a *[MaxArgs]uint64) uint64 { return a[0] }
+
+// TestWaitForServerNotStarted: a request issued before the server runs
+// fails with ErrServerStopped (bounded, no hang); once the server starts,
+// the same outstanding request is served and drained coherently.
+func TestWaitForServerNotStarted(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	echo := s.Register(boundedEcho)
+	c := s.MustNewClient()
+
+	c.Issue(echo, 41)
+	start := time.Now()
+	if _, err := c.WaitFor(5 * time.Millisecond); !errors.Is(err, ErrServerStopped) {
+		t.Fatalf("WaitFor on a never-started server: %v, want ErrServerStopped", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("ErrServerStopped was not prompt")
+	}
+
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	// The abandoned request is still outstanding; the started server
+	// serves it and the next wait returns it.
+	got, err := c.WaitFor(time.Second)
+	if err != nil || got != 41 {
+		t.Fatalf("post-start drain: got %d, err %v; want 41, nil", got, err)
+	}
+	// The channel is coherent again: a fresh round trip works.
+	if got, err := c.DelegateTimeout(time.Second, echo, 42); err != nil || got != 42 {
+		t.Fatalf("round trip after drain: got %d, err %v", got, err)
+	}
+	c.Close()
+	if st := s.Stats(); st.AbandonedSlots != 0 {
+		t.Fatalf("AbandonedSlots = %d after a clean drain, want 0", st.AbandonedSlots)
+	}
+}
+
+// TestDelegateErrUnknownFID: an unregistered function id is reported as a
+// *PanicRecord error naming the fid, not just the all-ones sentinel.
+func TestDelegateErrUnknownFID(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	s.Register(boundedEcho)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	c := s.MustNewClient()
+	defer c.Close()
+
+	bogus := FuncID(913)
+	ret, err := c.DelegateErr(bogus)
+	if ret != ^uint64(0) {
+		t.Fatalf("ret = %d, want the sentinel", ret)
+	}
+	var rec *PanicRecord
+	if !errors.As(err, &rec) {
+		t.Fatalf("err = %v, want *PanicRecord", err)
+	}
+	if !rec.HasFID || rec.FID != bogus || rec.Msg != "unknown function id" {
+		t.Fatalf("record = %+v", rec)
+	}
+	// A function that legitimately returns all-ones is NOT an error.
+	allOnes := s.Register(func(*[MaxArgs]uint64) uint64 { return ^uint64(0) })
+	if ret, err := c.DelegateErr(allOnes); err != nil || ret != ^uint64(0) {
+		t.Fatalf("legit all-ones: ret %d err %v, want sentinel and nil", ret, err)
+	}
+}
+
+// TestCloseRetiresAbandonedSlot: closing a client whose timed-out request
+// can never be drained must retire the slot (a deliberate, counted leak)
+// rather than recycle it into the next owner.
+func TestCloseRetiresAbandonedSlot(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	echo := s.Register(boundedEcho)
+	c := s.MustNewClient()
+	c.Issue(echo, 1)
+	if _, err := c.WaitFor(time.Millisecond); !errors.Is(err, ErrServerStopped) {
+		t.Fatalf("want ErrServerStopped, got %v", err)
+	}
+	c.Close()
+	if st := s.Stats(); st.AbandonedSlots != 1 {
+		t.Fatalf("AbandonedSlots = %d, want 1", st.AbandonedSlots)
+	}
+	// The retired slot must not be handed out again (MaxClients rounds up
+	// to one full group; every other slot still allocates).
+	for i := 0; i < s.MaxClients()-1; i++ {
+		nc, err := s.NewClient()
+		if err != nil {
+			t.Fatalf("allocation %d after retirement: %v", i, err)
+		}
+		if nc.Slot() == c.Slot() {
+			t.Fatal("retired slot was recycled; its late response could corrupt the new owner")
+		}
+	}
+	if _, err := s.NewClient(); !errors.Is(err, ErrNoSlots) {
+		t.Fatalf("want ErrNoSlots once the retired slot is excluded, got %v", err)
+	}
+}
+
+// TestAsyncGroupFlushTimeoutRecovers: FlushTimeout on a dead server
+// errors out bounded, leaves the window abandoned-but-accounted, and a
+// later retry after restart drains every in-flight response.
+func TestAsyncGroupFlushTimeoutRecovers(t *testing.T) {
+	s := NewServer(Config{MaxClients: 4})
+	echo := s.Register(boundedEcho)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	g, err := NewAsyncGroup(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop the server (a deliberate stop drains nothing here — the window
+	// is filled afterwards, so the responses can never arrive), then try
+	// to flush into the void.
+	s.Stop()
+	for i := uint64(0); i < 4; i++ {
+		g.Submit1(echo, 100+i)
+	}
+	var acked int
+	sum := func(ret uint64) { acked++; _ = ret }
+	if err := g.FlushTimeout(10*time.Millisecond, sum); err == nil {
+		t.Fatal("FlushTimeout on a stopped server returned nil")
+	}
+	if acked != 0 {
+		t.Fatalf("reaped %d responses from a stopped server", acked)
+	}
+	if g.InFlight() != 4 {
+		t.Fatalf("InFlight = %d, want the 4 abandoned requests still accounted", g.InFlight())
+	}
+
+	// Restart (a plain Start: the stop was deliberate, not a crash) and
+	// retry: every outstanding response must drain.
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FlushTimeout(2*time.Second, sum); err != nil {
+		t.Fatalf("FlushTimeout after restart: %v", err)
+	}
+	if acked != 4 {
+		t.Fatalf("drained %d of 4 submitted requests", acked)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after a clean flush", g.InFlight())
+	}
+	g.Close()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"ffwd/internal/spin"
 )
@@ -21,6 +22,11 @@ type Client struct {
 	toggle uint64   // current request toggle (0 or 1)
 	// pending tracks an Issue without a matching Wait, to catch misuse.
 	pending bool
+	// abandoned marks a pending request whose bounded wait gave up
+	// (ErrTimeout/ErrServerStopped). The request is still outstanding on
+	// the channel; the next wait or issue on this client first drains
+	// its late response, keeping the toggle protocol coherent.
+	abandoned bool
 }
 
 // Slot returns the client's slot index on its server.
@@ -29,14 +35,27 @@ func (c *Client) Slot() int { return c.slot }
 // Close releases the client's slot back to its server: the occupancy bit
 // is cleared (so sweeps stop touching the request line) and the slot
 // becomes allocatable by a future NewClient, which adopts its toggle
-// state. Close panics if a request is in flight; a closed client must not
-// be used again. Close is a no-op on an already-closed client.
+// state. Close panics if a request is in flight — except an abandoned one
+// (a bounded wait timed out): if its late response still has not arrived,
+// the slot is retired rather than recycled, because a future owner would
+// otherwise receive a response it never issued. Retired slots are counted
+// in Stats.AbandonedSlots and never handed out again. A closed client
+// must not be used again; Close is a no-op on an already-closed client.
 func (c *Client) Close() {
 	if c.s == nil {
 		return
 	}
 	if c.pending {
-		panic("core: Close with a request in flight")
+		if !c.abandoned {
+			panic("core: Close with a request in flight")
+		}
+		if _, ok := c.TryWait(); !ok {
+			s := c.s
+			c.s = nil
+			s.andOcc(c.slot/s.groupSize, ^c.bit)
+			s.nAbandoned.Add(1)
+			return
+		}
 	}
 	s := c.s
 	c.s = nil
@@ -77,6 +96,7 @@ func (c *Client) TryWait() (ret uint64, ok bool) {
 		return 0, false
 	}
 	c.pending = false
+	c.abandoned = false
 	return *c.respV, true
 }
 
@@ -94,11 +114,111 @@ func (c *Client) Wait() uint64 {
 	}
 }
 
+// waitUntil blocks until the in-flight response arrives, the deadline
+// passes, or the server goroutine is found dead. A zero deadline means no
+// deadline (the wait is then bounded only by server liveness). On error
+// the request is left outstanding and marked abandoned: its late response
+// is drained by the next wait or issue on this client.
+func (c *Client) waitUntil(deadline time.Time) (uint64, error) {
+	if !c.pending {
+		panic("core: wait without an in-flight request")
+	}
+	bounded := !deadline.IsZero()
+	var w spin.Waiter
+	for {
+		if ret, ok := c.TryWait(); ok {
+			return ret, nil
+		}
+		if !c.s.alive.Load() {
+			// The dying goroutine's final drain sweep may have
+			// flushed the response between the poll above and the
+			// liveness check; poll once more before giving up.
+			if ret, ok := c.TryWait(); ok {
+				return ret, nil
+			}
+			c.abandoned = true
+			return 0, ErrServerStopped
+		}
+		if bounded {
+			if !w.WaitBounded(deadline) {
+				c.abandoned = true
+				return 0, ErrTimeout
+			}
+		} else {
+			w.Wait()
+		}
+	}
+}
+
+// WaitFor is Wait with a deadline: it blocks up to timeout for the
+// in-flight response. It returns ErrTimeout when the deadline expires and
+// ErrServerStopped when the server goroutine is not running (so the
+// response cannot arrive — e.g. it crashed without draining). In both
+// cases the request remains outstanding and the channel protocol stays
+// coherent: the next wait or issue on this client first drains the late
+// response (which a Supervisor-restarted server will still serve).
+func (c *Client) WaitFor(timeout time.Duration) (uint64, error) {
+	return c.waitUntil(time.Now().Add(timeout))
+}
+
 // Delegate executes fid(args...) on the server and returns its result:
 // the paper's FFWD_DELEGATE, a synchronous request/response round trip.
 func (c *Client) Delegate(fid FuncID, args ...uint64) uint64 {
 	c.Issue(fid, args...)
 	return c.Wait()
+}
+
+// delegateUntil is the deadline-bounded round trip shared by
+// DelegateTimeout and PoolClient: drain any abandoned predecessor, issue,
+// wait, and convert the sentinel into the captured error record.
+func (c *Client) delegateUntil(deadline time.Time, fid FuncID, args []uint64) (uint64, error) {
+	if c.pending {
+		if !c.abandoned {
+			panic("core: Delegate with a request already in flight")
+		}
+		if _, err := c.waitUntil(deadline); err != nil {
+			return 0, err // stale response still outstanding
+		}
+	}
+	c.s.slotPanic[c.slot].Store(nil)
+	c.Issue(fid, args...)
+	ret, err := c.waitUntil(deadline)
+	if err != nil {
+		return 0, err
+	}
+	if ret == ^uint64(0) {
+		if rec := c.s.slotPanic[c.slot].Load(); rec != nil {
+			return ret, rec
+		}
+	}
+	return ret, nil
+}
+
+// DelegateTimeout is Delegate with a deadline covering the whole round
+// trip (including draining a previously timed-out request's late
+// response). It returns ErrTimeout/ErrServerStopped instead of spinning
+// forever, and — like DelegateErr — reports a delegated-function panic or
+// unknown function id as a *PanicRecord error rather than the bare
+// all-ones sentinel.
+func (c *Client) DelegateTimeout(timeout time.Duration, fid FuncID, args ...uint64) (uint64, error) {
+	return c.delegateUntil(time.Now().Add(timeout), fid, args)
+}
+
+// DelegateErr is Delegate with the panic sentinel resolved into an error:
+// if the delegated function panicked (or fid is unregistered), the
+// captured *PanicRecord is returned instead of the ambiguous ^uint64(0)
+// — a function that legitimately returns all-ones is reported with a nil
+// error. The wait itself is unbounded, like Delegate; use DelegateTimeout
+// when the server may fail.
+func (c *Client) DelegateErr(fid FuncID, args ...uint64) (uint64, error) {
+	c.s.slotPanic[c.slot].Store(nil)
+	ret := c.Delegate(fid, args...)
+	if ret == ^uint64(0) {
+		if rec := c.s.slotPanic[c.slot].Load(); rec != nil {
+			return ret, rec
+		}
+	}
+	return ret, nil
 }
 
 // issueHdr publishes a fully prepared request header and wakes the server
@@ -107,7 +227,10 @@ func (c *Client) Delegate(fid FuncID, args ...uint64) uint64 {
 // in wakeServer happens only on the park slow path.
 func (c *Client) issueHdr(fid FuncID, argc int) {
 	if c.pending {
-		panic("core: Issue called with a request already in flight")
+		if !c.abandoned {
+			panic("core: Issue called with a request already in flight")
+		}
+		c.drainAbandoned()
 	}
 	c.toggle ^= 1
 	hdr := uint64(fid)<<hdrFuncShift |
@@ -121,6 +244,29 @@ func (c *Client) issueHdr(fid FuncID, argc int) {
 	c.pending = true
 	if c.s.parked.Load() {
 		c.s.wakeServer()
+	}
+}
+
+// drainAbandoned completes and discards a timed-out request's late
+// response, restoring the channel protocol before the next issue. Issuing
+// over an undrained request would fold the toggle back onto itself and
+// desynchronize the channel, so if the server is gone and the response
+// can never arrive, drainAbandoned panics rather than corrupt the slot —
+// bounded callers (DelegateTimeout, FlushTimeout) return an error before
+// reaching this point.
+func (c *Client) drainAbandoned() {
+	var w spin.Waiter
+	for {
+		if _, ok := c.TryWait(); ok {
+			return
+		}
+		if !c.s.alive.Load() {
+			if _, ok := c.TryWait(); ok {
+				return
+			}
+			panic("core: Issue over an undrainable abandoned request (server not running); use DelegateTimeout")
+		}
+		w.Wait()
 	}
 }
 

@@ -104,6 +104,65 @@ type Func func(args *[MaxArgs]uint64) uint64
 // FuncID identifies a registered Func.
 type FuncID uint32
 
+// Hooks is the fault-injection interface (see internal/fault for the
+// deterministic, seed-driven implementation). A nil Hooks — the default —
+// costs the hot path one predictable branch per sweep and per request.
+// All methods may be called concurrently from the server goroutine and
+// from clients (DropWake), and must be safe for that.
+//
+// op arguments are the zero-based global index of the request being (or
+// about to be) served; after a crash restart, requests executed but not
+// flushed are re-served under their original indices.
+type Hooks interface {
+	// Sweep is called at the top of polling sweep n; it may sleep to
+	// simulate a delayed/descheduled server.
+	Sweep(n uint64)
+	// Call is called inside the delegated-call recovery scope, just
+	// before the function executes; it may sleep (slow function) or
+	// panic (broken function).
+	Call(fid, op uint64)
+	// DropWake is consulted on the client-side park/wake handoff;
+	// returning true drops the wake, simulating a lost notification.
+	DropWake() bool
+	// Kill is consulted after each request is served; returning true
+	// crashes the server goroutine (a panic outside the delegated-call
+	// recovery), simulating a server death mid-flight.
+	Kill(op uint64) bool
+}
+
+// PanicRecord captures a panic (or an unknown-function request) observed
+// by the server: the queryable error record behind the legacy all-ones
+// return sentinel. It implements error.
+type PanicRecord struct {
+	// Msg is the stringified panic payload.
+	Msg string
+	// FID is the delegated function involved; HasFID distinguishes a
+	// delegated-call panic (true) from a server-loop crash outside any
+	// call (false).
+	FID    FuncID
+	HasFID bool
+	// Op is the zero-based global request index at capture time.
+	Op uint64
+}
+
+// Error renders the record as an error string.
+func (r *PanicRecord) Error() string {
+	if r.HasFID {
+		return fmt.Sprintf("core: delegated func %d panicked at op %d: %s", r.FID, r.Op, r.Msg)
+	}
+	return fmt.Sprintf("core: server crashed at op %d: %s", r.Op, r.Msg)
+}
+
+// ErrTimeout is returned by the bounded-wait APIs when the deadline
+// expires before the response arrives. The request remains outstanding:
+// the next call on the same client first drains its late response.
+var ErrTimeout = errors.New("core: request timed out")
+
+// ErrServerStopped is returned by the bounded-wait APIs when the server
+// goroutine is not running (never started, deliberately stopped, or
+// crashed and not yet restarted), so the response cannot arrive.
+var ErrServerStopped = errors.New("core: server not running")
+
 // Config parameterizes a Server. The zero value is usable: one group of
 // GroupSize clients, buffered responses.
 type Config struct {
@@ -133,6 +192,10 @@ type Config struct {
 	// 0 selects the default (64); a negative value disables parking —
 	// the server then spins and yields forever, the pre-park behaviour.
 	IdleParkAfter int
+	// Hooks, if non-nil, injects faults at the server's fault points
+	// (see the Hooks interface and internal/fault). nil — the default —
+	// leaves only one predictable branch on the hot path.
+	Hooks Hooks
 }
 
 // Stats is a snapshot of server activity counters.
@@ -158,8 +221,30 @@ type Stats struct {
 	// group beyond the active-group high-water mark).
 	SlotsSkipped uint64
 	// Panics is the number of delegated functions that panicked; each
-	// was answered with the all-ones sentinel.
+	// was answered with the all-ones sentinel (and recorded — see
+	// LastPanic and Client.DelegateErr).
 	Panics uint64
+	// ServerCrashes is the number of times the server goroutine died
+	// abnormally (a panic outside the delegated-call recovery).
+	ServerCrashes uint64
+	// Restarts is the number of times a crashed server goroutine was
+	// relaunched (by a Supervisor or RestartIfCrashed).
+	Restarts uint64
+	// HeartbeatMisses is the number of supervisor health checks that
+	// found the heartbeat (sweep counter) stalled on an unparked,
+	// supposedly-live server.
+	HeartbeatMisses uint64
+	// Kicks is the number of unconditional rescue wakes sent to the
+	// server loop (supervisor rescues of lost wakes, plus shutdown).
+	Kicks uint64
+	// AbandonedSlots is the number of client slots retired — leaked
+	// deliberately — because the client was closed while a timed-out
+	// request was still outstanding (the slot cannot be recycled while
+	// its late response may still arrive).
+	AbandonedSlots uint64
+	// LastPanic is the most recent panic record (delegated-call panic or
+	// server crash), or nil if none has occurred.
+	LastPanic *PanicRecord
 }
 
 // Server is a ffwd delegation server. Create one with NewServer, register
@@ -199,12 +284,33 @@ type Server struct {
 	slotMu    sync.Mutex
 	freeSlots []int
 
-	// lifeMu serializes Start/Stop so a restart cannot race a concurrent
-	// Stop reading the previous generation's done channel.
+	// lifeMu serializes Start/Stop/RestartIfCrashed so a restart cannot
+	// race a concurrent Stop reading the previous generation's done
+	// channel.
 	lifeMu   sync.Mutex
 	running  atomic.Bool
 	stopping padded.Bool
 	done     chan struct{}
+	// alive is true while a server goroutine is running (between Start
+	// or a restart and the goroutine's exit, normal or by crash). The
+	// bounded waits poll it to fail fast instead of spinning on a dead
+	// server.
+	alive atomic.Bool
+	// crashed is set when the goroutine exits via a panic that escaped
+	// the delegated-call recovery; RestartIfCrashed clears it.
+	crashed atomic.Bool
+
+	// hooks is the fault-injection interface from Config; nil outside
+	// chaos runs.
+	hooks Hooks
+
+	// lastPanic is the most recent PanicRecord; slotPanic[i] is the most
+	// recent record produced while serving slot i, published before the
+	// response toggle so a client that received the sentinel can read
+	// its own record race-free (DelegateErr/DelegateTimeout clear their
+	// slot's entry before issuing).
+	lastPanic atomic.Pointer[PanicRecord]
+	slotPanic []atomic.Pointer[PanicRecord]
 
 	// parked is set by the server just before it blocks on wake; a
 	// client that observes it after publishing a request performs the
@@ -213,14 +319,19 @@ type Server struct {
 	parked padded.Bool
 	wake   chan struct{}
 
-	nRequests     padded.Uint64
-	nSweeps       padded.Uint64
-	nBatches      padded.Uint64
-	nIdleYields   padded.Uint64
-	nIdleParks    padded.Uint64
-	nWakes        padded.Uint64
-	nSlotsSkipped padded.Uint64
-	nPanics       padded.Uint64
+	nRequests      padded.Uint64
+	nSweeps        padded.Uint64
+	nBatches       padded.Uint64
+	nIdleYields    padded.Uint64
+	nIdleParks     padded.Uint64
+	nWakes         padded.Uint64
+	nSlotsSkipped  padded.Uint64
+	nPanics        padded.Uint64
+	nCrashes       padded.Uint64
+	nRestarts      padded.Uint64
+	nHeartbeatMiss padded.Uint64
+	nKicks         padded.Uint64
+	nAbandoned     padded.Uint64
 }
 
 // NewServer returns a stopped server with the given configuration.
@@ -249,6 +360,8 @@ func NewServer(cfg Config) *Server {
 		occ:       make([]uint64, nGroups),
 		done:      make(chan struct{}),
 		wake:      make(chan struct{}, 1),
+		hooks:     cfg.Hooks,
+		slotPanic: make([]atomic.Pointer[PanicRecord], nGroups*gs),
 	}
 	close(s.done) // a never-started server is already "stopped"
 	empty := make([]Func, 0, 16)
@@ -380,16 +493,19 @@ func (s *Server) Start() error {
 		return fmt.Errorf("core: server already running")
 	}
 	s.stopping.Store(false)
+	s.crashed.Store(false)
 	s.done = make(chan struct{})
 	s.running.Store(true)
-	go s.run()
+	s.alive.Store(true)
+	go s.run(s.done)
 	return nil
 }
 
 // Stop halts the server after the current sweep and waits for it to exit.
 // Outstanding requests issued before Stop are still served. Stop is
 // idempotent on a stopped server and may race a concurrent Start; the two
-// serialize.
+// serialize. Stopping a crashed server just records the stop (the
+// goroutine is already gone) and prevents future supervised restarts.
 func (s *Server) Stop() {
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
@@ -397,9 +513,56 @@ func (s *Server) Stop() {
 		return
 	}
 	s.stopping.Store(true)
-	s.wakeServer() // a parked server must notice stopping
+	s.kick() // a parked server must notice stopping, even under wake-drop faults
 	<-s.done
 	s.running.Store(false)
+}
+
+// Alive reports whether a server goroutine is currently running. False
+// means never started, deliberately stopped, or crashed and not yet
+// restarted; the bounded waits return ErrServerStopped in that state.
+func (s *Server) Alive() bool { return s.alive.Load() }
+
+// LastPanic returns the most recent panic record (delegated-call panic,
+// unknown-function request, or server crash), or nil.
+func (s *Server) LastPanic() *PanicRecord { return s.lastPanic.Load() }
+
+// RestartIfCrashed relaunches the server goroutine after an abnormal exit
+// — a panic that escaped the delegated-call recovery — and reports whether
+// a restart happened. Slot, toggle, and occupancy state live in the
+// server's shared arrays and survive the crash untouched, so clients keep
+// their channels: requests that were pending (including ones whose owners
+// already timed out) are served by the restarted goroutine under the same
+// protocol. Requests executed but not yet flushed when the crash hit are
+// re-executed — delegation is at-least-once across a crash boundary.
+//
+// A deliberately stopped server is never restarted; Supervisor calls this
+// on every health check.
+func (s *Server) RestartIfCrashed() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if !s.running.Load() || s.stopping.Load() || !s.crashed.Load() {
+		return false
+	}
+	select {
+	case <-s.done:
+	default:
+		return false // goroutine still unwinding; next check catches it
+	}
+	s.crashed.Store(false)
+	// The goroutine may have died with the parked flag raised (killed
+	// during park's re-sweep); reset the flag and drop any stale wake
+	// token so the new generation starts from a clean handoff state.
+	s.parked.Store(false)
+	select {
+	case <-s.wake:
+	default:
+	}
+	s.done = make(chan struct{})
+	s.nRestarts.Add(1)
+	s.alive.Store(true)
+	go s.run(s.done)
+	return true
 }
 
 // wakeServer performs the park/wake handoff: whoever transitions parked
@@ -408,6 +571,9 @@ func (s *Server) Stop() {
 // retracted park is still queued, and that token wakes the server just as
 // well.
 func (s *Server) wakeServer() {
+	if h := s.hooks; h != nil && h.DropWake() {
+		return // injected lost-wake fault; Supervisor kicks rescue these
+	}
 	if s.parked.CompareAndSwap(true, false) {
 		s.nWakes.Add(1)
 		select {
@@ -417,17 +583,37 @@ func (s *Server) wakeServer() {
 	}
 }
 
+// kick unconditionally wakes the server loop: the parked flag is lowered
+// if raised and one token is sent regardless. Unlike wakeServer it
+// bypasses the fault hooks (it is the rescue path for dropped wakes) and
+// tolerates a server that is not parked — a stale token only costs the
+// next park one extra ladder climb. Used by Stop and the Supervisor.
+func (s *Server) kick() {
+	s.nKicks.Add(1)
+	s.parked.CompareAndSwap(true, false)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
 // Stats returns a snapshot of the server's activity counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:     s.nRequests.Load(),
-		Sweeps:       s.nSweeps.Load(),
-		Batches:      s.nBatches.Load(),
-		IdleYields:   s.nIdleYields.Load(),
-		IdleParks:    s.nIdleParks.Load(),
-		Wakes:        s.nWakes.Load(),
-		SlotsSkipped: s.nSlotsSkipped.Load(),
-		Panics:       s.nPanics.Load(),
+		Requests:        s.nRequests.Load(),
+		Sweeps:          s.nSweeps.Load(),
+		Batches:         s.nBatches.Load(),
+		IdleYields:      s.nIdleYields.Load(),
+		IdleParks:       s.nIdleParks.Load(),
+		Wakes:           s.nWakes.Load(),
+		SlotsSkipped:    s.nSlotsSkipped.Load(),
+		Panics:          s.nPanics.Load(),
+		ServerCrashes:   s.nCrashes.Load(),
+		Restarts:        s.nRestarts.Load(),
+		HeartbeatMisses: s.nHeartbeatMiss.Load(),
+		Kicks:           s.nKicks.Load(),
+		AbandonedSlots:  s.nAbandoned.Load(),
+		LastPanic:       s.lastPanic.Load(),
 	}
 }
 
@@ -435,8 +621,24 @@ func (s *Server) Stats() Stats {
 // new requests, buffer return values, flush per group. Empty sweeps climb
 // the idle ladder: yield every IdleYieldAfter sweeps, park (block on the
 // notification word) after IdleParkAfter.
-func (s *Server) run() {
-	defer close(s.done)
+//
+// done is this generation's completion channel, captured by value so a
+// supervised restart installing a fresh channel cannot race the dying
+// goroutine's close. A panic that reaches this frame (a server bug or an
+// injected kill — delegated-function panics are recovered in call) is
+// converted into a crash record; the goroutine exits with alive lowered
+// and RestartIfCrashed may relaunch it.
+func (s *Server) run(done chan struct{}) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec := &PanicRecord{Msg: fmt.Sprint(r), Op: s.nRequests.Load()}
+			s.lastPanic.Store(rec)
+			s.nCrashes.Add(1)
+			s.crashed.Store(true)
+		}
+		s.alive.Store(false)
+		close(done)
+	}()
 
 	gs := s.groupSize
 	var retBuf [GroupSize]uint64
@@ -504,14 +706,25 @@ func (s *Server) park(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) 
 
 // call executes one delegated function, converting a panic into the
 // all-ones sentinel: one client's broken function must not take down the
-// server and hang every other client.
-func (s *Server) call(f Func, args *[MaxArgs]uint64) (ret uint64) {
+// server and hang every other client. The panic payload is captured as a
+// PanicRecord — published globally (Stats.LastPanic) and per slot, where
+// the per-slot store precedes the response flush so the issuing client's
+// DelegateErr/DelegateTimeout can distinguish a panic from a genuine
+// all-ones return. The fault hook runs inside this recovery scope, so an
+// injected panic takes the same path as a real one.
+func (s *Server) call(f Func, args *[MaxArgs]uint64, fid FuncID, slot int, op uint64) (ret uint64) {
 	defer func() {
-		if recover() != nil {
+		if r := recover(); r != nil {
+			rec := &PanicRecord{Msg: fmt.Sprint(r), FID: fid, HasFID: true, Op: op}
+			s.lastPanic.Store(rec)
+			s.slotPanic[slot].Store(rec)
 			s.nPanics.Add(1)
 			ret = ^uint64(0)
 		}
 	}()
+	if h := s.hooks; h != nil {
+		h.Call(uint64(fid), op)
+	}
 	return f(args)
 }
 
@@ -525,6 +738,15 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 	useLock := s.cfg.ServerLock != nil
 	writeThrough := s.cfg.WriteThrough
 	served := 0
+	// h gates the fault points; with h nil (the default) the per-request
+	// cost is one predictable not-taken branch. opBase + served is the
+	// global zero-based index of the request being served, used by the
+	// fault points and panic records.
+	h := s.hooks
+	if h != nil {
+		h.Sweep(s.nSweeps.Load())
+	}
+	opBase := s.nRequests.Load()
 	active := int(s.activeGroups.Load())
 	// Trailing groups beyond the high-water mark are skipped wholesale,
 	// without even loading their occupancy word.
@@ -568,17 +790,32 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 				}
 			}
 			fid := hdr >> hdrFuncShift
+			slot := g*gs + m
 			var ret uint64
 			if int(fid) < len(funcs) {
 				if useLock {
 					s.cfg.ServerLock.Lock()
 				}
-				ret = s.call(funcs[fid], args)
+				ret = s.call(funcs[fid], args, FuncID(fid), slot, opBase+uint64(served))
 				if useLock {
 					s.cfg.ServerLock.Unlock()
 				}
 			} else {
-				ret = ^uint64(0) // unknown function: all-ones sentinel
+				// Unknown function: all-ones sentinel, plus a
+				// queryable record so DelegateErr can report it.
+				ret = ^uint64(0)
+				rec := &PanicRecord{
+					Msg: "unknown function id", FID: FuncID(fid),
+					HasFID: true, Op: opBase + uint64(served),
+				}
+				s.lastPanic.Store(rec)
+				s.slotPanic[slot].Store(rec)
+			}
+			if h != nil && h.Kill(opBase+uint64(served)) {
+				// Injected server death: the executed request's
+				// response is lost unflushed (it will re-execute
+				// after a restart) — the most chaotic crash point.
+				panic(fmt.Sprintf("fault: server killed at op %d", opBase+uint64(served)))
 			}
 			bit := uint64(1) << uint(m)
 			retBuf[m] = ret

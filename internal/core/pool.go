@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Pool is a set of independent delegation servers sharding a key space —
 // the paper's multi-server configuration (e.g. FFWD-S4, which partitions a
 // tree across four servers for a 4× throughput gain). ffwd deliberately
@@ -69,6 +71,16 @@ func (p *Pool) StopAll() {
 	}
 }
 
+// Healthy reports whether every shard's server goroutine is running.
+func (p *Pool) Healthy() bool {
+	for _, s := range p.servers {
+		if !s.Alive() {
+			return false
+		}
+	}
+	return true
+}
+
 // PoolClient bundles one Client per server so a goroutine can delegate to
 // any shard. Beyond the synchronous key-routed Delegate family it offers a
 // pipelined mode — IssueTo/IssueTo0–3 plus Flush — that keeps one request
@@ -83,6 +95,10 @@ type PoolClient struct {
 	// issue), quantifying how much pipelining a workload achieves.
 	inFlight  int
 	depthHist []uint64
+	// piped[i] marks shard i's pending request as pipeline-issued
+	// (IssueTo), distinguishing it from an abandoned synchronous
+	// DelegateTimeout for the in-flight accounting under failures.
+	piped []bool
 }
 
 // NewClient allocates one client slot on every server of the pool. On
@@ -93,6 +109,7 @@ func (p *Pool) NewClient() (*PoolClient, error) {
 		p:         p,
 		clients:   make([]*Client, len(p.servers)),
 		depthHist: make([]uint64, len(p.servers)+1),
+		piped:     make([]bool, len(p.servers)),
 	}
 	for i, s := range p.servers {
 		c, err := s.NewClient()
@@ -149,6 +166,33 @@ func (pc *PoolClient) Delegate3(key uint64, fid FuncID, a0, a1, a2 uint64) uint6
 	return pc.clients[pc.p.ShardOf(key)].Delegate3(fid, a0, a1, a2)
 }
 
+// ShardHealthy reports whether key shard i's server goroutine is running.
+// A dead shard fails its keys' bounded calls with ErrServerStopped while
+// the remaining shards keep serving — the pool degrades per shard rather
+// than wholesale.
+func (pc *PoolClient) ShardHealthy(i int) bool { return pc.p.servers[i].Alive() }
+
+// DelegateTimeout is the key-routed Delegate with a deadline covering the
+// whole round trip. A request abandoned by an earlier timeout on the same
+// shard is drained first (within the same deadline); delegated-function
+// panics surface as *PanicRecord errors, and a dead shard fails fast with
+// ErrServerStopped instead of wedging.
+func (pc *PoolClient) DelegateTimeout(timeout time.Duration, key uint64, fid FuncID, args ...uint64) (uint64, error) {
+	shard := pc.p.ShardOf(key)
+	c := pc.clients[shard]
+	deadline := time.Now().Add(timeout)
+	if c.pending && c.abandoned {
+		if _, err := c.waitUntil(deadline); err != nil {
+			return 0, err
+		}
+		if pc.piped[shard] {
+			pc.inFlight--
+			pc.piped[shard] = false
+		}
+	}
+	return c.delegateUntil(deadline, fid, args)
+}
+
 // Client returns the underlying client for shard i, for callers that
 // route by something other than key modulus.
 func (pc *PoolClient) Client(i int) *Client { return pc.clients[i] }
@@ -162,19 +206,27 @@ func (pc *PoolClient) InFlight() int { return pc.inFlight }
 // measure genuine cross-shard overlap.
 func (pc *PoolClient) DepthHist() []uint64 { return pc.depthHist }
 
-// reap completes shard's outstanding request, if any.
+// reap completes shard's outstanding request, if any. The wait is bounded
+// by shard liveness: a dead shard leaves the request abandoned and
+// reports (0, false) instead of wedging — surface the error itself with
+// FlushTimeout, and liveness with ShardHealthy.
 func (pc *PoolClient) reap(shard int) (ret uint64, completed bool) {
 	c := pc.clients[shard]
 	if !c.pending {
 		return 0, false
 	}
-	ret = c.Wait()
+	ret, err := c.waitUntil(time.Time{})
+	if err != nil {
+		return 0, false
+	}
 	pc.inFlight--
+	pc.piped[shard] = false
 	return ret, true
 }
 
-// noteIssued records a pipelined issue in the depth accounting.
-func (pc *PoolClient) noteIssued() {
+// noteIssued records shard's pipelined issue in the depth accounting.
+func (pc *PoolClient) noteIssued(shard int) {
+	pc.piped[shard] = true
 	pc.inFlight++
 	pc.depthHist[pc.inFlight]++
 }
@@ -186,7 +238,7 @@ func (pc *PoolClient) noteIssued() {
 func (pc *PoolClient) IssueTo(shard int, fid FuncID, args ...uint64) (prev uint64, completed bool) {
 	prev, completed = pc.reap(shard)
 	pc.clients[shard].Issue(fid, args...)
-	pc.noteIssued()
+	pc.noteIssued(shard)
 	return prev, completed
 }
 
@@ -194,7 +246,7 @@ func (pc *PoolClient) IssueTo(shard int, fid FuncID, args ...uint64) (prev uint6
 func (pc *PoolClient) IssueTo0(shard int, fid FuncID) (prev uint64, completed bool) {
 	prev, completed = pc.reap(shard)
 	pc.clients[shard].issueHdr(fid, 0)
-	pc.noteIssued()
+	pc.noteIssued(shard)
 	return prev, completed
 }
 
@@ -204,7 +256,7 @@ func (pc *PoolClient) IssueTo1(shard int, fid FuncID, a0 uint64) (prev uint64, c
 	c := pc.clients[shard]
 	c.req[1] = a0
 	c.issueHdr(fid, 1)
-	pc.noteIssued()
+	pc.noteIssued(shard)
 	return prev, completed
 }
 
@@ -215,7 +267,7 @@ func (pc *PoolClient) IssueTo2(shard int, fid FuncID, a0, a1 uint64) (prev uint6
 	c.req[1] = a0
 	c.req[2] = a1
 	c.issueHdr(fid, 2)
-	pc.noteIssued()
+	pc.noteIssued(shard)
 	return prev, completed
 }
 
@@ -227,7 +279,7 @@ func (pc *PoolClient) IssueTo3(shard int, fid FuncID, a0, a1, a2 uint64) (prev u
 	c.req[2] = a1
 	c.req[3] = a2
 	c.issueHdr(fid, 3)
-	pc.noteIssued()
+	pc.noteIssued(shard)
 	return prev, completed
 }
 
@@ -238,13 +290,47 @@ func (pc *PoolClient) WaitShard(shard int) (ret uint64, completed bool) {
 }
 
 // Flush completes every outstanding pipelined request, invoking fn (if
-// non-nil) with each shard index and result, in shard order.
+// non-nil) with each shard index and result, in shard order. A dead
+// shard's request is skipped (left abandoned) rather than wedging the
+// whole flush; use FlushTimeout to observe the per-shard errors.
 func (pc *PoolClient) Flush(fn func(shard int, ret uint64)) {
 	for i := range pc.clients {
 		if ret, ok := pc.reap(i); ok && fn != nil {
 			fn(i, ret)
 		}
 	}
+}
+
+// FlushTimeout completes every outstanding pipelined request within one
+// shared deadline, invoking fn (if non-nil) with each shard index and
+// either its result or its error, in shard order. A shard that fails —
+// ErrTimeout, or ErrServerStopped for a killed shard — leaves its request
+// abandoned so a later FlushTimeout (for example after a Supervisor
+// restart) can still collect it. Returns the first error observed.
+func (pc *PoolClient) FlushTimeout(timeout time.Duration, fn func(shard int, ret uint64, err error)) error {
+	deadline := time.Now().Add(timeout)
+	var first error
+	for i, c := range pc.clients {
+		if !pc.piped[i] {
+			continue
+		}
+		ret, err := c.waitUntil(deadline)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			if fn != nil {
+				fn(i, 0, err)
+			}
+			continue
+		}
+		pc.inFlight--
+		pc.piped[i] = false
+		if fn != nil {
+			fn(i, ret, nil)
+		}
+	}
+	return first
 }
 
 // PoolPipeline deepens PoolClient's pipelining: one AsyncGroup of window

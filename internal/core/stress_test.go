@@ -208,3 +208,56 @@ func TestPanickingFuncDoesNotKillServer(t *testing.T) {
 		t.Fatalf("Stats.Panics = %d, want 1", st.Panics)
 	}
 }
+
+// TestParkWakeCloseIssueChurn: regression for the park/retract window.
+// Clients are created, delegate once, and close in a tight loop while an
+// aggressively parking server (IdleParkAfter: 1) descends and retracts
+// concurrently with persistent issuers. Every operation must land exactly
+// once — a lost wake or a response routed to a recycled slot shows up as
+// a wrong counter or a hang.
+func TestParkWakeCloseIssueChurn(t *testing.T) {
+	s := NewServer(Config{MaxClients: 15, IdleParkAfter: 1})
+	var counter uint64
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 {
+		counter++
+		return counter
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	const churners, churnOps = 2, 500
+	const issuers, issueOps = 2, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < churnOps; i++ {
+				c := s.MustNewClient()
+				if got := c.Delegate0(inc); got == 0 {
+					t.Error("churn delegate returned 0")
+				}
+				c.Close()
+			}
+		}()
+	}
+	for g := 0; g < issuers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.MustNewClient()
+			defer c.Close()
+			for i := 0; i < issueOps; i++ {
+				if got := c.Delegate0(inc); got == 0 {
+					t.Error("issuer delegate returned 0")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if want := uint64(churners*churnOps + issuers*issueOps); counter != want {
+		t.Fatalf("counter = %d, want %d (lost or duplicated operations)", counter, want)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSupervisorIgnoresDeliberateStop: supervision repairs crashes, not
+// intent — a server stopped on purpose must stay stopped.
+func TestSupervisorIgnoresDeliberateStop(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 { return 1 })
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sv := NewSupervisor(s, SupervisorConfig{Interval: time.Millisecond})
+	sv.Start()
+	defer sv.Stop()
+
+	c := s.MustNewClient()
+	defer c.Close()
+	if got := c.Delegate0(inc); got != 1 {
+		t.Fatalf("warmup delegate returned %d", got)
+	}
+	s.Stop()
+	time.Sleep(25 * time.Millisecond) // many supervision intervals
+	if s.Alive() {
+		t.Fatal("supervisor resurrected a deliberately stopped server")
+	}
+	if st := s.Stats(); st.Restarts != 0 {
+		t.Fatalf("Restarts = %d after a deliberate stop, want 0", st.Restarts)
+	}
+}
+
+// TestSupervisorCountsHeartbeatMisses: a server stuck inside a delegated
+// function is unparked with a stalled sweep counter; the supervisor must
+// record the misses (it cannot restart a live goroutine, but the stall
+// becomes observable).
+func TestSupervisorCountsHeartbeatMisses(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	slow := s.Register(func(*[MaxArgs]uint64) uint64 {
+		time.Sleep(60 * time.Millisecond)
+		return 9
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	sv := NewSupervisor(s, SupervisorConfig{Interval: time.Millisecond, KickAfter: 2})
+	sv.Start()
+	defer sv.Stop()
+
+	c := s.MustNewClient()
+	defer c.Close()
+	got, err := c.DelegateTimeout(2*time.Second, slow)
+	if err != nil || got != 9 {
+		t.Fatalf("slow delegate: got %d, err %v", got, err)
+	}
+	if st := s.Stats(); st.HeartbeatMisses == 0 {
+		t.Fatal("a 60ms wedge inside a delegated call produced no heartbeat misses")
+	}
+}

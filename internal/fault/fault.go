@@ -1,0 +1,218 @@
+// Package fault provides deterministic, seed-driven fault injection for
+// the delegation runtime: the chaos layer behind `make chaos`.
+//
+// An Injector implements internal/core's Hooks interface structurally
+// (this package imports nothing from core, so core tests can import it
+// without a cycle) and decides, at each of the server's fault points,
+// whether to inject one of four fault classes:
+//
+//   - delayed sweeps      — the server sleeps before polling, simulating
+//     a descheduled or overloaded server;
+//   - dropped wakes       — a park/wake notification is lost, stranding
+//     the waking client until a Supervisor kick;
+//   - slow / panicking delegated functions — a call sleeps or panics
+//     inside the server's recovery scope;
+//   - server kill-at-op-N — the server goroutine crashes after serving a
+//     request (its response is lost unflushed), exercising supervised
+//     restart and the at-least-once re-execution path.
+//
+// Decisions are pure functions of the Plan and the event indices the
+// runtime feeds in (sweep number, global op index, wake attempt count),
+// so a run is reproducible from its seed up to goroutine interleaving:
+// the same op always panics, the same sweeps are delayed, the n'th wake
+// attempt is always the one dropped. FromSeed derives a full mixed-fault
+// Plan from a single seed — the contract behind ffwdserve's -chaos-seed
+// flag and the FFWD_CHAOS_SEED variable of `make chaos`.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Plan enables and parameterizes fault classes. The zero value injects
+// nothing; every "Every" field is a period in events (0 disables that
+// class).
+type Plan struct {
+	// Seed identifies the plan (informational once the fields are set;
+	// FromSeed derives the fields from it).
+	Seed uint64
+
+	// SweepDelayEvery delays every Nth polling sweep by SweepDelay.
+	SweepDelayEvery uint64
+	SweepDelay      time.Duration
+
+	// DropWakeEvery drops every Nth park/wake notification.
+	DropWakeEvery uint64
+
+	// CallDelayEvery sleeps CallDelay inside every Nth delegated call
+	// (by global op index).
+	CallDelayEvery uint64
+	CallDelay      time.Duration
+
+	// CallPanicEvery panics inside every Nth delegated call (by global
+	// op index); the server recovers it into a PanicRecord + sentinel.
+	CallPanicEvery uint64
+
+	// KillAtOp crashes the server goroutine once, after serving the
+	// KillAtOp'th request (1-based; 0 disables). KillEvery re-arms the
+	// kill every KillEvery further requests — each crash requires a
+	// restart before the next can fire, and re-executed requests cannot
+	// re-trigger a kill already fired (the threshold only advances).
+	KillAtOp  uint64
+	KillEvery uint64
+}
+
+// InjectedPanic is the payload of a CallPanicEvery fault, so tests and
+// logs can tell injected panics from real ones.
+type InjectedPanic struct {
+	Op uint64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("fault: injected panic at op %d", p.Op)
+}
+
+// Counts is a snapshot of how many faults an Injector has fired, for
+// test assertions and chaos-run reports.
+type Counts struct {
+	SweepDelays  uint64
+	DroppedWakes uint64
+	CallDelays   uint64
+	CallPanics   uint64
+	Kills        uint64
+}
+
+// Injector injects the faults of a Plan. It is safe for concurrent use:
+// the server goroutine hits Sweep/Call/Kill, clients hit DropWake.
+type Injector struct {
+	plan Plan
+
+	// wakes counts DropWake consultations; nextKill is the 1-based op
+	// threshold the next kill fires at (0 = disarmed).
+	wakes    atomic.Uint64
+	nextKill atomic.Uint64
+
+	nSweepDelays atomic.Uint64
+	nDrops       atomic.Uint64
+	nCallDelays  atomic.Uint64
+	nCallPanics  atomic.Uint64
+	nKills       atomic.Uint64
+}
+
+// New returns an Injector executing plan.
+func New(plan Plan) *Injector {
+	i := &Injector{plan: plan}
+	i.nextKill.Store(plan.KillAtOp)
+	return i
+}
+
+// splitmix64 is the SplitMix64 generator step: tiny, seedable, and good
+// enough to decorrelate the plan fields derived from one seed.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FromSeed derives a mixed-fault Plan — all four classes enabled with
+// seed-dependent periods and magnitudes — and returns its Injector. The
+// same seed always yields the same plan.
+func FromSeed(seed uint64) *Injector {
+	x := seed
+	return New(Plan{
+		Seed:            seed,
+		SweepDelayEvery: 64 + splitmix64(&x)%193,
+		SweepDelay:      time.Duration(5+splitmix64(&x)%45) * time.Microsecond,
+		DropWakeEvery:   3 + splitmix64(&x)%8,
+		CallDelayEvery:  64 + splitmix64(&x)%129,
+		CallDelay:       time.Duration(1+splitmix64(&x)%20) * time.Microsecond,
+		CallPanicEvery:  96 + splitmix64(&x)%161,
+		KillAtOp:        300 + splitmix64(&x)%700,
+		KillEvery:       800 + splitmix64(&x)%1200,
+	})
+}
+
+// Plan returns the injector's plan.
+func (i *Injector) Plan() Plan { return i.plan }
+
+// Counts returns a snapshot of the faults fired so far.
+func (i *Injector) Counts() Counts {
+	return Counts{
+		SweepDelays:  i.nSweepDelays.Load(),
+		DroppedWakes: i.nDrops.Load(),
+		CallDelays:   i.nCallDelays.Load(),
+		CallPanics:   i.nCallPanics.Load(),
+		Kills:        i.nKills.Load(),
+	}
+}
+
+// String describes the plan compactly, for chaos-run logs.
+func (i *Injector) String() string {
+	p := i.plan
+	return fmt.Sprintf(
+		"fault.Plan{seed=%d sweep-delay=%v/%d drop-wake=1/%d call-delay=%v/%d call-panic=1/%d kill@%d/+%d}",
+		p.Seed, p.SweepDelay, p.SweepDelayEvery, p.DropWakeEvery,
+		p.CallDelay, p.CallDelayEvery, p.CallPanicEvery, p.KillAtOp, p.KillEvery)
+}
+
+// Sweep implements the server's sweep fault point: every Nth sweep is
+// delayed.
+func (i *Injector) Sweep(n uint64) {
+	if e := i.plan.SweepDelayEvery; e != 0 && n%e == e-1 {
+		i.nSweepDelays.Add(1)
+		time.Sleep(i.plan.SweepDelay)
+	}
+}
+
+// Call implements the delegated-call fault point: every Nth op (by global
+// index) is slowed, every Mth panics. Both are keyed on the op index, so
+// a re-executed request (after a crash restart) faults identically.
+func (i *Injector) Call(fid, op uint64) {
+	_ = fid
+	if e := i.plan.CallDelayEvery; e != 0 && op%e == e-1 {
+		i.nCallDelays.Add(1)
+		time.Sleep(i.plan.CallDelay)
+	}
+	if e := i.plan.CallPanicEvery; e != 0 && op%e == e-1 {
+		i.nCallPanics.Add(1)
+		panic(InjectedPanic{Op: op})
+	}
+}
+
+// DropWake implements the park/wake fault point: every Nth wake attempt
+// is dropped.
+func (i *Injector) DropWake() bool {
+	if e := i.plan.DropWakeEvery; e != 0 {
+		if i.wakes.Add(1)%e == 0 {
+			i.nDrops.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Kill implements the server-death fault point: fire once when the
+// 1-based served count passes the armed threshold, then re-arm KillEvery
+// ops later (or disarm if KillEvery is 0). The threshold only ever
+// advances, so a request re-executed after the resulting restart cannot
+// re-trigger the same kill.
+func (i *Injector) Kill(op uint64) bool {
+	for {
+		at := i.nextKill.Load()
+		if at == 0 || op+1 < at {
+			return false
+		}
+		next := uint64(0)
+		if i.plan.KillEvery != 0 {
+			next = op + 1 + i.plan.KillEvery
+		}
+		if i.nextKill.CompareAndSwap(at, next) {
+			i.nKills.Add(1)
+			return true
+		}
+	}
+}

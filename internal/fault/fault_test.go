@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosPlanDeterministicFromSeed: the whole point of the chaos layer
+// is reproducibility — the same seed must derive the same plan, and two
+// injectors on that plan must fire the same decisions for the same event
+// indices.
+func TestChaosPlanDeterministicFromSeed(t *testing.T) {
+	a, b := FromSeed(42), FromSeed(42)
+	if a.Plan() != b.Plan() {
+		t.Fatalf("FromSeed(42) diverged:\n%+v\n%+v", a.Plan(), b.Plan())
+	}
+	if FromSeed(42).Plan() == FromSeed(43).Plan() {
+		t.Fatal("different seeds derived identical plans")
+	}
+	for op := uint64(0); op < 5000; op++ {
+		if a.Kill(op) != b.Kill(op) {
+			t.Fatalf("Kill(%d) diverged between same-seed injectors", op)
+		}
+	}
+	if a.Counts().Kills == 0 {
+		t.Fatal("seed 42 plan never killed in 5000 ops")
+	}
+}
+
+// TestChaosKillFiresOnceThenRearms: a kill must not re-fire for the same
+// (re-executed) op after a restart, and must re-arm KillEvery ops later.
+func TestChaosKillFiresOnceThenRearms(t *testing.T) {
+	i := New(Plan{KillAtOp: 10, KillEvery: 20})
+	if i.Kill(3) {
+		t.Fatal("killed before the armed threshold")
+	}
+	if !i.Kill(9) { // op index 9 = 10th request
+		t.Fatal("did not kill at the armed threshold")
+	}
+	// The crashed server re-executes ops 9, 10, ...: no double kill.
+	for op := uint64(5); op < 25; op++ {
+		if i.Kill(op) {
+			t.Fatalf("re-killed at op %d before the re-armed threshold", op)
+		}
+	}
+	if !i.Kill(29) { // re-armed at 9+1+20 = 30th request
+		t.Fatal("did not re-arm KillEvery ops later")
+	}
+	if got := i.Counts().Kills; got != 2 {
+		t.Fatalf("Kills = %d, want 2", got)
+	}
+}
+
+// TestChaosKillOneShot: without KillEvery the kill disarms after firing.
+func TestChaosKillOneShot(t *testing.T) {
+	i := New(Plan{KillAtOp: 5})
+	if !i.Kill(4) {
+		t.Fatal("did not kill at threshold")
+	}
+	for op := uint64(0); op < 1000; op++ {
+		if i.Kill(op) {
+			t.Fatalf("one-shot kill re-fired at op %d", op)
+		}
+	}
+}
+
+// TestChaosDropWakePeriod: exactly every Nth wake attempt is dropped,
+// even under concurrent attempts.
+func TestChaosDropWakePeriod(t *testing.T) {
+	i := New(Plan{DropWakeEvery: 4})
+	drops := 0
+	for n := 0; n < 40; n++ {
+		if i.DropWake() {
+			drops++
+		}
+	}
+	if drops != 10 {
+		t.Fatalf("dropped %d of 40 wakes, want 10", drops)
+	}
+	// Concurrent attempts: the count stays exact (atomic counter).
+	i2 := New(Plan{DropWakeEvery: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				i2.DropWake()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := i2.Counts().DroppedWakes; got != 2000 {
+		t.Fatalf("concurrent drops = %d, want 2000", got)
+	}
+}
+
+// TestChaosCallFaultsKeyedOnOp: panics and delays hit exactly the ops the
+// plan names, so a re-executed request faults identically.
+func TestChaosCallFaultsKeyedOnOp(t *testing.T) {
+	i := New(Plan{CallPanicEvery: 3})
+	panicked := func(op uint64) (p bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				p = true
+				ip, ok := r.(InjectedPanic)
+				if !ok || ip.Op != op {
+					t.Fatalf("panic payload = %#v, want InjectedPanic{Op:%d}", r, op)
+				}
+				if !strings.Contains(ip.String(), "injected panic") {
+					t.Fatalf("payload string %q", ip.String())
+				}
+			}
+		}()
+		i.Call(0, op)
+		return false
+	}
+	for op := uint64(0); op < 12; op++ {
+		want := op%3 == 2
+		if got := panicked(op); got != want {
+			t.Fatalf("op %d: panicked=%v, want %v", op, got, want)
+		}
+		// Same op again: identical decision.
+		if got := panicked(op); got != want {
+			t.Fatalf("op %d replay: decision changed", op)
+		}
+	}
+}
+
+// TestChaosSweepDelay: the named sweeps are delayed by about the plan's
+// duration.
+func TestChaosSweepDelay(t *testing.T) {
+	i := New(Plan{SweepDelayEvery: 2, SweepDelay: 2 * time.Millisecond})
+	start := time.Now()
+	i.Sweep(0) // not delayed
+	if time.Since(start) >= 2*time.Millisecond {
+		t.Fatal("sweep 0 delayed; only every 2nd should be")
+	}
+	start = time.Now()
+	i.Sweep(1) // delayed
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("sweep 1 not delayed")
+	}
+	if got := i.Counts().SweepDelays; got != 1 {
+		t.Fatalf("SweepDelays = %d, want 1", got)
+	}
+}

@@ -71,6 +71,44 @@ func (w *Waiter) Wait() {
 	w.sleep = d
 }
 
+// WaitBounded is Wait with a deadline: it performs one waiting step and
+// reports whether the wait may continue. It returns false once deadline
+// has passed. The clock is consulted only on the yield and sleep rungs —
+// the busy-spin rung stays a handful of cycles — so a loop can overshoot
+// its deadline by at most the spin phase. Sleeps are truncated to the
+// remaining budget so a waiter never oversleeps its deadline by more than
+// a scheduler quantum.
+func (w *Waiter) WaitBounded(deadline time.Time) bool {
+	if w.spins < defaultSpins {
+		w.spins++
+		pause()
+		return true
+	}
+	now := time.Now()
+	if !now.Before(deadline) {
+		return false
+	}
+	if w.yields < defaultYields {
+		w.yields++
+		runtime.Gosched()
+		return true
+	}
+	d := w.sleep
+	if d <= 0 {
+		d = sleepMin
+	}
+	if rem := deadline.Sub(now); d > rem {
+		d = rem
+	}
+	time.Sleep(d)
+	d *= 2
+	if d > sleepMax {
+		d = sleepMax
+	}
+	w.sleep = d
+	return true
+}
+
 // Yielded reports whether the waiter has exhausted its busy-spin phase,
 // i.e. at least one Wait call reached the yield or sleep rung.
 func (w *Waiter) Yielded() bool { return w.spins >= defaultSpins }
