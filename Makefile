@@ -3,14 +3,14 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench check chaos figures ablations coverage clean
+.PHONY: all build vet test race bench check chaos linear figures ablations coverage clean
 
 all: build vet test
 
 # The pre-merge gate: vet, full build, race-enabled tests of the hot-path
-# packages, and a smoke run of the core microbenches (100 iterations — just
-# enough to prove they still execute).
-check:
+# packages, the linearizability suite, and a smoke run of the core
+# microbenches (100 iterations — just enough to prove they still execute).
+check: linear
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
@@ -33,6 +33,14 @@ race:
 # from CHAOS_SEED (e.g. `make chaos CHAOS_SEED=7`).
 chaos:
 	FFWD_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run Chaos -v ./internal/core/ ./internal/fault/
+
+# Linearizability: record real histories of the delegated KV/stack/queue
+# under fault injection (kills, dropped wakes, retries) and check them
+# against the sequential specs, under the race detector, for two chaos
+# seeds. Proves exactly-once effects end to end.
+linear:
+	FFWD_CHAOS_SEED=3 $(GO) test -race -count=1 ./internal/linear/
+	FFWD_CHAOS_SEED=11 $(GO) test -race -count=1 ./internal/linear/
 
 # One testing.B benchmark per paper table/figure plus native benches.
 bench:

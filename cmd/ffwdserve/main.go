@@ -14,36 +14,63 @@
 //	quit                → closes the connection
 //
 // Keys and values are unsigned 64-bit integers (value 2^64-1 is reserved).
+// Malformed input never kills a connection silently: unknown commands,
+// bad numbers, over-limit mget lines, and lines longer than the 4 KiB
+// bound all get an ERROR reply and the connection stays usable.
+//
+// The server protects itself under overload and abuse:
+//
+//   - -max-conns caps concurrent connections; beyond it, new arrivals get
+//     "BUSY max connections" and are closed immediately.
+//   - -read-timeout bounds how long a connection may sit idle between
+//     commands (slowloris/forgotten-client protection): a stalled
+//     connection gets "ERROR idle timeout" and is dropped.
+//   - -write-timeout bounds response flushes so a non-reading peer cannot
+//     wedge a serving goroutine.
+//   - When every pooled delegation client is borrowed, a command waits up
+//     to -shed-timeout and is then answered "BUSY delegation pool
+//     saturated" instead of queueing without bound.
+//   - -stats-addr exposes the serving counters and the delegation
+//     server's stats (including exactly-once ledger replays) as expvar
+//     JSON at /debug/vars.
 //
 // The delegation server uses the adaptive idle policy: at zero load it
 // parks instead of spinning, so an idle ffwdserve burns no core; the first
 // request after an idle period wakes it. Tune with -idle-park-after.
 //
 // The ffwd backend runs under a core.Supervisor, which restarts the
-// delegation server if it ever crashes. SIGINT/SIGTERM shut down
-// gracefully: accepting stops, in-flight connections drain (bounded by
-// -drain-timeout), and the delegation server's final stats are logged.
-// -chaos-seed injects a deterministic fault mix (see internal/fault) for
-// resilience testing against a live server.
+// delegation server if it ever crashes; the exactly-once ledger makes
+// those restarts invisible to clients (no request is applied twice).
+// SIGINT/SIGTERM shut down gracefully: accepting stops, in-flight
+// connections drain (bounded by -drain-timeout), and the delegation
+// server's final stats are logged. -chaos-seed injects a deterministic
+// fault mix (see internal/fault) for resilience testing against a live
+// server.
 //
 // Usage:
 //
 //	ffwdserve -addr :11211 -capacity 65536 -backend ffwd
 //	ffwdserve -backend mutex     # global-lock baseline, for comparison
 //	ffwdserve -chaos-seed 7      # fault-injected resilience run
+//	ffwdserve -max-conns 128 -read-timeout 30s -stats-addr :8080
 package main
 
 import (
 	"bufio"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +82,15 @@ import (
 // mgetMax bounds the number of keys per mget so one command line cannot
 // monopolize the pooled pipeline client.
 const mgetMax = 64
+
+// maxLine bounds one command line (bytes, newline included). Longer
+// lines are drained and answered with an ERROR instead of truncated or
+// silently dropped.
+const maxLine = 4096
+
+// errLineTooLong reports a command line over maxLine; the offending line
+// has been consumed, so the connection can keep serving.
+var errLineTooLong = errors.New("line too long")
 
 // backend abstracts the two store configurations.
 type backend interface {
@@ -78,6 +114,12 @@ type ffwdBackend struct {
 	// fixed channel-based pool: a command borrows one and returns it.
 	// (sync.Pool is wrong here — it may drop items, leaking slots.)
 	clients chan *ffwdConn
+
+	// shedAfter bounds how long a command waits for a pooled handle when
+	// the pool is saturated before being answered BUSY (0 = wait
+	// forever). sheds counts the commands shed that way.
+	shedAfter time.Duration
+	sheds     atomic.Uint64
 }
 
 // newFFWDBackendPool preallocates every client slot: n pooled handles,
@@ -107,6 +149,87 @@ type mutexBackend struct {
 	kv *apps.LockedKV
 }
 
+// serveStats aggregates connection-level counters across the frontend;
+// all fields are atomics so serving goroutines update them lock-free.
+type serveStats struct {
+	accepted     atomic.Uint64 // connections accepted off the listener
+	rejected     atomic.Uint64 // closed at admission: over -max-conns
+	active       atomic.Int64  // currently serving
+	readTimeouts atomic.Uint64 // connections dropped by the idle deadline
+	longLines    atomic.Uint64 // over-maxLine command lines rejected
+}
+
+// frontend is the connection-facing half of ffwdserve: it owns admission
+// control, per-connection deadlines, the bounded-line protocol loop, and
+// the in-flight connection set the graceful drain closes.
+type frontend struct {
+	b            backend
+	maxConns     int           // admission cap (0 = unlimited)
+	readTimeout  time.Duration // per-command idle bound (0 = none)
+	writeTimeout time.Duration // per-flush bound (0 = none)
+	stats        serveStats
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func newFrontend(b backend) *frontend {
+	return &frontend{b: b, conns: make(map[net.Conn]struct{})}
+}
+
+// acceptLoop accepts until the listener closes, applying the -max-conns
+// admission check before a connection gets a serving goroutine.
+func (fe *frontend) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fe.stats.accepted.Add(1)
+		if fe.maxConns > 0 && fe.stats.active.Load() >= int64(fe.maxConns) {
+			fe.stats.rejected.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintf(conn, "BUSY max connections\n")
+			conn.Close()
+			continue
+		}
+		fe.stats.active.Add(1)
+		fe.mu.Lock()
+		fe.conns[conn] = struct{}{}
+		fe.mu.Unlock()
+		fe.wg.Add(1)
+		go func() {
+			defer fe.wg.Done()
+			defer fe.stats.active.Add(-1)
+			fe.serve(conn)
+			fe.mu.Lock()
+			delete(fe.conns, conn)
+			fe.mu.Unlock()
+		}()
+	}
+}
+
+// drain waits up to timeout for in-flight connections to finish, then
+// force-closes the stragglers; it returns how many it had to force.
+func (fe *frontend) drain(timeout time.Duration) int {
+	done := make(chan struct{})
+	go func() { fe.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return 0
+	case <-time.After(timeout):
+	}
+	fe.mu.Lock()
+	n := len(fe.conns)
+	for c := range fe.conns {
+		c.Close()
+	}
+	fe.mu.Unlock()
+	<-done
+	return n
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
@@ -117,12 +240,18 @@ func main() {
 		parkAfter = flag.Int("idle-park-after", 0, "empty sweeps before the idle server parks (0 = default, negative = never park)")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "inject a seed-derived fault mix into the delegation server (0 = off; ffwd backend)")
 		drainWait = flag.Duration("drain-timeout", 2*time.Second, "grace period for in-flight connections on SIGINT/SIGTERM")
+		maxConns  = flag.Int("max-conns", 256, "max concurrent connections; beyond it new arrivals are rejected BUSY (0 = unlimited)")
+		readWait  = flag.Duration("read-timeout", 2*time.Minute, "idle bound between commands before a connection is dropped (0 = none)")
+		writeWait = flag.Duration("write-timeout", 10*time.Second, "bound on flushing one response (0 = none)")
+		shedWait  = flag.Duration("shed-timeout", 100*time.Millisecond, "how long a command waits for a pooled delegation client before BUSY (ffwd backend; 0 = forever)")
+		statsAddr = flag.String("stats-addr", "", "expose expvar serving stats over HTTP at this address (empty = off)")
 	)
 	flag.Parse()
 
 	var (
 		b  backend
 		d  *apps.DelegatedKV
+		fb *ffwdBackend
 		sv *core.Supervisor
 	)
 	switch *kind {
@@ -145,10 +274,12 @@ func main() {
 		if err := d.Start(); err != nil {
 			log.Fatal(err)
 		}
-		fb, err := newFFWDBackendPool(d, *clients, *pipeDepth)
+		var err error
+		fb, err = newFFWDBackendPool(d, *clients, *pipeDepth)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fb.shedAfter = *shedWait
 		b = fb
 		// Supervise the delegation server: restart it if it crashes
 		// (mandatory under chaos injection, cheap insurance without).
@@ -168,6 +299,41 @@ func main() {
 		log.Fatalf("unknown backend %q", *kind)
 	}
 
+	fe := newFrontend(b)
+	fe.maxConns = *maxConns
+	fe.readTimeout = *readWait
+	fe.writeTimeout = *writeWait
+
+	if *statsAddr != "" {
+		expvar.Publish("ffwdserve", expvar.Func(func() any {
+			m := map[string]uint64{
+				"accepted":      fe.stats.accepted.Load(),
+				"rejected":      fe.stats.rejected.Load(),
+				"active":        uint64(fe.stats.active.Load()),
+				"read_timeouts": fe.stats.readTimeouts.Load(),
+				"long_lines":    fe.stats.longLines.Load(),
+			}
+			if fb != nil {
+				m["busy_sheds"] = fb.sheds.Load()
+			}
+			if d != nil {
+				st := d.Server().Stats()
+				m["requests"] = st.Requests
+				m["sweeps"] = st.Sweeps
+				m["panics"] = st.Panics
+				m["crashes"] = st.ServerCrashes
+				m["restarts"] = st.Restarts
+				m["ledger_skips"] = st.LedgerSkips
+				m["retry_waits"] = st.RetryWaits
+			}
+			return m
+		}))
+		go func() {
+			log.Printf("ffwdserve: stats endpoint on http://%s/debug/vars", *statsAddr)
+			log.Print(http.ListenAndServe(*statsAddr, nil))
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -185,54 +351,28 @@ func main() {
 		ln.Close()
 	}()
 
-	var (
-		connMu sync.Mutex
-		conns  = make(map[net.Conn]struct{})
-		inWG   sync.WaitGroup
-	)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			// Listener closed by the signal handler (or a fatal accept
-			// error): fall through to the drain.
-			break
-		}
-		connMu.Lock()
-		conns[conn] = struct{}{}
-		connMu.Unlock()
-		inWG.Add(1)
-		go func() {
-			defer inWG.Done()
-			serve(conn, b)
-			connMu.Lock()
-			delete(conns, conn)
-			connMu.Unlock()
-		}()
-	}
+	fe.acceptLoop(ln)
 
-	drained := make(chan struct{})
-	go func() { inWG.Wait(); close(drained) }()
-	select {
-	case <-drained:
-	case <-time.After(*drainWait):
-		connMu.Lock()
-		n := len(conns)
-		for c := range conns {
-			c.Close()
-		}
-		connMu.Unlock()
+	if n := fe.drain(*drainWait); n > 0 {
 		log.Printf("ffwdserve: drain timeout: force-closed %d connection(s)", n)
-		<-drained
 	}
 
 	if sv != nil {
 		sv.Stop()
 	}
+	var sheds uint64
+	if fb != nil {
+		sheds = fb.sheds.Load()
+	}
+	log.Printf("ffwdserve: conn stats: accepted=%d rejected=%d read-timeouts=%d long-lines=%d busy-sheds=%d",
+		fe.stats.accepted.Load(), fe.stats.rejected.Load(),
+		fe.stats.readTimeouts.Load(), fe.stats.longLines.Load(), sheds)
 	if d != nil {
 		st := d.Server().Stats()
-		log.Printf("ffwdserve: final stats: requests=%d sweeps=%d batches=%d panics=%d crashes=%d restarts=%d kicks=%d heartbeat-misses=%d abandoned-slots=%d",
+		log.Printf("ffwdserve: final stats: requests=%d sweeps=%d batches=%d panics=%d crashes=%d restarts=%d kicks=%d heartbeat-misses=%d abandoned-slots=%d ledger-skips=%d retry-waits=%d",
 			st.Requests, st.Sweeps, st.Batches, st.Panics, st.ServerCrashes,
-			st.Restarts, st.Kicks, st.HeartbeatMisses, st.AbandonedSlots)
+			st.Restarts, st.Kicks, st.HeartbeatMisses, st.AbandonedSlots,
+			st.LedgerSkips, st.RetryWaits)
 		if st.LastPanic != nil {
 			log.Printf("ffwdserve: last panic: %v", st.LastPanic)
 		}
@@ -241,23 +381,83 @@ func main() {
 	log.Print("ffwdserve: shutdown complete")
 }
 
-func serve(conn net.Conn, b backend) {
+// serve runs the protocol loop for one connection: bounded line reads
+// under the idle deadline, one reply per line under the write deadline.
+func (fe *frontend) serve(conn net.Conn) {
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
+	r := bufio.NewReaderSize(conn, maxLine)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for {
+		if fe.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(fe.readTimeout))
+		}
+		line, err := readLine(r)
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				fe.stats.longLines.Add(1)
+				if !fe.reply(conn, w, "ERROR line too long") {
+					return
+				}
+				continue
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// A quit-less idle client: tell it why (best effort)
+				// and drop the connection rather than leak it.
+				fe.stats.readTimeouts.Add(1)
+				fe.reply(conn, w, "ERROR idle timeout")
+			}
+			return
+		}
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
 		if strings.EqualFold(line, "quit") {
 			return
 		}
-		fmt.Fprintln(w, b.handle(line))
-		if err := w.Flush(); err != nil {
+		if !fe.reply(conn, w, fe.b.handle(line)) {
 			return
 		}
 	}
+}
+
+// readLine reads one newline-terminated line of at most maxLine bytes
+// (the reader's buffer size). An overlong line is consumed through its
+// newline and reported as errLineTooLong, so the protocol loop can
+// answer with an ERROR and keep the connection — where a Scanner would
+// kill it silently.
+func readLine(r *bufio.Reader) (string, error) {
+	s, err := r.ReadSlice('\n')
+	switch {
+	case err == nil:
+		return string(s), nil
+	case errors.Is(err, bufio.ErrBufferFull):
+		for {
+			_, err = r.ReadSlice('\n')
+			if err == nil {
+				return "", errLineTooLong
+			}
+			if !errors.Is(err, bufio.ErrBufferFull) {
+				return "", err
+			}
+		}
+	case len(s) > 0 && errors.Is(err, io.EOF):
+		// A final line without a newline is still a command.
+		return string(s), nil
+	default:
+		return "", err
+	}
+}
+
+// reply writes one response line under the write deadline; false means
+// the connection is gone.
+func (fe *frontend) reply(conn net.Conn, w *bufio.Writer, resp string) bool {
+	if fe.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(fe.writeTimeout))
+	}
+	fmt.Fprintln(w, resp)
+	return w.Flush() == nil
 }
 
 // parse splits a command into op and numeric arguments.
@@ -278,7 +478,25 @@ func parse(line string) (op string, args []uint64, err error) {
 }
 
 func (f *ffwdBackend) handle(line string) string {
-	c := <-f.clients
+	var c *ffwdConn
+	if f.shedAfter <= 0 {
+		c = <-f.clients
+	} else {
+		select {
+		case c = <-f.clients:
+		default:
+			// Saturated pool: wait a bounded while for a handle, then
+			// shed the command rather than queue without limit.
+			t := time.NewTimer(f.shedAfter)
+			select {
+			case c = <-f.clients:
+				t.Stop()
+			case <-t.C:
+				f.sheds.Add(1)
+				return "BUSY delegation pool saturated"
+			}
+		}
+	}
 	defer func() { f.clients <- c }()
 	return dispatchStats(line,
 		func(k uint64) (uint64, bool) { return c.kv.Get(k) },

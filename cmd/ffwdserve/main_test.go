@@ -80,24 +80,24 @@ func TestDispatchProtocol(t *testing.T) {
 	}
 }
 
-func TestServeOverTCP(t *testing.T) {
-	b := newFFWDBackend(t, 1024, 8)
+// listen starts fe accepting on an ephemeral port and returns its
+// address.
+func listen(t *testing.T, fe *frontend) string {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go serve(conn, b)
-		}
-	}()
+	t.Cleanup(func() { ln.Close() })
+	go fe.acceptLoop(ln)
+	return ln.Addr().String()
+}
 
-	conn, err := net.Dial("tcp", ln.Addr().String())
+func TestServeOverTCP(t *testing.T) {
+	b := newFFWDBackend(t, 1024, 8)
+	addr := listen(t, newFrontend(b))
+
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,20 +130,7 @@ func TestServeOverTCP(t *testing.T) {
 
 func TestServeConcurrentConnections(t *testing.T) {
 	b := newFFWDBackend(t, 1<<12, 16)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go serve(conn, b)
-		}
-	}()
+	addr := listen(t, newFrontend(b))
 
 	const conns, opsEach = 8, 200
 	var wg sync.WaitGroup
@@ -152,7 +139,7 @@ func TestServeConcurrentConnections(t *testing.T) {
 		base := uint64(c * 1000)
 		go func() {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", ln.Addr().String())
+			conn, err := net.Dial("tcp", addr)
 			if err != nil {
 				t.Error(err)
 				return

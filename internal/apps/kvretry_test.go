@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"ffwd/internal/core"
+	"ffwd/internal/fault"
+)
+
+// TestKVClientRetryAcrossCrash drives the retry-aware KV client methods
+// across an injected server kill: the supervisor restarts the server,
+// the client's bounded waits ride out the gap, and every operation's
+// effect lands exactly once (the re-delivered request is answered from
+// the ledger, never re-applied).
+func TestKVClientRetryAcrossCrash(t *testing.T) {
+	d := NewDelegatedKVConfig(1<<10, core.Config{
+		MaxClients: 2,
+		Hooks:      fault.New(fault.Plan{KillAtOp: 2, KillEvery: 5}),
+	})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	sv := core.NewSupervisor(d.Server(), core.SupervisorConfig{Interval: time.Millisecond, KickAfter: 2})
+	sv.Start()
+	defer sv.Stop()
+
+	k, err := d.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.RetryPolicy{MaxAttempts: 200, BaseDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond}
+	const perTry = 5 * time.Millisecond
+
+	for i := uint64(1); i <= 20; i++ {
+		if err := k.SetRetry(p, perTry, i, i*10); err != nil {
+			t.Fatalf("SetRetry(%d): %v", i, err)
+		}
+	}
+	for i := uint64(1); i <= 20; i++ {
+		v, ok, err := k.GetRetry(p, perTry, i)
+		if err != nil || !ok || v != i*10 {
+			t.Fatalf("GetRetry(%d) = %d/%v/%v, want %d", i, v, ok, err, i*10)
+		}
+	}
+	// Exactly-once deletes: present exactly the first time.
+	for i := uint64(1); i <= 20; i++ {
+		present, err := k.DeleteRetry(p, perTry, i)
+		if err != nil || !present {
+			t.Fatalf("DeleteRetry(%d) = %v/%v, want present", i, present, err)
+		}
+		present, err = k.DeleteRetry(p, perTry, i)
+		if err != nil || present {
+			t.Fatalf("second DeleteRetry(%d) = %v/%v, want absent", i, present, err)
+		}
+	}
+	st := d.Server().Stats()
+	t.Logf("crashes=%d restarts=%d ledger-skips=%d retry-waits=%d",
+		st.ServerCrashes, st.Restarts, st.LedgerSkips, st.RetryWaits)
+	if st.ServerCrashes == 0 || st.LedgerSkips == 0 {
+		t.Fatalf("crashes=%d ledger-skips=%d: the kill plan never fired", st.ServerCrashes, st.LedgerSkips)
+	}
+}

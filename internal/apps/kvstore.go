@@ -2,6 +2,7 @@ package apps
 
 import (
 	"sync"
+	"time"
 
 	"ffwd/internal/core"
 )
@@ -322,6 +323,43 @@ func (k *KVClient) SetTTL(key, value, now, ttl uint64) {
 // delegated request. It returns the number reclaimed.
 func (k *KVClient) SweepExpired(now uint64) int {
 	return int(k.c.Delegate1(k.d.fidSweep, now))
+}
+
+// GetRetry is Get with bounded per-attempt waits and backoff, for use
+// against a supervised server that may crash and restart mid-request.
+// Exactly-once semantics hold across the retries: the lookup observes
+// the store once no matter how many waits it took.
+func (k *KVClient) GetRetry(p core.RetryPolicy, perTry time.Duration, key uint64) (uint64, bool, error) {
+	v, err := k.c.DelegateRetry(p, perTry, k.d.fidGet, key)
+	if err != nil {
+		return 0, false, err
+	}
+	if v == kvMissSentinel {
+		return 0, false, nil
+	}
+	return v, true, nil
+}
+
+// SetRetry is Set under a retry policy; the write lands exactly once
+// even if the server crashes between applying it and responding.
+func (k *KVClient) SetRetry(p core.RetryPolicy, perTry time.Duration, key, value uint64) error {
+	if value == kvMissSentinel {
+		panic("apps: KVClient.SetRetry of the sentinel value")
+	}
+	_, err := k.c.DelegateRetry(p, perTry, k.d.fidSet, key, value)
+	return err
+}
+
+// DeleteRetry is Delete under a retry policy. The reported presence is
+// the first (only) application's answer — a crash-induced re-delivery is
+// answered from the server's ledger, so a successful delete is never
+// double-counted as a miss.
+func (k *KVClient) DeleteRetry(p core.RetryPolicy, perTry time.Duration, key uint64) (bool, error) {
+	v, err := k.c.DelegateRetry(p, perTry, k.d.fidDelete, key)
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
 }
 
 // Stats reads the hit/miss/eviction counters (three single-word requests;

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -24,14 +23,11 @@ import (
 // if set, else a fixed default set.
 func chaosSeeds(t *testing.T) []uint64 {
 	t.Helper()
-	if v := os.Getenv("FFWD_CHAOS_SEED"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			t.Fatalf("bad FFWD_CHAOS_SEED %q: %v", v, err)
-		}
-		return []uint64{n}
+	seeds, err := fault.SeedsFromEnv(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return []uint64{1, 2, 3}
+	return seeds
 }
 
 func chaosEcho(a *[MaxArgs]uint64) uint64 { return a[0] }
@@ -388,4 +384,139 @@ func TestChaosPoolShardDegradation(t *testing.T) {
 	if st := s0.Stats(); st.ServerCrashes != 1 || st.Restarts != 1 {
 		t.Fatalf("shard0 stats: crashes=%d restarts=%d, want 1/1", st.ServerCrashes, st.Restarts)
 	}
+}
+
+// TestChaosExactlyOnceAcrossRestarts is the headline exactly-once
+// scenario: a non-idempotent delegated increment under repeated
+// supervisor-repaired server kills. Each kill loses a flushed response
+// but not the applied effect; the restarted server must answer the
+// re-delivered request from its ledger (observable via Stats.LedgerSkips)
+// rather than re-execute it, so every DelegateRetry return value is the
+// counter's value applied exactly once, in order.
+func TestChaosExactlyOnceAcrossRestarts(t *testing.T) {
+	inj := fault.New(fault.Plan{KillAtOp: 20, KillEvery: 40})
+	s := NewServer(Config{MaxClients: 2, Hooks: inj})
+	var counter uint64
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 { counter++; return counter })
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	sv := NewSupervisor(s, SupervisorConfig{Interval: time.Millisecond, KickAfter: 2})
+	sv.Start()
+	defer sv.Stop()
+
+	policy := RetryPolicy{MaxAttempts: 200, BaseDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond}
+	c := s.MustNewClient()
+	defer c.Close()
+	const ops = 300
+	for i := uint64(1); i <= ops; i++ {
+		got, err := c.DelegateRetry(policy, 5*time.Millisecond, inc)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got != i {
+			t.Fatalf("op %d returned counter %d: the increment was applied %+d times too many/few",
+				i, got, int64(got)-int64(i))
+		}
+	}
+	if counter != ops {
+		t.Fatalf("counter = %d after %d ops, want exactly-once application", counter, ops)
+	}
+	st := s.Stats()
+	if st.ServerCrashes == 0 || st.Restarts == 0 {
+		t.Fatalf("crashes=%d restarts=%d: the kill fault was never exercised", st.ServerCrashes, st.Restarts)
+	}
+	if st.LedgerSkips == 0 {
+		t.Fatal("Stats.LedgerSkips = 0: no re-delivered request was fenced by the ledger")
+	}
+	if st.LedgerSkips < st.ServerCrashes {
+		t.Errorf("LedgerSkips = %d < ServerCrashes = %d: some killed op's re-delivery was not fenced",
+			st.LedgerSkips, st.ServerCrashes)
+	}
+	t.Logf("exactly-once: crashes=%d restarts=%d ledger-skips=%d retry-waits=%d",
+		st.ServerCrashes, st.Restarts, st.LedgerSkips, st.RetryWaits)
+}
+
+// TestChaosShardDiesMidFlush covers the gap left by the pre-dead-shard
+// tests: shard 0 is killed while a FlushTimeout is actively waiting on
+// it (a slow delegated call keeps the flush in flight across the kill).
+// The flush must fail bounded, the shard's request must survive as
+// abandoned, and after a restart the same FlushTimeout must collect the
+// result — applied exactly once despite the crash landing after
+// execution but before the response flush.
+func TestChaosShardDiesMidFlush(t *testing.T) {
+	// Shard 0: every call sleeps 5ms, and the server is killed after
+	// serving its first op — i.e. mid-flush from the client's view, since
+	// FlushTimeout is already blocked on the shard when the kill fires.
+	s0 := NewServer(Config{MaxClients: 2, Hooks: fault.New(fault.Plan{
+		CallDelayEvery: 1, CallDelay: 5 * time.Millisecond, KillAtOp: 1,
+	})})
+	s1 := NewServer(Config{MaxClients: 2})
+	p := &Pool{servers: []*Server{s0, s1}}
+	var applied atomic.Uint64
+	bump := p.RegisterAll(func(a *[MaxArgs]uint64) uint64 {
+		applied.Add(1)
+		return a[0]
+	})
+	if err := p.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.StopAll()
+	pc := p.MustNewClient()
+
+	pc.IssueTo1(0, bump, 41)
+	pc.IssueTo1(1, bump, 42)
+	// The flush deadline comfortably covers the 5ms call delay, so the
+	// wait on shard 0 is live when the server dies: the error must be
+	// the mid-flight death (ErrServerStopped), not a pre-dead fast-fail.
+	start := time.Now()
+	var dead int
+	err := pc.FlushTimeout(time.Second, func(shard int, ret uint64, ferr error) {
+		if ferr != nil {
+			dead++
+			if shard != 0 || !errors.Is(ferr, ErrServerStopped) {
+				t.Errorf("shard %d failed with %v, want shard 0 with ErrServerStopped", shard, ferr)
+			}
+			return
+		}
+		if shard != 1 || ret != 42 {
+			t.Errorf("live shard result: shard=%d ret=%d", shard, ret)
+		}
+	})
+	if err == nil || dead != 1 {
+		t.Fatalf("FlushTimeout err=%v dead=%d; want the mid-flush death surfaced", err, dead)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("mid-flush death was not bounded")
+	}
+	if pc.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want the dead shard's request still accounted", pc.InFlight())
+	}
+
+	// Restart and re-flush: the killed op was executed and ledgered, so
+	// recovery replays the recorded result without a second application.
+	if !s0.RestartIfCrashed() {
+		t.Fatal("RestartIfCrashed found nothing to restart")
+	}
+	var recovered []uint64
+	if err := pc.FlushTimeout(2*time.Second, func(_ int, ret uint64, ferr error) {
+		if ferr != nil {
+			t.Errorf("flush after restart: %v", ferr)
+			return
+		}
+		recovered = append(recovered, ret)
+	}); err != nil {
+		t.Fatalf("flush after restart: %v", err)
+	}
+	if len(recovered) != 1 || recovered[0] != 41 {
+		t.Fatalf("recovered = %v, want [41]", recovered)
+	}
+	if got := applied.Load(); got != 2 {
+		t.Fatalf("delegated function applied %d times for 2 ops, want exactly once each", got)
+	}
+	if st := s0.Stats(); st.LedgerSkips != 1 {
+		t.Fatalf("shard0 LedgerSkips = %d, want the re-delivered op fenced exactly once", st.LedgerSkips)
+	}
+	pc.Close()
 }

@@ -20,6 +20,15 @@ type Client struct {
 	respV  *uint64  // this client's return-value word
 	bit    uint64   // our bit in the toggle word
 	toggle uint64   // current request toggle (0 or 1)
+	// seq is the slot's monotonic request sequence number: incremented
+	// and stamped into the request line on every issue, it lets the
+	// server's last-applied ledger fence duplicate deliveries after a
+	// crash restart. A recycled slot's new owner adopts the previous
+	// owner's count, keeping the sequence monotonic per slot.
+	seq uint64
+	// rng is the client-local xorshift state behind DelegateRetry's
+	// backoff jitter (lazily seeded from the slot index).
+	rng uint64
 	// pending tracks an Issue without a matching Wait, to catch misuse.
 	pending bool
 	// abandoned marks a pending request whose bounded wait gave up
@@ -233,6 +242,12 @@ func (c *Client) issueHdr(fid FuncID, argc int) {
 		c.drainAbandoned()
 	}
 	c.toggle ^= 1
+	// Stamp the slot's next sequence number; the releasing header store
+	// below publishes it together with the argument words. The server's
+	// ledger compares it against the slot's last applied sequence to
+	// fence duplicate deliveries after a crash restart.
+	c.seq++
+	c.req[reqSeqWord] = c.seq
 	hdr := uint64(fid)<<hdrFuncShift |
 		uint64(argc)<<hdrArgcShift |
 		hdrSeededBit | c.toggle
@@ -301,4 +316,120 @@ func (c *Client) Delegate3(fid FuncID, a0, a1, a2 uint64) uint64 {
 	c.req[3] = a2
 	c.issueHdr(fid, 3)
 	return c.Wait()
+}
+
+// RetryPolicy parameterizes the automatic-retry delegates: up to
+// MaxAttempts bounded waits separated by capped exponential backoff with
+// jitter. The zero value selects the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of bounded waits (the first
+	// attempt included). Default 8.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it. Default 200µs.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Default 50ms.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 200 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry attempt (1-based: the
+// wait after the attempt'th failed wait): half the capped exponential
+// step plus a uniformly random other half, decorrelating clients that
+// timed out together.
+func (p RetryPolicy) backoff(attempt int, rng *uint64) time.Duration {
+	d := p.BaseDelay << uint(attempt-1)
+	if d <= 0 || d > p.MaxDelay { // <= 0 catches shift overflow
+		d = p.MaxDelay
+	}
+	// xorshift64: tiny, seedable, good enough for jitter.
+	x := *rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + int64(x%uint64(half)))
+}
+
+// retrySleep takes one policy backoff, counting it in Stats.RetryWaits.
+func (c *Client) retrySleep(p RetryPolicy, attempt int) {
+	if c.rng == 0 {
+		c.rng = (uint64(c.slot)+1)*0x9e3779b97f4a7c15 + 1
+	}
+	c.s.nRetryWaits.Add(1)
+	time.Sleep(p.backoff(attempt, &c.rng))
+}
+
+// DelegateRetry is the exactly-once automatic-retry round trip: it issues
+// fid(args...) once and then waits up to p.MaxAttempts times (each wait
+// bounded by perTry), sleeping a capped, jittered exponential backoff
+// between attempts. The request is never re-issued — the request line
+// survives server crashes, a restarted server re-serves it, and the
+// last-applied ledger fences duplicate deliveries — so a successful
+// return means the operation executed exactly once, even for
+// non-idempotent functions, no matter how many timeouts and restarts the
+// retries rode out. A previously abandoned request on this client is
+// first drained (its stale result discarded) under the same policy.
+//
+// On attempt exhaustion the last error (ErrTimeout or ErrServerStopped)
+// is returned and the request remains outstanding and abandoned, exactly
+// as after DelegateTimeout: its fate is undecided until a later wait
+// drains it. Delegated-function panics and unknown function ids surface
+// as *PanicRecord errors, as with DelegateErr.
+func (c *Client) DelegateRetry(p RetryPolicy, perTry time.Duration, fid FuncID, args ...uint64) (uint64, error) {
+	p = p.withDefaults()
+	// stale marks an abandoned predecessor whose late response must be
+	// drained and discarded before fid can be issued.
+	stale := c.pending
+	if stale && !c.abandoned {
+		panic("core: DelegateRetry with a request already in flight")
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retrySleep(p, attempt)
+		}
+		if stale {
+			if _, err := c.waitUntil(time.Now().Add(perTry)); err != nil {
+				lastErr = err
+				continue
+			}
+			stale = false
+		}
+		if !c.pending {
+			// Not yet issued (or the stale drain just completed):
+			// issue exactly once. Later attempts re-wait this same
+			// request rather than re-issuing it.
+			c.s.slotPanic[c.slot].Store(nil)
+			c.Issue(fid, args...)
+		}
+		ret, err := c.waitUntil(time.Now().Add(perTry))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if ret == ^uint64(0) {
+			if rec := c.s.slotPanic[c.slot].Load(); rec != nil {
+				return ret, rec
+			}
+		}
+		return ret, nil
+	}
+	return 0, lastErr
 }

@@ -37,6 +37,20 @@
 // line per pass; trailing all-empty groups are skipped without even
 // loading their mask.
 //
+// # Exactly-once delegation
+//
+// A server crash between executing a request and flushing its response
+// re-delivers the request to the restarted goroutine (the toggle still
+// differs). To keep delegation exactly-once for non-idempotent functions,
+// every issue stamps a per-slot monotonic sequence number into the
+// request line's eighth word, and the server records each slot's last
+// applied (sequence, return) pair in a ledger before the crash-injection
+// point. A re-delivered request whose sequence matches the ledger is
+// answered from the recorded return value instead of re-executed;
+// Stats.LedgerSkips counts these fenced duplicates. Client.DelegateRetry
+// builds safe automatic retry on top: the request is issued once and only
+// ever re-waited (never re-issued), with capped exponential backoff.
+//
 // # Idle policy
 //
 // An idle server descends a spin → yield → park ladder: empty sweeps
@@ -71,9 +85,20 @@ const GroupSize = 15
 const MaxArgs = 6
 
 // reqWords is the size of one client's request slot in words: header,
-// six argument words, one pad word — 64 bytes, so two clients (the two
-// hardware threads of a core, in the paper's terms) share a line pair.
+// six argument words, one sequence word — 64 bytes, so two clients (the
+// two hardware threads of a core, in the paper's terms) share a line
+// pair. The sequence word carries the slot's monotonic request number,
+// the fence behind exactly-once re-delivery (see reqSeqWord).
 const reqWords = 8
+
+// reqSeqWord is the index of the per-slot sequence word inside a request
+// slot. Each issue stamps the slot's next monotonic sequence number there
+// (ordered by the same releasing header store that orders the argument
+// words); the server records the last applied sequence per slot in its
+// ledger, so a request re-delivered after a crash restart — the toggle
+// still differs because the response was never flushed — is recognized
+// as a duplicate and answered from the ledger instead of re-executed.
+const reqSeqWord = 7
 
 // respWords is the size of one response group in words: toggle word plus
 // GroupSize return values — one 128-byte line pair.
@@ -242,6 +267,16 @@ type Stats struct {
 	// request was still outstanding (the slot cannot be recycled while
 	// its late response may still arrive).
 	AbandonedSlots uint64
+	// LedgerSkips is the number of re-delivered requests answered from
+	// the last-applied ledger instead of re-executed: each one is a
+	// duplicate delivery (a crash lost the flushed response but not the
+	// applied effect) that the sequence fence converted from
+	// at-least-once into exactly-once.
+	LedgerSkips uint64
+	// RetryWaits is the number of backoff sleeps taken by the
+	// client-side retry policies (DelegateRetry and friends) while
+	// waiting out timeouts, crashes, and restarts.
+	RetryWaits uint64
 	// LastPanic is the most recent panic record (delegated-call panic or
 	// server crash), or nil if none has occurred.
 	LastPanic *PanicRecord
@@ -304,6 +339,16 @@ type Server struct {
 	// chaos runs.
 	hooks Hooks
 
+	// ledger[i] is slot i's last applied request: its sequence number and
+	// return value. Written only by the server goroutine, after executing
+	// a request and before the injected-kill fault point, so a crash that
+	// loses the response flush cannot lose the applied record. Read only
+	// by the server goroutine; generations are ordered by the done
+	// channel, so plain accesses are race-free across a crash restart.
+	// A re-delivered request (toggle pending, sequence equal) is answered
+	// from here instead of re-executed — exactly-once delegation.
+	ledger []ledgerEntry
+
 	// lastPanic is the most recent PanicRecord; slotPanic[i] is the most
 	// recent record produced while serving slot i, published before the
 	// response toggle so a client that received the sentinel can read
@@ -332,6 +377,16 @@ type Server struct {
 	nHeartbeatMiss padded.Uint64
 	nKicks         padded.Uint64
 	nAbandoned     padded.Uint64
+	nLedgerSkips   padded.Uint64
+	nRetryWaits    padded.Uint64
+}
+
+// ledgerEntry is one slot's last-applied record: the sequence number of
+// the most recent request executed on the slot and the return value it
+// produced. seq 0 means nothing has been applied (clients stamp from 1).
+type ledgerEntry struct {
+	seq uint64
+	ret uint64
 }
 
 // NewServer returns a stopped server with the given configuration.
@@ -362,6 +417,7 @@ func NewServer(cfg Config) *Server {
 		wake:      make(chan struct{}, 1),
 		hooks:     cfg.Hooks,
 		slotPanic: make([]atomic.Pointer[PanicRecord], nGroups*gs),
+		ledger:    make([]ledgerEntry, nGroups*gs),
 	}
 	close(s.done) // a never-started server is already "stopped"
 	empty := make([]Func, 0, 16)
@@ -452,7 +508,11 @@ func (s *Server) NewClient() (*Client, error) {
 	group := slot / s.groupSize
 	member := slot % s.groupSize
 	// A recycled slot's request header still carries its last toggle;
-	// adopting it keeps the channel protocol coherent across owners.
+	// adopting it keeps the channel protocol coherent across owners. The
+	// sequence word is adopted for the same reason: it must stay
+	// monotonic per slot or the ledger could mistake a fresh request for
+	// a duplicate. (The previous owner's Close happens-before this
+	// allocation via the slot mutex, so the plain read is ordered.)
 	toggle := atomic.LoadUint64(&s.req[slot*reqWords]) & hdrToggleBit
 	c := &Client{
 		s:      s,
@@ -462,6 +522,7 @@ func (s *Server) NewClient() (*Client, error) {
 		respV:  &s.resp[group*respWords+1+member],
 		bit:    uint64(1) << uint(member),
 		toggle: toggle,
+		seq:    s.req[slot*reqWords+reqSeqWord],
 	}
 	// Publish occupancy last: once the bit is visible the server will
 	// poll this slot's request line.
@@ -534,7 +595,10 @@ func (s *Server) LastPanic() *PanicRecord { return s.lastPanic.Load() }
 // their channels: requests that were pending (including ones whose owners
 // already timed out) are served by the restarted goroutine under the same
 // protocol. Requests executed but not yet flushed when the crash hit are
-// re-executed — delegation is at-least-once across a crash boundary.
+// re-delivered, recognized by their slot sequence numbers against the
+// last-applied ledger, and answered from the ledger without re-executing
+// — delegation is exactly-once across a crash boundary (Stats.LedgerSkips
+// counts the fenced duplicates).
 //
 // A deliberately stopped server is never restarted; Supervisor calls this
 // on every health check.
@@ -613,6 +677,8 @@ func (s *Server) Stats() Stats {
 		HeartbeatMisses: s.nHeartbeatMiss.Load(),
 		Kicks:           s.nKicks.Load(),
 		AbandonedSlots:  s.nAbandoned.Load(),
+		LedgerSkips:     s.nLedgerSkips.Load(),
+		RetryWaits:      s.nRetryWaits.Load(),
 		LastPanic:       s.lastPanic.Load(),
 	}
 }
@@ -769,53 +835,73 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 			if (hdr^(toggles>>uint(m)))&hdrToggleBit == 0 {
 				continue // no new request (or slot never seeded)
 			}
-			// New request: decode and execute. aw aliases the
-			// argument words; reading them plainly is ordered by the
-			// acquiring header load above.
-			aw := s.req[base+1 : base+1+MaxArgs : base+1+MaxArgs]
-			argc := int(hdr&hdrArgcMask) >> hdrArgcShift
-			if argc == MaxArgs {
-				// Full-arity fast path: copy the whole line, no
-				// tail zeroing.
-				args[0], args[1], args[2] = aw[0], aw[1], aw[2]
-				args[3], args[4], args[5] = aw[3], aw[4], aw[5]
-			} else {
-				for a := 0; a < argc; a++ {
-					args[a] = aw[a]
-				}
-				// Zero the tail so a function reading beyond argc
-				// sees zeroes, not a previous request's arguments.
-				for a := argc; a < MaxArgs; a++ {
-					args[a] = 0
-				}
-			}
-			fid := hdr >> hdrFuncShift
+			// New request: decode, fence against duplicate delivery,
+			// and execute. The sequence word is read plainly, ordered
+			// (like the argument words) by the acquiring header load
+			// above.
 			slot := g*gs + m
+			seq := s.req[base+reqSeqWord]
 			var ret uint64
-			if int(fid) < len(funcs) {
-				if useLock {
-					s.cfg.ServerLock.Lock()
-				}
-				ret = s.call(funcs[fid], args, FuncID(fid), slot, opBase+uint64(served))
-				if useLock {
-					s.cfg.ServerLock.Unlock()
-				}
+			if seq != 0 && s.ledger[slot].seq == seq {
+				// Duplicate delivery: a previous server generation
+				// applied this request and crashed before flushing
+				// the response (the toggle still differs). Replay
+				// the recorded return value instead of re-executing
+				// — the exactly-once fence for non-idempotent ops.
+				ret = s.ledger[slot].ret
+				s.nLedgerSkips.Add(1)
 			} else {
-				// Unknown function: all-ones sentinel, plus a
-				// queryable record so DelegateErr can report it.
-				ret = ^uint64(0)
-				rec := &PanicRecord{
-					Msg: "unknown function id", FID: FuncID(fid),
-					HasFID: true, Op: opBase + uint64(served),
+				// aw aliases the argument words; reading them plainly
+				// is ordered by the acquiring header load above.
+				aw := s.req[base+1 : base+1+MaxArgs : base+1+MaxArgs]
+				argc := int(hdr&hdrArgcMask) >> hdrArgcShift
+				if argc == MaxArgs {
+					// Full-arity fast path: copy the whole line, no
+					// tail zeroing.
+					args[0], args[1], args[2] = aw[0], aw[1], aw[2]
+					args[3], args[4], args[5] = aw[3], aw[4], aw[5]
+				} else {
+					for a := 0; a < argc; a++ {
+						args[a] = aw[a]
+					}
+					// Zero the tail so a function reading beyond argc
+					// sees zeroes, not a previous request's arguments.
+					for a := argc; a < MaxArgs; a++ {
+						args[a] = 0
+					}
 				}
-				s.lastPanic.Store(rec)
-				s.slotPanic[slot].Store(rec)
-			}
-			if h != nil && h.Kill(opBase+uint64(served)) {
-				// Injected server death: the executed request's
-				// response is lost unflushed (it will re-execute
-				// after a restart) — the most chaotic crash point.
-				panic(fmt.Sprintf("fault: server killed at op %d", opBase+uint64(served)))
+				fid := hdr >> hdrFuncShift
+				if int(fid) < len(funcs) {
+					if useLock {
+						s.cfg.ServerLock.Lock()
+					}
+					ret = s.call(funcs[fid], args, FuncID(fid), slot, opBase+uint64(served))
+					if useLock {
+						s.cfg.ServerLock.Unlock()
+					}
+				} else {
+					// Unknown function: all-ones sentinel, plus a
+					// queryable record so DelegateErr can report it.
+					ret = ^uint64(0)
+					rec := &PanicRecord{
+						Msg: "unknown function id", FID: FuncID(fid),
+						HasFID: true, Op: opBase + uint64(served),
+					}
+					s.lastPanic.Store(rec)
+					s.slotPanic[slot].Store(rec)
+				}
+				// Record the applied request in the ledger before the
+				// injected-kill fault point: a crash from here on can
+				// lose the response flush but never the applied record,
+				// so the inevitable re-delivery is skipped above.
+				s.ledger[slot] = ledgerEntry{seq: seq, ret: ret}
+				if h != nil && h.Kill(opBase+uint64(served)) {
+					// Injected server death: the executed request's
+					// response is lost unflushed (re-delivered after a
+					// restart, then answered from the ledger) — the
+					// most chaotic crash point.
+					panic(fmt.Sprintf("fault: server killed at op %d", opBase+uint64(served)))
+				}
 			}
 			bit := uint64(1) << uint(m)
 			retBuf[m] = ret

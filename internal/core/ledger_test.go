@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ffwd/internal/fault"
+)
+
+// Unit tests for the exactly-once surface: the per-slot sequence stamp,
+// the server's last-applied ledger, and the RetryPolicy delegates.
+
+// TestLedgerFencesCrashRedelivery is the deterministic single-op version
+// of the exactly-once story: a non-idempotent op is executed, the server
+// is killed before the response flush, and the manually restarted server
+// must answer the re-delivered request from the ledger — same result, no
+// second application, LedgerSkips exactly 1.
+func TestLedgerFencesCrashRedelivery(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1, Hooks: fault.New(fault.Plan{KillAtOp: 1})})
+	var applied int
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 {
+		applied++
+		return uint64(applied)
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	c := s.MustNewClient()
+	defer c.Close()
+	c.Issue(inc)
+	// The kill eats the response: the bounded wait must fail, not hang.
+	if _, err := c.WaitFor(500 * time.Millisecond); !errors.Is(err, ErrServerStopped) && !errors.Is(err, ErrTimeout) {
+		t.Fatalf("wait across the kill: %v, want ErrServerStopped/ErrTimeout", err)
+	}
+	for !s.RestartIfCrashed() {
+		time.Sleep(100 * time.Microsecond) // goroutine still unwinding
+	}
+	got, err := c.WaitFor(2 * time.Second)
+	if err != nil {
+		t.Fatalf("wait after restart: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("re-delivered op returned %d, want the ledgered first application", got)
+	}
+	if applied != 1 {
+		t.Fatalf("delegated function applied %d times, want exactly once", applied)
+	}
+	st := s.Stats()
+	if st.LedgerSkips != 1 {
+		t.Fatalf("LedgerSkips = %d, want 1", st.LedgerSkips)
+	}
+	// The channel is coherent and the fence does not eat fresh requests:
+	// the next op is a new sequence number and really executes.
+	if got := c.Delegate0(inc); got != 2 || applied != 2 {
+		t.Fatalf("post-recovery op: got %d applied %d, want 2/2", got, applied)
+	}
+}
+
+// TestLedgerSeqSurvivesSlotRecycling: a slot's sequence numbering must
+// continue across Close/NewClient, or the ledger would mistake the new
+// owner's fresh requests for duplicates and starve them of execution.
+func TestLedgerSeqSurvivesSlotRecycling(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	var applied int
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 {
+		applied++
+		return uint64(applied)
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	for owner := 1; owner <= 3; owner++ {
+		c := s.MustNewClient()
+		if got := c.Delegate0(inc); int(got) != owner {
+			t.Fatalf("owner %d: got %d, want a fresh application (not a ledger replay)", owner, got)
+		}
+		c.Close()
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d times across 3 owners, want 3", applied)
+	}
+	if st := s.Stats(); st.LedgerSkips != 0 {
+		t.Fatalf("LedgerSkips = %d on a crash-free run, want 0", st.LedgerSkips)
+	}
+}
+
+// TestDelegateRetryRidesOutDeliberateStop: DelegateRetry must keep
+// re-waiting the same issued request across a stop/start window and
+// return its single application.
+func TestDelegateRetryRidesOutDeliberateStop(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	var applied int
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 {
+		applied++
+		return uint64(applied)
+	})
+	c := s.MustNewClient()
+	defer c.Close()
+
+	// The server starts 20ms after the retry loop begins: early attempts
+	// fail with ErrServerStopped, later ones complete the op.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		if err := s.Start(); err != nil {
+			t.Error(err)
+		}
+	}()
+	defer s.Stop()
+	got, err := c.DelegateRetry(RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		2*time.Millisecond, inc)
+	if err != nil {
+		t.Fatalf("DelegateRetry: %v", err)
+	}
+	if got != 1 || applied != 1 {
+		t.Fatalf("got %d applied %d, want exactly one application", got, applied)
+	}
+	if s.Stats().RetryWaits == 0 {
+		t.Fatal("RetryWaits = 0: the stopped-server window was never retried through")
+	}
+}
+
+// TestDelegateRetryExhaustsBounded: against a server that never runs,
+// DelegateRetry must return the last error after its attempt budget —
+// promptly, with the request left abandoned for a later drain.
+func TestDelegateRetryExhaustsBounded(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1})
+	echo := s.Register(boundedEcho)
+	c := s.MustNewClient()
+
+	start := time.Now()
+	_, err := c.DelegateRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		time.Millisecond, echo, 9)
+	if !errors.Is(err, ErrServerStopped) {
+		t.Fatalf("err = %v, want ErrServerStopped", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("exhaustion was not bounded")
+	}
+	if !c.pending || !c.abandoned {
+		t.Fatal("exhausted request not left pending+abandoned")
+	}
+	// The abandoned request drains once the server runs; a subsequent
+	// DelegateRetry discards it and completes its own op.
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	got, err := c.DelegateRetry(RetryPolicy{}, time.Second, echo, 11)
+	if err != nil || got != 11 {
+		t.Fatalf("retry after restart: got %d err %v, want 11", got, err)
+	}
+	c.Close()
+}
+
+// TestRetryPolicyBackoffBounds: the jittered exponential steps stay
+// within (0, MaxDelay] and reach the cap.
+func TestRetryPolicyBackoffBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}.withDefaults()
+	rng := uint64(42)
+	hitCapRegion := false
+	for attempt := 1; attempt < 64; attempt++ {
+		d := p.backoff(attempt, &rng)
+		if d <= 0 || d > p.MaxDelay {
+			t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, p.MaxDelay)
+		}
+		if d > p.MaxDelay/2 {
+			hitCapRegion = true
+		}
+	}
+	if !hitCapRegion {
+		t.Fatal("backoff never approached the cap")
+	}
+}
+
+// TestPoolDelegateRetryDrainsPipedPredecessor: a pipelined request
+// abandoned by FlushTimeout must be drained (and its in-flight
+// accounting released) by a later DelegateRetry on the same shard.
+func TestPoolDelegateRetryDrainsPipedPredecessor(t *testing.T) {
+	p := NewPool(2, Config{MaxClients: 2})
+	echo := p.RegisterAll(boundedEcho)
+	pc := p.MustNewClient()
+
+	// Pipeline one request per shard into stopped servers, time out.
+	pc.IssueTo1(0, echo, 100)
+	pc.IssueTo1(1, echo, 101)
+	if err := pc.FlushTimeout(time.Millisecond, nil); err == nil {
+		t.Fatal("FlushTimeout on stopped servers returned nil")
+	}
+	if pc.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2 abandoned", pc.InFlight())
+	}
+	if err := p.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.StopAll()
+
+	// Key 0 routes to shard 0: the stale piped 100 is drained, then the
+	// new op round-trips.
+	got, err := pc.DelegateRetry(RetryPolicy{}, time.Second, 0, echo, 200)
+	if err != nil || got != 200 {
+		t.Fatalf("DelegateRetry over piped predecessor: got %d err %v", got, err)
+	}
+	if pc.InFlight() != 1 {
+		t.Fatalf("InFlight = %d after shard 0 drained, want shard 1's lone request", pc.InFlight())
+	}
+	pc.Flush(nil)
+	if pc.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after full flush", pc.InFlight())
+	}
+	pc.Close()
+}

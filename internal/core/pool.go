@@ -193,6 +193,37 @@ func (pc *PoolClient) DelegateTimeout(timeout time.Duration, key uint64, fid Fun
 	return c.delegateUntil(deadline, fid, args)
 }
 
+// DelegateRetry is the key-routed exactly-once automatic-retry round
+// trip (see Client.DelegateRetry): the request is issued once on key's
+// shard and re-waited — never re-issued — across up to p.MaxAttempts
+// bounded waits with capped, jittered exponential backoff, riding out
+// timeouts, shard crashes, and supervised restarts. A pipelined request
+// abandoned on the same shard by an earlier timeout is drained first
+// (under the same policy) and its completion folded into the in-flight
+// accounting.
+func (pc *PoolClient) DelegateRetry(p RetryPolicy, perTry time.Duration, key uint64, fid FuncID, args ...uint64) (uint64, error) {
+	p = p.withDefaults()
+	shard := pc.p.ShardOf(key)
+	c := pc.clients[shard]
+	if c.pending && c.abandoned && pc.piped[shard] {
+		drained := false
+		var lastErr error
+		for attempt := 0; attempt < p.MaxAttempts && !drained; attempt++ {
+			if attempt > 0 {
+				c.retrySleep(p, attempt)
+			}
+			_, lastErr = c.waitUntil(time.Now().Add(perTry))
+			drained = lastErr == nil
+		}
+		if !drained {
+			return 0, lastErr
+		}
+		pc.inFlight--
+		pc.piped[shard] = false
+	}
+	return c.DelegateRetry(p, perTry, fid, args...)
+}
+
 // Client returns the underlying client for shard i, for callers that
 // route by something other than key modulus.
 func (pc *PoolClient) Client(i int) *Client { return pc.clients[i] }

@@ -27,9 +27,28 @@ package fault
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
+
+// SeedsFromEnv returns the chaos seeds a suite should run: the single
+// seed named by the FFWD_CHAOS_SEED environment variable if set (the
+// contract behind `make chaos CHAOS_SEED=n`), otherwise def. A malformed
+// variable is returned as an error so test helpers can fail loudly
+// instead of silently running the defaults.
+func SeedsFromEnv(def ...uint64) ([]uint64, error) {
+	v := os.Getenv("FFWD_CHAOS_SEED")
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad FFWD_CHAOS_SEED %q: %v", v, err)
+	}
+	return []uint64{n}, nil
+}
 
 // Plan enables and parameterizes fault classes. The zero value injects
 // nothing; every "Every" field is a period in events (0 disables that

@@ -1,0 +1,355 @@
+package linear
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ffwd/internal/core"
+	"ffwd/internal/fault"
+)
+
+// The chaos-seeded linearizability suite: real delegated structures are
+// driven through internal/fault's injected failures (supervisor kills
+// mid-flight, dropped wakes, slow and panicking calls) while every
+// operation is recorded; the histories must stay linearizable with
+// exactly-once effects. Run via `make linear` (two seeds) or with
+// FFWD_CHAOS_SEED=n for a single seed.
+
+func chaosSeeds(t *testing.T) []uint64 {
+	t.Helper()
+	seeds, err := fault.SeedsFromEnv(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seeds
+}
+
+// retryPolicy is generous: chaos runs must complete every op eventually
+// so the recorded histories have few pending tails.
+var retryPolicy = core.RetryPolicy{
+	MaxAttempts: 400,
+	BaseDelay:   100 * time.Microsecond,
+	MaxDelay:    2 * time.Millisecond,
+}
+
+// chaosServer builds a supervised, fault-injected delegation server.
+// The plan is FromSeed's mixed-fault derivation with the kill threshold
+// pulled down into this suite's op range, so every run really crosses
+// crash/restart/ledger-replay territory.
+func chaosServer(t *testing.T, seed uint64, maxClients int) (*core.Server, *fault.Injector) {
+	t.Helper()
+	plan := fault.FromSeed(seed).Plan()
+	plan.KillAtOp = 15 + seed%20
+	plan.KillEvery = 60 + seed%50
+	inj := fault.New(plan)
+	t.Logf("plan: %v", inj)
+	s := core.NewServer(core.Config{MaxClients: maxClients, Hooks: inj})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	sv := core.NewSupervisor(s, core.SupervisorConfig{Interval: time.Millisecond, KickAfter: 2})
+	sv.Start()
+	t.Cleanup(sv.Stop)
+	return s, inj
+}
+
+// isInjectedPanic reports whether err is a recovered delegated-call
+// panic. The fault fires inside the recovery scope before the function
+// body runs, so the op provably never took effect: its recorded
+// invocation is left pending, which the checker reads as "may never
+// linearize" — exactly right for an op without an effect.
+func isInjectedPanic(err error) bool {
+	var rec *core.PanicRecord
+	return errors.As(err, &rec)
+}
+
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestChaosKVLinearizable drives a delegated KV map through a full fault
+// mix with concurrent clients using exactly-once retries, then checks
+// the recorded history against the sequential KV specification — and
+// proves the checker bites by mutating one real read.
+func TestChaosKVLinearizable(t *testing.T) {
+	const workers, opsEach, keys = 4, 80, 6
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			s, _ := chaosServer(t, seed, workers)
+			kv := make(map[uint64]uint64)
+			fidGet := s.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				v, ok := kv[a[0]]
+				if !ok {
+					return ^uint64(0) // miss sentinel; values stay below it
+				}
+				return v
+			})
+			fidSet := s.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				kv[a[0]] = a[1]
+				return 0
+			})
+			fidDel := s.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				if _, ok := kv[a[0]]; ok {
+					delete(kv, a[0])
+					return 1
+				}
+				return 0
+			})
+
+			rec := NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				rng := seed<<8 | uint64(w)
+				w := w
+				go func() {
+					defer wg.Done()
+					c := s.MustNewClient()
+					defer c.Close()
+					for i := 0; i < opsEach; i++ {
+						k := splitmix(&rng) % keys
+						// Values are unique per (worker, op): any
+						// double-applied or lost write is visible to
+						// the checker.
+						v := uint64(w+1)<<32 | uint64(i+1)
+						switch splitmix(&rng) % 10 {
+						case 0, 1, 2: // set
+							idx := rec.Invoke(w, KVSet, k, v)
+							if _, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidSet, k, v); err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d set: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, false)
+						case 3: // delete
+							idx := rec.Invoke(w, KVDel, k, 0)
+							ret, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidDel, k)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d del: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, ret == 1)
+						default: // get
+							idx := rec.Invoke(w, KVGet, k, 0)
+							ret, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidGet, k)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d get: %v", w, err)
+								return
+							}
+							if ret == ^uint64(0) {
+								rec.Complete(idx, 0, false)
+							} else {
+								rec.Complete(idx, ret, true)
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			hh := rec.History()
+			if p := FailingPartition(KVModel(), hh); p >= 0 {
+				t.Fatalf("chaos KV history not linearizable (partition %d of %d ops)", p, len(hh))
+			}
+			st := s.Stats()
+			t.Logf("kv: %d ops, crashes=%d restarts=%d ledger-skips=%d retry-waits=%d",
+				len(hh), st.ServerCrashes, st.Restarts, st.LedgerSkips, st.RetryWaits)
+			if st.ServerCrashes == 0 || st.LedgerSkips == 0 {
+				t.Fatalf("run exercised crashes=%d ledger-skips=%d; the kill threshold missed the workload",
+					st.ServerCrashes, st.LedgerSkips)
+			}
+
+			// The seeded-mutant leg: corrupt one successful real read to
+			// a value no worker ever wrote; the checker must reject it.
+			mutant := make([]Op, len(hh))
+			copy(mutant, hh)
+			mutated := false
+			for i := range mutant {
+				if mutant[i].Kind == KVGet && !mutant[i].Pending && mutant[i].OutOK {
+					mutant[i].Out = 0xdead0000dead
+					mutated = true
+					break
+				}
+			}
+			if !mutated {
+				t.Fatal("no successful read recorded; widen the workload")
+			}
+			if Check(KVModel(), mutant) {
+				t.Fatal("mutated real history accepted: the checker is vacuous on this alphabet")
+			}
+		})
+	}
+}
+
+// TestChaosStackExactlyOnce drives a delegated stack — where a
+// re-executed push is directly visible as a duplicated pop — through the
+// fault mix. Linearizability of the recorded history with unique push
+// values IS the exactly-once proof for non-idempotent ops.
+func TestChaosStackExactlyOnce(t *testing.T) {
+	const workers, opsEach = 3, 60
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			s, _ := chaosServer(t, seed+1000, workers)
+			var stack []uint64
+			fidPush := s.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				stack = append(stack, a[0])
+				return 0
+			})
+			fidPop := s.Register(func(*[core.MaxArgs]uint64) uint64 {
+				if len(stack) == 0 {
+					return ^uint64(0)
+				}
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				return v
+			})
+
+			rec := NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				rng := seed<<16 | uint64(w)
+				w := w
+				go func() {
+					defer wg.Done()
+					c := s.MustNewClient()
+					defer c.Close()
+					for i := 0; i < opsEach; i++ {
+						if splitmix(&rng)%2 == 0 {
+							v := uint64(w+1)<<32 | uint64(i+1)
+							idx := rec.Invoke(w, StackPush, v, 0)
+							if _, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidPush, v); err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d push: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, false)
+						} else {
+							idx := rec.Invoke(w, StackPop, 0, 0)
+							ret, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidPop)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d pop: %v", w, err)
+								return
+							}
+							if ret == ^uint64(0) {
+								rec.Complete(idx, 0, false)
+							} else {
+								rec.Complete(idx, ret, true)
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			hh := rec.History()
+			if !Check(StackModel(), hh) {
+				t.Fatalf("chaos stack history of %d ops not linearizable: some push or pop was double- or mis-applied", len(hh))
+			}
+			st := s.Stats()
+			t.Logf("stack: %d ops, crashes=%d restarts=%d ledger-skips=%d",
+				len(hh), st.ServerCrashes, st.Restarts, st.LedgerSkips)
+			if st.ServerCrashes == 0 || st.LedgerSkips == 0 {
+				t.Fatalf("run exercised crashes=%d ledger-skips=%d; the kill threshold missed the workload",
+					st.ServerCrashes, st.LedgerSkips)
+			}
+		})
+	}
+}
+
+// TestChaosQueueExactlyOnce is the FIFO twin of the stack run: dropped
+// or duplicated enqueues under crashes would break FIFO linearizability.
+func TestChaosQueueExactlyOnce(t *testing.T) {
+	const workers, opsEach = 3, 60
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			s, _ := chaosServer(t, seed+2000, workers)
+			var queue []uint64
+			fidEnq := s.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				queue = append(queue, a[0])
+				return 0
+			})
+			fidDeq := s.Register(func(*[core.MaxArgs]uint64) uint64 {
+				if len(queue) == 0 {
+					return ^uint64(0)
+				}
+				v := queue[0]
+				queue = queue[1:]
+				return v
+			})
+
+			rec := NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				rng := seed<<24 | uint64(w)
+				w := w
+				go func() {
+					defer wg.Done()
+					c := s.MustNewClient()
+					defer c.Close()
+					for i := 0; i < opsEach; i++ {
+						if splitmix(&rng)%2 == 0 {
+							v := uint64(w+1)<<32 | uint64(i+1)
+							idx := rec.Invoke(w, QueueEnq, v, 0)
+							if _, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidEnq, v); err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d enq: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, false)
+						} else {
+							idx := rec.Invoke(w, QueueDeq, 0, 0)
+							ret, err := c.DelegateRetry(retryPolicy, 5*time.Millisecond, fidDeq)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue // never applied; op stays pending
+								}
+								t.Errorf("worker %d deq: %v", w, err)
+								return
+							}
+							if ret == ^uint64(0) {
+								rec.Complete(idx, 0, false)
+							} else {
+								rec.Complete(idx, ret, true)
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			hh := rec.History()
+			if !Check(QueueModel(), hh) {
+				t.Fatalf("chaos queue history of %d ops not linearizable", len(hh))
+			}
+			st := s.Stats()
+			t.Logf("queue: %d ops, crashes=%d restarts=%d ledger-skips=%d",
+				len(hh), st.ServerCrashes, st.Restarts, st.LedgerSkips)
+			if st.ServerCrashes == 0 || st.LedgerSkips == 0 {
+				t.Fatalf("run exercised crashes=%d ledger-skips=%d; the kill threshold missed the workload",
+					st.ServerCrashes, st.LedgerSkips)
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+// Package linear records operation histories of delegated data
+// structures and checks them for linearizability — the mechanical proof
+// behind the repository's exactly-once claim. The paper's contract (§3
+// of ffwd, SOSP 2017) is that delegation preserves the sequential
+// semantics of the served structure; this package validates that
+// contract on real executions, including chaos runs where the server is
+// killed mid-flight, wakes are dropped, and clients ride out timeouts
+// with retries.
+//
+// The pieces:
+//
+//   - Recorder captures concurrent invoke/complete events with a logical
+//     clock, producing a history of Ops over the uint64 alphabet of the
+//     delegated KV, stack, and queue.
+//   - Model is a sequential specification: a canonical state encoding
+//     plus a step function that accepts or rejects one operation.
+//     KVModel, StackModel, and QueueModel are the built-in instances;
+//     KVModel partitions histories per key (linearizability is
+//     compositional), keeping the search tractable.
+//   - Check runs a Wing&Gong/Lowe-style (WGL) search with memoization:
+//     it looks for a linearization — a total order of the operations,
+//     consistent with their real-time intervals, that the model accepts.
+//
+// Operations still in flight when a history is cut (Pending) may
+// linearize anywhere after their call or not at all, and their outputs
+// are unconstrained — the standard treatment for ops whose fate a crash
+// left undecided.
+package linear
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Op kinds. One Model understands a subset; feeding a kind to the wrong
+// model fails the check (the step function rejects it).
+const (
+	KVGet uint8 = iota
+	KVSet
+	KVDel
+	StackPush
+	StackPop
+	QueueEnq
+	QueueDeq
+)
+
+// Op is one recorded operation: its kind, arguments, output, and the
+// logical-time interval [Call, Ret] it occupied.
+type Op struct {
+	// Client identifies the issuing client; informational.
+	Client int
+	// Kind is one of the Op kind constants.
+	Kind uint8
+	// Arg is the primary argument: the key for KV ops, the pushed or
+	// enqueued value for stack/queue ops.
+	Arg uint64
+	// Arg2 is the secondary argument: the value for KVSet.
+	Arg2 uint64
+	// Out is the output word: the value read by KVGet, popped by
+	// StackPop, dequeued by QueueDeq.
+	Out uint64
+	// OutOK qualifies Out: found for KVGet/KVDel, non-empty for
+	// StackPop/QueueDeq.
+	OutOK bool
+	// Pending marks an operation that never completed before the history
+	// was cut: it may linearize anywhere after Call or not at all, and
+	// its output is unconstrained.
+	Pending bool
+	// Call and Ret are the logical invoke/complete times (Ret is
+	// math.MaxInt64 while pending).
+	Call, Ret int64
+}
+
+// Recorder collects a concurrent history. Invoke and Complete may be
+// called from any goroutine; the logical clock orders events exactly as
+// the recorder observed them.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Invoke records the start of an operation and returns its history
+// index, to be passed to Complete. The op is pending until completed.
+func (r *Recorder) Invoke(client int, kind uint8, arg, arg2 uint64) int {
+	t := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{
+		Client: client, Kind: kind, Arg: arg, Arg2: arg2,
+		Pending: true, Call: t, Ret: math.MaxInt64,
+	})
+	return len(r.ops) - 1
+}
+
+// Complete records operation i's completion with its output.
+func (r *Recorder) Complete(i int, out uint64, outOK bool) {
+	t := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &r.ops[i]
+	op.Out, op.OutOK = out, outOK
+	op.Pending = false
+	op.Ret = t
+}
+
+// History returns a snapshot of the recorded ops; operations still in
+// flight appear with Pending set.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Model is a sequential specification over canonically encoded states.
+// States are byte strings: Step must treat its input as immutable and
+// return a fresh (or shared-and-unmodified) encoding, because states are
+// memoization keys.
+type Model struct {
+	// Name labels the model in failures.
+	Name string
+	// Init returns the canonical empty state.
+	Init func() []byte
+	// Step applies op to state: it returns the successor state and
+	// whether the op is legal there (matching outputs, unless the op is
+	// pending — then outputs are unconstrained).
+	Step func(state []byte, op *Op) ([]byte, bool)
+	// Partition, if non-nil, splits a history into independently
+	// checkable subhistories (P-compositionality: per-key for a KV).
+	Partition func(ops []Op) [][]Op
+}
+
+func encWord(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// KVModel returns the per-key register-with-delete specification of the
+// delegated KV store: KVGet/KVSet/KVDel over one key, with histories
+// partitioned by key. State: empty = absent, 8 bytes = present value.
+func KVModel() Model {
+	return Model{
+		Name: "kv",
+		Init: func() []byte { return nil },
+		Step: func(state []byte, op *Op) ([]byte, bool) {
+			present := len(state) == 8
+			switch op.Kind {
+			case KVSet:
+				return encWord(op.Arg2), true
+			case KVGet:
+				if op.Pending {
+					return state, true
+				}
+				if op.OutOK != present {
+					return nil, false
+				}
+				if present && op.Out != binary.LittleEndian.Uint64(state) {
+					return nil, false
+				}
+				return state, true
+			case KVDel:
+				if !op.Pending && op.OutOK != present {
+					return nil, false
+				}
+				return nil, true
+			}
+			return nil, false
+		},
+		Partition: func(ops []Op) [][]Op {
+			byKey := make(map[uint64][]Op)
+			var keys []uint64
+			for _, op := range ops {
+				if _, seen := byKey[op.Arg]; !seen {
+					keys = append(keys, op.Arg)
+				}
+				byKey[op.Arg] = append(byKey[op.Arg], op)
+			}
+			parts := make([][]Op, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, byKey[k])
+			}
+			return parts
+		},
+	}
+}
+
+// seqState encodes a sequence of words as a byte string.
+func seqAppend(state []byte, v uint64) []byte {
+	out := make([]byte, len(state)+8)
+	copy(out, state)
+	binary.LittleEndian.PutUint64(out[len(state):], v)
+	return out
+}
+
+// StackModel returns the LIFO specification: StackPush(v) and
+// StackPop → (v, true) or (_, false) on empty. State: values bottom to
+// top, 8 bytes each.
+func StackModel() Model {
+	return Model{
+		Name: "stack",
+		Init: func() []byte { return nil },
+		Step: func(state []byte, op *Op) ([]byte, bool) {
+			switch op.Kind {
+			case StackPush:
+				return seqAppend(state, op.Arg), true
+			case StackPop:
+				if len(state) == 0 {
+					if !op.Pending && op.OutOK {
+						return nil, false
+					}
+					return state, true
+				}
+				top := binary.LittleEndian.Uint64(state[len(state)-8:])
+				if !op.Pending && (!op.OutOK || op.Out != top) {
+					return nil, false
+				}
+				return state[:len(state)-8], true
+			}
+			return nil, false
+		},
+	}
+}
+
+// QueueModel returns the FIFO specification: QueueEnq(v) and
+// QueueDeq → (v, true) or (_, false) on empty. State: values front to
+// back, 8 bytes each.
+func QueueModel() Model {
+	return Model{
+		Name: "queue",
+		Init: func() []byte { return nil },
+		Step: func(state []byte, op *Op) ([]byte, bool) {
+			switch op.Kind {
+			case QueueEnq:
+				return seqAppend(state, op.Arg), true
+			case QueueDeq:
+				if len(state) == 0 {
+					if !op.Pending && op.OutOK {
+						return nil, false
+					}
+					return state, true
+				}
+				front := binary.LittleEndian.Uint64(state[:8])
+				if !op.Pending && (!op.OutOK || op.Out != front) {
+					return nil, false
+				}
+				return state[8:], true
+			}
+			return nil, false
+		},
+	}
+}

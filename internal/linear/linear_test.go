@@ -1,0 +1,211 @@
+package linear
+
+import (
+	"math"
+	"testing"
+)
+
+// h builds a completed op.
+func h(client int, kind uint8, arg, arg2, out uint64, outOK bool, call, ret int64) Op {
+	return Op{Client: client, Kind: kind, Arg: arg, Arg2: arg2, Out: out, OutOK: outOK, Call: call, Ret: ret}
+}
+
+// hp builds a pending op.
+func hp(client int, kind uint8, arg, arg2 uint64, call int64) Op {
+	return Op{Client: client, Kind: kind, Arg: arg, Arg2: arg2, Pending: true, Call: call, Ret: math.MaxInt64}
+}
+
+func TestKVSequentialHistories(t *testing.T) {
+	m := KVModel()
+	legal := []Op{
+		h(0, KVGet, 1, 0, 0, false, 1, 2),  // miss before any set
+		h(0, KVSet, 1, 10, 0, false, 3, 4), // set 1=10
+		h(0, KVGet, 1, 0, 10, true, 5, 6),  // read it back
+		h(0, KVDel, 1, 0, 0, true, 7, 8),   // delete: present
+		h(0, KVGet, 1, 0, 0, false, 9, 10), // miss again
+		h(0, KVDel, 1, 0, 0, false, 11, 12),
+	}
+	if !Check(m, legal) {
+		t.Fatal("legal sequential KV history rejected")
+	}
+	stale := []Op{
+		h(0, KVSet, 1, 10, 0, false, 1, 2),
+		h(0, KVSet, 1, 20, 0, false, 3, 4),
+		h(0, KVGet, 1, 0, 10, true, 5, 6), // stale read after both sets completed
+	}
+	if Check(m, stale) {
+		t.Fatal("stale sequential read accepted")
+	}
+}
+
+func TestKVConcurrentOverlap(t *testing.T) {
+	m := KVModel()
+	// A get overlapping two sets may return either value...
+	overlap := []Op{
+		h(0, KVSet, 1, 10, 0, false, 1, 10),
+		h(1, KVSet, 1, 20, 0, false, 2, 9),
+		h(2, KVGet, 1, 0, 20, true, 3, 8),
+		h(2, KVGet, 1, 0, 10, true, 11, 12), // ...and the final state can be either order's
+	}
+	if !Check(m, overlap) {
+		t.Fatal("legal overlapping KV history rejected")
+	}
+	// ...but not a value never written.
+	phantom := []Op{
+		h(0, KVSet, 1, 10, 0, false, 1, 10),
+		h(1, KVSet, 1, 20, 0, false, 2, 9),
+		h(2, KVGet, 1, 0, 30, true, 3, 8),
+	}
+	if Check(m, phantom) {
+		t.Fatal("phantom read accepted")
+	}
+}
+
+func TestKVPartitionIndependence(t *testing.T) {
+	m := KVModel()
+	// Key 1's history is legal, key 2's is broken: the failing partition
+	// must be key 2's, and the whole history must be rejected.
+	hh := []Op{
+		h(0, KVSet, 1, 10, 0, false, 1, 2),
+		h(0, KVGet, 1, 0, 10, true, 3, 4),
+		h(0, KVSet, 2, 50, 0, false, 5, 6),
+		h(0, KVGet, 2, 0, 51, true, 7, 8),
+	}
+	if Check(m, hh) {
+		t.Fatal("history with one broken key accepted")
+	}
+	if p := FailingPartition(m, hh); p != 1 {
+		t.Fatalf("FailingPartition = %d, want 1 (key 2's subhistory)", p)
+	}
+}
+
+func TestKVPendingOps(t *testing.T) {
+	m := KVModel()
+	// A pending set may or may not have landed: both later reads are
+	// legal in one history only if the set can be placed between them —
+	// it can: miss first, then the pending set applies, then the hit.
+	flexible := []Op{
+		hp(0, KVSet, 1, 10, 1),
+		h(1, KVGet, 1, 0, 0, false, 2, 3),
+		h(1, KVGet, 1, 0, 10, true, 4, 5),
+	}
+	if !Check(m, flexible) {
+		t.Fatal("pending set straddling a miss and a hit rejected")
+	}
+	// But a pending set cannot take effect before its call.
+	early := []Op{
+		h(1, KVGet, 1, 0, 10, true, 1, 2),
+		hp(0, KVSet, 1, 10, 3),
+	}
+	if Check(m, early) {
+		t.Fatal("pending set linearized before its call")
+	}
+}
+
+func TestStackHistories(t *testing.T) {
+	m := StackModel()
+	legal := []Op{
+		h(0, StackPush, 1, 0, 0, false, 1, 2),
+		h(0, StackPush, 2, 0, 0, false, 3, 4),
+		h(0, StackPop, 0, 0, 2, true, 5, 6),
+		h(0, StackPop, 0, 0, 1, true, 7, 8),
+		h(0, StackPop, 0, 0, 0, false, 9, 10), // empty
+	}
+	if !Check(m, legal) {
+		t.Fatal("legal LIFO history rejected")
+	}
+	fifoOrder := []Op{
+		h(0, StackPush, 1, 0, 0, false, 1, 2),
+		h(0, StackPush, 2, 0, 0, false, 3, 4),
+		h(0, StackPop, 0, 0, 1, true, 5, 6), // FIFO order out of a stack
+	}
+	if Check(m, fifoOrder) {
+		t.Fatal("FIFO pop order accepted by the stack model")
+	}
+	// A double pop of one pushed value is exactly what a re-executed
+	// (at-least-once) push would produce — the checker must reject it.
+	doublePop := []Op{
+		h(0, StackPush, 7, 0, 0, false, 1, 2),
+		h(0, StackPop, 0, 0, 7, true, 3, 4),
+		h(0, StackPop, 0, 0, 7, true, 5, 6),
+	}
+	if Check(m, doublePop) {
+		t.Fatal("duplicated pop (a double-applied push) accepted")
+	}
+}
+
+func TestQueueHistories(t *testing.T) {
+	m := QueueModel()
+	legal := []Op{
+		h(0, QueueEnq, 1, 0, 0, false, 1, 2),
+		h(1, QueueEnq, 2, 0, 0, false, 3, 4),
+		h(0, QueueDeq, 0, 0, 1, true, 5, 6),
+		h(1, QueueDeq, 0, 0, 2, true, 7, 8),
+		h(0, QueueDeq, 0, 0, 0, false, 9, 10),
+	}
+	if !Check(m, legal) {
+		t.Fatal("legal FIFO history rejected")
+	}
+	lifoOrder := []Op{
+		h(0, QueueEnq, 1, 0, 0, false, 1, 2),
+		h(0, QueueEnq, 2, 0, 0, false, 3, 4),
+		h(0, QueueDeq, 0, 0, 2, true, 5, 6),
+	}
+	if Check(m, lifoOrder) {
+		t.Fatal("LIFO dequeue order accepted by the queue model")
+	}
+	// Concurrent enqueues may land in either order.
+	race := []Op{
+		h(0, QueueEnq, 1, 0, 0, false, 1, 4),
+		h(1, QueueEnq, 2, 0, 0, false, 2, 3),
+		h(0, QueueDeq, 0, 0, 2, true, 5, 6),
+		h(0, QueueDeq, 0, 0, 1, true, 7, 8),
+	}
+	if !Check(m, race) {
+		t.Fatal("legal racing-enqueue history rejected")
+	}
+}
+
+// TestRecorderProducesCheckableHistories drives the recorder directly
+// and round-trips through the checker.
+func TestRecorderProducesCheckableHistories(t *testing.T) {
+	r := NewRecorder()
+	i := r.Invoke(0, KVSet, 1, 10)
+	r.Complete(i, 0, false)
+	i = r.Invoke(0, KVGet, 1, 0)
+	r.Complete(i, 10, true)
+	j := r.Invoke(1, KVSet, 1, 20) // left pending
+	_ = j
+	hh := r.History()
+	if len(hh) != 3 || !hh[2].Pending {
+		t.Fatalf("history = %+v", hh)
+	}
+	if !Check(KVModel(), hh) {
+		t.Fatal("recorded history rejected")
+	}
+}
+
+// TestMutantHistoryRejected is the checker's own regression: a recorded
+// legal history, mutated in one output word, must be rejected — proving
+// the checker has teeth rather than vacuously passing everything.
+func TestMutantHistoryRejected(t *testing.T) {
+	r := NewRecorder()
+	for v := uint64(1); v <= 4; v++ {
+		i := r.Invoke(0, StackPush, 100+v, 0)
+		r.Complete(i, 0, false)
+	}
+	for v := uint64(4); v >= 1; v-- {
+		i := r.Invoke(0, StackPop, 0, 0)
+		r.Complete(i, 100+v, true)
+	}
+	hh := r.History()
+	if !Check(StackModel(), hh) {
+		t.Fatal("legal recorded history rejected")
+	}
+	mutant := make([]Op, len(hh))
+	copy(mutant, hh)
+	mutant[5].Out = 999 // a value never pushed
+	if Check(StackModel(), mutant) {
+		t.Fatal("mutant history accepted: the checker is vacuous")
+	}
+}
