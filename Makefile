@@ -3,7 +3,7 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench check chaos linear figures ablations coverage clean
+.PHONY: all build vet test race bench bench-smoke check chaos linear figures ablations coverage clean
 
 all: build vet test
 
@@ -45,6 +45,15 @@ linear:
 # One testing.B benchmark per paper table/figure plus native benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Grid smoke: run every registered backend through every structure it
+# supports on the runtime harness — a few milliseconds per cell, race
+# detector on — then one ffwdbench pass through the runtime layer's JSON
+# output. Proves every registry cell still constructs, progresses, and
+# reports sane latencies.
+bench-smoke:
+	$(GO) test -race -count=1 -run 'TestRunSmoke|TestSimGrid' -v ./internal/runtimebench/
+	$(GO) run ./cmd/ffwdbench -layer runtime -goroutines 2 -measure 5ms -format json > /dev/null
 
 # Regenerate every table and figure as text tables (see also -format csv).
 figures:

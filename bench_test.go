@@ -18,11 +18,14 @@ import (
 	"sync"
 	"testing"
 
+	"ffwd/internal/backend"
+	_ "ffwd/internal/backend/all"
 	"ffwd/internal/bench"
 	"ffwd/internal/core"
 	"ffwd/internal/locks"
 	"ffwd/internal/simarch"
 	"ffwd/internal/simsync"
+	"ffwd/internal/workload"
 )
 
 // benchOpts keeps per-iteration cost bounded; ffwdbench uses the longer
@@ -227,4 +230,64 @@ func BenchmarkNativeAblations(b *testing.B) {
 	run("write-through", core.Config{WriteThrough: true})
 	run("private-responses", core.Config{GroupSizeOverride: 1})
 	run("server-lock", core.Config{ServerLock: &sync.Mutex{}})
+}
+
+// BenchmarkRuntimeGrid drives every registered backend through the shared
+// registry — the same descriptors the runtimebench harness sweeps — so
+// benchstat can compare synchronization schemes on identical op loops.
+func BenchmarkRuntimeGrid(b *testing.B) {
+	for _, bk := range backend.ByStructure(backend.StructCounter) {
+		bk := bk
+		b.Run("counter/"+bk.Name, func(b *testing.B) {
+			inst, err := bk.Counter(backend.Config{Goroutines: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if inst.Close != nil {
+				defer inst.Close()
+			}
+			var mu sync.Mutex // NewHandle is main-goroutine API; serialize it
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				h := inst.NewHandle()
+				mu.Unlock()
+				for pb.Next() {
+					h.Add(1)
+				}
+			})
+		})
+	}
+	for _, bk := range backend.ByStructure(backend.StructSet) {
+		bk := bk
+		b.Run("set/"+bk.Name, func(b *testing.B) {
+			inst, err := bk.Set(backend.Config{Goroutines: 64, KeySpace: 1024})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if inst.Close != nil {
+				defer inst.Close()
+			}
+			var mu sync.Mutex
+			var seed int64
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				h := inst.NewHandle()
+				seed++
+				keys := workload.NewUniform(seed, 1024)
+				mix := workload.NewMix(seed, 0.3)
+				mu.Unlock()
+				for pb.Next() {
+					k := keys.Next()
+					switch mix.Next() {
+					case workload.OpContains:
+						h.Contains(k)
+					case workload.OpInsert:
+						h.Insert(k)
+					default:
+						h.Remove(k)
+					}
+				}
+			})
+		})
+	}
 }

@@ -2,12 +2,14 @@
 // figure on every modelled machine — into a directory of CSV files plus a
 // Markdown index, mirroring the paper's technical report ("for full
 // evaluation results on all four systems, please refer to our technical
-// report").
+// report"). It also runs the backend grid at both measurement layers and
+// writes measured-vs-simulated overlay CSVs per structure and machine.
 //
 // Usage:
 //
 //	ffwdreport -out report/
 //	ffwdreport -out report/ -duration 2e6
+//	ffwdreport -out report/ -measure 50ms   # slower, smoother runtime grid
 package main
 
 import (
@@ -16,8 +18,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ffwd/internal/bench"
+	"ffwd/internal/runtimebench"
 	"ffwd/internal/simarch"
 )
 
@@ -26,10 +30,11 @@ func main() {
 		out      = flag.String("out", "report", "output directory")
 		duration = flag.Float64("duration", 1e6, "simulated nanoseconds per configuration")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		measure  = flag.Duration("measure", 20*time.Millisecond, "runtime grid measurement window per cell (0 disables the runtime grid)")
 	)
 	flag.Parse()
 
-	if err := run(*out, *duration, *seed); err != nil {
+	if err := run(*out, *duration, *seed, *measure); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -42,7 +47,7 @@ func machineSlug(m simarch.Machine) string {
 	return s
 }
 
-func run(out string, duration float64, seed uint64) error {
+func run(out string, duration float64, seed uint64, measure time.Duration) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -72,6 +77,12 @@ func run(out string, duration float64, seed uint64) error {
 		}
 		index.WriteString("| " + strings.Join(row, " | ") + " |\n")
 	}
+	if measure > 0 {
+		if err := writeGrid(out, &index, duration, seed, measure); err != nil {
+			return err
+		}
+	}
+
 	indexPath := filepath.Join(out, "README.md")
 	if err := os.WriteFile(indexPath, []byte(index.String()), 0o644); err != nil {
 		return err
@@ -79,6 +90,69 @@ func run(out string, duration float64, seed uint64) error {
 	fmt.Printf("wrote %s (%d experiments × %d machines)\n",
 		indexPath, len(bench.Experiments()), len(simarch.Machines))
 	return nil
+}
+
+// writeGrid runs the backend grid at both layers and writes one overlay
+// CSV per (structure, machine): the host's measured series next to that
+// machine's simulated series, labels prefixed with their layer.
+func writeGrid(out string, index *strings.Builder, duration float64, seed uint64, measure time.Duration) error {
+	opts := runtimebench.Options{Duration: measure, Seed: int64(seed)}
+	measured, err := runtimebench.Run(opts)
+	if err != nil {
+		return err
+	}
+	measuredFigs := figuresByStructure(measured)
+
+	index.WriteString("\nBackend grid (measured on this host vs simulated per machine):\n\n")
+	index.WriteString("| structure | " + machineHeader() + " |\n")
+	index.WriteString("|---|" + strings.Repeat("---|", len(simarch.Machines)) + "\n")
+
+	structures := []string{}
+	for _, c := range measured.Cells {
+		if len(structures) == 0 || structures[len(structures)-1] != c.Structure {
+			structures = append(structures, c.Structure)
+		}
+	}
+	simFigsByMachine := map[string]map[string]bench.Figure{}
+	for _, m := range simarch.Machines {
+		sim, err := runtimebench.SimGrid(opts, m, duration)
+		if err != nil {
+			return err
+		}
+		simFigsByMachine[m.Name] = figuresByStructure(sim)
+	}
+
+	for _, st := range structures {
+		row := []string{st}
+		for _, m := range simarch.Machines {
+			simFigs := simFigsByMachine[m.Name]
+			name := fmt.Sprintf("grid-%s-%s.csv", st, machineSlug(m))
+			overlay := bench.Overlay(
+				fmt.Sprintf("grid-%s-%s", st, machineSlug(m)),
+				fmt.Sprintf("%s grid: measured (host) vs simulated (%s)", st, m.Name),
+				map[string]bench.Figure{"measured": measuredFigs[st], "sim": simFigs[st]},
+				[]string{"measured", "sim"},
+			)
+			path := filepath.Join(out, name)
+			if err := os.WriteFile(path, []byte(bench.FormatCSV(overlay)), 0o644); err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("[csv](%s)", name))
+			fmt.Printf("wrote %s\n", path)
+		}
+		index.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return nil
+}
+
+// figuresByStructure indexes a grid report's figures by structure name.
+func figuresByStructure(rep runtimebench.Report) map[string]bench.Figure {
+	out := map[string]bench.Figure{}
+	for _, f := range rep.Figures() {
+		st := strings.TrimPrefix(f.ID, rep.Layer+"-")
+		out[st] = f
+	}
+	return out
 }
 
 func machineHeader() string {

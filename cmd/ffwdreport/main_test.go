@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ffwd/internal/simarch"
 )
@@ -40,14 +41,17 @@ func TestRunWritesFullReport(t *testing.T) {
 	}
 	dir := t.TempDir()
 	// A tiny horizon keeps the test fast; shapes are irrelevant here.
-	if err := run(dir, 5e4, 1); err != nil {
+	if err := run(dir, 5e4, 1, 2*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	idx, err := os.ReadFile(filepath.Join(dir, "README.md"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"fig9-broadwell.csv", "fig17-abudhabi.csv", "table1-westmereex.csv"} {
+	for _, want := range []string{
+		"fig9-broadwell.csv", "fig17-abudhabi.csv", "table1-westmereex.csv",
+		"grid-counter-broadwell.csv", "grid-set-abudhabi.csv", "grid-queue-westmereex.csv",
+	} {
 		if !strings.Contains(string(idx), want) {
 			t.Errorf("index missing %s", want)
 		}
@@ -59,9 +63,19 @@ func TestRunWritesFullReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 18 experiments × 4 machines + index.
-	if got, want := len(entries), 18*4+1; got != want {
+	// 18 experiments × 4 machines + 3 grid structures × 4 machines + index.
+	if got, want := len(entries), 18*4+3*4+1; got != want {
 		t.Fatalf("report has %d files, want %d", got, want)
+	}
+	// The overlays carry both layers' series.
+	overlay, err := os.ReadFile(filepath.Join(dir, "grid-counter-broadwell.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"measured:ffwd", "sim:ffwd", "measured:lock-mcs", "sim:rcl"} {
+		if !strings.Contains(string(overlay), want) {
+			t.Errorf("overlay missing series %s", want)
+		}
 	}
 	// Every CSV must have a header and at least one data row.
 	for _, e := range entries {

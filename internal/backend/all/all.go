@@ -1,0 +1,16 @@
+// Package all links every backend implementation into the registry.
+// Import it for effect wherever the full grid is needed — the harness,
+// the CLIs, the root benchmarks:
+//
+//	import _ "ffwd/internal/backend/all"
+package all
+
+import (
+	_ "ffwd/internal/combining" // fc, ccsynch, dsmsynch
+	_ "ffwd/internal/delegated" // ffwd
+	_ "ffwd/internal/lockfree"  // lockfree, sim
+	_ "ffwd/internal/locks"     // lock-mutex, lock-tas, lock-mcs
+	_ "ffwd/internal/rcl"       // rcl
+	_ "ffwd/internal/rcu"       // rcu, rlu
+	_ "ffwd/internal/stm"       // stm
+)

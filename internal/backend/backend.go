@@ -1,0 +1,260 @@
+// Package backend is the unified registry behind the measurement layers:
+// every synchronization scheme in the repository — the ffwd delegation
+// core and each baseline package (locks, combining, lockfree, stm, rcu,
+// rcl) — self-registers a Backend descriptor naming which shared
+// structures it can serve and how to construct them. The runtime harness
+// (internal/runtimebench) and the simulation layer consume the same
+// descriptors, so the paper's cross-product — synchronization scheme ×
+// shared structure × workload — is realized once, uniformly, instead of
+// ad hoc per package.
+//
+// A Backend provides one constructor per supported structure kind. Each
+// constructor returns an Instance: a started, ready-to-measure object
+// whose NewHandle yields per-goroutine accessors (delegation clients,
+// combiner handles, or the shared object itself for schemes without
+// per-goroutine state) and whose Close stops any server goroutines.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Structure names a shared-structure kind of the benchmark grid.
+type Structure string
+
+// The benchmark grid's structure kinds.
+const (
+	StructCounter Structure = "counter"
+	StructSet     Structure = "set"
+	StructQueue   Structure = "queue"
+	StructStack   Structure = "stack"
+	StructKV      Structure = "kv"
+)
+
+// Structures lists every structure kind in grid order.
+var Structures = []Structure{StructCounter, StructSet, StructQueue, StructStack, StructKV}
+
+// Counter is a fetch-add counter. Add returns the post-add value, so
+// Add(0) reads the current value.
+type Counter interface {
+	Add(delta uint64) uint64
+}
+
+// Set is an integer set — the shape of the paper's list, skip list, tree
+// and hash table benchmarks. It is identical to ds.Set, restated here so
+// the registry has no dependencies.
+type Set interface {
+	Contains(key uint64) bool
+	Insert(key uint64) bool
+	Remove(key uint64) bool
+	Len() int
+}
+
+// Queue is a FIFO queue of words. Values are confined to 63 bits (some
+// backends reserve the top bit to encode emptiness in one response word).
+type Queue interface {
+	Enqueue(v uint64)
+	Dequeue() (v uint64, ok bool)
+}
+
+// Stack is a LIFO stack of words, values confined to 63 bits.
+type Stack interface {
+	Push(v uint64)
+	Pop() (v uint64, ok bool)
+}
+
+// KV is a word-to-word key-value map, values confined to 63 bits.
+type KV interface {
+	Get(key uint64) (v uint64, ok bool)
+	Put(key, v uint64)
+	Delete(key uint64) bool
+}
+
+// Config sizes an instance for a measurement run.
+type Config struct {
+	// Goroutines is the number of worker goroutines that will request
+	// handles; servers and handle pools are sized for it.
+	Goroutines int
+	// Shards is the parallelism hint for sharded backends (hash
+	// buckets, RLU writer domains). Zero means 16.
+	Shards int
+	// KeySpace is the key range hint [1, KeySpace] for sized
+	// structures. Zero means 1024.
+	KeySpace uint64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Goroutines < 1 {
+		c.Goroutines = 1
+	}
+	if c.Shards < 1 {
+		c.Shards = 16
+	}
+	if c.KeySpace < 1 {
+		c.KeySpace = 1024
+	}
+	return c
+}
+
+// Instance is one constructed backend × structure cell, started and ready
+// to measure.
+type Instance[H any] struct {
+	// NewHandle returns a per-goroutine accessor. It must be called
+	// from a single goroutine (hand handles to workers before they
+	// start); at most Config.Goroutines handles may be requested. The
+	// returned handle must not be shared between goroutines unless the
+	// backend has no per-goroutine state.
+	NewHandle func() H
+	// Close stops server goroutines and releases resources. Workers
+	// must have stopped using handles first. May be nil.
+	Close func()
+}
+
+// Shared wraps a handle-free (globally shared) object as an Instance.
+func Shared[H any](h H) *Instance[H] {
+	return &Instance[H]{NewHandle: func() H { return h }}
+}
+
+// SimFamily selects which simsync simulator models a backend cell.
+type SimFamily string
+
+// Simulator families, mirroring internal/simsync's entry points.
+const (
+	SimNone       SimFamily = ""           // no simulated counterpart
+	SimLock       SimFamily = "lock"       // SimulateLock (locks, atomics, lock-free queues)
+	SimDelegation SimFamily = "delegation" // SimulateDelegation (ffwd, rcl)
+	SimCombining  SimFamily = "combining"  // SimulateCombining (fc, cc, dsm, h, sim)
+	SimStructure  SimFamily = "structure"  // SimulateStructure (stm, rcu, rlu, fine-grained)
+)
+
+// SimSpec names the simulated counterpart of one backend × structure
+// cell: the simulator family plus the method label internal/simsync uses.
+type SimSpec struct {
+	Family SimFamily
+	Method string
+}
+
+// Backend describes one synchronization scheme: how to construct each
+// structure kind it supports, and which simulation models it.
+// Constructors left nil mark unsupported structures.
+type Backend struct {
+	// Name is the registry key, e.g. "ffwd", "lock-mutex", "ccsynch".
+	Name string
+	// Pkg is the owning package, for docs and reports.
+	Pkg string
+	// Doc is a one-line description.
+	Doc string
+	// Sim maps each supported structure to its simulated counterpart;
+	// cells without an entry have no simulated series.
+	Sim map[Structure]SimSpec
+
+	Counter func(Config) (*Instance[Counter], error)
+	Set     func(Config) (*Instance[Set], error)
+	Queue   func(Config) (*Instance[Queue], error)
+	Stack   func(Config) (*Instance[Stack], error)
+	KV      func(Config) (*Instance[KV], error)
+}
+
+// Supports reports whether the backend constructs s.
+func (b *Backend) Supports(s Structure) bool {
+	switch s {
+	case StructCounter:
+		return b.Counter != nil
+	case StructSet:
+		return b.Set != nil
+	case StructQueue:
+		return b.Queue != nil
+	case StructStack:
+		return b.Stack != nil
+	case StructKV:
+		return b.KV != nil
+	}
+	return false
+}
+
+// Structures lists the structure kinds the backend supports, in grid
+// order.
+func (b *Backend) Structures() []Structure {
+	var out []Structure
+	for _, s := range Structures {
+		if b.Supports(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Backend{}
+)
+
+// Register adds b to the registry; baseline packages call it from init.
+// It panics on a duplicate or structure-less descriptor, which would be a
+// programming error caught by any test importing the package.
+func Register(b Backend) {
+	if b.Name == "" {
+		panic("backend: Register with empty name")
+	}
+	if len(b.Structures()) == 0 {
+		panic(fmt.Sprintf("backend: %q registers no structures", b.Name))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", b.Name))
+	}
+	registry[b.Name] = &b
+}
+
+func (b *Backend) String() string { return b.Name }
+
+// Get returns the backend registered under name.
+func Get(name string) (*Backend, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered backends sorted by name.
+func All() []*Backend {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Backend, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// ByStructure returns the backends supporting s, sorted by name.
+func ByStructure(s Structure) []*Backend {
+	var out []*Backend
+	for _, b := range All() {
+		if b.Supports(s) {
+			out = append(out, b)
+		}
+	}
+	return out
+}

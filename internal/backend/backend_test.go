@@ -1,0 +1,87 @@
+package backend
+
+import "testing"
+
+func TestRegisterGetAndOrder(t *testing.T) {
+	Register(Backend{
+		Name: "test-shared-counter",
+		Pkg:  "backend_test",
+		Counter: func(Config) (*Instance[Counter], error) {
+			return Shared[Counter](&localCounter{}), nil
+		},
+	})
+	b, ok := Get("test-shared-counter")
+	if !ok {
+		t.Fatal("registered backend not found")
+	}
+	if !b.Supports(StructCounter) || b.Supports(StructSet) {
+		t.Fatalf("Supports wrong: %v", b.Structures())
+	}
+	if got := b.Structures(); len(got) != 1 || got[0] != StructCounter {
+		t.Fatalf("Structures = %v", got)
+	}
+
+	inst, err := b.Counter(Config{}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inst.NewHandle()
+	if v := h.Add(3); v != 3 {
+		t.Fatalf("Add(3) = %d", v)
+	}
+	if v := h.Add(0); v != 3 {
+		t.Fatalf("Add(0) = %d, want read of 3", v)
+	}
+
+	found := false
+	for _, name := range Names() {
+		if name == "test-shared-counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names misses registered backend")
+	}
+	for _, bb := range ByStructure(StructCounter) {
+		if bb.Name == "test-shared-counter" {
+			return
+		}
+	}
+	t.Fatal("ByStructure misses registered backend")
+}
+
+func TestRegisterRejectsBadDescriptors(t *testing.T) {
+	mustPanic(t, "empty name", func() { Register(Backend{}) })
+	mustPanic(t, "no structures", func() { Register(Backend{Name: "test-empty"}) })
+	Register(Backend{Name: "test-dup", Counter: sharedCounterCtor})
+	mustPanic(t, "duplicate", func() { Register(Backend{Name: "test-dup", Counter: sharedCounterCtor}) })
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Goroutines != 1 || c.Shards != 16 || c.KeySpace != 1024 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Config{Goroutines: 8, Shards: 4, KeySpace: 99}.WithDefaults()
+	if c.Goroutines != 8 || c.Shards != 4 || c.KeySpace != 99 {
+		t.Fatalf("explicit config clobbered: %+v", c)
+	}
+}
+
+type localCounter struct{ v uint64 }
+
+func (c *localCounter) Add(d uint64) uint64 { c.v += d; return c.v }
+
+func sharedCounterCtor(Config) (*Instance[Counter], error) {
+	return Shared[Counter](&localCounter{}), nil
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

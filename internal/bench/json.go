@@ -1,0 +1,36 @@
+package bench
+
+import "encoding/json"
+
+// FormatJSON renders the figure as indented JSON — the machine-readable
+// counterpart of Format/FormatCSV, consumed by external plotting
+// pipelines and by the trajectory tooling.
+func FormatJSON(f Figure) string {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		// Figure is plain data; marshaling cannot fail at runtime.
+		panic(err)
+	}
+	return string(b) + "\n"
+}
+
+// Overlay merges figures from different measurement layers into one:
+// every series keeps its points but gains a "<layer>:" label prefix, so
+// measured and simulated curves render side by side in one table or
+// plot. The first figure provides the axes.
+func Overlay(id, title string, layers map[string]Figure, order []string) Figure {
+	out := Figure{ID: id, Title: title}
+	for _, layer := range order {
+		f, ok := layers[layer]
+		if !ok {
+			continue
+		}
+		if out.XLabel == "" {
+			out.XLabel, out.YLabel, out.XLog = f.XLabel, f.YLabel, f.XLog
+		}
+		for _, s := range f.Series {
+			out.Series = append(out.Series, Series{Label: layer + ":" + s.Label, Points: s.Points})
+		}
+	}
+	return out
+}

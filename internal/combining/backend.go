@@ -1,0 +1,232 @@
+package combining
+
+import (
+	"ffwd/internal/backend"
+	"ffwd/internal/ds"
+)
+
+// Backend registration: each combining algorithm serves the whole
+// structure grid by running the single-threaded structure's operation as
+// the combined critical section. Per-goroutine handles pre-build their
+// operation closures and pass pending arguments through handle fields, so
+// the measured hot path does not allocate.
+
+func init() {
+	registerCombBackend("fc", "FC", "flat combining", func(int) Combiner { return NewFlat() })
+	registerCombBackend("ccsynch", "CC", "CC-Synch combining", func(int) Combiner { return NewCCSynch() })
+	registerCombBackend("dsmsynch", "DSM", "DSM-Synch combining", func(int) Combiner { return NewDSMSynch() })
+}
+
+func registerCombBackend(name, method, doc string, mk func(maxHandles int) Combiner) {
+	spec := backend.SimSpec{Family: backend.SimCombining, Method: method}
+	backend.Register(backend.Backend{
+		Name: name,
+		Pkg:  "combining",
+		Doc:  doc + " over an unsynchronized structure",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: spec,
+			backend.StructSet:     spec,
+			backend.StructQueue:   spec,
+			backend.StructStack:   spec,
+			backend.StructKV:      spec,
+		},
+		Counter: func(cfg backend.Config) (*backend.Instance[backend.Counter], error) {
+			cfg = cfg.WithDefaults()
+			c := mk(cfg.Goroutines)
+			v := new(uint64)
+			return &backend.Instance[backend.Counter]{NewHandle: func() backend.Counter {
+				h := &combCounter{c: c, h: c.NewHandle(), v: v}
+				h.op = func() uint64 { *h.v += h.arg; return *h.v }
+				return h
+			}}, nil
+		},
+		Set: func(cfg backend.Config) (*backend.Instance[backend.Set], error) {
+			cfg = cfg.WithDefaults()
+			c := mk(cfg.Goroutines)
+			set := ds.NewSkipList()
+			return &backend.Instance[backend.Set]{NewHandle: func() backend.Set {
+				h := &combSet{c: c, h: c.NewHandle(), set: set}
+				h.opContains = func() uint64 { return b2u(h.set.Contains(h.key)) }
+				h.opInsert = func() uint64 { return b2u(h.set.Insert(h.key)) }
+				h.opRemove = func() uint64 { return b2u(h.set.Remove(h.key)) }
+				h.opLen = func() uint64 { return uint64(h.set.Len()) }
+				return h
+			}}, nil
+		},
+		Queue: func(cfg backend.Config) (*backend.Instance[backend.Queue], error) {
+			cfg = cfg.WithDefaults()
+			c := mk(cfg.Goroutines)
+			q := ds.NewQueue()
+			return &backend.Instance[backend.Queue]{NewHandle: func() backend.Queue {
+				h := &combQueue{c: c, h: c.NewHandle(), q: q}
+				h.opEnq = func() uint64 { h.q.Enqueue(h.arg); return 0 }
+				h.opDeq = func() uint64 {
+					v, ok := h.q.Dequeue()
+					if !ok {
+						return emptyWord
+					}
+					return v &^ (1 << 63)
+				}
+				return h
+			}}, nil
+		},
+		Stack: func(cfg backend.Config) (*backend.Instance[backend.Stack], error) {
+			cfg = cfg.WithDefaults()
+			c := mk(cfg.Goroutines)
+			s := ds.NewStack()
+			return &backend.Instance[backend.Stack]{NewHandle: func() backend.Stack {
+				h := &combStack{c: c, h: c.NewHandle(), s: s}
+				h.opPush = func() uint64 { h.s.Push(h.arg); return 0 }
+				h.opPop = func() uint64 {
+					v, ok := h.s.Pop()
+					if !ok {
+						return emptyWord
+					}
+					return v &^ (1 << 63)
+				}
+				return h
+			}}, nil
+		},
+		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
+			cfg = cfg.WithDefaults()
+			c := mk(cfg.Goroutines)
+			m := ds.NewKVMap(int(cfg.KeySpace))
+			return &backend.Instance[backend.KV]{NewHandle: func() backend.KV {
+				h := &combKV{c: c, h: c.NewHandle(), m: m}
+				h.opGet = func() uint64 {
+					v, ok := h.m.Get(h.key)
+					if !ok {
+						return emptyWord
+					}
+					return v &^ (1 << 63)
+				}
+				h.opPut = func() uint64 { h.m.Put(h.key, h.val); return 0 }
+				h.opDel = func() uint64 { return b2u(h.m.Delete(h.key)) }
+				return h
+			}}, nil
+		},
+	})
+}
+
+// emptyWord encodes "absent" in a one-word combined response; values are
+// confined to 63 bits.
+const emptyWord = ^uint64(0)
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type combCounter struct {
+	c   Combiner
+	h   *Handle
+	v   *uint64
+	arg uint64
+	op  Op
+}
+
+func (x *combCounter) Add(d uint64) uint64 {
+	x.arg = d
+	return x.c.Do(x.h, x.op)
+}
+
+type combSet struct {
+	c   Combiner
+	h   *Handle
+	set ds.Set
+	key uint64
+
+	opContains, opInsert, opRemove, opLen Op
+}
+
+func (x *combSet) Contains(key uint64) bool {
+	x.key = key
+	return x.c.Do(x.h, x.opContains) == 1
+}
+
+func (x *combSet) Insert(key uint64) bool {
+	x.key = key
+	return x.c.Do(x.h, x.opInsert) == 1
+}
+
+func (x *combSet) Remove(key uint64) bool {
+	x.key = key
+	return x.c.Do(x.h, x.opRemove) == 1
+}
+
+func (x *combSet) Len() int { return int(x.c.Do(x.h, x.opLen)) }
+
+type combQueue struct {
+	c   Combiner
+	h   *Handle
+	q   *ds.Queue
+	arg uint64
+
+	opEnq, opDeq Op
+}
+
+func (x *combQueue) Enqueue(v uint64) {
+	x.arg = v
+	x.c.Do(x.h, x.opEnq)
+}
+
+func (x *combQueue) Dequeue() (uint64, bool) {
+	r := x.c.Do(x.h, x.opDeq)
+	if r == emptyWord {
+		return 0, false
+	}
+	return r, true
+}
+
+type combStack struct {
+	c   Combiner
+	h   *Handle
+	s   *ds.Stack
+	arg uint64
+
+	opPush, opPop Op
+}
+
+func (x *combStack) Push(v uint64) {
+	x.arg = v
+	x.c.Do(x.h, x.opPush)
+}
+
+func (x *combStack) Pop() (uint64, bool) {
+	r := x.c.Do(x.h, x.opPop)
+	if r == emptyWord {
+		return 0, false
+	}
+	return r, true
+}
+
+type combKV struct {
+	c   Combiner
+	h   *Handle
+	m   *ds.KVMap
+	key uint64
+	val uint64
+
+	opGet, opPut, opDel Op
+}
+
+func (x *combKV) Get(key uint64) (uint64, bool) {
+	x.key = key
+	r := x.c.Do(x.h, x.opGet)
+	if r == emptyWord {
+		return 0, false
+	}
+	return r, true
+}
+
+func (x *combKV) Put(key, v uint64) {
+	x.key, x.val = key, v
+	x.c.Do(x.h, x.opPut)
+}
+
+func (x *combKV) Delete(key uint64) bool {
+	x.key = key
+	return x.c.Do(x.h, x.opDel) == 1
+}

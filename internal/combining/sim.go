@@ -108,3 +108,37 @@ func (s *Sim[S]) Do(h *SimHandle, op SimOp[S]) uint64 {
 
 // State returns the current object state (a snapshot).
 func (s *Sim[S]) State() S { return s.global.Load().state }
+
+// SimObject couples a Sim construction with typed per-goroutine handles,
+// so structures built on the universal construction (lockfree.SimStack,
+// lockfree.SimQueue, the sim backend's counter) share one handle
+// adapter instead of each reimplementing the (object, SimHandle) pair.
+type SimObject[S any] struct {
+	sim *Sim[S]
+}
+
+// NewSimObject returns a Sim-served object with initial state and
+// capacity for maxHandles participating goroutines.
+func NewSimObject[S any](initial S, maxHandles int) *SimObject[S] {
+	return &SimObject[S]{sim: NewSim(initial, maxHandles)}
+}
+
+// SimObjectHandle is a per-goroutine handle; it must not be shared.
+type SimObjectHandle[S any] struct {
+	o *SimObject[S]
+	h *SimHandle
+}
+
+// NewHandle allocates a participant slot.
+func (o *SimObject[S]) NewHandle() *SimObjectHandle[S] {
+	return &SimObjectHandle[S]{o: o, h: o.sim.NewHandle()}
+}
+
+// State returns the current object state (a snapshot).
+func (o *SimObject[S]) State() S { return o.sim.State() }
+
+// Apply runs op through the universal construction and returns its result
+// word.
+func (h *SimObjectHandle[S]) Apply(op SimOp[S]) uint64 {
+	return h.o.sim.Do(h.h, op)
+}

@@ -1,0 +1,135 @@
+package delegated
+
+import (
+	"ffwd/internal/backend"
+	"ffwd/internal/core"
+	"ffwd/internal/ds"
+)
+
+// Backend registration: ffwd delegation serves every structure kind. The
+// set/queue/stack cells reuse this package's wrappers; the counter and KV
+// cells delegate directly through a core.Server, the paper's fetch-add
+// and memcached-style configurations.
+
+func init() {
+	spec := backend.SimSpec{Family: backend.SimDelegation, Method: "FFWD"}
+	backend.Register(backend.Backend{
+		Name: "ffwd",
+		Pkg:  "delegated",
+		Doc:  "ffwd delegation: one server goroutine owns the structure outright",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: spec,
+			backend.StructSet:     spec,
+			backend.StructQueue:   spec,
+			backend.StructStack:   spec,
+			backend.StructKV:      spec,
+		},
+		Counter: func(cfg backend.Config) (*backend.Instance[backend.Counter], error) {
+			cfg = cfg.WithDefaults()
+			srv := core.NewServer(core.Config{MaxClients: cfg.Goroutines})
+			var counter uint64
+			fidAdd := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				counter += a[0]
+				return counter
+			})
+			if err := srv.Start(); err != nil {
+				return nil, err
+			}
+			return &backend.Instance[backend.Counter]{
+				NewHandle: func() backend.Counter {
+					return &ffwdCounter{c: srv.MustNewClient(), fid: fidAdd}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+		Set: func(cfg backend.Config) (*backend.Instance[backend.Set], error) {
+			cfg = cfg.WithDefaults()
+			s := NewSkipListSet(cfg.Goroutines)
+			if err := s.Start(); err != nil {
+				return nil, err
+			}
+			return &backend.Instance[backend.Set]{
+				NewHandle: func() backend.Set { return s.MustNewClient() },
+				Close:     s.Stop,
+			}, nil
+		},
+		Queue: func(cfg backend.Config) (*backend.Instance[backend.Queue], error) {
+			cfg = cfg.WithDefaults()
+			q := NewQueue(cfg.Goroutines)
+			if err := q.Start(); err != nil {
+				return nil, err
+			}
+			return &backend.Instance[backend.Queue]{
+				NewHandle: func() backend.Queue { return q.MustNewClient() },
+				Close:     q.Stop,
+			}, nil
+		},
+		Stack: func(cfg backend.Config) (*backend.Instance[backend.Stack], error) {
+			cfg = cfg.WithDefaults()
+			s := NewStack(cfg.Goroutines)
+			if err := s.Start(); err != nil {
+				return nil, err
+			}
+			return &backend.Instance[backend.Stack]{
+				NewHandle: func() backend.Stack { return s.MustNewClient() },
+				Close:     s.Stop,
+			}, nil
+		},
+		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
+			cfg = cfg.WithDefaults()
+			srv := core.NewServer(core.Config{MaxClients: cfg.Goroutines})
+			m := ds.NewKVMap(int(cfg.KeySpace))
+			fidGet := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				v, ok := m.Get(a[0])
+				if !ok {
+					return kvAbsent
+				}
+				return v &^ (1 << 63)
+			})
+			fidPut := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				m.Put(a[0], a[1])
+				return 0
+			})
+			fidDel := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+				return b2u(m.Delete(a[0]))
+			})
+			if err := srv.Start(); err != nil {
+				return nil, err
+			}
+			return &backend.Instance[backend.KV]{
+				NewHandle: func() backend.KV {
+					return &ffwdKV{c: srv.MustNewClient(), get: fidGet, put: fidPut, del: fidDel}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+	})
+}
+
+// kvAbsent encodes a missing key in the one-word response; values are
+// confined to 63 bits.
+const kvAbsent = ^uint64(0)
+
+type ffwdCounter struct {
+	c   *core.Client
+	fid core.FuncID
+}
+
+func (x *ffwdCounter) Add(d uint64) uint64 { return x.c.Delegate1(x.fid, d) }
+
+type ffwdKV struct {
+	c             *core.Client
+	get, put, del core.FuncID
+}
+
+func (x *ffwdKV) Get(key uint64) (uint64, bool) {
+	r := x.c.Delegate1(x.get, key)
+	if r == kvAbsent {
+		return 0, false
+	}
+	return r, true
+}
+
+func (x *ffwdKV) Put(key, v uint64) { x.c.Delegate2(x.put, key, v) }
+
+func (x *ffwdKV) Delete(key uint64) bool { return x.c.Delegate1(x.del, key) == 1 }

@@ -1,0 +1,37 @@
+package ds
+
+// KVMap is a single-threaded word-to-word map — the structure one
+// delegates (or locks) for the key-value cell of the backend grid. It has
+// no internal synchronization.
+type KVMap struct {
+	m map[uint64]uint64
+}
+
+// NewKVMap returns an empty map presized for sizeHint entries.
+func NewKVMap(sizeHint int) *KVMap {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &KVMap{m: make(map[uint64]uint64, sizeHint)}
+}
+
+// Get returns the value stored under key.
+func (t *KVMap) Get(key uint64) (v uint64, ok bool) {
+	v, ok = t.m[key]
+	return v, ok
+}
+
+// Put stores v under key.
+func (t *KVMap) Put(key, v uint64) { t.m[key] = v }
+
+// Delete removes key; it reports false if key was absent.
+func (t *KVMap) Delete(key uint64) bool {
+	if _, ok := t.m[key]; !ok {
+		return false
+	}
+	delete(t.m, key)
+	return true
+}
+
+// Len returns the number of entries.
+func (t *KVMap) Len() int { return len(t.m) }

@@ -1,0 +1,25 @@
+package ds
+
+import "testing"
+
+func TestKVMap(t *testing.T) {
+	m := NewKVMap(4)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Put(1, 10)
+	m.Put(2, 20)
+	m.Put(1, 11) // overwrite
+	if v, ok := m.Get(1); !ok || v != 11 {
+		t.Fatalf("Get(1) = %d,%v want 11,true", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if !m.Delete(2) || m.Delete(2) {
+		t.Fatal("Delete(2) must succeed once")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after delete = %d, want 1", m.Len())
+	}
+}

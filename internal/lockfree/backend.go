@@ -1,0 +1,89 @@
+package lockfree
+
+import (
+	"sync/atomic"
+
+	"ffwd/internal/backend"
+	"ffwd/internal/combining"
+)
+
+// Backend registration: the lock-free/atomic baselines (Treiber stack,
+// Michael–Scott queue, Harris-list hash set, atomic fetch-add), plus the
+// SIM wait-free universal construction built in this package on
+// combining.SimObject.
+
+func init() {
+	backend.Register(backend.Backend{
+		Name: "lockfree",
+		Pkg:  "lockfree",
+		Doc:  "lock-free structures: atomic counter, Treiber stack, MS queue, Harris hash set",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: {Family: backend.SimLock, Method: "ATOMIC"},
+			backend.StructSet:     {Family: backend.SimStructure, Method: "LF"},
+			backend.StructQueue:   {Family: backend.SimLock, Method: "MS"},
+			backend.StructStack:   {Family: backend.SimLock, Method: "MS"},
+		},
+		Counter: func(backend.Config) (*backend.Instance[backend.Counter], error) {
+			return backend.Shared[backend.Counter](&atomicCounter{}), nil
+		},
+		Set: func(cfg backend.Config) (*backend.Instance[backend.Set], error) {
+			cfg = cfg.WithDefaults()
+			return backend.Shared[backend.Set](NewHashSet(cfg.Shards)), nil
+		},
+		Queue: func(backend.Config) (*backend.Instance[backend.Queue], error) {
+			return backend.Shared[backend.Queue](NewQueue()), nil
+		},
+		Stack: func(backend.Config) (*backend.Instance[backend.Stack], error) {
+			return backend.Shared[backend.Stack](NewStack()), nil
+		},
+	})
+
+	simSpec := backend.SimSpec{Family: backend.SimCombining, Method: "SIM"}
+	backend.Register(backend.Backend{
+		Name: "sim",
+		Pkg:  "lockfree",
+		Doc:  "SIM wait-free universal construction (persistent states, one CAS per batch)",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: simSpec,
+			backend.StructQueue:   simSpec,
+			backend.StructStack:   simSpec,
+		},
+		Counter: func(cfg backend.Config) (*backend.Instance[backend.Counter], error) {
+			cfg = cfg.WithDefaults()
+			obj := combining.NewSimObject(uint64(0), cfg.Goroutines)
+			return &backend.Instance[backend.Counter]{NewHandle: func() backend.Counter {
+				return &simCounter{h: obj.NewHandle()}
+			}}, nil
+		},
+		Queue: func(cfg backend.Config) (*backend.Instance[backend.Queue], error) {
+			cfg = cfg.WithDefaults()
+			q := NewSimQueue(cfg.Goroutines)
+			return &backend.Instance[backend.Queue]{NewHandle: func() backend.Queue {
+				return q.NewHandle()
+			}}, nil
+		},
+		Stack: func(cfg backend.Config) (*backend.Instance[backend.Stack], error) {
+			cfg = cfg.WithDefaults()
+			s := NewSimStack(cfg.Goroutines)
+			return &backend.Instance[backend.Stack]{NewHandle: func() backend.Stack {
+				return s.NewHandle()
+			}}, nil
+		},
+	})
+}
+
+type atomicCounter struct{ v atomic.Uint64 }
+
+func (c *atomicCounter) Add(d uint64) uint64 { return c.v.Add(d) }
+
+// simCounter routes fetch-add through the universal construction. The
+// delta is captured per-op: Sim helpers may re-apply a stale announce
+// record after the owner has moved on (a failed CAS discards the result),
+// so ops must not read mutable handle fields.
+type simCounter struct {
+	h *combining.SimObjectHandle[uint64]
+}
+
+func (c *simCounter) Add(d uint64) uint64 {
+	return c.h.Apply(func(v uint64) (uint64, uint64) { v += d; return v, v })
+}

@@ -5,7 +5,9 @@ import "ffwd/internal/combining"
 // This file implements the paper's SIM comparator as real code: a stack
 // and a queue built on the Sim wait-free universal construction
 // (internal/combining), with persistent (immutable) object states so that
-// a state transition is a pure value function.
+// a state transition is a pure value function. The per-structure handle
+// plumbing lives in combining.SimObject; here there are only the state
+// transitions themselves.
 
 // simList is an immutable cons list.
 type simList struct {
@@ -13,32 +15,34 @@ type simList struct {
 	next  *simList
 }
 
+// popEmpty marks an empty pop; values are confined to 63 bits.
+const popEmpty = ^uint64(0)
+
 // SimStack is a stack whose operations are applied through the Sim
 // universal construction: one CAS installs a batch of helped operations.
 type SimStack struct {
-	sim *combining.Sim[*simList]
+	obj *combining.SimObject[*simList]
 }
 
 // NewSimStack returns a stack with capacity for maxHandles concurrent
 // goroutines.
 func NewSimStack(maxHandles int) *SimStack {
-	return &SimStack{sim: combining.NewSim[*simList](nil, maxHandles)}
+	return &SimStack{obj: combining.NewSimObject[*simList](nil, maxHandles)}
 }
 
 // SimStackHandle is a per-goroutine handle.
 type SimStackHandle struct {
-	s *SimStack
-	h *combining.SimHandle
+	h *combining.SimObjectHandle[*simList]
 }
 
 // NewHandle allocates a participant slot.
 func (s *SimStack) NewHandle() *SimStackHandle {
-	return &SimStackHandle{s: s, h: s.sim.NewHandle()}
+	return &SimStackHandle{h: s.obj.NewHandle()}
 }
 
 // Push adds v to the top of the stack.
 func (h *SimStackHandle) Push(v uint64) {
-	h.s.sim.Do(h.h, func(top *simList) (*simList, uint64) {
+	h.h.Apply(func(top *simList) (*simList, uint64) {
 		return &simList{value: v, next: top}, 0
 	})
 }
@@ -46,7 +50,7 @@ func (h *SimStackHandle) Push(v uint64) {
 // Pop removes and returns the top value; ok is false if the stack was
 // empty at linearization.
 func (h *SimStackHandle) Pop() (v uint64, ok bool) {
-	r := h.s.sim.Do(h.h, func(top *simList) (*simList, uint64) {
+	r := h.h.Apply(func(top *simList) (*simList, uint64) {
 		if top == nil {
 			return nil, popEmpty
 		}
@@ -58,13 +62,10 @@ func (h *SimStackHandle) Pop() (v uint64, ok bool) {
 	return r, true
 }
 
-// popEmpty marks an empty pop; values are confined to 63 bits.
-const popEmpty = ^uint64(0)
-
 // Len counts the current snapshot's elements; linear, for tests.
 func (s *SimStack) Len() int {
 	n := 0
-	for l := s.sim.State(); l != nil; l = l.next {
+	for l := s.obj.State(); l != nil; l = l.next {
 		n++
 	}
 	return n
@@ -79,28 +80,27 @@ type simQueueState struct {
 
 // SimQueue is a queue through the Sim universal construction.
 type SimQueue struct {
-	sim *combining.Sim[simQueueState]
+	obj *combining.SimObject[simQueueState]
 }
 
 // NewSimQueue returns a queue with capacity for maxHandles goroutines.
 func NewSimQueue(maxHandles int) *SimQueue {
-	return &SimQueue{sim: combining.NewSim[simQueueState](simQueueState{}, maxHandles)}
+	return &SimQueue{obj: combining.NewSimObject(simQueueState{}, maxHandles)}
 }
 
 // SimQueueHandle is a per-goroutine handle.
 type SimQueueHandle struct {
-	q *SimQueue
-	h *combining.SimHandle
+	h *combining.SimObjectHandle[simQueueState]
 }
 
 // NewHandle allocates a participant slot.
 func (q *SimQueue) NewHandle() *SimQueueHandle {
-	return &SimQueueHandle{q: q, h: q.sim.NewHandle()}
+	return &SimQueueHandle{h: q.obj.NewHandle()}
 }
 
 // Enqueue appends v.
 func (h *SimQueueHandle) Enqueue(v uint64) {
-	h.q.sim.Do(h.h, func(s simQueueState) (simQueueState, uint64) {
+	h.h.Apply(func(s simQueueState) (simQueueState, uint64) {
 		return simQueueState{front: s.front, back: &simList{value: v, next: s.back}}, 0
 	})
 }
@@ -108,7 +108,7 @@ func (h *SimQueueHandle) Enqueue(v uint64) {
 // Dequeue removes the oldest value; ok is false if the queue was empty at
 // linearization.
 func (h *SimQueueHandle) Dequeue() (v uint64, ok bool) {
-	r := h.q.sim.Do(h.h, func(s simQueueState) (simQueueState, uint64) {
+	r := h.h.Apply(func(s simQueueState) (simQueueState, uint64) {
 		if s.front == nil {
 			// Reverse back into front.
 			var f *simList
@@ -130,7 +130,7 @@ func (h *SimQueueHandle) Dequeue() (v uint64, ok bool) {
 
 // Len counts the current snapshot's elements; linear, for tests.
 func (q *SimQueue) Len() int {
-	s := q.sim.State()
+	s := q.obj.State()
 	n := 0
 	for l := s.front; l != nil; l = l.next {
 		n++

@@ -1,0 +1,160 @@
+package locks
+
+import (
+	"strings"
+	"sync"
+
+	"ffwd/internal/backend"
+	"ffwd/internal/ds"
+)
+
+// Backend registration: each measured lock kind serves the whole
+// structure grid by guarding the corresponding single-threaded structure
+// from internal/ds with one global lock — the paper's coarse-locking
+// baselines.
+
+func init() {
+	for _, k := range []Kind{MutexKind, TASKind, MCSKind} {
+		registerLockBackend(k)
+	}
+}
+
+func registerLockBackend(kind Kind) {
+	name := "lock-" + strings.ToLower(string(kind))
+	spec := backend.SimSpec{Family: backend.SimLock, Method: string(kind)}
+	backend.Register(backend.Backend{
+		Name: name,
+		Pkg:  "locks",
+		Doc:  "single global " + string(kind) + " lock around an unsynchronized structure",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: spec,
+			backend.StructSet:     spec,
+			backend.StructQueue:   spec,
+			backend.StructStack:   spec,
+			backend.StructKV:      spec,
+		},
+		Counter: func(backend.Config) (*backend.Instance[backend.Counter], error) {
+			return backend.Shared[backend.Counter](&lockedCounter{mu: MustNew(kind, 1)}), nil
+		},
+		Set: func(backend.Config) (*backend.Instance[backend.Set], error) {
+			return backend.Shared[backend.Set](&lockedSet{mu: MustNew(kind, 1), set: ds.NewSkipList()}), nil
+		},
+		Queue: func(backend.Config) (*backend.Instance[backend.Queue], error) {
+			return backend.Shared[backend.Queue](&lockedQueue{mu: MustNew(kind, 1), q: ds.NewQueue()}), nil
+		},
+		Stack: func(backend.Config) (*backend.Instance[backend.Stack], error) {
+			return backend.Shared[backend.Stack](&lockedStack{mu: MustNew(kind, 1), s: ds.NewStack()}), nil
+		},
+		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
+			cfg = cfg.WithDefaults()
+			return backend.Shared[backend.KV](&lockedKV{mu: MustNew(kind, 1), m: ds.NewKVMap(int(cfg.KeySpace))}), nil
+		},
+	})
+}
+
+type lockedCounter struct {
+	mu sync.Locker
+	v  uint64
+}
+
+func (c *lockedCounter) Add(d uint64) uint64 {
+	c.mu.Lock()
+	c.v += d
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+type lockedSet struct {
+	mu  sync.Locker
+	set ds.Set
+}
+
+func (s *lockedSet) Contains(key uint64) bool {
+	s.mu.Lock()
+	ok := s.set.Contains(key)
+	s.mu.Unlock()
+	return ok
+}
+
+func (s *lockedSet) Insert(key uint64) bool {
+	s.mu.Lock()
+	ok := s.set.Insert(key)
+	s.mu.Unlock()
+	return ok
+}
+
+func (s *lockedSet) Remove(key uint64) bool {
+	s.mu.Lock()
+	ok := s.set.Remove(key)
+	s.mu.Unlock()
+	return ok
+}
+
+func (s *lockedSet) Len() int {
+	s.mu.Lock()
+	n := s.set.Len()
+	s.mu.Unlock()
+	return n
+}
+
+type lockedQueue struct {
+	mu sync.Locker
+	q  *ds.Queue
+}
+
+func (q *lockedQueue) Enqueue(v uint64) {
+	q.mu.Lock()
+	q.q.Enqueue(v)
+	q.mu.Unlock()
+}
+
+func (q *lockedQueue) Dequeue() (uint64, bool) {
+	q.mu.Lock()
+	v, ok := q.q.Dequeue()
+	q.mu.Unlock()
+	return v, ok
+}
+
+type lockedStack struct {
+	mu sync.Locker
+	s  *ds.Stack
+}
+
+func (s *lockedStack) Push(v uint64) {
+	s.mu.Lock()
+	s.s.Push(v)
+	s.mu.Unlock()
+}
+
+func (s *lockedStack) Pop() (uint64, bool) {
+	s.mu.Lock()
+	v, ok := s.s.Pop()
+	s.mu.Unlock()
+	return v, ok
+}
+
+type lockedKV struct {
+	mu sync.Locker
+	m  *ds.KVMap
+}
+
+func (t *lockedKV) Get(key uint64) (uint64, bool) {
+	t.mu.Lock()
+	v, ok := t.m.Get(key)
+	t.mu.Unlock()
+	return v, ok
+}
+
+func (t *lockedKV) Put(key, v uint64) {
+	t.mu.Lock()
+	t.m.Put(key, v)
+	t.mu.Unlock()
+}
+
+func (t *lockedKV) Delete(key uint64) bool {
+	t.mu.Lock()
+	ok := t.m.Delete(key)
+	t.mu.Unlock()
+	return ok
+}

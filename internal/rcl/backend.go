@@ -1,0 +1,275 @@
+package rcl
+
+import (
+	"ffwd/internal/backend"
+	"ffwd/internal/ds"
+)
+
+// Backend registration: Remote Core Locking serves the whole structure
+// grid by delegating each operation — lock acquisition included — to the
+// RCL server. Critical sections are package-level functions and the
+// operands travel in the per-goroutine handle (passed as the RCL
+// context), reproducing RCL's dependent context dereference without
+// allocating per operation.
+
+func init() {
+	spec := backend.SimSpec{Family: backend.SimDelegation, Method: "RCL"}
+	backend.Register(backend.Backend{
+		Name: "rcl",
+		Pkg:  "rcl",
+		Doc:  "Remote Core Locking server (context pointer chase + server-side lock)",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: spec,
+			backend.StructSet:     spec,
+			backend.StructQueue:   spec,
+			backend.StructStack:   spec,
+			backend.StructKV:      spec,
+		},
+		Counter: func(cfg backend.Config) (*backend.Instance[backend.Counter], error) {
+			srv, lock, err := startServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			v := new(uint64)
+			return &backend.Instance[backend.Counter]{
+				NewHandle: func() backend.Counter {
+					return &rclCounter{c: srv.MustNewClient(), l: lock, v: v}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+		Set: func(cfg backend.Config) (*backend.Instance[backend.Set], error) {
+			srv, lock, err := startServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			set := ds.NewSkipList()
+			return &backend.Instance[backend.Set]{
+				NewHandle: func() backend.Set {
+					return &rclSet{c: srv.MustNewClient(), l: lock, set: set}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+		Queue: func(cfg backend.Config) (*backend.Instance[backend.Queue], error) {
+			srv, lock, err := startServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			q := ds.NewQueue()
+			return &backend.Instance[backend.Queue]{
+				NewHandle: func() backend.Queue {
+					return &rclQueue{c: srv.MustNewClient(), l: lock, q: q}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+		Stack: func(cfg backend.Config) (*backend.Instance[backend.Stack], error) {
+			srv, lock, err := startServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s := ds.NewStack()
+			return &backend.Instance[backend.Stack]{
+				NewHandle: func() backend.Stack {
+					return &rclStack{c: srv.MustNewClient(), l: lock, s: s}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
+			srv, lock, err := startServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			m := ds.NewKVMap(int(cfg.WithDefaults().KeySpace))
+			return &backend.Instance[backend.KV]{
+				NewHandle: func() backend.KV {
+					return &rclKV{c: srv.MustNewClient(), l: lock, m: m}
+				},
+				Close: srv.Stop,
+			}, nil
+		},
+	})
+}
+
+func startServer(cfg backend.Config) (*Server, *Lock, error) {
+	cfg = cfg.WithDefaults()
+	srv := NewServer(cfg.Goroutines)
+	if err := srv.Start(); err != nil {
+		return nil, nil, err
+	}
+	return srv, srv.NewLock(), nil
+}
+
+// emptyWord encodes "absent" in the one-word response; values are
+// confined to 63 bits.
+const emptyWord = ^uint64(0)
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type rclCounter struct {
+	c   *Client
+	l   *Lock
+	v   *uint64
+	arg uint64
+}
+
+func csCounterAdd(ctx any) uint64 {
+	x := ctx.(*rclCounter)
+	*x.v += x.arg
+	return *x.v
+}
+
+func (x *rclCounter) Add(d uint64) uint64 {
+	x.arg = d
+	return x.c.Execute(x.l, csCounterAdd, x)
+}
+
+type rclSet struct {
+	c   *Client
+	l   *Lock
+	set ds.Set
+	key uint64
+}
+
+func csSetContains(ctx any) uint64 { x := ctx.(*rclSet); return b2u(x.set.Contains(x.key)) }
+func csSetInsert(ctx any) uint64   { x := ctx.(*rclSet); return b2u(x.set.Insert(x.key)) }
+func csSetRemove(ctx any) uint64   { x := ctx.(*rclSet); return b2u(x.set.Remove(x.key)) }
+func csSetLen(ctx any) uint64      { x := ctx.(*rclSet); return uint64(x.set.Len()) }
+
+func (x *rclSet) Contains(key uint64) bool {
+	x.key = key
+	return x.c.Execute(x.l, csSetContains, x) == 1
+}
+
+func (x *rclSet) Insert(key uint64) bool {
+	x.key = key
+	return x.c.Execute(x.l, csSetInsert, x) == 1
+}
+
+func (x *rclSet) Remove(key uint64) bool {
+	x.key = key
+	return x.c.Execute(x.l, csSetRemove, x) == 1
+}
+
+func (x *rclSet) Len() int { return int(x.c.Execute(x.l, csSetLen, x)) }
+
+type rclQueue struct {
+	c   *Client
+	l   *Lock
+	q   *ds.Queue
+	arg uint64
+}
+
+func csQueueEnq(ctx any) uint64 {
+	x := ctx.(*rclQueue)
+	x.q.Enqueue(x.arg)
+	return 0
+}
+
+func csQueueDeq(ctx any) uint64 {
+	x := ctx.(*rclQueue)
+	v, ok := x.q.Dequeue()
+	if !ok {
+		return emptyWord
+	}
+	return v &^ (1 << 63)
+}
+
+func (x *rclQueue) Enqueue(v uint64) {
+	x.arg = v
+	x.c.Execute(x.l, csQueueEnq, x)
+}
+
+func (x *rclQueue) Dequeue() (uint64, bool) {
+	r := x.c.Execute(x.l, csQueueDeq, x)
+	if r == emptyWord {
+		return 0, false
+	}
+	return r, true
+}
+
+type rclStack struct {
+	c   *Client
+	l   *Lock
+	s   *ds.Stack
+	arg uint64
+}
+
+func csStackPush(ctx any) uint64 {
+	x := ctx.(*rclStack)
+	x.s.Push(x.arg)
+	return 0
+}
+
+func csStackPop(ctx any) uint64 {
+	x := ctx.(*rclStack)
+	v, ok := x.s.Pop()
+	if !ok {
+		return emptyWord
+	}
+	return v &^ (1 << 63)
+}
+
+func (x *rclStack) Push(v uint64) {
+	x.arg = v
+	x.c.Execute(x.l, csStackPush, x)
+}
+
+func (x *rclStack) Pop() (uint64, bool) {
+	r := x.c.Execute(x.l, csStackPop, x)
+	if r == emptyWord {
+		return 0, false
+	}
+	return r, true
+}
+
+type rclKV struct {
+	c   *Client
+	l   *Lock
+	m   *ds.KVMap
+	key uint64
+	val uint64
+}
+
+func csKVGet(ctx any) uint64 {
+	x := ctx.(*rclKV)
+	v, ok := x.m.Get(x.key)
+	if !ok {
+		return emptyWord
+	}
+	return v &^ (1 << 63)
+}
+
+func csKVPut(ctx any) uint64 {
+	x := ctx.(*rclKV)
+	x.m.Put(x.key, x.val)
+	return 0
+}
+
+func csKVDel(ctx any) uint64 { x := ctx.(*rclKV); return b2u(x.m.Delete(x.key)) }
+
+func (x *rclKV) Get(key uint64) (uint64, bool) {
+	x.key = key
+	r := x.c.Execute(x.l, csKVGet, x)
+	if r == emptyWord {
+		return 0, false
+	}
+	return r, true
+}
+
+func (x *rclKV) Put(key, v uint64) {
+	x.key, x.val = key, v
+	x.c.Execute(x.l, csKVPut, x)
+}
+
+func (x *rclKV) Delete(key uint64) bool {
+	x.key = key
+	return x.c.Execute(x.l, csKVDel, x) == 1
+}

@@ -1,0 +1,33 @@
+package rcu
+
+import "ffwd/internal/backend"
+
+// Backend registration: the read-copy-update comparators. RCU and RLU are
+// set-only schemes here, as in the paper's binary-tree benchmark —
+// wait-free readers, serialized (RCU) or domain-parallel (RLU) updaters.
+
+func init() {
+	backend.Register(backend.Backend{
+		Name: "rcu",
+		Pkg:  "rcu",
+		Doc:  "RCU binary tree: lock-free readers, one updater at a time",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructSet: {Family: backend.SimStructure, Method: "RCU"},
+		},
+		Set: func(backend.Config) (*backend.Instance[backend.Set], error) {
+			return backend.Shared[backend.Set](NewTree()), nil
+		},
+	})
+	backend.Register(backend.Backend{
+		Name: "rlu",
+		Pkg:  "rcu",
+		Doc:  "RLU-lite tree: RCU read path, disjoint writer domains in parallel",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructSet: {Family: backend.SimStructure, Method: "RLU"},
+		},
+		Set: func(cfg backend.Config) (*backend.Instance[backend.Set], error) {
+			cfg = cfg.WithDefaults()
+			return backend.Shared[backend.Set](NewRLUTree(cfg.Shards)), nil
+		},
+	})
+}

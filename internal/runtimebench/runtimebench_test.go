@@ -1,0 +1,182 @@
+package runtimebench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ffwd/internal/backend"
+	"ffwd/internal/simarch"
+)
+
+// smokeOptions keeps each cell to a few milliseconds so the full grid —
+// every backend × structure × {2 goroutines} — stays fast enough for the
+// race detector.
+func smokeOptions() Options {
+	return Options{
+		Structures: backend.Structures,
+		Goroutines: []int{2},
+		Duration:   2 * time.Millisecond,
+		Warmup:     time.Millisecond,
+		KeySpace:   128,
+		Seed:       42,
+	}
+}
+
+// TestRunSmokeAllCells drives every registered backend through every
+// structure it supports and checks each cell made progress with sane
+// latency numbers.
+func TestRunSmokeAllCells(t *testing.T) {
+	rep, err := Run(smokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layer != "runtime" {
+		t.Fatalf("Layer = %q, want runtime", rep.Layer)
+	}
+	cells := map[string]bool{}
+	for _, c := range rep.Cells {
+		name := c.Backend + "/" + c.Structure
+		cells[name] = true
+		if c.Err != "" {
+			t.Errorf("%s: %s", name, c.Err)
+			continue
+		}
+		if c.Ops == 0 || c.Mops <= 0 {
+			t.Errorf("%s: no progress (ops=%d mops=%g)", name, c.Ops, c.Mops)
+		}
+		if c.P50NS <= 0 || c.P99NS < c.P50NS || float64(c.MaxNS) < c.P99NS*0.9 {
+			t.Errorf("%s: implausible latencies p50=%g p99=%g max=%g",
+				name, c.P50NS, c.P99NS, c.MaxNS)
+		}
+	}
+	// Every baseline package must be represented through the registry.
+	for _, want := range []string{
+		"lock-mutex/counter", "lock-tas/counter", "lock-mcs/counter",
+		"fc/counter", "ccsynch/counter", "dsmsynch/counter",
+		"sim/counter", "lockfree/counter", "stm/counter",
+		"rcu/set", "rlu/set", "rcl/counter", "ffwd/counter",
+		"ffwd/set", "ffwd/queue", "ffwd/stack", "ffwd/kv",
+	} {
+		if !cells[want] {
+			t.Errorf("missing cell %s", want)
+		}
+	}
+}
+
+// TestRunCorrectness cross-checks that the harness drives real
+// structures: an exclusive counter sweep must count exactly the measured
+// plus warmup operations — verified indirectly by a final Add(0) read
+// being at least the measured op count.
+func TestRunCorrectness(t *testing.T) {
+	b, ok := backend.Get("ffwd")
+	if !ok {
+		t.Fatal("ffwd backend not registered")
+	}
+	inst, err := b.Counter(backend.Config{Goroutines: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	h := inst.NewHandle()
+	for i := 0; i < 1000; i++ {
+		h.Add(1)
+	}
+	if got := h.Add(0); got != 1000 {
+		t.Fatalf("counter = %d, want 1000", got)
+	}
+}
+
+// TestRunUnknownBackend rejects unknown names instead of skipping them.
+func TestRunUnknownBackend(t *testing.T) {
+	if _, err := Run(Options{Backends: []string{"nope"}}); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+}
+
+// TestReportFiguresAndJSON checks the bench.Figure conversion and the
+// JSON emission round-trips.
+func TestReportFiguresAndJSON(t *testing.T) {
+	rep := Report{Layer: "runtime", Machine: "host", Cells: []Cell{
+		{Backend: "ffwd", Structure: "counter", Goroutines: 4, Mops: 10},
+		{Backend: "ffwd", Structure: "counter", Goroutines: 2, Mops: 5},
+		{Backend: "lock-mcs", Structure: "counter", Goroutines: 2, Mops: 3},
+		{Backend: "bad", Structure: "counter", Goroutines: 2, Err: "boom"},
+		{Backend: "ffwd", Structure: "queue", Goroutines: 2, Mops: 7},
+	}}
+	figs := rep.Figures()
+	if len(figs) != 2 {
+		t.Fatalf("figures = %d, want 2 (counter, queue)", len(figs))
+	}
+	counter := figs[0]
+	if counter.ID != "runtime-counter" || len(counter.Series) != 2 {
+		t.Fatalf("counter figure %q has %d series, want 2 (errored cell dropped)",
+			counter.ID, len(counter.Series))
+	}
+	// Series sorted by label, points by x.
+	if counter.Series[0].Label != "ffwd" || counter.Series[1].Label != "lock-mcs" {
+		t.Fatalf("series order: %q, %q", counter.Series[0].Label, counter.Series[1].Label)
+	}
+	pts := counter.Series[0].Points
+	if len(pts) != 2 || pts[0].X != 2 || pts[1].X != 4 {
+		t.Fatalf("points not sorted by goroutines: %+v", pts)
+	}
+
+	s, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(s), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.Layer != "runtime" {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}
+
+// TestSimGrid runs the simulated grid over every registered backend and
+// checks each simulable cell produces throughput.
+func TestSimGrid(t *testing.T) {
+	o := smokeOptions()
+	rep, err := SimGrid(o, simarch.Machine{}, 2e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layer != "sim" || rep.Machine == "" {
+		t.Fatalf("bad sim report header: layer=%q machine=%q", rep.Layer, rep.Machine)
+	}
+	if len(rep.Cells) == 0 {
+		t.Fatal("no sim cells")
+	}
+	seen := map[string]bool{}
+	for _, c := range rep.Cells {
+		name := c.Backend + "/" + c.Structure
+		seen[name] = true
+		if c.Err != "" {
+			t.Errorf("%s: %s", name, c.Err)
+			continue
+		}
+		if c.Mops <= 0 {
+			t.Errorf("%s: Mops = %g, want > 0", name, c.Mops)
+		}
+	}
+	for _, want := range []string{
+		"ffwd/counter", "rcl/counter", "lock-mcs/counter",
+		"fc/counter", "sim/counter", "stm/set", "rcu/set", "rlu/set",
+		"lockfree/set", "lockfree/queue",
+	} {
+		if !seen[want] {
+			t.Errorf("missing sim cell %s", want)
+		}
+	}
+	// Delegation models report latency; runtime-only fields stay zero.
+	for _, c := range rep.Cells {
+		if c.Backend == "ffwd" && c.MeanNS <= 0 {
+			t.Errorf("ffwd/%s: MeanNS = %g, want > 0 (delegation latency)", c.Structure, c.MeanNS)
+		}
+		if c.P50NS != 0 {
+			t.Errorf("%s/%s: sim cells must not fake quantiles", c.Backend, c.Structure)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package runtimebench
+
+import (
+	"fmt"
+	"math"
+
+	"ffwd/internal/backend"
+	"ffwd/internal/simarch"
+	"ffwd/internal/simsync"
+)
+
+// SimGrid runs the same backend × structure × goroutines sweep as Run,
+// but on the simulated machine: each backend's per-structure SimSpec
+// picks the simsync model (lock, delegation, combining, or structure
+// simulation) and the structure picks the critical-section cost. The
+// report has the same Cell shape as the runtime layer, so ffwdreport can
+// overlay measured against simulated series; only the delegation models
+// produce latency numbers (MeanNS), quantiles stay zero.
+func SimGrid(o Options, machine simarch.Machine, durationNS float64) (Report, error) {
+	o = o.withDefaults()
+	if machine.Name == "" {
+		machine = simarch.Broadwell
+	}
+	if durationNS <= 0 {
+		durationNS = 1e6
+	}
+	backends, err := resolveBackends(o.Backends)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Layer: "sim", Machine: machine.Name}
+	for _, st := range o.Structures {
+		for _, b := range backends {
+			spec, ok := b.Sim[st]
+			if !ok || spec.Family == backend.SimNone {
+				continue
+			}
+			for _, g := range o.Goroutines {
+				rep.Cells = append(rep.Cells, simCell(o, machine, durationNS, b, st, spec, g))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// simCell simulates one configuration.
+func simCell(o Options, m simarch.Machine, durNS float64, b *backend.Backend,
+	st backend.Structure, spec backend.SimSpec, g int) Cell {
+	cell := Cell{Backend: b.Name, Structure: string(st), Goroutines: g}
+	seed := uint64(o.Seed)
+	var r simsync.Result
+	switch spec.Family {
+	case backend.SimLock:
+		r = simsync.SimulateLock(simsync.LockSimConfig{
+			Machine: m, Method: simsync.Method(spec.Method), Threads: g,
+			DelayPauses: o.DelayPauses, CS: simCS(o, m, st, g),
+			DurationNS: durNS, Seed: seed,
+		})
+	case backend.SimDelegation:
+		r = simsync.SimulateDelegation(simsync.DelegSimConfig{
+			Machine: m, Method: simsync.Method(spec.Method),
+			Clients: maxInt(1, g-1), Servers: 1,
+			DelayPauses: o.DelayPauses, CS: serverCS(o, m, st),
+			DurationNS: durNS, Seed: seed,
+		})
+	case backend.SimCombining:
+		r = simsync.SimulateCombining(simsync.CombSimConfig{
+			Machine: m, Method: simsync.Method(spec.Method), Threads: g,
+			DelayPauses: o.DelayPauses, CS: simCS(o, m, st, g),
+			DurationNS: durNS, Seed: seed,
+		})
+	case backend.SimStructure:
+		r = simsync.SimulateStructure(structConfig(o, m, durNS, seed, spec.Method, st, g))
+	default:
+		cell.Err = fmt.Sprintf("runtimebench: unknown sim family %q", spec.Family)
+		return cell
+	}
+	cell.Mops = r.Mops
+	cell.MeanNS = r.MeanLatencyNS
+	return cell
+}
+
+// simCS is the client-context critical section per structure: the
+// fetch-add increment for counters, a head/tail pointer update for
+// queues and stacks, a key-space traversal for sets and KVs.
+func simCS(o Options, m simarch.Machine, st backend.Structure, threads int) simsync.CS {
+	switch st {
+	case backend.StructCounter:
+		return simsync.CS{BaseNS: 2 * m.CycleNS()}
+	case backend.StructQueue, backend.StructStack:
+		return simsync.CS{BaseNS: 6 * m.CycleNS(), SharedLineAccesses: 2}
+	default: // set, kv
+		depth := keyDepth(o.KeySpace)
+		return simsync.CS{
+			BaseNS: simsync.SharedTraverseNS(m, depth, int(o.KeySpace), threads),
+		}
+	}
+}
+
+// serverCS is the same section costed in a delegation server's cache-
+// resident context.
+func serverCS(o Options, m simarch.Machine, st backend.Structure) simsync.CS {
+	switch st {
+	case backend.StructCounter:
+		return simsync.CS{BaseNS: 2 * m.CycleNS()}
+	case backend.StructQueue, backend.StructStack:
+		return simsync.CS{BaseNS: 6 * m.CycleNS()}
+	default:
+		depth := keyDepth(o.KeySpace)
+		return simsync.CS{
+			BaseNS: simsync.ServerTraverseNS(m, depth, int(o.KeySpace)) + 8*m.CycleNS(),
+		}
+	}
+}
+
+// keyDepth is the expected search depth over a KeySpace-sized ordered
+// structure (≈1.39·log2 n, as in the tree figures).
+func keyDepth(keySpace uint64) int {
+	d := simsync.Log2(int(keySpace) + 1)
+	return d + d/2
+}
+
+// structConfig builds the structure-simulation parameters per method,
+// mirroring the tree-figure models: RCU serializes updates behind the
+// writer mutex plus a grace period, RLU syncs per writer domain, STM
+// pays instrumentation and aborts on conflict, LF retries a cheap CAS.
+func structConfig(o Options, m simarch.Machine, durNS float64, seed uint64,
+	method string, st backend.Structure, g int) simsync.StructSimConfig {
+	depth := keyDepth(o.KeySpace)
+	lines := int(o.KeySpace)
+	traverse := simsync.SharedTraverseNS(m, depth, lines, g)
+	update := o.UpdateRatio
+	if st == backend.StructCounter {
+		// Counter cells (STM's TVar counter): no traversal, all update.
+		traverse = 2 * m.CycleNS()
+		update = 1.0
+	}
+	cfg := simsync.StructSimConfig{
+		Machine: m, Method: simsync.Method(method), Threads: g,
+		UpdateRatio: update, ReadNS: traverse,
+		DelayPauses: o.DelayPauses, DurationNS: durNS, Seed: seed,
+	}
+	switch method {
+	case "RCU":
+		cfg.SerialNS = traverse + 600
+		cfg.SerialDomains = 1
+	case "RLU":
+		cfg.SerialNS = traverse + 200 + 6*float64(g)
+		cfg.SerialDomains = 4
+	case "STM":
+		conflictScale := 8.0 / math.Max(float64(o.KeySpace), 16)
+		cfg.ReadNS = traverse * 2.2
+		cfg.UpdateNS = traverse * 2.2
+		cfg.SerialNS = 150
+		cfg.SerialDomains = 1
+		cfg.AbortProb = func(inflight int) float64 {
+			return math.Min(0.85, conflictScale*float64(inflight))
+		}
+		cfg.ReadAbortProb = func(inflight int) float64 {
+			return math.Min(0.5, 0.4*conflictScale*float64(inflight))
+		}
+	default: // "LF" and other fine-grained lock-free structures
+		cfg.UpdateNS = traverse
+		cfg.ReadNS = traverse
+		cfg.SerialNS = 0.5 * m.LocalLLCNS // the CAS
+		cfg.SerialDomains = 64            // per-node: waiting is rare
+		cfg.AbortProb = func(inflight int) float64 {
+			return math.Min(0.5, 0.05*float64(inflight))
+		}
+	}
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

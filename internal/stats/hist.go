@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram sub-bucket resolution: histSubBits low-order bits per octave,
+// i.e. 2^histSubBits sub-buckets, bounding the relative quantization
+// error of any recorded value to 2^-histSubBits (≈3%).
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers the full uint64 range: values below
+	// histSubBuckets get exact unit buckets; each octave above
+	// contributes histSubBuckets log-spaced buckets.
+	histBuckets = (64 - histSubBits + 1) * histSubBuckets
+)
+
+// Histogram is a bounded log-bucket histogram of non-negative integer
+// samples (latencies in nanoseconds, batch sizes, …): fixed memory
+// (~15 KiB), O(1) Record, ≤ ~3% relative quantile error. The zero value
+// is an empty histogram ready for use. Histogram is not synchronized —
+// record into per-goroutine histograms and Merge.
+type Histogram struct {
+	counts   [histBuckets]uint64
+	n        uint64
+	sum      float64
+	sumSq    float64
+	min, max uint64
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v) - 1) // v ∈ [2^exp, 2^(exp+1))
+	sub := int((v >> (exp - histSubBits)) & (histSubBuckets - 1))
+	return (int(exp)-histSubBits+1)<<histSubBits + sub
+}
+
+// histBucketMid returns the representative (midpoint) value of bucket b.
+func histBucketMid(b int) float64 {
+	if b < histSubBuckets {
+		return float64(b)
+	}
+	exp := uint(b>>histSubBits + histSubBits - 1)
+	sub := uint64(b & (histSubBuckets - 1))
+	lo := uint64(1)<<exp + sub<<(exp-histSubBits)
+	width := uint64(1) << (exp - histSubBits)
+	return float64(lo) + float64(width-1)/2
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) { h.RecordN(v, 1) }
+
+// RecordN adds n occurrences of v.
+func (h *Histogram) RecordN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[histBucket(v)] += n
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n += n
+	fv := float64(v)
+	h.sum += fv * float64(n)
+	h.sumSq += fv * fv * float64(n)
+}
+
+// Merge adds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact sample mean (sums are tracked outside the
+// buckets, so Mean carries no quantization error).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Stddev returns the exact sample standard deviation (n-1 normalized).
+func (h *Histogram) Stddev() float64 {
+	if h.n < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	// Guard the cancellation floor: sumSq/(n) − mean² can go slightly
+	// negative in float arithmetic for near-constant samples.
+	v := (h.sumSq - float64(h.n)*mean*mean) / float64(h.n-1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the representative value
+// of the bucket holding the rank-⌈q·n⌉ sample, clamped to [Min, Max] so
+// extreme quantiles report exact observed bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := histBucketMid(b)
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+	}
+	return float64(h.max)
+}
+
+// Summary converts the histogram into the package's Summary shape: exact
+// N/mean/stddev/min/max, bucket-resolution median.
+func (h *Histogram) Summary() Summary {
+	if h.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      int(h.n),
+		Mean:   h.Mean(),
+		Stddev: h.Stddev(),
+		Min:    float64(h.min),
+		Median: h.Quantile(0.5),
+		Max:    float64(h.max),
+	}
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	if s := h.Summary(); s.N != 0 {
+		t.Fatalf("empty Summary = %+v", s)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below the sub-bucket width land in exact unit buckets, so
+	// quantiles are exact.
+	var h Histogram
+	for v := uint64(0); v < 20; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("median = %g, want 10", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %g, want 0", got)
+	}
+	if got := h.Quantile(1); got != 19 {
+		t.Fatalf("q1 = %g, want 19", got)
+	}
+	if h.Min() != 0 || h.Max() != 19 || h.Count() != 20 {
+		t.Fatalf("min/max/count = %d/%d/%d", h.Min(), h.Max(), h.Count())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.RecordN(1_000_000, 7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if relErr(got, 1_000_000) > 1.0/32 {
+			t.Fatalf("Quantile(%g) = %g, want ≈1e6", q, got)
+		}
+	}
+	if h.Mean() != 1_000_000 {
+		t.Fatalf("Mean = %g", h.Mean())
+	}
+	if h.Stddev() != 0 {
+		t.Fatalf("Stddev = %g, want 0", h.Stddev())
+	}
+}
+
+// TestHistogramQuantileError checks the advertised bound: every quantile
+// is within one sub-bucket (≈3%) of the exact order statistic.
+func TestHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(5000)
+		xs := make([]uint64, n)
+		for i := range xs {
+			// Log-uniform over ~6 decades, the shape of latency data.
+			xs[i] = uint64(math.Exp(rng.Float64() * 14))
+			h.Record(xs[i])
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99} {
+			exact := float64(xs[int(q*float64(n))])
+			got := h.Quantile(q)
+			if relErr(got, exact) > 2.0/32 {
+				t.Fatalf("trial %d n=%d: Quantile(%g) = %g, exact %g (rel err %g)",
+					trial, n, q, got, exact, relErr(got, exact))
+			}
+		}
+	}
+}
+
+// TestHistogramMergeQuick is the quick-check property: merging two
+// histograms is indistinguishable from recording both sample sets into
+// one.
+func TestHistogramMergeQuick(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		var ha, hb, merged, direct Histogram
+		for _, v := range a {
+			ha.Record(v)
+			direct.Record(v)
+		}
+		for _, v := range b {
+			hb.Record(v)
+			direct.Record(v)
+		}
+		merged.Merge(&ha)
+		merged.Merge(&hb)
+		if merged.Count() != direct.Count() || merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+			return false
+		}
+		// Summation order differs between the two paths, so the moment
+		// accumulators may differ in the final ulp.
+		if relErr(merged.Mean(), direct.Mean()) > 1e-12 || merged.counts != direct.counts {
+			return false
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 1} {
+			if merged.Quantile(q) != direct.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMeanStddevExact verifies the moment accumulators against a
+// direct computation (they bypass bucketing entirely).
+func TestHistogramMeanStddevExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		h.Record(v)
+		xs = append(xs, float64(v))
+	}
+	s := Summarize(xs)
+	if relErr(h.Mean(), s.Mean) > 1e-9 {
+		t.Fatalf("Mean = %g, want %g", h.Mean(), s.Mean)
+	}
+	if relErr(h.Stddev(), s.Stddev) > 1e-6 {
+		t.Fatalf("Stddev = %g, want %g", h.Stddev(), s.Stddev)
+	}
+	sum := h.Summary()
+	if sum.N != 1000 || sum.Min != s.Min || sum.Max != s.Max {
+		t.Fatalf("Summary = %+v, want min/max %g/%g", sum, s.Min, s.Max)
+	}
+	if relErr(sum.Median, s.Median) > 2.0/32 {
+		t.Fatalf("Summary.Median = %g, exact %g", sum.Median, s.Median)
+	}
+}
+
+// TestHistogramBucketRoundTrip: every bucket's representative value maps
+// back to the same bucket, and bucket boundaries are monotone.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	last := -1.0
+	for b := 0; b < histBuckets; b++ {
+		mid := histBucketMid(b)
+		if mid <= last {
+			t.Fatalf("bucket %d mid %g not monotone (prev %g)", b, mid, last)
+		}
+		last = mid
+		if mid > float64(math.MaxUint64) {
+			continue
+		}
+		if got := histBucket(uint64(mid)); got != b {
+			t.Fatalf("bucket %d mid %g maps back to %d", b, mid, got)
+		}
+	}
+	// Spot-check extremes.
+	if histBucket(0) != 0 {
+		t.Fatal("bucket(0) != 0")
+	}
+	if got := histBucket(math.MaxUint64); got != histBuckets-1 {
+		t.Fatalf("bucket(MaxUint64) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

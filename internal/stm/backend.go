@@ -1,0 +1,46 @@
+package stm
+
+import "ffwd/internal/backend"
+
+// Backend registration: the transactional-memory baseline. The counter is
+// one TVar updated atomically; the set is the transactional BST (the
+// paper's SwissTM tree comparator). Queue/stack/KV cells are not
+// registered — the paper does not evaluate STM there and a transactional
+// encoding would measure the encoding, not the scheme.
+
+func init() {
+	spec := backend.SimSpec{Family: backend.SimStructure, Method: "STM"}
+	backend.Register(backend.Backend{
+		Name: "stm",
+		Pkg:  "stm",
+		Doc:  "TL2-style software transactional memory (word-based, commit-time locking)",
+		Sim: map[backend.Structure]backend.SimSpec{
+			backend.StructCounter: spec,
+			backend.StructSet:     spec,
+		},
+		Counter: func(backend.Config) (*backend.Instance[backend.Counter], error) {
+			s := New()
+			return backend.Shared[backend.Counter](&stmCounter{s: s, v: NewTVar(uint64(0))}), nil
+		},
+		Set: func(backend.Config) (*backend.Instance[backend.Set], error) {
+			s := New()
+			return backend.Shared[backend.Set](NewTreeSet(s)), nil
+		},
+	})
+}
+
+type stmCounter struct {
+	s *STM
+	v *TVar
+}
+
+func (c *stmCounter) Add(d uint64) uint64 {
+	var out uint64
+	c.s.Atomically(func(tx *Tx) {
+		out = tx.Load(c.v).(uint64) + d
+		if d != 0 {
+			tx.Store(c.v, out)
+		}
+	})
+	return out
+}

@@ -99,3 +99,73 @@ func TestDelayRuns(t *testing.T) {
 	DelayN(0)
 	DelayN(100)
 }
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(9, 1.2, 1000), NewZipf(9, 1.2, 1000)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	// Per-worker seeds must produce distinct streams, or every worker
+	// would hammer the same keys in lockstep.
+	a, b := NewUniform(1, 1<<20), NewUniform(2, 1<<20)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds agreed on %d/1000 draws", same)
+	}
+}
+
+func TestUniformFlat(t *testing.T) {
+	// Shape check: across 100 keys and 100k draws, every bucket stays
+	// within ±30% of the uniform expectation.
+	g := NewUniform(5, 100)
+	counts := make([]int, 101)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for k := 1; k <= 100; k++ {
+		if c := counts[k]; c < n/100*7/10 || c > n/100*13/10 {
+			t.Fatalf("key %d drawn %d times, expected ≈%d", k, c, n/100)
+		}
+	}
+}
+
+func TestZipfRankMonotone(t *testing.T) {
+	// Shape check: aggregated rank bands must be non-increasing —
+	// the head outdraws the middle, the middle outdraws the tail.
+	g := NewZipf(5, 1.3, 1000)
+	counts := make([]int, 1001)
+	for i := 0; i < 200000; i++ {
+		counts[g.Next()]++
+	}
+	band := func(lo, hi int) int {
+		s := 0
+		for k := lo; k <= hi; k++ {
+			s += counts[k]
+		}
+		return s
+	}
+	head, mid, tail := band(1, 10), band(11, 100), band(101, 1000)
+	if head <= mid || mid <= tail {
+		t.Fatalf("rank bands not decreasing: head=%d mid=%d tail=%d", head, mid, tail)
+	}
+}
+
+func TestMixDeterministic(t *testing.T) {
+	a, b := NewMix(13, 0.5), NewMix(13, 0.5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
