@@ -3,14 +3,15 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench bench-smoke check chaos linear figures ablations coverage clean
+.PHONY: all build vet test race bench bench-smoke check chaos linear trace figures ablations coverage clean
 
 all: build vet test
 
 # The pre-merge gate: vet, full build, race-enabled tests of the hot-path
-# packages, the linearizability suite, and a smoke run of the core
-# microbenches (100 iterations — just enough to prove they still execute).
-check: linear
+# packages, the linearizability suite, a smoke run of the core
+# microbenches (100 iterations — just enough to prove they still
+# execute), and the trace pipeline end to end.
+check: linear trace
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
@@ -41,6 +42,16 @@ chaos:
 linear:
 	FFWD_CHAOS_SEED=3 $(GO) test -race -count=1 ./internal/linear/
 	FFWD_CHAOS_SEED=11 $(GO) test -race -count=1 ./internal/linear/
+
+# Observability smoke: capture a delegation lifecycle trace from a real
+# traced workload under the race detector, then run ffwdtrace over it and
+# require a non-empty phase breakdown (ffwdtrace exits nonzero when zero
+# operations attribute). Proves capture → Chrome JSON → attribution end
+# to end.
+TRACE_OUT ?= /tmp/ffwd-trace.json
+trace:
+	FFWD_TRACE_OUT=$(TRACE_OUT) $(GO) test -race -count=1 -run TestTraceCaptureSmoke ./internal/core/
+	$(GO) run ./cmd/ffwdtrace $(TRACE_OUT)
 
 # One testing.B benchmark per paper table/figure plus native benches.
 bench:

@@ -52,6 +52,7 @@ func main() {
 		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		skew       = flag.Float64("skew", 1.2, "zipf skew when -dist zipf")
 		delay      = flag.Int("delay", 0, "inter-operation delay in PAUSE iterations")
+		traceDir   = flag.String("trace-dir", "", "runtime layer: capture per-cell delegation traces (Chrome JSON) into this directory")
 	)
 	flag.Parse()
 
@@ -81,6 +82,25 @@ func main() {
 		ZipfSkew:    *skew,
 		DelayPauses: *delay,
 		Seed:        int64(*seed),
+		TraceDir:    *traceDir,
+	}
+
+	// Validate the experiment id up front: an unknown id must name the
+	// available experiments, not fail obscurely (or run nothing).
+	if *layer == "sim" && *exp != "all" && *exp != "grid" {
+		known := false
+		for _, id := range bench.IDs() {
+			known = known || id == *exp
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *exp)
+			for _, e := range bench.Experiments() {
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+			}
+			fmt.Fprintf(os.Stderr, "  %-8s backend grid over the registry\n", "grid")
+			fmt.Fprintf(os.Stderr, "  %-8s every experiment above\n", "all")
+			os.Exit(2)
+		}
 	}
 
 	m, err := simarch.MachineByName(*machine)

@@ -65,6 +65,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -77,6 +78,7 @@ import (
 	"ffwd/internal/apps"
 	"ffwd/internal/core"
 	"ffwd/internal/fault"
+	"ffwd/internal/obs"
 )
 
 // mgetMax bounds the number of keys per mget so one command line cannot
@@ -244,15 +246,17 @@ func main() {
 		readWait  = flag.Duration("read-timeout", 2*time.Minute, "idle bound between commands before a connection is dropped (0 = none)")
 		writeWait = flag.Duration("write-timeout", 10*time.Second, "bound on flushing one response (0 = none)")
 		shedWait  = flag.Duration("shed-timeout", 100*time.Millisecond, "how long a command waits for a pooled delegation client before BUSY (ffwd backend; 0 = forever)")
-		statsAddr = flag.String("stats-addr", "", "expose expvar serving stats over HTTP at this address (empty = off)")
+		statsAddr = flag.String("stats-addr", "", "expose serving stats over HTTP at this address: /metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /debug/delegation-trace (empty = off)")
+		tracePath = flag.String("trace", "", "capture the delegation lifecycle trace and write it as Chrome trace JSON here on shutdown (ffwd backend)")
 	)
 	flag.Parse()
 
 	var (
-		b  backend
-		d  *apps.DelegatedKV
-		fb *ffwdBackend
-		sv *core.Supervisor
+		b    backend
+		d    *apps.DelegatedKV
+		fb   *ffwdBackend
+		sv   *core.Supervisor
+		sink *obs.TraceSink
 	)
 	switch *kind {
 	case "ffwd":
@@ -269,6 +273,16 @@ func main() {
 			inj := fault.FromSeed(*chaosSeed)
 			cfg.Hooks = inj
 			log.Printf("ffwdserve: chaos injection on: %v", inj)
+		}
+		if *tracePath != "" || *statsAddr != "" {
+			// The sink also backs /debug/delegation-trace, so a stats
+			// endpoint alone turns capture on; recording costs one branch
+			// plus a ring store per lifecycle event.
+			sink = obs.NewTraceSink(obs.SinkConfig{Clients: cfg.MaxClients})
+			cfg.Trace = sink
+			if *tracePath != "" {
+				log.Printf("ffwdserve: tracing delegation lifecycle to %s (written on shutdown)", *tracePath)
+			}
 		}
 		d = apps.NewDelegatedKVConfig(*capacity, cfg)
 		if err := d.Start(); err != nil {
@@ -328,9 +342,29 @@ func main() {
 			}
 			return m
 		}))
+		// An explicit mux rather than http.DefaultServeMux: everything
+		// the endpoint serves is listed here.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", metricsRegistry(fe, fb, d).Handler())
+		if sink != nil {
+			// Live capture download: the snapshot is race-free against
+			// the serving hot path, so this works on a loaded server.
+			mux.HandleFunc("/debug/delegation-trace", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				if err := obs.WriteChrome(w, sink.Snapshot()); err != nil {
+					log.Printf("ffwdserve: trace endpoint: %v", err)
+				}
+			})
+		}
 		go func() {
-			log.Printf("ffwdserve: stats endpoint on http://%s/debug/vars", *statsAddr)
-			log.Print(http.ListenAndServe(*statsAddr, nil))
+			log.Printf("ffwdserve: stats endpoint on http://%s (/metrics, /debug/vars, /debug/pprof, /debug/delegation-trace)", *statsAddr)
+			log.Print(http.ListenAndServe(*statsAddr, mux))
 		}()
 	}
 
@@ -378,7 +412,81 @@ func main() {
 		}
 		d.Stop()
 	}
+	if sink != nil && *tracePath != "" {
+		writeTrace(*tracePath, sink)
+	}
 	log.Print("ffwdserve: shutdown complete")
+}
+
+// writeTrace dumps the captured delegation trace as Chrome trace JSON and
+// logs the per-operation phase breakdown so a shutdown doubles as a quick
+// latency report.
+func writeTrace(path string, sink *obs.TraceSink) {
+	evs := sink.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("ffwdserve: trace: %v", err)
+		return
+	}
+	err = obs.WriteChrome(f, evs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Printf("ffwdserve: trace: %v", err)
+		return
+	}
+	log.Printf("ffwdserve: wrote %d trace events to %s (%d dropped)", len(evs), path, sink.Drops())
+	if bd := obs.Attribute(evs); bd.Ops > 0 {
+		log.Printf("ffwdserve: phase breakdown over %d ops:\n%s", bd.Ops, bd.Table())
+	}
+}
+
+// metricsRegistry bridges the serving counters and the delegation
+// server's stats into a Prometheus /metrics endpoint. Everything is a
+// scrape-time sampling func: the counters already exist as atomics and
+// core.Stats is a consistent snapshot, so the registry owns no state.
+func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV) *obs.Registry {
+	reg := obs.NewRegistry()
+	u := func(load func() uint64) func() float64 {
+		return func() float64 { return float64(load()) }
+	}
+	reg.CounterFunc("ffwdserve_connections_accepted_total",
+		"Connections accepted off the listener.", u(fe.stats.accepted.Load))
+	reg.CounterFunc("ffwdserve_connections_rejected_total",
+		"Connections rejected at admission (over -max-conns).", u(fe.stats.rejected.Load))
+	reg.GaugeFunc("ffwdserve_connections_active",
+		"Connections currently being served.",
+		func() float64 { return float64(fe.stats.active.Load()) })
+	reg.CounterFunc("ffwdserve_read_timeouts_total",
+		"Connections dropped by the idle read deadline.", u(fe.stats.readTimeouts.Load))
+	reg.CounterFunc("ffwdserve_long_lines_total",
+		"Over-limit command lines rejected.", u(fe.stats.longLines.Load))
+	if fb != nil {
+		reg.CounterFunc("ffwdserve_busy_sheds_total",
+			"Commands shed BUSY waiting for a pooled delegation client.", u(fb.sheds.Load))
+	}
+	if d != nil {
+		srv := d.Server()
+		stat := func(field func(core.Stats) uint64) func() float64 {
+			return func() float64 { return float64(field(srv.Stats())) }
+		}
+		reg.CounterFunc("ffwd_requests_total",
+			"Delegated requests executed.", stat(func(s core.Stats) uint64 { return s.Requests }))
+		reg.CounterFunc("ffwd_sweeps_total",
+			"Server slot sweeps.", stat(func(s core.Stats) uint64 { return s.Sweeps }))
+		reg.CounterFunc("ffwd_panics_total",
+			"Panics recovered inside delegated operations.", stat(func(s core.Stats) uint64 { return s.Panics }))
+		reg.CounterFunc("ffwd_crashes_total",
+			"Delegation server crashes.", stat(func(s core.Stats) uint64 { return s.ServerCrashes }))
+		reg.CounterFunc("ffwd_restarts_total",
+			"Delegation server restarts.", stat(func(s core.Stats) uint64 { return s.Restarts }))
+		reg.CounterFunc("ffwd_ledger_skips_total",
+			"Duplicate requests skipped by the exactly-once ledger.", stat(func(s core.Stats) uint64 { return s.LedgerSkips }))
+		reg.CounterFunc("ffwd_retry_waits_total",
+			"Client waits that spanned a server restart.", stat(func(s core.Stats) uint64 { return s.RetryWaits }))
+	}
+	return reg
 }
 
 // serve runs the protocol loop for one connection: bounded line reads

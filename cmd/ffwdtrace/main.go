@@ -1,0 +1,86 @@
+// Command ffwdtrace loads a delegation lifecycle trace (Chrome trace
+// JSON, as written by ffwdserve -trace, ffwdbench -trace-dir, or
+// obs.WriteChrome) and prints the per-operation phase-latency breakdown:
+// how long operations spent waiting in their request slot, being
+// executed by the server, and waiting for the response to be observed.
+//
+// Usage:
+//
+//	ffwdtrace trace.json
+//	ffwdtrace -csv trace.json
+//
+// The trace file itself remains loadable in any Chrome trace viewer
+// (chrome://tracing, Perfetto); this command is the terminal-side view.
+// It exits nonzero when the trace attributes zero complete operations —
+// a trace full of events that never pair up is a capture bug, not a
+// quiet success.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ffwd/internal/obs"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit the phase breakdown as CSV instead of an aligned table")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ffwdtrace [-csv] <trace.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *csv, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ffwdtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, csv bool, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	evs, err := obs.ReadChrome(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: no delegation events", path)
+	}
+	bd := obs.Attribute(evs)
+	if csv {
+		fmt.Fprint(w, bd.CSV())
+	} else {
+		fmt.Fprintf(w, "%s: %d events, %d complete ops, %d partial\n", path, bd.Events, bd.Ops, bd.Partial)
+		printKinds(w, evs)
+		fmt.Fprint(w, bd.Table())
+	}
+	if bd.Ops == 0 {
+		return fmt.Errorf("%s: %d events but zero complete operations attributed", path, len(evs))
+	}
+	return nil
+}
+
+// printKinds summarizes the event mix, sorted by kind so the output is
+// stable for the smoke test.
+func printKinds(w io.Writer, evs []obs.Event) {
+	counts := obs.CountByKind(evs)
+	kinds := make([]obs.Kind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-20s %d\n", k, counts[k])
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ffwd/internal/core"
+	"ffwd/internal/obs"
+)
+
+// writeCapturedTrace drives a traced delegation server and writes the
+// snapshot as Chrome trace JSON — the same shape ffwdserve -trace and
+// ffwdbench -trace-dir produce.
+func writeCapturedTrace(t *testing.T, path string) {
+	t.Helper()
+	sink := obs.NewTraceSink(obs.SinkConfig{Clients: 4})
+	srv := core.NewServer(core.Config{MaxClients: 4, Trace: sink})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	fid := srv.Register(func(a *[core.MaxArgs]uint64) uint64 { return a[0] + 1 })
+	c, err := srv.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Delegate1(fid, uint64(i))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteChrome(f, sink.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPrintsPhaseTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	writeCapturedTrace(t, path)
+
+	var out strings.Builder
+	if err := run(path, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"100 complete ops", "client-issue", "server-execute",
+		"slot-wait", "service", "response-wait", "total", "p99_ns",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	if err := run(path, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "phase,count,") {
+		t.Errorf("CSV output missing header:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyAndUnmatched(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, false, &strings.Builder{}); err == nil {
+		t.Error("want error for event-free trace")
+	}
+
+	// Issue events with no matching execute/respond/complete: loadable,
+	// but zero operations attribute — that must be a hard error, not a
+	// blank table.
+	partial := filepath.Join(dir, "partial.json")
+	f, err := os.Create(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []obs.Event{
+		{TS: 10, Kind: obs.KindClientIssue, Slot: 0, Arg: 1},
+		{TS: 20, Kind: obs.KindClientIssue, Slot: 1, Arg: 1},
+	}
+	if err := obs.WriteChrome(f, evs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(partial, false, &strings.Builder{}); err == nil {
+		t.Error("want error when zero ops attribute")
+	}
+
+	if err := run(filepath.Join(dir, "missing.json"), false, &strings.Builder{}); err == nil {
+		t.Error("want error for missing file")
+	}
+}

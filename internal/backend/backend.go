@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"ffwd/internal/obs"
 )
 
 // Structure names a shared-structure kind of the benchmark grid.
@@ -83,6 +85,10 @@ type Config struct {
 	// KeySpace is the key range hint [1, KeySpace] for sized
 	// structures. Zero means 1024.
 	KeySpace uint64
+	// Trace, if non-nil, receives delegation lifecycle events from
+	// backends that support tracing (ffwd, rcl); the rest ignore it.
+	// One instance per sink — slot indices are only unique per server.
+	Trace obs.Tracer
 }
 
 // WithDefaults fills zero fields.

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ffwd/internal/obs"
 	"ffwd/internal/spin"
 )
 
@@ -20,6 +21,9 @@ type Client struct {
 	respV  *uint64  // this client's return-value word
 	bit    uint64   // our bit in the toggle word
 	toggle uint64   // current request toggle (0 or 1)
+	// tr caches the server's lifecycle-event sink (nil outside traced
+	// runs), saving the hot path the s indirection per event site.
+	tr obs.Tracer
 	// seq is the slot's monotonic request sequence number: incremented
 	// and stamped into the request line on every issue, it lets the
 	// server's last-applied ledger fence duplicate deliveries after a
@@ -106,6 +110,9 @@ func (c *Client) TryWait() (ret uint64, ok bool) {
 	}
 	c.pending = false
 	c.abandoned = false
+	if c.tr != nil {
+		c.tr.Event(obs.KindClientComplete, int32(c.slot), c.seq)
+	}
 	return *c.respV, true
 }
 
@@ -114,6 +121,9 @@ func (c *Client) TryWait() (ret uint64, ok bool) {
 // spin → yield → sleep ladder, so a response that is many sweeps away (or
 // a server descheduled under load) does not cost a burning core.
 func (c *Client) Wait() uint64 {
+	if c.tr != nil {
+		c.tr.Event(obs.KindClientWaitStart, int32(c.slot), c.seq)
+	}
 	var w spin.Waiter
 	for {
 		if ret, ok := c.TryWait(); ok {
@@ -131,6 +141,9 @@ func (c *Client) Wait() uint64 {
 func (c *Client) waitUntil(deadline time.Time) (uint64, error) {
 	if !c.pending {
 		panic("core: wait without an in-flight request")
+	}
+	if c.tr != nil {
+		c.tr.Event(obs.KindClientWaitStart, int32(c.slot), c.seq)
 	}
 	bounded := !deadline.IsZero()
 	var w spin.Waiter
@@ -248,6 +261,9 @@ func (c *Client) issueHdr(fid FuncID, argc int) {
 	// fence duplicate deliveries after a crash restart.
 	c.seq++
 	c.req[reqSeqWord] = c.seq
+	if c.tr != nil {
+		c.tr.Event(obs.KindClientIssue, int32(c.slot), c.seq)
+	}
 	hdr := uint64(fid)<<hdrFuncShift |
 		uint64(argc)<<hdrArgcShift |
 		hdrSeededBit | c.toggle

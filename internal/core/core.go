@@ -72,6 +72,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ffwd/internal/obs"
 	"ffwd/internal/padded"
 )
 
@@ -221,6 +222,11 @@ type Config struct {
 	// (see the Hooks interface and internal/fault). nil — the default —
 	// leaves only one predictable branch on the hot path.
 	Hooks Hooks
+	// Trace, if non-nil, receives delegation lifecycle events (issue,
+	// execute, respond, park, crash, ...) — see internal/obs. Like Hooks,
+	// nil (the default) costs the hot paths one predictable branch per
+	// event site and nothing else.
+	Trace obs.Tracer
 }
 
 // Stats is a snapshot of server activity counters.
@@ -339,6 +345,10 @@ type Server struct {
 	// chaos runs.
 	hooks Hooks
 
+	// trace is the lifecycle-event sink from Config; nil outside traced
+	// runs. Gated exactly like hooks: one branch per event site.
+	trace obs.Tracer
+
 	// ledger[i] is slot i's last applied request: its sequence number and
 	// return value. Written only by the server goroutine, after executing
 	// a request and before the injected-kill fault point, so a crash that
@@ -416,6 +426,7 @@ func NewServer(cfg Config) *Server {
 		done:      make(chan struct{}),
 		wake:      make(chan struct{}, 1),
 		hooks:     cfg.Hooks,
+		trace:     cfg.Trace,
 		slotPanic: make([]atomic.Pointer[PanicRecord], nGroups*gs),
 		ledger:    make([]ledgerEntry, nGroups*gs),
 	}
@@ -522,6 +533,7 @@ func (s *Server) NewClient() (*Client, error) {
 		respV:  &s.resp[group*respWords+1+member],
 		bit:    uint64(1) << uint(member),
 		toggle: toggle,
+		tr:     s.trace,
 		seq:    s.req[slot*reqWords+reqSeqWord],
 	}
 	// Publish occupancy last: once the bit is visible the server will
@@ -624,6 +636,11 @@ func (s *Server) RestartIfCrashed() bool {
 	}
 	s.done = make(chan struct{})
 	s.nRestarts.Add(1)
+	if tr := s.trace; tr != nil {
+		// Recorded from the supervisor's goroutine, not the server's —
+		// the sink routes it to its mutex-guarded control ring.
+		tr.Event(obs.KindRestart, -1, s.nRestarts.Load())
+	}
 	s.alive.Store(true)
 	go s.run(s.done)
 	return true
@@ -701,6 +718,9 @@ func (s *Server) run(done chan struct{}) {
 			s.lastPanic.Store(rec)
 			s.nCrashes.Add(1)
 			s.crashed.Store(true)
+			if tr := s.trace; tr != nil {
+				tr.Event(obs.KindCrash, -1, rec.Op)
+			}
 		}
 		s.alive.Store(false)
 		close(done)
@@ -708,6 +728,9 @@ func (s *Server) run(done chan struct{}) {
 
 	gs := s.groupSize
 	var retBuf [GroupSize]uint64
+	// seqBuf mirrors retBuf with the served requests' sequence numbers,
+	// so the trace's respond events can carry them after a buffered flush.
+	var seqBuf [GroupSize]uint64
 	// args is reused across requests: the escape through the indirect
 	// Func call would otherwise cost one heap allocation per request.
 	// Delegated functions must not retain the pointer past their call,
@@ -721,16 +744,16 @@ func (s *Server) run(done chan struct{}) {
 	for {
 		if s.stopping.Load() {
 			// Final sweep below still drains pending requests.
-			s.sweep(gs, &retBuf, &args)
+			s.sweep(gs, &retBuf, &seqBuf, &args)
 			return
 		}
-		if served := s.sweep(gs, &retBuf, &args); served > 0 {
+		if served := s.sweep(gs, &retBuf, &seqBuf, &args); served > 0 {
 			idleSweeps = 0
 			continue
 		}
 		idleSweeps++
 		if parkAfter > 0 && idleSweeps >= parkAfter {
-			s.park(gs, &retBuf, &args)
+			s.park(gs, &retBuf, &seqBuf, &args)
 			idleSweeps = 0
 			continue
 		}
@@ -746,9 +769,9 @@ func (s *Server) run(done chan struct{}) {
 // the Dekker-style race closer: a client that issued before observing the
 // flag is caught here; one that issues afterwards sees the flag and
 // performs the wake.
-func (s *Server) park(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) {
+func (s *Server) park(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uint64, args *[MaxArgs]uint64) {
 	s.parked.Store(true)
-	if s.sweep(gs, retBuf, args) > 0 || s.stopping.Load() {
+	if s.sweep(gs, retBuf, seqBuf, args) > 0 || s.stopping.Load() {
 		// Work (or shutdown) arrived while the flag went up; retract
 		// it. If a waker already CAS'd the flag down, consume its
 		// token so a later park does not wake spuriously (a missed
@@ -763,7 +786,13 @@ func (s *Server) park(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) 
 		return
 	}
 	s.nIdleParks.Add(1)
+	if tr := s.trace; tr != nil {
+		tr.Event(obs.KindPark, -1, 0)
+	}
 	<-s.wake
+	if tr := s.trace; tr != nil {
+		tr.Event(obs.KindWake, -1, 0)
+	}
 	// Normally the waker's CAS already lowered the flag; a stale token
 	// from a retracted park wakes us with it still raised. Lower it
 	// unconditionally — the server is the only goroutine that raises it.
@@ -799,7 +828,7 @@ func (s *Server) call(f Func, args *[MaxArgs]uint64, fid FuncID, slot int, op ui
 // atomic occupancy-mask load per active group replaces the per-slot
 // header loads for empty slots, and groups past the active high-water
 // mark are skipped without any load at all.
-func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64) int {
+func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uint64, args *[MaxArgs]uint64) int {
 	funcs := *s.funcs.Load()
 	useLock := s.cfg.ServerLock != nil
 	writeThrough := s.cfg.WriteThrough
@@ -812,6 +841,11 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 	if h != nil {
 		h.Sweep(s.nSweeps.Load())
 	}
+	// tr gates the lifecycle-event sites the same way. The sweep-start
+	// event is recorded lazily, only for sweeps that serve at least one
+	// request — an idle server polling millions of empty sweeps would
+	// otherwise flood the trace with nothing.
+	tr := s.trace
 	opBase := s.nRequests.Load()
 	active := int(s.activeGroups.Load())
 	// Trailing groups beyond the high-water mark are skipped wholesale,
@@ -841,6 +875,12 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 			// above.
 			slot := g*gs + m
 			seq := s.req[base+reqSeqWord]
+			if tr != nil {
+				if served == 0 {
+					tr.Event(obs.KindSweepStart, -1, s.nSweeps.Load())
+				}
+				tr.Event(obs.KindExecute, int32(slot), seq)
+			}
 			var ret uint64
 			if seq != 0 && s.ledger[slot].seq == seq {
 				// Duplicate delivery: a previous server generation
@@ -905,6 +945,7 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 			}
 			bit := uint64(1) << uint(m)
 			retBuf[m] = ret
+			seqBuf[m] = seq
 			groupServed |= bit
 			served++
 			if writeThrough {
@@ -915,6 +956,9 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 				toggles = newToggles
 				groupServed &^= bit
 				s.nBatches.Add(1)
+				if tr != nil {
+					tr.Event(obs.KindRespond, int32(slot), seq)
+				}
 			}
 		}
 		if groupServed != 0 {
@@ -928,6 +972,15 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, args *[MaxArgs]uint64)
 			}
 			atomic.StoreUint64(&s.resp[respBase], toggles^groupServed)
 			s.nBatches.Add(1)
+			if tr != nil {
+				// Respond events are stamped after the flush that made
+				// the group's responses visible, one per served slot.
+				for m := 0; m < gs; m++ {
+					if groupServed&(uint64(1)<<uint(m)) != 0 {
+						tr.Event(obs.KindRespond, int32(g*gs+m), seqBuf[m])
+					}
+				}
+			}
 		}
 	}
 	s.nSweeps.Add(1)

@@ -26,7 +26,7 @@ func init() {
 		},
 		Counter: func(cfg backend.Config) (*backend.Instance[backend.Counter], error) {
 			cfg = cfg.WithDefaults()
-			srv := core.NewServer(core.Config{MaxClients: cfg.Goroutines})
+			srv := core.NewServer(core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace})
 			var counter uint64
 			fidAdd := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
 				counter += a[0]
@@ -44,7 +44,7 @@ func init() {
 		},
 		Set: func(cfg backend.Config) (*backend.Instance[backend.Set], error) {
 			cfg = cfg.WithDefaults()
-			s := NewSkipListSet(cfg.Goroutines)
+			s := NewSetConfig(ds.NewSkipList(), core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace})
 			if err := s.Start(); err != nil {
 				return nil, err
 			}
@@ -55,7 +55,7 @@ func init() {
 		},
 		Queue: func(cfg backend.Config) (*backend.Instance[backend.Queue], error) {
 			cfg = cfg.WithDefaults()
-			q := NewQueue(cfg.Goroutines)
+			q := NewQueueConfig(core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace})
 			if err := q.Start(); err != nil {
 				return nil, err
 			}
@@ -66,7 +66,7 @@ func init() {
 		},
 		Stack: func(cfg backend.Config) (*backend.Instance[backend.Stack], error) {
 			cfg = cfg.WithDefaults()
-			s := NewStack(cfg.Goroutines)
+			s := NewStackConfig(core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace})
 			if err := s.Start(); err != nil {
 				return nil, err
 			}
@@ -77,7 +77,7 @@ func init() {
 		},
 		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
 			cfg = cfg.WithDefaults()
-			srv := core.NewServer(core.Config{MaxClients: cfg.Goroutines})
+			srv := core.NewServer(core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace})
 			m := ds.NewKVMap(int(cfg.KeySpace))
 			fidGet := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
 				v, ok := m.Get(a[0])

@@ -25,8 +25,14 @@ type Set struct {
 // NewSet wraps set (which must not be touched directly afterwards) in a
 // delegation server with maxClients client slots. Call Start before use.
 func NewSet(set ds.Set, maxClients int) *Set {
+	return NewSetConfig(set, core.Config{MaxClients: maxClients})
+}
+
+// NewSetConfig is NewSet with the full server configuration exposed —
+// group-size ablations, idle policy, lifecycle tracing (Config.Trace).
+func NewSetConfig(set ds.Set, cfg core.Config) *Set {
 	s := &Set{
-		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		srv: core.NewServer(cfg),
 		set: set,
 	}
 	s.fidContains = s.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {

@@ -22,8 +22,13 @@ const queueEmpty = ^uint64(0)
 
 // NewQueue builds the queue and its (unstarted) server.
 func NewQueue(maxClients int) *Queue {
+	return NewQueueConfig(core.Config{MaxClients: maxClients})
+}
+
+// NewQueueConfig is NewQueue with the full server configuration exposed.
+func NewQueueConfig(cfg core.Config) *Queue {
 	d := &Queue{
-		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		srv: core.NewServer(cfg),
 		q:   ds.NewQueue(),
 	}
 	d.fidEnq = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
@@ -118,8 +123,13 @@ type Stack struct {
 
 // NewStack builds the stack and its (unstarted) server.
 func NewStack(maxClients int) *Stack {
+	return NewStackConfig(core.Config{MaxClients: maxClients})
+}
+
+// NewStackConfig is NewStack with the full server configuration exposed.
+func NewStackConfig(cfg core.Config) *Stack {
 	d := &Stack{
-		srv: core.NewServer(core.Config{MaxClients: maxClients}),
+		srv: core.NewServer(cfg),
 		s:   ds.NewStack(),
 	}
 	d.fidPush = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event JSON: the object form ({"traceEvents": [...]}), one
+// instant event per recorded Event. Timestamps are microseconds (the
+// format's unit); the exact nanosecond value rides along in args so a
+// re-imported trace loses nothing to the µs conversion. tid 0 is the
+// server; client slot s maps to tid s+1, so per-slot activity lines up as
+// separate tracks in chrome://tracing or Perfetto.
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	S    string     `json:"s,omitempty"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	Slot int32  `json:"slot"`
+	Arg  uint64 `json:"arg"`
+	NS   int64  `json:"ns"`
+}
+
+// WriteChrome renders events as Chrome trace_event JSON.
+func WriteChrome(w io.Writer, events []Event) error {
+	f := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ns",
+	}
+	for _, ev := range events {
+		tid := 0
+		if ev.Slot >= 0 {
+			tid = int(ev.Slot) + 1
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: ev.Kind.String(),
+			Ph:   "i",
+			TS:   float64(ev.TS) / 1e3,
+			PID:  1,
+			TID:  tid,
+			S:    "t",
+			Args: chromeArgs{Slot: ev.Slot, Arg: ev.Arg, NS: ev.TS},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ReadChrome parses a trace written by WriteChrome (or any Chrome
+// trace_event JSON whose event names use this package's vocabulary).
+// Events with unrecognized names are skipped — a trace decorated by other
+// tools stays loadable.
+func ReadChrome(r io.Reader) ([]Event, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: parsing Chrome trace JSON: %w", err)
+	}
+	out := make([]Event, 0, len(f.TraceEvents))
+	for _, ce := range f.TraceEvents {
+		k, ok := KindByName(ce.Name)
+		if !ok {
+			continue
+		}
+		ev := Event{Kind: k, Slot: ce.Args.Slot, Arg: ce.Args.Arg}
+		if ce.Args.NS != 0 || ce.TS == 0 {
+			ev.TS = ce.Args.NS
+		} else {
+			ev.TS = int64(ce.TS * 1e3)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ffwd/internal/stats"
+)
+
+// The metrics half of the subsystem: a small registry of counters, gauges
+// and histogram-backed summaries with Prometheus text-format exposition.
+// It is deliberately tiny — no labels beyond the metric name, no
+// dependency beyond internal/stats — because the serving binaries need
+// exactly "expose these twenty numbers at /metrics", not a client
+// library.
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer metric. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Summary is a quantile summary backed by the repository's log-bucket
+// histogram: fixed memory, ≤ ~3% quantile error. Observations are
+// non-negative integers (nanoseconds, bytes, counts). Safe for concurrent
+// use; a mutex is acceptable here because summaries sit on sampled or
+// per-request paths, not inside the delegation sweep.
+type Summary struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v uint64) {
+	s.mu.Lock()
+	s.h.Record(v)
+	s.mu.Unlock()
+}
+
+// snapshot copies the histogram under the lock.
+func (s *Summary) snapshot() stats.Histogram {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	return h
+}
+
+// metric is one registered exposition entry.
+type metric struct {
+	name, help, typ string
+
+	counter *Counter
+	gauge   *Gauge
+	summary *Summary
+	fn      func() float64
+}
+
+// Registry holds registered metrics and renders them in Prometheus text
+// exposition format (version 0.0.4). Registration is typically done once
+// at startup; scraping is concurrent-safe.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) add(m *metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&metric{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// scrape time — the bridge to counters owned elsewhere (core.Stats).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(&metric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&metric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
+// Summary registers and returns a new quantile summary.
+func (r *Registry) Summary(name, help string) *Summary {
+	s := &Summary{}
+	r.add(&metric{name: name, help: help, typ: "summary", summary: s})
+	return s
+}
+
+// summaryQuantiles are the exposed quantile labels.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WriteText renders every metric in Prometheus text exposition format,
+// sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.fn())
+		case m.summary != nil:
+			h := m.summary.snapshot()
+			for _, q := range summaryQuantiles {
+				if _, err = fmt.Fprintf(w, "%s{quantile=%q} %g\n", m.name, fmt.Sprintf("%g", q), h.Quantile(q)); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %g\n", m.name, h.Mean()*float64(h.Count())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", m.name, h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an HTTP handler serving the registry in Prometheus
+// text exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

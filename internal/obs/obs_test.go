@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSinkRoutesAndOrders(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 2, ServerCap: 16, ClientCap: 16})
+	s.Event(KindClientIssue, 0, 1)
+	s.Event(KindExecute, 0, 1)
+	s.Event(KindRespond, 0, 1)
+	s.Event(KindClientComplete, 0, 1)
+	s.Event(KindPark, -1, 0)
+	s.Event(KindRestart, -1, 3)
+
+	evs := s.Snapshot()
+	if len(evs) != 6 {
+		t.Fatalf("Snapshot len = %d, want 6", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("snapshot not time-ordered at %d: %d < %d", i, evs[i].TS, evs[i-1].TS)
+		}
+	}
+	counts := CountByKind(evs)
+	for _, k := range []Kind{KindClientIssue, KindExecute, KindRespond, KindClientComplete, KindPark, KindRestart} {
+		if counts[k] != 1 {
+			t.Errorf("count[%v] = %d, want 1", k, counts[k])
+		}
+	}
+	if s.Drops() != 0 {
+		t.Errorf("Drops = %d, want 0", s.Drops())
+	}
+}
+
+func TestSinkRecordUntilFull(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 1, ServerCap: 4, ClientCap: 2})
+	for i := 0; i < 10; i++ {
+		s.Event(KindExecute, 0, uint64(i))
+		s.Event(KindClientIssue, 0, uint64(i))
+	}
+	evs := s.Snapshot()
+	if len(evs) != 6 { // 4 server + 2 client
+		t.Fatalf("Snapshot len = %d, want 6", len(evs))
+	}
+	if s.Drops() != 14 {
+		t.Errorf("Drops = %d, want 14", s.Drops())
+	}
+	// The recorded prefix must be the oldest events.
+	counts := CountByKind(evs)
+	if counts[KindExecute] != 4 || counts[KindClientIssue] != 2 {
+		t.Errorf("kind counts = %v, want 4 executes + 2 issues", counts)
+	}
+}
+
+func TestSinkOutOfRangeSlotDropped(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 1})
+	s.Event(KindClientIssue, 5, 1)
+	s.Event(KindClientIssue, -1, 1)
+	if got := len(s.Snapshot()); got != 0 {
+		t.Fatalf("Snapshot len = %d, want 0", got)
+	}
+	if s.Drops() != 2 {
+		t.Errorf("Drops = %d, want 2", s.Drops())
+	}
+}
+
+// TestSinkConcurrentSnapshot exercises the lock-free publish/snapshot
+// protocol under the race detector: per-slot writers plus a server
+// writer, with a reader snapshotting concurrently.
+func TestSinkConcurrentSnapshot(t *testing.T) {
+	const clients = 4
+	const perClient = 1000
+	s := NewTraceSink(SinkConfig{Clients: clients, ServerCap: clients * perClient, ClientCap: perClient})
+	var writers, readers sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		writers.Add(1)
+		go func(c int32) {
+			defer writers.Done()
+			for i := 0; i < perClient; i++ {
+				s.Event(KindClientIssue, c, uint64(i))
+			}
+		}(int32(c))
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < clients*perClient; i++ {
+			s.Event(KindExecute, int32(i%clients), uint64(i))
+		}
+	}()
+	stop := make(chan struct{})
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := s.Snapshot()
+			for i := 1; i < len(evs); i++ {
+				if evs[i].TS < evs[i-1].TS {
+					t.Error("concurrent snapshot not ordered")
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := s.Len(), 2*clients*perClient; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if s.Drops() != 0 {
+		t.Errorf("Drops = %d, want 0", s.Drops())
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 2})
+	s.Event(KindClientIssue, 1, 7)
+	s.Event(KindExecute, 1, 7)
+	s.Event(KindRespond, 1, 7)
+	s.Event(KindClientComplete, 1, 7)
+	s.Event(KindCrash, -1, 42)
+	in := s.Snapshot()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("event %d: round trip %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadChromeSkipsForeignEvents(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"server-execute","ph":"i","ts":1.5,"pid":1,"tid":1,"args":{"slot":0,"arg":9,"ns":1500}},
+		{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{}}
+	]}`
+	evs, err := ReadChrome(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != KindExecute || evs[0].TS != 1500 || evs[0].Arg != 9 {
+		t.Fatalf("ReadChrome = %+v, want one server-execute at 1500ns", evs)
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	// Two complete ops on different slots plus one partial op.
+	evs := []Event{
+		{TS: 100, Kind: KindClientIssue, Slot: 0, Arg: 1},
+		{TS: 110, Kind: KindClientWaitStart, Slot: 0, Arg: 1},
+		{TS: 300, Kind: KindExecute, Slot: 0, Arg: 1},
+		{TS: 450, Kind: KindRespond, Slot: 0, Arg: 1},
+		{TS: 500, Kind: KindClientComplete, Slot: 0, Arg: 1},
+
+		{TS: 1000, Kind: KindClientIssue, Slot: 3, Arg: 1},
+		{TS: 1100, Kind: KindExecute, Slot: 3, Arg: 1},
+		{TS: 1150, Kind: KindRespond, Slot: 3, Arg: 1},
+		{TS: 1250, Kind: KindClientComplete, Slot: 3, Arg: 1},
+
+		{TS: 2000, Kind: KindClientIssue, Slot: 0, Arg: 2}, // never served
+	}
+	b := Attribute(evs)
+	if b.Ops != 2 || b.Partial != 1 {
+		t.Fatalf("Ops = %d Partial = %d, want 2 and 1", b.Ops, b.Partial)
+	}
+	if got := b.SlotWait.Max(); got != 200 {
+		t.Errorf("SlotWait max = %d, want 200", got)
+	}
+	if got := b.Service.Max(); got != 150 {
+		t.Errorf("Service max = %d, want 150", got)
+	}
+	if got := b.RespWait.Max(); got != 100 {
+		t.Errorf("RespWait max = %d, want 100", got)
+	}
+	if got := b.Total.Max(); got != 400 {
+		t.Errorf("Total max = %d, want 400", got)
+	}
+	tab := b.Table()
+	for _, phase := range []string{"slot-wait", "service", "response-wait", "total"} {
+		if !strings.Contains(tab, phase) {
+			t.Errorf("Table missing %q:\n%s", phase, tab)
+		}
+	}
+	if !strings.Contains(b.CSV(), "slot-wait,2,") {
+		t.Errorf("CSV missing slot-wait row:\n%s", b.CSV())
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	b := Attribute(nil)
+	if b.Ops != 0 || b.Table() != "" {
+		t.Fatalf("empty attribution: Ops=%d Table=%q", b.Ops, b.Table())
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ffwd_requests_total", "delegated calls served")
+	g := r.Gauge("ffwd_active_clients", "clients connected")
+	r.GaugeFunc("ffwd_sampled", "sampled gauge", func() float64 { return 2.5 })
+	s := r.Summary("ffwd_latency_ns", "round-trip latency")
+	c.Add(41)
+	c.Inc()
+	g.Set(7)
+	for i := uint64(1); i <= 100; i++ {
+		s.Observe(i)
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE ffwd_requests_total counter",
+		"ffwd_requests_total 42",
+		"# TYPE ffwd_active_clients gauge",
+		"ffwd_active_clients 7",
+		"ffwd_sampled 2.5",
+		"# TYPE ffwd_latency_ns summary",
+		`ffwd_latency_ns{quantile="0.5"}`,
+		"ffwd_latency_ns_count 100",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: no panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	r.Counter("dup", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration: no panic")
+			}
+		}()
+		r.Counter("dup", "")
+	}()
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+}
+
+// TestEventRecordingAllocFree: the recording path must not allocate — it
+// sits inside the delegation hot path when tracing is on.
+func TestEventRecordingAllocFree(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 1, ServerCap: 1 << 20, ClientCap: 1 << 20})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Event(KindClientIssue, 0, 1)
+		s.Event(KindExecute, 0, 1)
+	}); allocs > 0 {
+		t.Errorf("Event allocates %.2f objects per op, want 0", allocs)
+	}
+}

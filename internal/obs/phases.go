@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"ffwd/internal/stats"
+)
+
+// The per-operation phases a delegated request decomposes into, matching
+// the paper's cost anatomy:
+//
+//	client-issue ──slot-wait──▶ server-execute ──service──▶
+//	server-respond ──response-wait──▶ client-complete
+//
+// slot-wait is the time a published request sat in its slot before the
+// server's sweep picked it up (queueing + sweep position); service spans
+// execution plus the buffered response flush; response-wait is the
+// publication-to-observation latency on the client side (spin/yield/sleep
+// ladder position). total is issue → complete, the full round trip.
+
+// Breakdown aggregates per-operation phase latencies. All histograms are
+// in nanoseconds.
+type Breakdown struct {
+	SlotWait stats.Histogram
+	Service  stats.Histogram
+	RespWait stats.Histogram
+	Total    stats.Histogram
+
+	// Ops is the number of fully matched operations (all four lifecycle
+	// events present for one slot+sequence pair).
+	Ops int
+	// Partial is the number of operations seen with an incomplete event
+	// set — ring drops, capture windows cutting an op in half, or
+	// clients whose issue landed before tracing was attached.
+	Partial int
+	// Events is the number of input events considered.
+	Events int
+}
+
+// opTimes collects one operation's lifecycle timestamps; -1 = unseen.
+type opTimes struct {
+	issue, exec, resp, done int64
+}
+
+type opKey struct {
+	slot int32
+	seq  uint64
+}
+
+// Attribute folds raw lifecycle events into per-operation phase
+// latencies. Operations are matched by (slot, sequence number); events
+// that do not carry a sequence (sweeps, parks, crashes) inform no phase
+// and are ignored here.
+func Attribute(events []Event) *Breakdown {
+	b := &Breakdown{Events: len(events)}
+	ops := make(map[opKey]*opTimes)
+	get := func(ev Event) *opTimes {
+		k := opKey{slot: ev.Slot, seq: ev.Arg}
+		t, ok := ops[k]
+		if !ok {
+			t = &opTimes{issue: -1, exec: -1, resp: -1, done: -1}
+			ops[k] = t
+		}
+		return t
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindClientIssue:
+			get(ev).issue = ev.TS
+		case KindExecute:
+			get(ev).exec = ev.TS
+		case KindRespond:
+			get(ev).resp = ev.TS
+		case KindClientComplete:
+			get(ev).done = ev.TS
+		}
+	}
+	for _, t := range ops {
+		if t.issue < 0 || t.exec < 0 || t.resp < 0 || t.done < 0 {
+			b.Partial++
+			continue
+		}
+		b.Ops++
+		b.SlotWait.Record(nonNeg(t.exec - t.issue))
+		b.Service.Record(nonNeg(t.resp - t.exec))
+		b.RespWait.Record(nonNeg(t.done - t.resp))
+		b.Total.Record(nonNeg(t.done - t.issue))
+	}
+	return b
+}
+
+func nonNeg(d int64) uint64 {
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
+// phases iterates the breakdown's rows in presentation order.
+func (b *Breakdown) phases() []struct {
+	name string
+	h    *stats.Histogram
+} {
+	return []struct {
+		name string
+		h    *stats.Histogram
+	}{
+		{"slot-wait", &b.SlotWait},
+		{"service", &b.Service},
+		{"response-wait", &b.RespWait},
+		{"total", &b.Total},
+	}
+}
+
+// Table renders the per-phase latency table (nanoseconds): one row per
+// phase with count, p50/p95/p99, mean and max. Empty when no operations
+// matched.
+func (b *Breakdown) Table() string {
+	if b.Ops == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %10s %10s %10s %10s %10s %10s\n",
+		"phase", "count", "p50_ns", "p95_ns", "p99_ns", "mean_ns", "max_ns")
+	for _, p := range b.phases() {
+		fmt.Fprintf(&sb, "%-14s %10d %10.0f %10.0f %10.0f %10.0f %10d\n",
+			p.name, p.h.Count(),
+			p.h.Quantile(0.50), p.h.Quantile(0.95), p.h.Quantile(0.99),
+			p.h.Mean(), p.h.Max())
+	}
+	return sb.String()
+}
+
+// CSV renders the same rows as comma-separated values with a header.
+func (b *Breakdown) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("phase,count,p50_ns,p95_ns,p99_ns,mean_ns,max_ns\n")
+	for _, p := range b.phases() {
+		fmt.Fprintf(&sb, "%s,%d,%.0f,%.0f,%.0f,%.1f,%d\n",
+			p.name, p.h.Count(),
+			p.h.Quantile(0.50), p.h.Quantile(0.95), p.h.Quantile(0.99),
+			p.h.Mean(), p.h.Max())
+	}
+	return sb.String()
+}

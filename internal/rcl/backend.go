@@ -96,6 +96,9 @@ func init() {
 func startServer(cfg backend.Config) (*Server, *Lock, error) {
 	cfg = cfg.WithDefaults()
 	srv := NewServer(cfg.Goroutines)
+	if cfg.Trace != nil {
+		srv.SetTrace(cfg.Trace)
+	}
 	if err := srv.Start(); err != nil {
 		return nil, nil, err
 	}

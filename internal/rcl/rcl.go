@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"ffwd/internal/locks"
+	"ffwd/internal/obs"
 	"ffwd/internal/spin"
 )
 
@@ -41,6 +42,11 @@ type request struct {
 	lock *Lock
 	fn   CriticalSection
 	ctx  any
+	// slot and seq identify the operation for lifecycle tracing; they ride
+	// in the request record because RCL's protocol has no shared-memory
+	// sequence word the server could read instead.
+	slot int32
+	seq  uint64
 }
 
 // slot is one client's communication area.
@@ -69,6 +75,11 @@ type Server struct {
 	stopping atomic.Bool
 	done     chan struct{}
 	served   atomic.Uint64
+	// trace receives delegation lifecycle events (see internal/obs) under
+	// the same vocabulary as the ffwd core, so one analysis pipeline
+	// compares both designs. nil — the default — disables tracing for one
+	// branch per event site.
+	trace obs.Tracer
 }
 
 // NewServer returns a stopped RCL server with capacity for maxClients.
@@ -82,6 +93,10 @@ func NewServer(maxClients int) *Server {
 // NewLock returns a lock managed by this server.
 func (s *Server) NewLock() *Lock { return &Lock{} }
 
+// SetTrace installs a lifecycle-event sink. Call it before Start; the
+// server loop reads the field without synchronization.
+func (s *Server) SetTrace(tr obs.Tracer) { s.trace = tr }
+
 // ErrNoSlots is returned when every client slot is taken.
 var ErrNoSlots = errors.New("rcl: all client slots in use")
 
@@ -89,6 +104,10 @@ var ErrNoSlots = errors.New("rcl: all client slots in use")
 type Client struct {
 	s    *Server
 	slot *slot
+	idx  int32
+	// seq numbers this client's operations for lifecycle tracing,
+	// mirroring the ffwd core's per-slot sequence word.
+	seq uint64
 }
 
 // NewClient allocates a client slot.
@@ -97,7 +116,7 @@ func (s *Server) NewClient() (*Client, error) {
 	if i >= len(s.slots) {
 		return nil, ErrNoSlots
 	}
-	return &Client{s: s, slot: &s.slots[i]}, nil
+	return &Client{s: s, slot: &s.slots[i], idx: int32(i)}, nil
 }
 
 // MustNewClient is NewClient but panics when slots are exhausted.
@@ -135,6 +154,7 @@ func (s *Server) Served() uint64 { return s.served.Load() }
 
 func (s *Server) run() {
 	defer close(s.done)
+	tr := s.trace
 	for {
 		stop := s.stopping.Load()
 		any := false
@@ -145,6 +165,9 @@ func (s *Server) run() {
 				continue
 			}
 			any = true
+			if tr != nil {
+				tr.Event(obs.KindExecute, req.slot, req.seq)
+			}
 			// RCL protocol: acquire the request's lock, execute,
 			// release. The context dereference inside fn(ctx) is
 			// the dependent miss.
@@ -154,6 +177,9 @@ func (s *Server) run() {
 			sl.req.Store(nil)
 			sl.resp.Store(&response{ret: ret})
 			s.served.Add(1)
+			if tr != nil {
+				tr.Event(obs.KindRespond, req.slot, req.seq)
+			}
 		}
 		if stop {
 			return
@@ -167,11 +193,22 @@ func (s *Server) run() {
 // Execute delegates fn(ctx) to the server, which runs it holding l, and
 // returns fn's result. It must not be called concurrently on one Client.
 func (c *Client) Execute(l *Lock, fn CriticalSection, ctx any) uint64 {
+	tr := c.s.trace
+	c.seq++
 	c.slot.resp.Store(nil)
-	c.slot.req.Store(&request{lock: l, fn: fn, ctx: ctx})
+	if tr != nil {
+		tr.Event(obs.KindClientIssue, c.idx, c.seq)
+	}
+	c.slot.req.Store(&request{lock: l, fn: fn, ctx: ctx, slot: c.idx, seq: c.seq})
+	if tr != nil {
+		tr.Event(obs.KindClientWaitStart, c.idx, c.seq)
+	}
 	var w spin.Waiter
 	for {
 		if r := c.slot.resp.Load(); r != nil {
+			if tr != nil {
+				tr.Event(obs.KindClientComplete, c.idx, c.seq)
+			}
 			return r.ret
 		}
 		w.Wait()

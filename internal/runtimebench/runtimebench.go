@@ -16,6 +16,8 @@ package runtimebench
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -24,6 +26,7 @@ import (
 	"ffwd/internal/backend"
 	_ "ffwd/internal/backend/all" // link every backend into the registry
 	"ffwd/internal/bench"
+	"ffwd/internal/obs"
 	"ffwd/internal/stats"
 	"ffwd/internal/workload"
 )
@@ -65,6 +68,12 @@ type Options struct {
 	SampleEvery int
 	// Shards is the parallelism hint forwarded to sharded backends.
 	Shards int
+	// TraceDir, when non-empty, attaches a lifecycle-event sink
+	// (internal/obs) to every cell of a tracing-capable backend and
+	// writes each capture as Chrome trace JSON under the directory,
+	// one file per cell: trace-<backend>-<structure>-<goroutines>.json.
+	// Backends that ignore Config.Trace produce no file.
+	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +132,9 @@ type Cell struct {
 	// Err marks a cell whose construction failed; its numbers are
 	// zero.
 	Err string `json:"err,omitempty"`
+	// Trace is the path of the cell's captured lifecycle trace, when
+	// Options.TraceDir was set and the backend supports tracing.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Report is the outcome of one sweep.
@@ -179,6 +191,11 @@ func resolveBackends(names []string) ([]*backend.Backend, error) {
 func runCell(o Options, b *backend.Backend, st backend.Structure, g int) Cell {
 	cell := Cell{Backend: b.Name, Structure: string(st), Goroutines: g}
 	cfg := backend.Config{Goroutines: g + 1, Shards: o.Shards, KeySpace: o.KeySpace}.WithDefaults()
+	var sink *obs.TraceSink
+	if o.TraceDir != "" {
+		sink = obs.NewTraceSink(obs.SinkConfig{Clients: cfg.Goroutines})
+		cfg.Trace = sink
+	}
 	var m metrics
 	var err error
 	switch st {
@@ -265,7 +282,37 @@ func runCell(o Options, b *backend.Backend, st backend.Structure, g int) Cell {
 	cell.P99NS = m.hist.Quantile(0.99)
 	cell.MeanNS = m.hist.Mean()
 	cell.MaxNS = float64(m.hist.Max())
+	if sink != nil {
+		if path, werr := writeCellTrace(o.TraceDir, cell, sink); werr != nil {
+			cell.Err = werr.Error()
+		} else {
+			cell.Trace = path
+		}
+	}
 	return cell
+}
+
+// writeCellTrace exports one cell's capture as Chrome trace JSON. An empty
+// capture (a backend that ignores Config.Trace) produces no file and no
+// error; path is then "".
+func writeCellTrace(dir string, cell Cell, sink *obs.TraceSink) (string, error) {
+	evs := sink.Snapshot()
+	if len(evs) == 0 {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-%s-%s-%d.json", cell.Backend, cell.Structure, cell.Goroutines))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := obs.WriteChrome(f, evs); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // worker carries one goroutine's deterministic workload state.

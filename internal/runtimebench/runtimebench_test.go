@@ -2,10 +2,12 @@ package runtimebench
 
 import (
 	"encoding/json"
+	"os"
 	"testing"
 	"time"
 
 	"ffwd/internal/backend"
+	"ffwd/internal/obs"
 	"ffwd/internal/simarch"
 )
 
@@ -177,6 +179,54 @@ func TestSimGrid(t *testing.T) {
 		}
 		if c.P50NS != 0 {
 			t.Errorf("%s/%s: sim cells must not fake quantiles", c.Backend, c.Structure)
+		}
+	}
+}
+
+// TestRunTraceDir checks per-cell trace capture: tracing-capable backends
+// (ffwd, rcl) must produce a loadable Chrome trace whose events attribute
+// into complete operations; backends that ignore Config.Trace must
+// produce no file.
+func TestRunTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	o := smokeOptions()
+	o.Backends = []string{"ffwd", "rcl", "lock-mutex"}
+	o.Structures = []backend.Structure{backend.StructCounter}
+	o.TraceDir = dir
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := map[string]string{}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Errorf("%s/%s: %s", c.Backend, c.Structure, c.Err)
+		}
+		traced[c.Backend] = c.Trace
+	}
+	if traced["lock-mutex"] != "" {
+		t.Errorf("lock-mutex produced a trace file: %s", traced["lock-mutex"])
+	}
+	for _, b := range []string{"ffwd", "rcl"} {
+		path := traced[b]
+		if path == "" {
+			t.Errorf("%s: no trace captured", b)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Errorf("%s: %v", b, err)
+			continue
+		}
+		evs, err := obs.ReadChrome(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", b, err)
+			continue
+		}
+		if bd := obs.Attribute(evs); bd.Ops == 0 {
+			t.Errorf("%s: trace attributes zero complete operations (%d events, %d partial)",
+				b, bd.Events, bd.Partial)
 		}
 	}
 }
