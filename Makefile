@@ -3,19 +3,18 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench bench-smoke check chaos linear trace figures ablations coverage clean
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare check chaos linear trace figures ablations coverage clean
 
 all: build vet test
 
 # The pre-merge gate: vet, full build, race-enabled tests of the hot-path
-# packages, the linearizability suite, a smoke run of the core
-# microbenches (100 iterations — just enough to prove they still
-# execute), and the trace pipeline end to end.
+# packages, the linearizability suite, the trace pipeline end to end, and
+# one full-iteration pass of the core microbenches (bench-hot).
 check: linear trace
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
-	$(GO) test -run=none -bench=Core -benchtime=100x ./internal/core/
+	$(MAKE) bench-hot
 
 build:
 	$(GO) build ./...
@@ -56,6 +55,20 @@ trace:
 # One testing.B benchmark per paper table/figure plus native benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot-path benches only: one full-iteration pass of the internal/core
+# microbenches (~30 s). Fast enough for every pre-merge check; use
+# bench-compare for a statistically honest baseline diff.
+bench-hot:
+	$(GO) test -run=none -bench=Core -benchtime=200000x ./internal/core/
+
+# Best-of-N regression gate: run the Core benches BENCH_RUNS times, take
+# per-benchmark minima, and diff against the committed BENCH_core.json.
+# Exits nonzero past the noise envelope (default +25%); refresh the
+# baseline with `go run ./cmd/benchdiff -update -history <era>`.
+BENCH_RUNS ?= 7
+bench-compare:
+	$(GO) run ./cmd/benchdiff -runs $(BENCH_RUNS)
 
 # Grid smoke: run every registered backend through every structure it
 # supports on the runtime harness — a few milliseconds per cell, race

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ffwd/internal/core
+BenchmarkCoreDelegateArgs/arity0 	  200000	       449.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCoreDelegateArgs/arity0 	  200000	       431.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCoreDelegateNilTracer-8 	  200000	       440.5 ns/op
+PASS
+ok  	ffwd/internal/core	2.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	m := parseBenchOutput(sampleOutput)
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(m), m)
+	}
+	// Repeated lines fold to the minimum; -N GOMAXPROCS suffixes strip.
+	if m["BenchmarkCoreDelegateArgs/arity0"] != 431.0 {
+		t.Errorf("arity0 = %v, want 431.0 (min of repeats)", m["BenchmarkCoreDelegateArgs/arity0"])
+	}
+	if m["BenchmarkCoreDelegateNilTracer"] != 440.5 {
+		t.Errorf("NilTracer = %v, want 440.5 with suffix stripped", m["BenchmarkCoreDelegateNilTracer"])
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	best := bestOf([]map[string]float64{
+		{"A": 500, "B": 900},
+		{"A": 450, "C": 100},
+		{"A": 700, "B": 880},
+	})
+	want := map[string]float64{"A": 450, "B": 880, "C": 100}
+	for k, v := range want {
+		if best[k] != v {
+			t.Errorf("best[%s] = %v, want %v", k, best[k], v)
+		}
+	}
+}
+
+func TestDiffEnvelope(t *testing.T) {
+	base := &baseline{Benchmarks: map[string]map[string]float64{
+		"BenchmarkFast":   {"ns_per_op": 400},
+		"BenchmarkSlower": {"ns_per_op": 400},
+		"BenchmarkGone":   {"ns_per_op": 100},
+	}}
+	report, failed := diff(base, map[string]float64{
+		"BenchmarkFast":   380, // improvement
+		"BenchmarkSlower": 520, // +30%: past the 25% envelope
+		"BenchmarkNew":    42,  // unknown to the baseline
+	}, 0.25)
+	if !failed {
+		t.Fatal("diff passed despite a 30% regression and a missing benchmark")
+	}
+	for _, want := range []string{"REGRESSION", "MISSING", "new", "-5.0%", "+30.0%"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Inside the envelope, and with every baseline benchmark measured,
+	// the diff passes.
+	delete(base.Benchmarks, "BenchmarkGone")
+	_, failed = diff(base, map[string]float64{
+		"BenchmarkFast":   420, // +5%
+		"BenchmarkSlower": 380,
+	}, 0.25)
+	if failed {
+		t.Fatal("diff failed with all deltas inside the envelope")
+	}
+}
+
+func writeTempBaseline(t *testing.T, b *baseline) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunWithInputs drives the whole command against pre-recorded bench
+// output: regression detection and the exit code contract.
+func TestRunWithInputs(t *testing.T) {
+	basePath := writeTempBaseline(t, &baseline{
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkCoreDelegateArgs/arity0": {"ns_per_op": 300, "pre_obs_ns_per_op": 390},
+			"BenchmarkCoreDelegateNilTracer":   {"ns_per_op": 430},
+		},
+	})
+	input := filepath.Join(t.TempDir(), "run1.txt")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// arity0 measures 431 vs baseline 300: +44%, past the envelope.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-input", input}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (regression)\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report missing REGRESSION:\n%s", out.String())
+	}
+
+	// A wider envelope passes the same measurements.
+	out.Reset()
+	if code := run([]string{"-baseline", basePath, "-input", input, "-envelope", "0.5"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 at envelope 0.5\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// TestRunUpdate: -update rewrites ns_per_op, keeps history fields, and
+// archives the old figure under the -history name.
+func TestRunUpdate(t *testing.T) {
+	basePath := writeTempBaseline(t, &baseline{
+		Notes: "keep me",
+		Benchmarks: map[string]map[string]float64{
+			"BenchmarkCoreDelegateArgs/arity0": {"ns_per_op": 300, "pre_obs_ns_per_op": 390},
+		},
+	})
+	input := filepath.Join(t.TempDir(), "run1.txt")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-input", input, "-update", "-history", "pre_wc"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s%s", code, out.String(), errb.String())
+	}
+	got, err := loadBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.Benchmarks["BenchmarkCoreDelegateArgs/arity0"]
+	if e["ns_per_op"] != 431.0 || e["pre_wc_ns_per_op"] != 300 || e["pre_obs_ns_per_op"] != 390 {
+		t.Errorf("updated entry = %v, want ns_per_op 431, pre_wc 300, pre_obs 390", e)
+	}
+	ne := got.Benchmarks["BenchmarkCoreDelegateNilTracer"]
+	if ne["ns_per_op"] != 440.5 {
+		t.Errorf("new benchmark entry = %v, want ns_per_op 440.5", ne)
+	}
+	if got.Notes != "keep me" {
+		t.Errorf("Notes = %q, want preserved", got.Notes)
+	}
+	if got.Date == "" {
+		t.Error("Date not restamped")
+	}
+}

@@ -24,6 +24,15 @@ type Client struct {
 	// tr caches the server's lifecycle-event sink (nil outside traced
 	// runs), saving the hot path the s indirection per event site.
 	tr obs.Tracer
+	// bt is tr's batched-append fast path when the sink implements it
+	// (non-nil implies tr non-nil): the op's lifecycle events buffer in
+	// evBuf and reach the slot's ring in one combined append at
+	// completion, one cursor bump per op instead of one per event.
+	bt obs.BatchTracer
+	// evBuf/evn hold the in-flight op's buffered events; flushed on
+	// completion, on abandoning a bounded wait, and on Close.
+	evBuf [4]obs.Event
+	evn   int
 	// seq is the slot's monotonic request sequence number: incremented
 	// and stamped into the request line on every issue, it lets the
 	// server's last-applied ledger fence duplicate deliveries after a
@@ -45,6 +54,42 @@ type Client struct {
 // Slot returns the client's slot index on its server.
 func (c *Client) Slot() int { return c.slot }
 
+// traceEvent records one client lifecycle event: buffered in evBuf for a
+// combined ring append when the sink is batch-capable, recorded directly
+// otherwise. Callers must have checked c.tr != nil.
+//
+// A buffered wait-start shares the preceding event's timestamp instead of
+// reading the clock: in the delegate fast paths it directly follows the
+// issue it belongs to, and the phase attribution reads the issue→execute
+// and respond→complete gaps, never the issue→wait-start one.
+func (c *Client) traceEvent(k obs.Kind, arg uint64) {
+	if c.bt == nil {
+		c.tr.Event(k, int32(c.slot), arg)
+		return
+	}
+	if c.evn == len(c.evBuf) {
+		c.flushTrace() // re-waited op overflowing the buffer; drain first
+	}
+	var ts int64
+	if k == obs.KindClientWaitStart && c.evn > 0 {
+		ts = c.evBuf[c.evn-1].TS
+	} else {
+		ts = c.bt.Now()
+	}
+	c.evBuf[c.evn] = obs.Event{TS: ts, Kind: k, Slot: int32(c.slot), Arg: arg}
+	c.evn++
+}
+
+// flushTrace appends the buffered lifecycle events to the slot's ring in
+// one cursor bump. A no-op when nothing is buffered (including the
+// non-batched configuration, which never buffers).
+func (c *Client) flushTrace() {
+	if c.evn > 0 {
+		c.bt.EventBatch(c.evBuf[:c.evn])
+		c.evn = 0
+	}
+}
+
 // Close releases the client's slot back to its server: the occupancy bit
 // is cleared (so sweeps stop touching the request line) and the slot
 // becomes allocatable by a future NewClient, which adopts its toggle
@@ -63,12 +108,18 @@ func (c *Client) Close() {
 			panic("core: Close with a request in flight")
 		}
 		if _, ok := c.TryWait(); !ok {
+			if c.bt != nil {
+				c.flushTrace() // retired slot: land any buffered events
+			}
 			s := c.s
 			c.s = nil
 			s.andOcc(c.slot/s.groupSize, ^c.bit)
 			s.nAbandoned.Add(1)
 			return
 		}
+	}
+	if c.bt != nil {
+		c.flushTrace()
 	}
 	s := c.s
 	c.s = nil
@@ -111,7 +162,13 @@ func (c *Client) TryWait() (ret uint64, ok bool) {
 	c.pending = false
 	c.abandoned = false
 	if c.tr != nil {
-		c.tr.Event(obs.KindClientComplete, int32(c.slot), c.seq)
+		// Completion closes the op's lifecycle: record it and land the
+		// op's buffered events (issue, wait-start, complete) in one
+		// combined ring append.
+		c.traceEvent(obs.KindClientComplete, c.seq)
+		if c.bt != nil {
+			c.flushTrace()
+		}
 	}
 	return *c.respV, true
 }
@@ -122,7 +179,7 @@ func (c *Client) TryWait() (ret uint64, ok bool) {
 // a server descheduled under load) does not cost a burning core.
 func (c *Client) Wait() uint64 {
 	if c.tr != nil {
-		c.tr.Event(obs.KindClientWaitStart, int32(c.slot), c.seq)
+		c.traceEvent(obs.KindClientWaitStart, c.seq)
 	}
 	var w spin.Waiter
 	for {
@@ -143,7 +200,7 @@ func (c *Client) waitUntil(deadline time.Time) (uint64, error) {
 		panic("core: wait without an in-flight request")
 	}
 	if c.tr != nil {
-		c.tr.Event(obs.KindClientWaitStart, int32(c.slot), c.seq)
+		c.traceEvent(obs.KindClientWaitStart, c.seq)
 	}
 	bounded := !deadline.IsZero()
 	var w spin.Waiter
@@ -159,11 +216,20 @@ func (c *Client) waitUntil(deadline time.Time) (uint64, error) {
 				return ret, nil
 			}
 			c.abandoned = true
+			if c.bt != nil {
+				// The op's completion may never come; land its
+				// buffered issue/wait events now so the capture
+				// still shows the abandoned request.
+				c.flushTrace()
+			}
 			return 0, ErrServerStopped
 		}
 		if bounded {
 			if !w.WaitBounded(deadline) {
 				c.abandoned = true
+				if c.bt != nil {
+					c.flushTrace()
+				}
 				return 0, ErrTimeout
 			}
 		} else {
@@ -262,7 +328,7 @@ func (c *Client) issueHdr(fid FuncID, argc int) {
 	c.seq++
 	c.req[reqSeqWord] = c.seq
 	if c.tr != nil {
-		c.tr.Event(obs.KindClientIssue, int32(c.slot), c.seq)
+		c.traceEvent(obs.KindClientIssue, c.seq)
 	}
 	hdr := uint64(fid)<<hdrFuncShift |
 		uint64(argc)<<hdrArgcShift |

@@ -105,6 +105,12 @@ const reqSeqWord = 7
 // GroupSize return values — one 128-byte line pair.
 const respWords = 16
 
+// sweepEvCap sizes the sweep's local trace-event buffer: one sweep-start
+// event plus, per group between flushes, at most GroupSize execute and
+// GroupSize respond events. The buffer drains at every group flush, so
+// one group's worth of capacity bounds a whole sweep.
+const sweepEvCap = 1 + 2*GroupSize
+
 // Request header word layout.
 const (
 	hdrToggleBit = 1 << 0
@@ -349,6 +355,13 @@ type Server struct {
 	// runs. Gated exactly like hooks: one branch per event site.
 	trace obs.Tracer
 
+	// traceBatch is trace's batched-append fast path when the sink
+	// implements it (obs.TraceSink does): sweep lifecycle events are then
+	// buffered locally and appended with one ring cursor bump per group
+	// flush instead of one per event. Detected once here so the hot path
+	// pays no type assertions. Non-nil implies trace is non-nil.
+	traceBatch obs.BatchTracer
+
 	// ledger[i] is slot i's last applied request: its sequence number and
 	// return value. Written only by the server goroutine, after executing
 	// a request and before the injected-kill fault point, so a crash that
@@ -429,6 +442,9 @@ func NewServer(cfg Config) *Server {
 		trace:     cfg.Trace,
 		slotPanic: make([]atomic.Pointer[PanicRecord], nGroups*gs),
 		ledger:    make([]ledgerEntry, nGroups*gs),
+	}
+	if bt, ok := cfg.Trace.(obs.BatchTracer); ok {
+		s.traceBatch = bt
 	}
 	close(s.done) // a never-started server is already "stopped"
 	empty := make([]Func, 0, 16)
@@ -534,6 +550,7 @@ func (s *Server) NewClient() (*Client, error) {
 		bit:    uint64(1) << uint(member),
 		toggle: toggle,
 		tr:     s.trace,
+		bt:     s.traceBatch,
 		seq:    s.req[slot*reqWords+reqSeqWord],
 	}
 	// Publish occupancy last: once the bit is visible the server will
@@ -728,9 +745,14 @@ func (s *Server) run(done chan struct{}) {
 
 	gs := s.groupSize
 	var retBuf [GroupSize]uint64
-	// seqBuf mirrors retBuf with the served requests' sequence numbers,
-	// so the trace's respond events can carry them after a buffered flush.
+	// seqBuf mirrors retBuf with the served requests' sequence numbers:
+	// the group flush stores them into the ledger and stamps them on the
+	// batched respond events.
 	var seqBuf [GroupSize]uint64
+	// evBuf is the sweep's local trace-event buffer (batch-capable sinks
+	// only): lifecycle events accumulate here and reach the server ring in
+	// one combined append per group flush.
+	var evBuf [sweepEvCap]obs.Event
 	// args is reused across requests: the escape through the indirect
 	// Func call would otherwise cost one heap allocation per request.
 	// Delegated functions must not retain the pointer past their call,
@@ -744,16 +766,16 @@ func (s *Server) run(done chan struct{}) {
 	for {
 		if s.stopping.Load() {
 			// Final sweep below still drains pending requests.
-			s.sweep(gs, &retBuf, &seqBuf, &args)
+			s.sweep(gs, &retBuf, &seqBuf, &args, &evBuf)
 			return
 		}
-		if served := s.sweep(gs, &retBuf, &seqBuf, &args); served > 0 {
+		if served := s.sweep(gs, &retBuf, &seqBuf, &args, &evBuf); served > 0 {
 			idleSweeps = 0
 			continue
 		}
 		idleSweeps++
 		if parkAfter > 0 && idleSweeps >= parkAfter {
-			s.park(gs, &retBuf, &seqBuf, &args)
+			s.park(gs, &retBuf, &seqBuf, &args, &evBuf)
 			idleSweeps = 0
 			continue
 		}
@@ -769,9 +791,9 @@ func (s *Server) run(done chan struct{}) {
 // the Dekker-style race closer: a client that issued before observing the
 // flag is caught here; one that issues afterwards sees the flag and
 // performs the wake.
-func (s *Server) park(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uint64, args *[MaxArgs]uint64) {
+func (s *Server) park(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uint64, args *[MaxArgs]uint64, evBuf *[sweepEvCap]obs.Event) {
 	s.parked.Store(true)
-	if s.sweep(gs, retBuf, seqBuf, args) > 0 || s.stopping.Load() {
+	if s.sweep(gs, retBuf, seqBuf, args, evBuf) > 0 || s.stopping.Load() {
 		// Work (or shutdown) arrived while the flag went up; retract
 		// it. If a waker already CAS'd the flag down, consume its
 		// token so a later park does not wake spuriously (a missed
@@ -828,7 +850,16 @@ func (s *Server) call(f Func, args *[MaxArgs]uint64, fid FuncID, slot int, op ui
 // atomic occupancy-mask load per active group replaces the per-slot
 // header loads for empty slots, and groups past the active high-water
 // mark are skipped without any load at all.
-func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uint64, args *[MaxArgs]uint64) int {
+//
+// The per-operation costs are write-combined into the group flush: return
+// values and ledger entries accumulate in retBuf/seqBuf while the group's
+// requests execute, and one pass over the served bits stores the ledger
+// records and response words before the single release store of the
+// toggle word publishes the whole response line — one cache-line
+// transfer, one ledger pass, and (with a batch-capable sink) one trace
+// ring append per group per sweep, regardless of how many requests the
+// group batched.
+func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uint64, args *[MaxArgs]uint64, evBuf *[sweepEvCap]obs.Event) int {
 	funcs := *s.funcs.Load()
 	useLock := s.cfg.ServerLock != nil
 	writeThrough := s.cfg.WriteThrough
@@ -841,11 +872,18 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uin
 	if h != nil {
 		h.Sweep(s.nSweeps.Load())
 	}
-	// tr gates the lifecycle-event sites the same way. The sweep-start
-	// event is recorded lazily, only for sweeps that serve at least one
-	// request — an idle server polling millions of empty sweeps would
-	// otherwise flood the trace with nothing.
+	// tr gates the lifecycle-event sites the same way; bt is its batched
+	// fast path (non-nil implies tr non-nil) — events then accumulate in
+	// evBuf and reach the ring in one append per group flush. The
+	// sweep-start event is recorded lazily, only for sweeps that serve at
+	// least one request — an idle server polling millions of empty sweeps
+	// would otherwise flood the trace with nothing.
 	tr := s.trace
+	bt := s.traceBatch
+	evn := 0
+	// batches accumulates response-line flushes locally; one counter add
+	// per sweep instead of one per group.
+	batches := uint64(0)
 	opBase := s.nRequests.Load()
 	active := int(s.activeGroups.Load())
 	// Trailing groups beyond the high-water mark are skipped wholesale,
@@ -860,6 +898,7 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uin
 		skipped += gs - bits.OnesCount64(occ)
 		respBase := g * respWords
 		reqBase := g * gs * reqWords
+		slotBase := g * gs
 		toggles := s.resp[respBase] // our own last store; plain read OK
 		groupServed := uint64(0)
 		for rest := occ; rest != 0; rest &= rest - 1 {
@@ -873,13 +912,23 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uin
 			// and execute. The sequence word is read plainly, ordered
 			// (like the argument words) by the acquiring header load
 			// above.
-			slot := g*gs + m
+			slot := slotBase + m
 			seq := s.req[base+reqSeqWord]
 			if tr != nil {
-				if served == 0 {
-					tr.Event(obs.KindSweepStart, -1, s.nSweeps.Load())
+				if bt != nil {
+					ts := bt.Now()
+					if served == 0 {
+						evBuf[evn] = obs.Event{TS: ts, Kind: obs.KindSweepStart, Slot: -1, Arg: s.nSweeps.Load()}
+						evn++
+					}
+					evBuf[evn] = obs.Event{TS: ts, Kind: obs.KindExecute, Slot: int32(slot), Arg: seq}
+					evn++
+				} else {
+					if served == 0 {
+						tr.Event(obs.KindSweepStart, -1, s.nSweeps.Load())
+					}
+					tr.Event(obs.KindExecute, int32(slot), seq)
 				}
-				tr.Event(obs.KindExecute, int32(slot), seq)
 			}
 			var ret uint64
 			if seq != 0 && s.ledger[slot].seq == seq {
@@ -930,17 +979,21 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uin
 					s.lastPanic.Store(rec)
 					s.slotPanic[slot].Store(rec)
 				}
-				// Record the applied request in the ledger before the
-				// injected-kill fault point: a crash from here on can
-				// lose the response flush but never the applied record,
-				// so the inevitable re-delivery is skipped above.
-				s.ledger[slot] = ledgerEntry{seq: seq, ret: ret}
-				if h != nil && h.Kill(opBase+uint64(served)) {
-					// Injected server death: the executed request's
-					// response is lost unflushed (re-delivered after a
-					// restart, then answered from the ledger) — the
-					// most chaotic crash point.
-					panic(fmt.Sprintf("fault: server killed at op %d", opBase+uint64(served)))
+				if h != nil {
+					// Chaos runs pin the exactly-once window precisely:
+					// the applied record must land before the injected-
+					// kill fault point, so a kill that loses the group's
+					// response flush can never lose the ledger entry.
+					// Production runs (h == nil) amortize these stores
+					// into the group flush below instead.
+					s.ledger[slot] = ledgerEntry{seq: seq, ret: ret}
+					if h.Kill(opBase + uint64(served)) {
+						// Injected server death: the executed request's
+						// response is lost unflushed (re-delivered after a
+						// restart, then answered from the ledger) — the
+						// most chaotic crash point.
+						panic(fmt.Sprintf("fault: server killed at op %d", opBase+uint64(served)))
+					}
 				}
 			}
 			bit := uint64(1) << uint(m)
@@ -949,43 +1002,86 @@ func (s *Server) sweep(gs int, retBuf *[GroupSize]uint64, seqBuf *[GroupSize]uin
 			groupServed |= bit
 			served++
 			if writeThrough {
-				// Ablation: flush this response immediately.
+				// Ablation: flush this response immediately. The ledger
+				// store precedes the response publication, preserving
+				// the applied-before-visible ordering per op.
+				s.ledger[slot] = ledgerEntry{seq: seq, ret: ret}
 				s.resp[respBase+1+m] = ret
 				newToggles := toggles ^ bit
 				atomic.StoreUint64(&s.resp[respBase], newToggles)
 				toggles = newToggles
 				groupServed &^= bit
-				s.nBatches.Add(1)
+				batches++
 				if tr != nil {
-					tr.Event(obs.KindRespond, int32(slot), seq)
+					if bt != nil {
+						evBuf[evn] = obs.Event{TS: bt.Now(), Kind: obs.KindRespond, Slot: int32(slot), Arg: seq}
+						evn++
+						bt.EventBatch(evBuf[:evn])
+						evn = 0
+					} else {
+						tr.Event(obs.KindRespond, int32(slot), seq)
+					}
 				}
 			}
 		}
 		if groupServed != 0 {
-			// Buffered flush: all return values first, then the
-			// toggle word, in one uninterrupted series of writes —
-			// the paper's single-invalidation batch.
-			for m := 0; m < gs; m++ {
-				if groupServed&(uint64(1)<<uint(m)) != 0 {
-					s.resp[respBase+1+m] = retBuf[m]
+			// Write-combined flush: walk only the served bits, store the
+			// group's ledger entries and return values, then publish the
+			// whole line with a single release store of the toggle word —
+			// the paper's single-invalidation batch, now also carrying
+			// the ledger pass. The ledger stores precede the toggle
+			// publication, so a crash that loses the flushed responses
+			// (the toggle never landed) cannot lose an applied record.
+			// Under chaos hooks the entries were already stored per op,
+			// ahead of the kill fault point.
+			if h == nil {
+				for rest := groupServed; rest != 0; rest &= rest - 1 {
+					m := bits.TrailingZeros64(rest)
+					s.ledger[slotBase+m] = ledgerEntry{seq: seqBuf[m], ret: retBuf[m]}
 				}
 			}
+			for rest := groupServed; rest != 0; rest &= rest - 1 {
+				m := bits.TrailingZeros64(rest)
+				s.resp[respBase+1+m] = retBuf[m]
+			}
 			atomic.StoreUint64(&s.resp[respBase], toggles^groupServed)
-			s.nBatches.Add(1)
+			batches++
 			if tr != nil {
 				// Respond events are stamped after the flush that made
 				// the group's responses visible, one per served slot.
-				for m := 0; m < gs; m++ {
-					if groupServed&(uint64(1)<<uint(m)) != 0 {
-						tr.Event(obs.KindRespond, int32(g*gs+m), seqBuf[m])
+				// They genuinely share one publication instant — the
+				// toggle store — so the batched path stamps them with
+				// one shared timestamp and appends the group's whole
+				// event run in a single ring cursor bump.
+				if bt != nil {
+					ts := bt.Now()
+					for rest := groupServed; rest != 0; rest &= rest - 1 {
+						m := bits.TrailingZeros64(rest)
+						evBuf[evn] = obs.Event{TS: ts, Kind: obs.KindRespond, Slot: int32(slotBase + m), Arg: seqBuf[m]}
+						evn++
+					}
+					bt.EventBatch(evBuf[:evn])
+					evn = 0
+				} else {
+					for rest := groupServed; rest != 0; rest &= rest - 1 {
+						m := bits.TrailingZeros64(rest)
+						tr.Event(obs.KindRespond, int32(slotBase+m), seqBuf[m])
 					}
 				}
 			}
 		}
 	}
+	if bt != nil && evn > 0 {
+		// Defensive drain: every execute is followed by its group's flush
+		// above, so this only fires if that invariant ever breaks.
+		bt.EventBatch(evBuf[:evn])
+	}
 	s.nSweeps.Add(1)
 	if served > 0 {
 		s.nRequests.Add(uint64(served))
+	}
+	if batches > 0 {
+		s.nBatches.Add(batches)
 	}
 	if skipped > 0 {
 		s.nSlotsSkipped.Add(uint64(skipped))

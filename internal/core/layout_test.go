@@ -65,6 +65,53 @@ func TestResponseGroupGeometry(t *testing.T) {
 	}
 }
 
+func TestResponseGroupsLinePairAligned(t *testing.T) {
+	// Every group's toggle word must start its own 128-byte pair: the
+	// write-combined flush publishes one group with one release store,
+	// and that single-invalidation batch only holds if no two groups
+	// share a prefetched line pair.
+	s := NewServer(Config{MaxClients: 60}) // 4 groups
+	for g := 0; g < s.nGroups; g++ {
+		if !padded.IsAligned(unsafe.Pointer(&s.resp[g*respWords]), padded.LinePair) {
+			t.Fatalf("group %d toggle word not line-pair aligned", g)
+		}
+	}
+}
+
+func TestStatsCountersPadded(t *testing.T) {
+	// The server-side activity counters are written on the sweep path
+	// while clients spin on response lines; each counter must own a full
+	// line pair so a counter add never invalidates a neighbour a reader
+	// (Stats, the metrics exporter) is polling.
+	if got := unsafe.Sizeof(padded.Uint64{}); got != padded.LinePair {
+		t.Fatalf("padded.Uint64 is %d bytes, want %d", got, padded.LinePair)
+	}
+	s := NewServer(Config{})
+	counters := map[string]uintptr{
+		"nRequests":     uintptr(unsafe.Pointer(&s.nRequests)),
+		"nSweeps":       uintptr(unsafe.Pointer(&s.nSweeps)),
+		"nBatches":      uintptr(unsafe.Pointer(&s.nBatches)),
+		"nSlotsSkipped": uintptr(unsafe.Pointer(&s.nSlotsSkipped)),
+		"nLedgerSkips":  uintptr(unsafe.Pointer(&s.nLedgerSkips)),
+		"parked":        uintptr(unsafe.Pointer(&s.parked)),
+		"stopping":      uintptr(unsafe.Pointer(&s.stopping)),
+	}
+	for a, pa := range counters {
+		for b, pb := range counters {
+			if a == b {
+				continue
+			}
+			d := pa - pb
+			if pb > pa {
+				d = pb - pa
+			}
+			if d < padded.LinePair {
+				t.Errorf("%s and %s are %d bytes apart: they share a line pair", a, b, d)
+			}
+		}
+	}
+}
+
 func TestToggleBitsDistinct(t *testing.T) {
 	s := NewServer(Config{MaxClients: 15})
 	seen := map[uint64]bool{}

@@ -59,6 +59,66 @@ func TestLedgerFencesCrashRedelivery(t *testing.T) {
 	}
 }
 
+// TestLedgerGroupFlushCrashRedelivery pins exactly-once at group-flush
+// granularity: three requests from three clients of one response group
+// are executed in one sweep, and the injected kill fires on the third —
+// after all three applied records landed in the ledger, but before the
+// group's single write-combined response flush. The crash therefore
+// loses all three responses at once; after the restart all three
+// requests are re-delivered, and each must be answered from the ledger
+// without a second application.
+func TestLedgerGroupFlushCrashRedelivery(t *testing.T) {
+	const n = 3
+	s := NewServer(Config{MaxClients: n, Hooks: fault.New(fault.Plan{KillAtOp: n})})
+	var applied [n]int
+	fids := make([]FuncID, n)
+	for i := range fids {
+		i := i
+		fids[i] = s.Register(func(*[MaxArgs]uint64) uint64 {
+			applied[i]++
+			return uint64(100*(i+1) + applied[i])
+		})
+	}
+	// Issue all three before Start so one sweep picks up the whole group.
+	clients := make([]*Client, n)
+	for i := range clients {
+		clients[i] = s.MustNewClient()
+		defer clients[i].Close()
+		clients[i].Issue(fids[i])
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	// The kill ate the group flush: every wait must fail, not hang.
+	for i, c := range clients {
+		if _, err := c.WaitFor(500 * time.Millisecond); !errors.Is(err, ErrServerStopped) && !errors.Is(err, ErrTimeout) {
+			t.Fatalf("client %d wait across the kill: %v, want ErrServerStopped/ErrTimeout", i, err)
+		}
+	}
+	for !s.RestartIfCrashed() {
+		time.Sleep(100 * time.Microsecond) // goroutine still unwinding
+	}
+	for i, c := range clients {
+		got, err := c.WaitFor(2 * time.Second)
+		if err != nil {
+			t.Fatalf("client %d wait after restart: %v", i, err)
+		}
+		if want := uint64(100*(i+1) + 1); got != want {
+			t.Fatalf("client %d got %d, want the ledgered first application %d", i, got, want)
+		}
+	}
+	for i, a := range applied {
+		if a != 1 {
+			t.Fatalf("function %d applied %d times, want exactly once", i, a)
+		}
+	}
+	if st := s.Stats(); st.LedgerSkips != n {
+		t.Fatalf("LedgerSkips = %d, want %d (one per re-delivered group member)", st.LedgerSkips, n)
+	}
+}
+
 // TestLedgerSeqSurvivesSlotRecycling: a slot's sequence numbering must
 // continue across Close/NewClient, or the ledger would mistake the new
 // owner's fresh requests for duplicates and starve them of execution.

@@ -174,6 +174,108 @@ func TestDelegateNilTracerAllocFree(t *testing.T) {
 	}
 }
 
+// TestDelegateTracedAllocFree is TestDelegateNilTracerAllocFree's live-
+// sink twin: with a batch-capable sink attached, the whole traced round
+// trip — client-side event buffering, the server's per-sweep batch, and
+// both EventBatch appends — must still allocate nothing.
+func TestDelegateTracedAllocFree(t *testing.T) {
+	sink := obs.NewTraceSink(obs.SinkConfig{Clients: 2, ServerCap: 1 << 20, ClientCap: 1 << 20})
+	s := startServer(t, Config{MaxClients: 2, Trace: sink})
+	fid := s.Register(func(a *[MaxArgs]uint64) uint64 { return a[0] })
+	c := s.MustNewClient()
+	defer c.Close()
+	c.Delegate1(fid, 1) // warm up: fault in lazily-allocated runtime state
+	time.Sleep(time.Microsecond)
+	for name, op := range map[string]func(){
+		"Delegate0": func() { c.Delegate0(fid) },
+		"Delegate1": func() { c.Delegate1(fid, 1) },
+		"Delegate3": func() { c.Delegate3(fid, 1, 2, 3) },
+	} {
+		if allocs := testing.AllocsPerRun(200, op); allocs > 0 {
+			t.Errorf("%s with live sink allocates %.2f objects per op, want 0", name, allocs)
+		}
+	}
+	if sink.Drops() != 0 {
+		t.Errorf("sink dropped %d events", sink.Drops())
+	}
+}
+
+// TestBatchedTraceEventOrdering: write-combining events into shared
+// buffers must not reorder or lose any operation's lifecycle. For every
+// (slot, seq) the snapshot must hold exactly one issue, wait-start,
+// execute, respond and complete, ordered issue ≤ wait-start, issue ≤
+// execute ≤ respond ≤ complete — across client-side flushes, combined
+// group appends, and sweeps that interleave many clients.
+func TestBatchedTraceEventOrdering(t *testing.T) {
+	const clients = 5
+	const opsPer = 300
+	sink := obs.NewTraceSink(obs.SinkConfig{Clients: clients, ClientCap: 1 << 12, ServerCap: 1 << 14})
+	s := startServer(t, Config{MaxClients: clients, Trace: sink})
+	fid := s.Register(func(a *[MaxArgs]uint64) uint64 { return a[0] })
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.MustNewClient()
+			defer c.Close()
+			for op := uint64(0); op < opsPer; op++ {
+				c.Delegate1(fid, op)
+			}
+		}()
+	}
+	wg.Wait()
+
+	evs := sink.Snapshot()
+	if sink.Drops() != 0 {
+		t.Fatalf("sink dropped %d events", sink.Drops())
+	}
+	type opKey struct {
+		slot int32
+		seq  uint64
+	}
+	type opEvents struct {
+		ts [6]int64 // indexed by Kind; only the five per-op kinds used
+		n  [6]int
+	}
+	ops := make(map[opKey]*opEvents)
+	for _, ev := range evs {
+		switch ev.Kind {
+		case obs.KindClientIssue, obs.KindClientWaitStart, obs.KindClientComplete,
+			obs.KindExecute, obs.KindRespond:
+			k := opKey{ev.Slot, ev.Arg}
+			o := ops[k]
+			if o == nil {
+				o = &opEvents{}
+				ops[k] = o
+			}
+			o.ts[ev.Kind] = ev.TS
+			o.n[ev.Kind]++
+		}
+	}
+	if len(ops) != clients*opsPer {
+		t.Fatalf("distinct (slot, seq) ops = %d, want %d", len(ops), clients*opsPer)
+	}
+	for k, o := range ops {
+		for _, kind := range []obs.Kind{obs.KindClientIssue, obs.KindClientWaitStart,
+			obs.KindClientComplete, obs.KindExecute, obs.KindRespond} {
+			if o.n[kind] != 1 {
+				t.Fatalf("op %+v has %d %v events, want 1", k, o.n[kind], kind)
+			}
+		}
+		issue, wait := o.ts[obs.KindClientIssue], o.ts[obs.KindClientWaitStart]
+		exec, resp := o.ts[obs.KindExecute], o.ts[obs.KindRespond]
+		done := o.ts[obs.KindClientComplete]
+		if wait < issue {
+			t.Fatalf("op %+v: wait-start %d before issue %d", k, wait, issue)
+		}
+		if exec < issue || resp < exec || done < resp {
+			t.Fatalf("op %+v: lifecycle out of order issue=%d exec=%d resp=%d done=%d",
+				k, issue, exec, resp, done)
+		}
+	}
+}
+
 // BenchmarkCoreDelegateNilTracer is the overhead baseline for the
 // disabled-tracer branch, comparable against BENCH_core.json's
 // BenchmarkCoreDelegateArgs history.
@@ -193,7 +295,7 @@ func BenchmarkCoreDelegateNilTracer(b *testing.B) {
 // DESIGN.md). Ring capacity is sized so recording never hits the full-ring
 // drop path during the run.
 func BenchmarkCoreDelegateTraced(b *testing.B) {
-	sink := obs.NewTraceSink(obs.SinkConfig{Clients: 1, ServerCap: 1 << 26, ClientCap: 1 << 26})
+	sink := obs.NewTraceSink(obs.SinkConfig{Clients: 1, ServerCap: 1 << 22, ClientCap: 1 << 22})
 	s := startServer(b, Config{Trace: sink})
 	fid := s.Register(func(a *[MaxArgs]uint64) uint64 { return a[0] })
 	c := s.MustNewClient()

@@ -1,0 +1,23 @@
+//go:build amd64
+
+package obs
+
+// cputicks returns the processor timestamp counter (RDTSC). On every
+// x86-64 part this code targets the TSC is invariant — it ticks at a
+// constant rate regardless of frequency scaling and is synchronized
+// across the cores of a socket — so differences between two readings
+// measure elapsed time in a fixed unit.
+//
+// Reading the TSC costs roughly half of what the vDSO monotonic clock
+// costs (the vDSO itself reads the TSC and then scales it; we defer that
+// scaling to snapshot time, off the hot path). RDTSC is not a
+// serializing instruction: a stamp may be reordered against neighbouring
+// loads and stores by a few cycles, which is far below the phase
+// durations the tracer attributes.
+//
+// Implemented in clock_amd64.s.
+func cputicks() int64
+
+// tscClock records which clock Event timestamps are taken on, for
+// diagnostics.
+const tscClock = true

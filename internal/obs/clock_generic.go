@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package obs
+
+import "time"
+
+// clockBase anchors the generic tick clock; only differences between
+// cputicks readings are meaningful, so any fixed base works.
+var clockBase = time.Now()
+
+// cputicks falls back to the monotonic clock on architectures without a
+// dedicated timestamp-counter path: one tick is one nanosecond, and the
+// snapshot-time calibration resolves the scale factor to ~1.
+func cputicks() int64 { return int64(time.Since(clockBase)) }
+
+// tscClock records which clock Event timestamps are taken on, for
+// diagnostics.
+const tscClock = false

@@ -296,3 +296,101 @@ func TestEventRecordingAllocFree(t *testing.T) {
 		t.Errorf("Event allocates %.2f objects per op, want 0", allocs)
 	}
 }
+
+// TestEventBatchRoutes: a batch lands whole on the ring named by its first
+// event — client batches on the slot ring, server batches on the server
+// ring — and the events come back in timestamp order with their payloads
+// intact.
+func TestEventBatchRoutes(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 2, ServerCap: 16, ClientCap: 16})
+	s.EventBatch([]Event{
+		{TS: s.Now(), Kind: KindClientIssue, Slot: 1, Arg: 7},
+		{TS: s.Now(), Kind: KindClientWaitStart, Slot: 1, Arg: 7},
+		{TS: s.Now(), Kind: KindClientComplete, Slot: 1, Arg: 7},
+	})
+	s.EventBatch([]Event{
+		{TS: s.Now(), Kind: KindSweepStart, Slot: -1, Arg: 1},
+		{TS: s.Now(), Kind: KindExecute, Slot: 1, Arg: 7},
+		{TS: s.Now(), Kind: KindRespond, Slot: 1, Arg: 7},
+	})
+	s.EventBatch(nil) // no-op
+	evs := s.Snapshot()
+	if len(evs) != 6 {
+		t.Fatalf("Snapshot len = %d, want 6", len(evs))
+	}
+	counts := CountByKind(evs)
+	for _, k := range []Kind{KindClientIssue, KindClientWaitStart, KindClientComplete,
+		KindSweepStart, KindExecute, KindRespond} {
+		if counts[k] != 1 {
+			t.Errorf("count[%v] = %d, want 1", k, counts[k])
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("snapshot not time-ordered at %d", i)
+		}
+	}
+	if s.Drops() != 0 {
+		t.Errorf("Drops = %d, want 0", s.Drops())
+	}
+}
+
+// TestEventBatchRecordUntilFull: a batch overflowing the ring publishes
+// the prefix that fits and counts the tail as drops, like record-until-
+// full single appends.
+func TestEventBatchRecordUntilFull(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 1, ServerCap: 4, ClientCap: 4})
+	batch := make([]Event, 6)
+	for i := range batch {
+		batch[i] = Event{TS: s.Now(), Kind: KindExecute, Slot: 0, Arg: uint64(i)}
+	}
+	s.EventBatch(batch)
+	evs := s.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("Snapshot len = %d, want the 4 that fit", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Arg != uint64(i) {
+			t.Fatalf("event %d has arg %d: the published prefix must be the batch's oldest events", i, ev.Arg)
+		}
+	}
+	if s.Drops() != 2 {
+		t.Errorf("Drops = %d, want 2", s.Drops())
+	}
+	// A later batch against the full ring drops whole.
+	s.EventBatch(batch[:2])
+	if s.Drops() != 4 {
+		t.Errorf("Drops = %d after full-ring batch, want 4", s.Drops())
+	}
+}
+
+// TestEventBatchOutOfRangeSlotDropped mirrors the single-append routing
+// guard: a client batch naming a slot without a ring is dropped whole.
+func TestEventBatchOutOfRangeSlotDropped(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 1})
+	s.EventBatch([]Event{
+		{Kind: KindClientIssue, Slot: 5, Arg: 1},
+		{Kind: KindClientComplete, Slot: 5, Arg: 1},
+	})
+	if got := len(s.Snapshot()); got != 0 {
+		t.Fatalf("Snapshot len = %d, want 0", got)
+	}
+	if s.Drops() != 2 {
+		t.Errorf("Drops = %d, want 2", s.Drops())
+	}
+}
+
+// TestEventBatchAllocFree: the batched path is the traced hot path's
+// backbone; it must not allocate.
+func TestEventBatchAllocFree(t *testing.T) {
+	s := NewTraceSink(SinkConfig{Clients: 1, ServerCap: 1 << 20, ClientCap: 1 << 20})
+	var buf [4]Event
+	if allocs := testing.AllocsPerRun(1000, func() {
+		ts := s.Now()
+		buf[0] = Event{TS: ts, Kind: KindExecute, Slot: 0, Arg: 1}
+		buf[1] = Event{TS: ts, Kind: KindRespond, Slot: 0, Arg: 1}
+		s.EventBatch(buf[:2])
+	}); allocs > 0 {
+		t.Errorf("EventBatch allocates %.2f objects per op, want 0", allocs)
+	}
+}
