@@ -3,14 +3,15 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare check chaos linear trace figures ablations coverage clean
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare check chaos replica-chaos linear trace figures ablations coverage clean
 
 all: build vet test
 
 # The pre-merge gate: vet, full build, race-enabled tests of the hot-path
-# packages, the linearizability suite, the trace pipeline end to end, and
-# one full-iteration pass of the core microbenches (bench-hot).
-check: linear trace
+# packages, the linearizability suite (single-server and replicated), the
+# trace pipeline end to end, and one full-iteration pass of the core
+# microbenches (bench-hot).
+check: linear replica-chaos trace
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
@@ -33,6 +34,20 @@ race:
 # from CHAOS_SEED (e.g. `make chaos CHAOS_SEED=7`).
 chaos:
 	FFWD_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -run Chaos -v ./internal/core/ ./internal/fault/
+
+# Replica chaos: the seeded kill/partition matrix over the replicated
+# delegation shard, under the race detector — leader kills mid-flush,
+# partition bursts, slow followers, wiped-member revival with snapshot
+# catch-up — with every recorded history checked for linearizability.
+# Each seed derives its own fault plan (see fault.ReplicaFromSeed);
+# override the matrix with `make replica-chaos REPLICA_SEEDS="5"`.
+REPLICA_SEEDS ?= 5 9 13
+replica-chaos:
+	$(GO) test -race -count=1 ./internal/replica/
+	@set -e; for s in $(REPLICA_SEEDS); do \
+		echo "== replica chaos seed $$s =="; \
+		FFWD_CHAOS_SEED=$$s $(GO) test -race -count=1 -run 'Replica' ./internal/apps/; \
+	done
 
 # Linearizability: record real histories of the delegated KV/stack/queue
 # under fault injection (kills, dropped wakes, retries) and check them

@@ -47,11 +47,23 @@
 // fault mix (see internal/fault) for resilience testing against a live
 // server.
 //
+// -replicas N (N > 1) upgrades the ffwd backend to a raft-style replica
+// group (internal/replica): every write is quorum-acknowledged before
+// STORED goes back on the wire, and a leader crash promotes a follower
+// instead of replaying a restarted server — acknowledged writes survive
+// losing the whole leader. `stats` then reports the group's term, commit
+// index, and failover counters; /metrics grows ffwd_replica_* gauges;
+// and the shutdown report separates in-flight replicated writes from
+// leader-local reads. With -chaos-seed, replicated mode injects the
+// replication fault mix (leader kills, partition bursts, slow
+// followers) instead of the single-server mix.
+//
 // Usage:
 //
 //	ffwdserve -addr :11211 -capacity 65536 -backend ffwd
 //	ffwdserve -backend mutex     # global-lock baseline, for comparison
 //	ffwdserve -chaos-seed 7      # fault-injected resilience run
+//	ffwdserve -replicas 3        # replicated shard with failover
 //	ffwdserve -max-conns 128 -read-timeout 30s -stats-addr :8080
 package main
 
@@ -79,6 +91,7 @@ import (
 	"ffwd/internal/core"
 	"ffwd/internal/fault"
 	"ffwd/internal/obs"
+	"ffwd/internal/replica"
 )
 
 // mgetMax bounds the number of keys per mget so one command line cannot
@@ -238,6 +251,7 @@ func main() {
 		capacity  = flag.Int("capacity", 1<<16, "store capacity (entries)")
 		kind      = flag.String("backend", "ffwd", "ffwd or mutex")
 		clients   = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend)")
+		replicas  = flag.Int("replicas", 1, "replica group size for the ffwd backend; >1 quorum-replicates writes with failover")
 		pipeDepth = flag.Int("pipeline", 8, "pipelined requests in flight per mget (ffwd backend)")
 		parkAfter = flag.Int("idle-park-after", 0, "empty sweeps before the idle server parks (0 = default, negative = never park)")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "inject a seed-derived fault mix into the delegation server (0 = off; ffwd backend)")
@@ -255,11 +269,41 @@ func main() {
 		b    backend
 		d    *apps.DelegatedKV
 		fb   *ffwdBackend
+		rkv  *apps.ReplicatedKV
+		rb   *repBackend
 		sv   *core.Supervisor
 		sink *obs.TraceSink
 	)
 	switch *kind {
 	case "ffwd":
+		if *replicas > 1 {
+			cfg := core.Config{MaxClients: *clients, IdleParkAfter: *parkAfter}
+			rcfg := apps.ReplicatedConfig{
+				Replicas: *replicas,
+				// The supervisor cadence mirrors the unreplicated path:
+				// crash repair within ~5ms, near-zero idle cost.
+				Supervisor: core.SupervisorConfig{Interval: 5 * time.Millisecond, KickAfter: 20},
+			}
+			if *chaosSeed != 0 {
+				inj := fault.ReplicaFromSeed(*chaosSeed)
+				cfg.Hooks = inj
+				rcfg.Hooks = inj
+				log.Printf("ffwdserve: replica chaos injection on: %v", inj)
+			}
+			if *tracePath != "" || *statsAddr != "" {
+				sink = obs.NewTraceSink(obs.SinkConfig{Clients: cfg.MaxClients})
+				cfg.Trace = sink
+			}
+			rcfg.Core = cfg
+			rkv = apps.NewReplicatedKV(*capacity, rcfg)
+			if err := rkv.Start(); err != nil {
+				log.Fatal(err)
+			}
+			rb = newRepBackendPool(rkv, *clients)
+			rb.shedAfter = *shedWait
+			b = rb
+			break
+		}
 		if *pipeDepth < 1 {
 			*pipeDepth = 1
 		}
@@ -340,6 +384,17 @@ func main() {
 				m["ledger_skips"] = st.LedgerSkips
 				m["retry_waits"] = st.RetryWaits
 			}
+			if rb != nil {
+				m["busy_sheds"] = rb.sheds.Load()
+				m["local_ops"] = rb.localOps.Load()
+				m["replicated_ops"] = rb.repOps.Load()
+				gs := rkv.Group().Stats()
+				m["replica_term"] = gs.Term
+				m["replica_commit_index"] = gs.CommitIndex
+				m["replicas_alive"] = uint64(gs.AliveReplicas)
+				m["replica_failovers"] = gs.Failovers
+				m["replica_ledger_hits"] = gs.LedgerHits
+			}
 			return m
 		}))
 		// An explicit mux rather than http.DefaultServeMux: everything
@@ -351,7 +406,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/metrics", metricsRegistry(fe, fb, d).Handler())
+		mux.Handle("/metrics", metricsRegistry(fe, fb, d, rkv, rb).Handler())
 		if sink != nil {
 			// Live capture download: the snapshot is race-free against
 			// the serving hot path, so this works on a loaded server.
@@ -398,9 +453,33 @@ func main() {
 	if fb != nil {
 		sheds = fb.sheds.Load()
 	}
+	if rb != nil {
+		sheds = rb.sheds.Load()
+	}
 	log.Printf("ffwdserve: conn stats: accepted=%d rejected=%d read-timeouts=%d long-lines=%d busy-sheds=%d",
 		fe.stats.accepted.Load(), fe.stats.rejected.Load(),
 		fe.stats.readTimeouts.Load(), fe.stats.longLines.Load(), sheds)
+	if rb != nil {
+		// The drain report keeps replicated writes separate from
+		// leader-local reads: an in-flight replicated op at this point
+		// was force-closed mid-commit and may still have landed on the
+		// group, which is exactly what the replicated ledger disambiguates
+		// for a retrying client.
+		log.Printf("ffwdserve: op stats: local=%d (in-flight %d) replicated=%d (in-flight %d)",
+			rb.localOps.Load(), rb.localInFlight.Load(),
+			rb.repOps.Load(), rb.repInFlight.Load())
+		gs := rkv.Group().Stats()
+		log.Printf("ffwdserve: replica stats: term=%d leader=%d alive=%d/%d commit-index=%d commits=%d ledger-hits=%d apply-dups=%d no-quorum=%d snapshots=%d installs=%d truncated=%d failovers=%d restarts=%d",
+			gs.Term, gs.LeaderID, gs.AliveReplicas, gs.Replicas, gs.CommitIndex,
+			gs.Commits, gs.LedgerHits, gs.ApplyDups, gs.NoQuorum,
+			gs.Snapshots, gs.SnapshotInstalls, gs.EntriesTruncated, gs.Failovers, gs.Restarts)
+		if srv := rkv.Server(); srv != nil {
+			st := srv.Stats()
+			log.Printf("ffwdserve: leader server stats: requests=%d sweeps=%d batches=%d panics=%d crashes=%d ledger-skips=%d",
+				st.Requests, st.Sweeps, st.Batches, st.Panics, st.ServerCrashes, st.LedgerSkips)
+		}
+		rkv.Stop()
+	}
 	if d != nil {
 		st := d.Server().Stats()
 		log.Printf("ffwdserve: final stats: requests=%d sweeps=%d batches=%d panics=%d crashes=%d restarts=%d kicks=%d heartbeat-misses=%d abandoned-slots=%d ledger-skips=%d retry-waits=%d",
@@ -446,7 +525,7 @@ func writeTrace(path string, sink *obs.TraceSink) {
 // server's stats into a Prometheus /metrics endpoint. Everything is a
 // scrape-time sampling func: the counters already exist as atomics and
 // core.Stats is a consistent snapshot, so the registry owns no state.
-func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV) *obs.Registry {
+func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *apps.ReplicatedKV, rb *repBackend) *obs.Registry {
 	reg := obs.NewRegistry()
 	u := func(load func() uint64) func() float64 {
 		return func() float64 { return float64(load()) }
@@ -485,6 +564,58 @@ func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV) *obs.Re
 			"Duplicate requests skipped by the exactly-once ledger.", stat(func(s core.Stats) uint64 { return s.LedgerSkips }))
 		reg.CounterFunc("ffwd_retry_waits_total",
 			"Client waits that spanned a server restart.", stat(func(s core.Stats) uint64 { return s.RetryWaits }))
+	}
+	if rkv != nil {
+		g := rkv.Group()
+		gstat := func(field func(replica.Stats) float64) func() float64 {
+			return func() float64 { return field(g.Stats()) }
+		}
+		reg.GaugeFunc("ffwd_replica_term",
+			"Current replication term (elections so far + 1).",
+			gstat(func(s replica.Stats) float64 { return float64(s.Term) }))
+		reg.GaugeFunc("ffwd_replica_commit_index",
+			"Highest quorum-committed log index.",
+			gstat(func(s replica.Stats) float64 { return float64(s.CommitIndex) }))
+		reg.GaugeFunc("ffwd_replicas_alive",
+			"Group members currently alive.",
+			gstat(func(s replica.Stats) float64 { return float64(s.AliveReplicas) }))
+		reg.CounterFunc("ffwd_replica_failovers_total",
+			"Successful leader promotions after crashes.",
+			gstat(func(s replica.Stats) float64 { return float64(s.Failovers) }))
+		reg.CounterFunc("ffwd_replica_ledger_hits_total",
+			"Write retries answered from the replicated ledger without re-execution.",
+			gstat(func(s replica.Stats) float64 { return float64(s.LedgerHits) }))
+		reg.CounterFunc("ffwd_replica_snapshot_installs_total",
+			"Snapshot transfers into lagging or revived members.",
+			gstat(func(s replica.Stats) float64 { return float64(s.SnapshotInstalls) }))
+		reg.CounterFunc("ffwd_replica_log_truncated_total",
+			"Log entries dropped by snapshot-backed prefix truncation.",
+			gstat(func(s replica.Stats) float64 { return float64(s.EntriesTruncated) }))
+		// The leader's delegation server changes identity across
+		// failovers, so its request counter is sampled through the
+		// group-aware accessor (0 while the shard is down).
+		reg.CounterFunc("ffwd_requests_total",
+			"Delegated requests executed by the current leader generation.",
+			func() float64 {
+				if srv := rkv.Server(); srv != nil {
+					return float64(srv.Stats().Requests)
+				}
+				return 0
+			})
+	}
+	if rb != nil {
+		reg.CounterFunc("ffwdserve_busy_sheds_total",
+			"Commands shed BUSY waiting for a pooled delegation client.",
+			func() float64 { return float64(rb.sheds.Load()) })
+		reg.CounterFunc("ffwdserve_local_ops_total",
+			"Completed leader-local read commands (get/mget/len).",
+			func() float64 { return float64(rb.localOps.Load()) })
+		reg.CounterFunc("ffwdserve_replicated_ops_total",
+			"Completed replicated write commands (set/del).",
+			func() float64 { return float64(rb.repOps.Load()) })
+		reg.GaugeFunc("ffwdserve_replicated_ops_in_flight",
+			"Replicated write commands currently executing.",
+			func() float64 { return float64(rb.repInFlight.Load()) })
 	}
 	return reg
 }

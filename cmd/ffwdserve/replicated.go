@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ffwd/internal/apps"
+)
+
+// The replicated backend: -replicas N (N > 1) serves the same protocol
+// through an apps.ReplicatedKV, a raft-style replica group in which every
+// write is quorum-acknowledged before STORED/DELETED goes back on the
+// wire, and a crash of the serving leader promotes a follower instead of
+// losing the store. Reads stay leader-local; writes pay the replication
+// toll — `stats` reports the group's term, commit index, and failover
+// counters instead of the single store's hit/miss line.
+
+// repConn is one pooled replicated-delegation handle with its own
+// replication identity (clientID, seq) for exactly-once dedup.
+type repConn struct {
+	kv *apps.RKVClient
+}
+
+type repBackend struct {
+	r       *apps.ReplicatedKV
+	clients chan *repConn
+
+	// shedAfter/sheds mirror ffwdBackend's bounded pool wait.
+	shedAfter time.Duration
+	sheds     atomic.Uint64
+
+	// The drain report separates leader-local ops (get/mget/len) from
+	// replicated ops (set/del): a replicated op force-closed mid-flight
+	// may still commit on the group, so its in-flight count is the
+	// interesting number at shutdown.
+	localOps      atomic.Uint64 // completed leader-local reads
+	repOps        atomic.Uint64 // completed replicated writes
+	localInFlight atomic.Int64
+	repInFlight   atomic.Int64
+}
+
+// newRepBackendPool preallocates n pooled replication handles.
+func newRepBackendPool(r *apps.ReplicatedKV, n int) *repBackend {
+	rb := &repBackend{r: r, clients: make(chan *repConn, n)}
+	for i := 0; i < n; i++ {
+		rb.clients <- &repConn{kv: r.NewClient()}
+	}
+	return rb
+}
+
+// repValueMax is the first reserved value: the top of the value space
+// carries the replicated response sentinels.
+const repValueMax = ^uint64(2)
+
+func (rb *repBackend) handle(line string) string {
+	var c *repConn
+	if rb.shedAfter <= 0 {
+		c = <-rb.clients
+	} else {
+		select {
+		case c = <-rb.clients:
+		default:
+			t := time.NewTimer(rb.shedAfter)
+			select {
+			case c = <-rb.clients:
+				t.Stop()
+			case <-t.C:
+				rb.sheds.Add(1)
+				return "BUSY delegation pool saturated"
+			}
+		}
+	}
+	defer func() { rb.clients <- c }()
+	return rb.dispatch(c, line)
+}
+
+// dispatch is the replicated protocol switch. It cannot reuse
+// dispatchStats: replicated ops can fail (retries exhausted during a
+// failover or quorum loss), and a failed write must answer BUSY, never
+// STORED.
+func (rb *repBackend) dispatch(c *repConn, line string) string {
+	op, args, err := parse(line)
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	local := func(f func() string) string {
+		rb.localInFlight.Add(1)
+		defer rb.localInFlight.Add(-1)
+		resp := f()
+		rb.localOps.Add(1)
+		return resp
+	}
+	replicated := func(f func() string) string {
+		rb.repInFlight.Add(1)
+		defer rb.repInFlight.Add(-1)
+		resp := f()
+		rb.repOps.Add(1)
+		return resp
+	}
+	const busy = "BUSY replicated shard unavailable"
+	switch {
+	case op == "get" && len(args) == 1:
+		return local(func() string {
+			v, ok, err := c.kv.Get(args[0])
+			switch {
+			case err != nil:
+				return busy
+			case ok:
+				return fmt.Sprintf("VALUE %d", v)
+			default:
+				return "NOT_FOUND"
+			}
+		})
+	case op == "mget" && len(args) >= 1:
+		if len(args) > mgetMax {
+			return fmt.Sprintf("ERROR mget limited to %d keys", mgetMax)
+		}
+		return local(func() string {
+			var sb strings.Builder
+			sb.WriteString("VALUES")
+			for _, k := range args {
+				v, ok, err := c.kv.Get(k)
+				switch {
+				case err != nil:
+					return busy
+				case ok:
+					fmt.Fprintf(&sb, " %d", v)
+				default:
+					sb.WriteString(" -")
+				}
+			}
+			return sb.String()
+		})
+	case op == "set" && len(args) == 2:
+		if args[1] >= repValueMax {
+			return "ERROR value reserved"
+		}
+		return replicated(func() string {
+			if err := c.kv.Set(args[0], args[1]); err != nil {
+				return busy
+			}
+			return "STORED"
+		})
+	case op == "del" && len(args) == 1:
+		return replicated(func() string {
+			present, err := c.kv.Delete(args[0])
+			switch {
+			case err != nil:
+				return busy
+			case present:
+				return "DELETED"
+			default:
+				return "NOT_FOUND"
+			}
+		})
+	case op == "len" && len(args) == 0:
+		return local(func() string {
+			n, err := c.kv.Len()
+			if err != nil {
+				return busy
+			}
+			return fmt.Sprintf("LEN %d", n)
+		})
+	case op == "stats" && len(args) == 0:
+		st := rb.r.Group().Stats()
+		return fmt.Sprintf("STATS term=%d leader=%d alive=%d/%d commit_index=%d commits=%d ledger_hits=%d failovers=%d snapshot_installs=%d log_truncated=%d",
+			st.Term, st.LeaderID, st.AliveReplicas, st.Replicas, st.CommitIndex,
+			st.Commits, st.LedgerHits, st.Failovers, st.SnapshotInstalls, st.EntriesTruncated)
+	default:
+		return usageMsg
+	}
+}

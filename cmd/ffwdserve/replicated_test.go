@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ffwd/internal/apps"
+	"ffwd/internal/core"
+	"ffwd/internal/fault"
+)
+
+func newRepBackend(t *testing.T, capacity, clients int, hooks core.Hooks) *repBackend {
+	t.Helper()
+	r := apps.NewReplicatedKV(capacity, apps.ReplicatedConfig{
+		Replicas:   3,
+		Core:       core.Config{MaxClients: clients, Hooks: hooks},
+		Supervisor: core.SupervisorConfig{Interval: 200 * time.Microsecond},
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return newRepBackendPool(r, clients)
+}
+
+// TestReplicatedServeOverTCP: the replicated backend speaks the same
+// protocol over a live connection, and `stats` reports the group's
+// replication counters.
+func TestReplicatedServeOverTCP(t *testing.T) {
+	rb := newRepBackend(t, 1024, 4, nil)
+	addr := listen(t, newFrontend(rb))
+	_, _, send := dialText(t, addr)
+
+	if got := send("set 7 700"); got != "STORED" {
+		t.Fatalf("set: %q", got)
+	}
+	if got := send("get 7"); got != "VALUE 700" {
+		t.Fatalf("get: %q", got)
+	}
+	if got := send("mget 7 8"); got != "VALUES 700 -" {
+		t.Fatalf("mget: %q", got)
+	}
+	if got := send("del 7"); got != "DELETED" {
+		t.Fatalf("del: %q", got)
+	}
+	if got := send("del 7"); got != "NOT_FOUND" {
+		t.Fatalf("second del: %q", got)
+	}
+	if got := send("len"); got != "LEN 0" {
+		t.Fatalf("len: %q", got)
+	}
+	st := send("stats")
+	for _, want := range []string{"STATS term=1", "alive=3/3", "commits=3", "failovers=0"} {
+		if !strings.Contains(st, want) {
+			t.Fatalf("stats %q missing %q", st, want)
+		}
+	}
+	if got := send("set 1 18446744073709551613"); got != "ERROR value reserved" {
+		t.Fatalf("reserved value: %q", got)
+	}
+	if got := send("bogus"); got != usageMsg {
+		t.Fatalf("bogus: %q", got)
+	}
+	// The drain-report split: 5 local reads (get, mget, len, and the two
+	// below), 3 replicated writes (set + 2 dels; the reserved-value set
+	// and the usage error are rejected before reaching the counters).
+	if got := send("get 8"); got != "NOT_FOUND" {
+		t.Fatalf("get 8: %q", got)
+	}
+	if got := send("len"); got != "LEN 0" {
+		t.Fatalf("len: %q", got)
+	}
+	if lo, ro := rb.localOps.Load(), rb.repOps.Load(); lo != 5 || ro != 3 {
+		t.Fatalf("op split local=%d replicated=%d, want 5/3", lo, ro)
+	}
+	if lf, rf := rb.localInFlight.Load(), rb.repInFlight.Load(); lf != 0 || rf != 0 {
+		t.Fatalf("in-flight local=%d replicated=%d after quiesce, want 0/0", lf, rf)
+	}
+}
+
+// TestReplicatedServeFailover: a seeded leader kill lands mid-flush on a
+// live TCP write; the client sees STORED anyway (served by the promoted
+// leader via the replicated ledger) and the value survives the crash.
+func TestReplicatedServeFailover(t *testing.T) {
+	inj := fault.New(fault.Plan{KillAtOp: 4})
+	rb := newRepBackend(t, 1024, 2, inj)
+	addr := listen(t, newFrontend(rb))
+	_, _, send := dialText(t, addr)
+
+	for i := 1; i <= 6; i++ {
+		if got := send("set " + itoa(i) + " " + itoa(100+i)); got != "STORED" {
+			t.Fatalf("set %d: %q", i, got)
+		}
+	}
+	for i := 1; i <= 6; i++ {
+		if got := send("get " + itoa(i)); got != "VALUE "+itoa(100+i) {
+			t.Fatalf("get %d after failover: %q", i, got)
+		}
+	}
+	st := rb.r.Group().Stats()
+	if st.Failovers != 1 || st.LedgerHits == 0 {
+		t.Fatalf("failovers=%d ledger-hits=%d; the kill missed the workload", st.Failovers, st.LedgerHits)
+	}
+	if !strings.Contains(send("stats"), "failovers=1") {
+		t.Fatalf("stats after failover: %q", send("stats"))
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

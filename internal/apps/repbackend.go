@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"fmt"
+
+	"ffwd/internal/backend"
+	"ffwd/internal/core"
+)
+
+// Backend registration: the replicated KV joins the measurement grid as
+// "ffwd-rep", so the runtime harness can put a number on what quorum
+// replication costs relative to the bare "ffwd" KV cell. Only the KV
+// structure is served — replication is a property of the memcached port,
+// not of the whole structure zoo — and there is no simulated counterpart:
+// the model's single-server delegation doesn't speak for a quorum.
+
+func init() {
+	backend.Register(backend.Backend{
+		Name: "ffwd-rep",
+		Pkg:  "apps",
+		Doc:  "ffwd delegation with raft-style 3-replica quorum replication of writes",
+		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
+			cfg = cfg.WithDefaults()
+			r := NewReplicatedKV(int(cfg.KeySpace), ReplicatedConfig{
+				Replicas: 3,
+				Core:     core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace},
+			})
+			if err := r.Start(); err != nil {
+				return nil, err
+			}
+			return &backend.Instance[backend.KV]{
+				NewHandle: func() backend.KV { return &repKV{k: r.NewClient()} },
+				Close:     r.Stop,
+			}, nil
+		},
+	})
+}
+
+// repKV adapts an RKVClient to the error-free backend.KV interface. The
+// measurement grid runs without fault injection, so retry exhaustion is
+// a harness bug, reported the way MustNewClient reports slot exhaustion.
+type repKV struct {
+	k *RKVClient
+}
+
+func (x *repKV) Get(key uint64) (uint64, bool) {
+	v, ok, err := x.k.Get(key)
+	if err != nil {
+		panic(fmt.Sprintf("apps: replicated backend get: %v", err))
+	}
+	return v, ok
+}
+
+func (x *repKV) Put(key, v uint64) {
+	if err := x.k.Set(key, v); err != nil {
+		panic(fmt.Sprintf("apps: replicated backend put: %v", err))
+	}
+}
+
+func (x *repKV) Delete(key uint64) bool {
+	present, err := x.k.Delete(key)
+	if err != nil {
+		panic(fmt.Sprintf("apps: replicated backend delete: %v", err))
+	}
+	return present
+}

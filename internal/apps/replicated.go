@@ -1,0 +1,507 @@
+package apps
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ffwd/internal/core"
+	"ffwd/internal/replica"
+)
+
+// This file is the replicated flavor of the memcached port: a KVStore
+// served through a ffwd delegation server whose writes run through an
+// internal/replica group, so a hard kill of the whole leader — server
+// goroutine, slots, per-slot ledger and all — loses no acknowledged
+// write. The core server's per-slot seq ledger still fences crash
+// re-deliveries within one leader generation; the replica layer's
+// (clientID, seq) ledger extends exactly-once across promotion, where
+// the slot state does not survive.
+
+// Peek looks up key without promoting it in the LRU order or touching
+// the hit/miss counters — the deterministic read used by replicated
+// shards. Only logged writes may mutate replica state: if reads promoted
+// entries, the leader's LRU order (and therefore its future evictions)
+// would silently diverge from its followers', and a failover would
+// surface the divergence as lost or resurrected keys.
+func (s *KVStore) Peek(key uint64) (uint64, bool) {
+	e, ok := s.table[key]
+	if !ok {
+		return 0, false
+	}
+	return e.value, true
+}
+
+// EncodeState serializes the store for a replica snapshot: an entry
+// count followed by (key, value, expiresAt) triples in LRU order from
+// least to most recent, so RestoreState rebuilds not just the map but
+// the exact eviction order.
+func (s *KVStore) EncodeState() []byte {
+	buf := make([]byte, 0, 8+24*len(s.table))
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	put(uint64(len(s.table)))
+	for e := s.tail; e != nil; e = e.prev {
+		put(e.key)
+		put(e.value)
+		put(e.expiresAt)
+	}
+	return buf
+}
+
+// RestoreState replaces the store's contents with an EncodeState image.
+// The observability counters (hits/misses/evictions/expired) reset: they
+// are per-replica local color, not replicated state.
+func (s *KVStore) RestoreState(data []byte) {
+	s.table = make(map[uint64]*kvEntry, s.capacity)
+	s.head, s.tail = nil, nil
+	s.hits, s.misses, s.evictions, s.expired = 0, 0, 0, 0
+	if len(data) < 8 {
+		return
+	}
+	n := binary.LittleEndian.Uint64(data)
+	off := 8
+	for i := uint64(0); i < n && off+24 <= len(data); i++ {
+		e := &kvEntry{
+			key:       binary.LittleEndian.Uint64(data[off:]),
+			value:     binary.LittleEndian.Uint64(data[off+8:]),
+			expiresAt: binary.LittleEndian.Uint64(data[off+16:]),
+		}
+		off += 24
+		s.table[e.key] = e
+		s.pushFront(e) // encoded oldest-first: head ends most recent
+	}
+}
+
+// kvMachine adapts a KVStore to replica.StateMachine. Applies are
+// deterministic because reads go through Peek and never mutate.
+type kvMachine struct {
+	s *KVStore
+}
+
+func (m *kvMachine) Apply(e replica.Entry) uint64 {
+	switch e.Kind {
+	case replica.OpSet:
+		m.s.Set(e.Key, e.Val)
+		return 0
+	case replica.OpDel:
+		if m.s.Delete(e.Key) {
+			return 1
+		}
+		return 0
+	}
+	return kvMissSentinel
+}
+
+func (m *kvMachine) Snapshot() []byte    { return m.s.EncodeState() }
+func (m *kvMachine) Restore(data []byte) { m.s.RestoreState(data) }
+
+// Response sentinels for the replicated delegated functions. They share
+// the top of the value space with kvMissSentinel, so replicated stores
+// confine values to < ^uint64(2).
+const (
+	repNotLeaderSentinel = ^uint64(1)
+	repNoQuorumSentinel  = ^uint64(2)
+)
+
+// ErrReplicatedDown reports that a replicated op exhausted its retries
+// without reaching a committed answer.
+var ErrReplicatedDown = errors.New("apps: replicated KV unavailable (retries exhausted)")
+
+// The replicated delegated functions are registered in the same order on
+// every leader generation, so their FuncIDs are stable constants and
+// clients need no synchronization to name them across failovers.
+const (
+	rfidGet core.FuncID = iota
+	rfidSet
+	rfidDel
+	rfidLen
+)
+
+// ReplicatedConfig parameterizes a ReplicatedKV.
+type ReplicatedConfig struct {
+	// Replicas is the group size (default 3; 1 degenerates to an
+	// unreplicated delegated store with extra steps).
+	Replicas int
+	// SnapshotEvery is the applied-entry cadence of replica snapshots
+	// (default: replica layer's 64).
+	SnapshotEvery uint64
+	// Core is the delegation-server template for each leader
+	// generation. Its Hooks injector is shared across generations, so a
+	// seeded kill plan spans failovers.
+	Core core.Config
+	// Supervisor configures each generation's supervisor (interval,
+	// kick threshold). OnCrash is owned by the ReplicatedKV.
+	Supervisor core.SupervisorConfig
+	// Hooks injects replication faults (partitions, slow followers).
+	Hooks replica.Hooks
+}
+
+// ReplicatedKV is a replica group of KVStores fronted by a delegation
+// server on the current leader. When the leader's server goroutine dies,
+// the supervisor hands the crash to the group: a follower is promoted
+// and a fresh delegation server is built on it; clients re-resolve their
+// handles by leadership epoch and retry, deduplicated by the replicated
+// ledger.
+type ReplicatedKV struct {
+	g   *replica.Group
+	cfg ReplicatedConfig
+
+	// mu guards the leader generation (srv/sv/epoch) across failover
+	// rebuilds and Stop.
+	mu     sync.Mutex
+	srv    *core.Server
+	sv     *core.Supervisor
+	epoch  uint64
+	closed bool
+
+	nextClientID atomic.Uint64
+}
+
+// NewReplicatedKV builds the group (capacity entries per replica) and
+// its first leader generation; call Start to begin serving.
+func NewReplicatedKV(capacity int, cfg ReplicatedConfig) *ReplicatedKV {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	r := &ReplicatedKV{cfg: cfg}
+	r.g = replica.NewGroup(replica.GroupConfig{
+		Replicas:      cfg.Replicas,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Hooks:         cfg.Hooks,
+		Trace:         cfg.Core.Trace,
+		NewMachine: func() replica.StateMachine {
+			return &kvMachine{s: NewKVStore(capacity)}
+		},
+	})
+	return r
+}
+
+// Start builds and launches the first leader generation.
+func (r *ReplicatedKV) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lead, ep := r.g.Leader()
+	return r.buildLeaderLocked(lead, ep)
+}
+
+// buildLeaderLocked constructs a delegation server + supervisor bound to
+// the given leader replica and publishes it as generation epoch. The
+// delegated functions capture the replica; every write proposes through
+// the group, every read is leader-local through Peek.
+func (r *ReplicatedKV) buildLeaderLocked(rep *replica.Replica, epoch uint64) error {
+	g := r.g
+	srv := core.NewServer(r.cfg.Core)
+	fidGet := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		if !g.IsLeader(rep) {
+			return repNotLeaderSentinel
+		}
+		v, ok := rep.SM().(*kvMachine).s.Peek(a[0])
+		if !ok {
+			return kvMissSentinel
+		}
+		return v
+	})
+	fidSet := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		return proposeRet(g.Propose(rep, a[0], a[1], replica.OpSet, a[2], a[3]))
+	})
+	fidDel := srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		return proposeRet(g.Propose(rep, a[0], a[1], replica.OpDel, a[2], 0))
+	})
+	fidLen := srv.Register(func(*[core.MaxArgs]uint64) uint64 {
+		if !g.IsLeader(rep) {
+			return repNotLeaderSentinel
+		}
+		return uint64(rep.SM().(*kvMachine).s.Len())
+	})
+	if fidGet != rfidGet || fidSet != rfidSet || fidDel != rfidDel || fidLen != rfidLen {
+		panic("apps: replicated FuncID registration order drifted")
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	sv := core.NewSupervisor(srv, core.SupervisorConfig{
+		Interval:  r.cfg.Supervisor.Interval,
+		KickAfter: r.cfg.Supervisor.KickAfter,
+		OnCrash:   func() bool { return r.failover(epoch) },
+	})
+	sv.Start()
+	r.srv, r.sv, r.epoch = srv, sv, epoch
+	return nil
+}
+
+func proposeRet(ret uint64, err error) uint64 {
+	switch {
+	case err == nil:
+		return ret
+	case errors.Is(err, replica.ErrNoQuorum):
+		return repNoQuorumSentinel
+	default:
+		return repNotLeaderSentinel
+	}
+}
+
+// failover is the supervisor's OnCrash hand-off for generation
+// fromEpoch: promote the most up-to-date follower and build the next
+// generation on it. Returning true retires the calling supervisor (its
+// server is gone for good); the crashed server is left dead — clients
+// migrate by epoch. When promotion fails for lack of a quorum the shard
+// is genuinely unavailable: the generation is torn down and clients keep
+// erroring until an operator revives members (Group.Restart) and calls
+// Reopen to re-run the election.
+func (r *ReplicatedKV) failover(fromEpoch uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.epoch != fromEpoch {
+		// Already torn down or already failed over past this
+		// generation; nothing for this watcher to do.
+		return true
+	}
+	cand, ep, err := r.g.Promote()
+	if err != nil {
+		r.srv, r.sv = nil, nil
+		return true
+	}
+	if err := r.buildLeaderLocked(cand, ep); err != nil {
+		r.srv, r.sv = nil, nil
+		return true
+	}
+	return true
+}
+
+// Reopen rebuilds a serving generation after quorum loss took the shard
+// down: once an operator has revived enough members (Group.Restart), it
+// re-runs the election and builds a fresh leader generation. A shard
+// that is closed or already serving is left alone.
+func (r *ReplicatedKV) Reopen() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.srv != nil {
+		return nil
+	}
+	cand, ep, err := r.g.Promote()
+	if err != nil {
+		return err
+	}
+	return r.buildLeaderLocked(cand, ep)
+}
+
+// leaderGen returns the current generation's server and epoch (the
+// server may be nil when the shard is down).
+func (r *ReplicatedKV) leaderGen() (*core.Server, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srv, r.epoch
+}
+
+// Group exposes the replica group for stats, chaos drivers, and tests.
+func (r *ReplicatedKV) Group() *replica.Group { return r.g }
+
+// Server exposes the current generation's delegation server (for stats;
+// may be nil when the shard is down after quorum loss).
+func (r *ReplicatedKV) Server() *core.Server {
+	s, _ := r.leaderGen()
+	return s
+}
+
+// Stop tears down the current generation. Safe against a concurrent
+// failover: closed is published under the generation lock first, so no
+// new generation can be built afterwards.
+func (r *ReplicatedKV) Stop() {
+	r.mu.Lock()
+	r.closed = true
+	sv, srv := r.sv, r.srv
+	r.sv, r.srv = nil, nil
+	r.mu.Unlock()
+	if sv != nil {
+		sv.Stop()
+	}
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
+// RKVPolicy bounds a replicated client's retry loop. An op is retried
+// across timeouts, leader death, and failover until it commits or
+// MaxAttempts is exhausted; write retries are deduplicated by the
+// replicated ledger, so exhausting the budget is the only way a
+// committed write's ack can be lost.
+type RKVPolicy struct {
+	// MaxAttempts is the total delegation attempts per op. Default 400.
+	MaxAttempts int
+	// PerTry bounds each delegation attempt. Default 25ms.
+	PerTry time.Duration
+	// BaseDelay/MaxDelay shape the backoff between attempts (doubling,
+	// capped). Defaults 100µs / 2ms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RKVPolicy) withDefaults() RKVPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 400
+	}
+	if p.PerTry <= 0 {
+		p.PerTry = 25 * time.Millisecond
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Millisecond
+	}
+	return p
+}
+
+// RKVClient is a per-goroutine handle to a ReplicatedKV. It carries the
+// client's replication identity: a group-unique clientID and a
+// monotonic per-client write seq, which together key the replicated
+// ledger's exactly-once dedup. The handle lazily re-binds to the
+// current leader generation by epoch.
+type RKVClient struct {
+	r      *ReplicatedKV
+	id     uint64
+	seq    uint64
+	epoch  uint64
+	c      *core.Client
+	policy RKVPolicy
+}
+
+// NewClient returns a handle with the default retry policy.
+func (r *ReplicatedKV) NewClient() *RKVClient {
+	return r.NewClientPolicy(RKVPolicy{})
+}
+
+// NewClientPolicy returns a handle with an explicit retry policy.
+func (r *ReplicatedKV) NewClientPolicy(p RKVPolicy) *RKVClient {
+	return &RKVClient{r: r, id: r.nextClientID.Add(1), policy: p.withDefaults()}
+}
+
+// Close releases the handle's delegation slot (if bound).
+func (k *RKVClient) Close() {
+	if k.c != nil {
+		k.c.Close()
+		k.c = nil
+	}
+}
+
+// ensure binds the handle to the current leader generation, retiring a
+// handle left over from a deposed one.
+func (k *RKVClient) ensure() error {
+	srv, ep := k.r.leaderGen()
+	if srv == nil {
+		return ErrReplicatedDown
+	}
+	if k.c != nil && k.epoch == ep {
+		return nil
+	}
+	if k.c != nil {
+		// The old generation's server is dead; Close retires or
+		// reclaims the slot, whichever the drain protocol allows.
+		k.c.Close()
+		k.c = nil
+	}
+	c, err := srv.NewClient()
+	if err != nil {
+		return err
+	}
+	k.c, k.epoch = c, ep
+	return nil
+}
+
+// do drives one op to a committed answer: bind to the leader, delegate
+// with a bounded wait, and retry across timeouts, crashes, failovers,
+// and leadership sentinels with capped backoff.
+func (k *RKVClient) do(fid core.FuncID, a0, a1, a2, a3 uint64, nargs int) (uint64, error) {
+	var lastErr error = ErrReplicatedDown
+	d := k.policy.BaseDelay
+	for attempt := 0; attempt < k.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(d)
+			if d *= 2; d > k.policy.MaxDelay {
+				d = k.policy.MaxDelay
+			}
+		}
+		if err := k.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		var ret uint64
+		var err error
+		switch nargs {
+		case 0:
+			ret, err = k.c.DelegateTimeout(k.policy.PerTry, fid)
+		case 1:
+			ret, err = k.c.DelegateTimeout(k.policy.PerTry, fid, a0)
+		case 3:
+			ret, err = k.c.DelegateTimeout(k.policy.PerTry, fid, a0, a1, a2)
+		default:
+			ret, err = k.c.DelegateTimeout(k.policy.PerTry, fid, a0, a1, a2, a3)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch ret {
+		case repNotLeaderSentinel:
+			lastErr = replica.ErrNotLeader
+			continue
+		case repNoQuorumSentinel:
+			lastErr = replica.ErrNoQuorum
+			continue
+		}
+		return ret, nil
+	}
+	return 0, lastErr
+}
+
+// Get reads key from the leader (leader-local, not logged: promotion
+// only follows leader death, so there is never a second live leader to
+// serve stale reads).
+func (k *RKVClient) Get(key uint64) (uint64, bool, error) {
+	v, err := k.do(rfidGet, key, 0, 0, 0, 1)
+	if err != nil {
+		return 0, false, err
+	}
+	if v == kvMissSentinel {
+		return 0, false, nil
+	}
+	return v, true, nil
+}
+
+// Set writes key=value through the replicated log. Values at or above
+// repNoQuorumSentinel are rejected (the top three words of the value
+// space are response sentinels).
+func (k *RKVClient) Set(key, value uint64) error {
+	if value >= repNoQuorumSentinel {
+		panic("apps: value collides with replicated response sentinels")
+	}
+	k.seq++
+	_, err := k.do(rfidSet, k.id, k.seq, key, value, 4)
+	return err
+}
+
+// Delete removes key through the replicated log, reporting whether it
+// was present.
+func (k *RKVClient) Delete(key uint64) (bool, error) {
+	k.seq++
+	v, err := k.do(rfidDel, k.id, k.seq, key, 0, 3)
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
+}
+
+// Len returns the leader's entry count.
+func (k *RKVClient) Len() (int, error) {
+	v, err := k.do(rfidLen, 0, 0, 0, 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}

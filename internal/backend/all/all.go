@@ -6,6 +6,7 @@
 package all
 
 import (
+	_ "ffwd/internal/apps"      // ffwd-rep (replicated KV)
 	_ "ffwd/internal/combining" // fc, ccsynch, dsmsynch
 	_ "ffwd/internal/delegated" // ffwd
 	_ "ffwd/internal/lockfree"  // lockfree, sim

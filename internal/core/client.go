@@ -108,13 +108,30 @@ func (c *Client) Close() {
 			panic("core: Close with a request in flight")
 		}
 		if _, ok := c.TryWait(); !ok {
-			if c.bt != nil {
-				c.flushTrace() // retired slot: land any buffered events
-			}
+			// The late response has not arrived — but a supervised
+			// restart's sweep may be flushing it right now (the crash
+			// that stranded this request is exactly when a Supervisor
+			// runs RestartIfCrashed). Clear the occupancy bit first,
+			// then poll once more: if the response landed in that
+			// window, the toggle channel is coherent after all and the
+			// slot can be recycled instead of permanently retired.
 			s := c.s
-			c.s = nil
 			s.andOcc(c.slot/s.groupSize, ^c.bit)
-			s.nAbandoned.Add(1)
+			if _, ok := c.TryWait(); !ok {
+				// Still outstanding. A sweep that captured its
+				// occupancy mask before our clear could yet flush a
+				// response here, so handing the slot to a new owner
+				// would let it receive a response it never issued:
+				// retire the slot for good.
+				if c.bt != nil {
+					c.flushTrace() // retired slot: land any buffered events
+				}
+				c.s = nil
+				s.nAbandoned.Add(1)
+				return
+			}
+			c.s = nil
+			s.freeSlot(c.slot)
 			return
 		}
 	}

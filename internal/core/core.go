@@ -613,6 +613,24 @@ func (s *Server) Stop() {
 // restarted; the bounded waits return ErrServerStopped in that state.
 func (s *Server) Alive() bool { return s.alive.Load() }
 
+// Crashed reports whether the server goroutine died of an escaped panic,
+// has fully unwound, and has not been restarted or deliberately stopped —
+// exactly the state RestartIfCrashed would repair. Supervisors with an
+// OnCrash hand-off consult this before deciding who handles the failure.
+func (s *Server) Crashed() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if !s.running.Load() || s.stopping.Load() || !s.crashed.Load() {
+		return false
+	}
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false // goroutine still unwinding
+	}
+}
+
 // LastPanic returns the most recent panic record (delegated-call panic,
 // unknown-function request, or server crash), or nil.
 func (s *Server) LastPanic() *PanicRecord { return s.lastPanic.Load() }

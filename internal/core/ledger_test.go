@@ -274,3 +274,62 @@ func TestPoolDelegateRetryDrainsPipedPredecessor(t *testing.T) {
 	}
 	pc.Close()
 }
+
+// TestLedgerSeqAdoptionRecycleTimeout covers seq adoption across slot
+// recycling when the adopting client's very first op immediately times
+// out: A performs exactly one op (ledger now holds seq 1 for the slot)
+// and closes; B adopts the slot, and B's first delegation is executed
+// but killed before its flush, so B's bounded wait fails. After the
+// restart, B's re-wait must be answered from the ledger with B's OWN
+// application. If adoption were broken (B restarting at seq 1), the
+// sweep would instead fence B's request as a duplicate of A's and
+// replay A's result without ever executing — caught below by both the
+// return value and the application count.
+func TestLedgerSeqAdoptionRecycleTimeout(t *testing.T) {
+	s := NewServer(Config{MaxClients: 1, Hooks: fault.New(fault.Plan{KillAtOp: 2})})
+	var applied int
+	inc := s.Register(func(*[MaxArgs]uint64) uint64 {
+		applied++
+		return uint64(applied)
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	a := s.MustNewClient()
+	if got := a.Delegate0(inc); got != 1 {
+		t.Fatalf("first owner's op returned %d, want 1", got)
+	}
+	a.Close()
+
+	b := s.MustNewClient()
+	if b.Slot() != 0 {
+		t.Fatalf("second owner got slot %d, want the recycled slot 0", b.Slot())
+	}
+	// B's first op is global op 2: executed, ledgered, then the kill
+	// eats the flush — the adopting client immediately times out.
+	if _, err := b.DelegateTimeout(500*time.Millisecond, inc); err == nil {
+		t.Fatal("delegation across the kill unexpectedly succeeded")
+	}
+	for !s.RestartIfCrashed() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	got, err := b.WaitFor(2 * time.Second)
+	if err != nil {
+		t.Fatalf("retry wait after restart: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("retried op returned %d, want B's own application 2 (1 would be A's replayed result)", got)
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d times, want 2 — adoption must not fence B's fresh op", applied)
+	}
+	if st := s.Stats(); st.LedgerSkips != 1 {
+		t.Fatalf("LedgerSkips = %d, want exactly the one re-delivery", st.LedgerSkips)
+	}
+	// Seq keeps counting: the next op executes for real.
+	if got := b.Delegate0(inc); got != 3 || applied != 3 {
+		t.Fatalf("post-recovery op: got %d applied %d, want 3/3", got, applied)
+	}
+}

@@ -19,6 +19,14 @@ type SupervisorConfig struct {
 	// one wake per KickAfter×Interval — the price of surviving lost
 	// wake notifications.
 	KickAfter int
+	// OnCrash, if non-nil, is consulted when a health check finds the
+	// server goroutine dead of an escaped panic, before any restart.
+	// Returning true hands the failure off — the caller has replaced
+	// the server some other way (e.g. a replica group promoting a
+	// follower in its place) — and the supervisor's loop exits: its
+	// server is gone for good, so there is nothing left to watch.
+	// Returning false falls back to the normal RestartIfCrashed repair.
+	OnCrash func() bool
 }
 
 // Supervisor monitors one Server's health and repairs what it can:
@@ -87,6 +95,11 @@ func (sv *Supervisor) loop() {
 		case <-sv.stop:
 			return
 		case <-t.C:
+		}
+		if sv.cfg.OnCrash != nil && s.Crashed() {
+			if sv.cfg.OnCrash() {
+				return
+			}
 		}
 		if s.RestartIfCrashed() {
 			stalled, parkedChecks = 0, 0

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
+
+	"ffwd/internal/fault"
 )
 
 // TestSupervisorIgnoresDeliberateStop: supervision repairs crashes, not
@@ -58,5 +62,67 @@ func TestSupervisorCountsHeartbeatMisses(t *testing.T) {
 	}
 	if st := s.Stats(); st.HeartbeatMisses == 0 {
 		t.Fatal("a 60ms wedge inside a delegated call produced no heartbeat misses")
+	}
+}
+
+// TestCloseVsRestartRetiredSlotAccounting hammers the one interleaving
+// the retire path is exposed to: a client whose bounded wait timed out
+// across a crash calls Close while a supervisor-style restart is
+// concurrently relaunching the server — whose first sweep may flush the
+// very response Close is deciding the slot's fate on. Whatever the
+// interleaving, the accounting must stay coherent: every slot is either
+// allocatable exactly once or counted in AbandonedSlots, never both and
+// never neither, and when the late response demonstrably landed before
+// Close finished, the slot should be reclaimed rather than leaked.
+func TestCloseVsRestartRetiredSlotAccounting(t *testing.T) {
+	for iter := 0; iter < 60; iter++ {
+		s := NewServer(Config{MaxClients: 2, Hooks: fault.New(fault.Plan{KillAtOp: 1})})
+		maxClients := s.MaxClients() // config rounds up to a full group
+		fid := s.Register(func(*[MaxArgs]uint64) uint64 { return 7 })
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		c := s.MustNewClient()
+		c.Issue(fid)
+		if _, err := c.WaitFor(500 * time.Millisecond); err == nil {
+			t.Fatalf("iter %d: wait across the kill unexpectedly succeeded", iter)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			for !s.RestartIfCrashed() {
+				runtime.Gosched()
+			}
+		}()
+		wg.Wait()
+		// Allocate until exhaustion: retired + allocatable must cover the
+		// slot space exactly, with no slot handed out twice.
+		seen := make(map[int]bool)
+		n := 0
+		for {
+			cl, err := s.NewClient()
+			if err != nil {
+				break
+			}
+			if seen[cl.Slot()] {
+				t.Fatalf("iter %d: slot %d allocated twice", iter, cl.Slot())
+			}
+			seen[cl.Slot()] = true
+			n++
+			if n > maxClients {
+				t.Fatalf("iter %d: allocated %d clients from %d slots", iter, n, maxClients)
+			}
+		}
+		st := s.Stats()
+		if n+int(st.AbandonedSlots) != maxClients {
+			t.Fatalf("iter %d: %d allocatable + %d retired != %d slots",
+				iter, n, st.AbandonedSlots, maxClients)
+		}
+		s.Stop()
 	}
 }

@@ -81,6 +81,18 @@ type Plan struct {
 	// re-trigger a kill already fired (the threshold only advances).
 	KillAtOp  uint64
 	KillEvery uint64
+
+	// PartitionEvery starts a partition burst on every Nth replication
+	// append attempt: that attempt and the following PartitionBurst-1
+	// are dropped, so one follower falls behind for a stretch instead
+	// of missing isolated appends. 0 disables.
+	PartitionEvery uint64
+	PartitionBurst uint64
+
+	// SlowFollowerEvery sleeps SlowFollowerDelay inside every Nth
+	// replication append attempt, simulating a slow follower link.
+	SlowFollowerEvery uint64
+	SlowFollowerDelay time.Duration
 }
 
 // InjectedPanic is the payload of a CallPanicEvery fault, so tests and
@@ -96,11 +108,13 @@ func (p InjectedPanic) String() string {
 // Counts is a snapshot of how many faults an Injector has fired, for
 // test assertions and chaos-run reports.
 type Counts struct {
-	SweepDelays  uint64
-	DroppedWakes uint64
-	CallDelays   uint64
-	CallPanics   uint64
-	Kills        uint64
+	SweepDelays    uint64
+	DroppedWakes   uint64
+	CallDelays     uint64
+	CallPanics     uint64
+	Kills          uint64
+	DroppedAppends uint64
+	SlowAppends    uint64
 }
 
 // Injector injects the faults of a Plan. It is safe for concurrent use:
@@ -118,6 +132,8 @@ type Injector struct {
 	nCallDelays  atomic.Uint64
 	nCallPanics  atomic.Uint64
 	nKills       atomic.Uint64
+	nDropAppends atomic.Uint64
+	nSlowAppends atomic.Uint64
 }
 
 // New returns an Injector executing plan.
@@ -161,11 +177,13 @@ func (i *Injector) Plan() Plan { return i.plan }
 // Counts returns a snapshot of the faults fired so far.
 func (i *Injector) Counts() Counts {
 	return Counts{
-		SweepDelays:  i.nSweepDelays.Load(),
-		DroppedWakes: i.nDrops.Load(),
-		CallDelays:   i.nCallDelays.Load(),
-		CallPanics:   i.nCallPanics.Load(),
-		Kills:        i.nKills.Load(),
+		SweepDelays:    i.nSweepDelays.Load(),
+		DroppedWakes:   i.nDrops.Load(),
+		CallDelays:     i.nCallDelays.Load(),
+		CallPanics:     i.nCallPanics.Load(),
+		Kills:          i.nKills.Load(),
+		DroppedAppends: i.nDropAppends.Load(),
+		SlowAppends:    i.nSlowAppends.Load(),
 	}
 }
 
@@ -173,9 +191,10 @@ func (i *Injector) Counts() Counts {
 func (i *Injector) String() string {
 	p := i.plan
 	return fmt.Sprintf(
-		"fault.Plan{seed=%d sweep-delay=%v/%d drop-wake=1/%d call-delay=%v/%d call-panic=1/%d kill@%d/+%d}",
+		"fault.Plan{seed=%d sweep-delay=%v/%d drop-wake=1/%d call-delay=%v/%d call-panic=1/%d kill@%d/+%d partition=%d/%d slow-follower=%v/%d}",
 		p.Seed, p.SweepDelay, p.SweepDelayEvery, p.DropWakeEvery,
-		p.CallDelay, p.CallDelayEvery, p.CallPanicEvery, p.KillAtOp, p.KillEvery)
+		p.CallDelay, p.CallDelayEvery, p.CallPanicEvery, p.KillAtOp, p.KillEvery,
+		p.PartitionBurst, p.PartitionEvery, p.SlowFollowerDelay, p.SlowFollowerEvery)
 }
 
 // Sweep implements the server's sweep fault point: every Nth sweep is
@@ -234,4 +253,55 @@ func (i *Injector) Kill(op uint64) bool {
 			return true
 		}
 	}
+}
+
+// DropAppend implements the replica layer's partition fault point
+// (structurally matching internal/replica's Hooks): append attempt n to
+// the given follower is dropped when it falls inside a partition burst.
+// Decisions are a pure function of the attempt index, so a run replays
+// identically from its seed.
+func (i *Injector) DropAppend(follower int, n uint64) bool {
+	_ = follower
+	e := i.plan.PartitionEvery
+	if e == 0 {
+		return false
+	}
+	burst := i.plan.PartitionBurst
+	if burst == 0 {
+		burst = 1
+	}
+	if n%e < burst {
+		i.nDropAppends.Add(1)
+		return true
+	}
+	return false
+}
+
+// SlowAppend implements the replica layer's slow-follower fault point:
+// every Nth append attempt sleeps SlowFollowerDelay.
+func (i *Injector) SlowAppend(follower int, n uint64) {
+	_ = follower
+	if e := i.plan.SlowFollowerEvery; e != 0 && n%e == e-1 {
+		i.nSlowAppends.Add(1)
+		time.Sleep(i.plan.SlowFollowerDelay)
+	}
+}
+
+// ReplicaFromSeed derives a replication-focused Plan — server kills plus
+// partition bursts and slow-follower links, with seed-dependent periods
+// — and returns its Injector. Sweep/call/wake faults stay off so every
+// failure the plan injects exercises the replication layer itself
+// (leader death, quorum loss, catch-up). The same seed always yields
+// the same plan.
+func ReplicaFromSeed(seed uint64) *Injector {
+	x := seed ^ 0xa5a5a5a5a5a5a5a5
+	return New(Plan{
+		Seed:              seed,
+		KillAtOp:          40 + splitmix64(&x)%120,
+		KillEvery:         150 + splitmix64(&x)%350,
+		PartitionEvery:    23 + splitmix64(&x)%41,
+		PartitionBurst:    2 + splitmix64(&x)%6,
+		SlowFollowerEvery: 17 + splitmix64(&x)%31,
+		SlowFollowerDelay: time.Duration(1+splitmix64(&x)%15) * time.Microsecond,
+	})
 }

@@ -147,3 +147,67 @@ func TestChaosSweepDelay(t *testing.T) {
 		t.Fatalf("SweepDelays = %d, want 1", got)
 	}
 }
+
+// TestChaosReplicaPlanDeterministic: ReplicaFromSeed must derive the
+// same replication fault plan from the same seed, different plans from
+// different seeds, and leave the single-server fault classes off so a
+// replica chaos run only injects replication failures.
+func TestChaosReplicaPlanDeterministic(t *testing.T) {
+	a, b := ReplicaFromSeed(7), ReplicaFromSeed(7)
+	if a.Plan() != b.Plan() {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a.Plan(), b.Plan())
+	}
+	if c := ReplicaFromSeed(8); c.Plan() == a.Plan() {
+		t.Fatalf("different seeds produced identical plans: %v", c.Plan())
+	}
+	p := a.Plan()
+	if p.KillAtOp == 0 || p.PartitionEvery == 0 || p.SlowFollowerEvery == 0 {
+		t.Fatalf("replica plan missing a replication fault class: %v", a)
+	}
+	if p.SweepDelayEvery != 0 || p.DropWakeEvery != 0 || p.CallPanicEvery != 0 || p.CallDelayEvery != 0 {
+		t.Fatalf("replica plan enables single-server fault classes: %v", a)
+	}
+}
+
+// TestChaosDropAppendBursts: partitions drop whole bursts of consecutive
+// append attempts, decided purely by the attempt index (replayable), and
+// the drops are counted.
+func TestChaosDropAppendBursts(t *testing.T) {
+	i := New(Plan{PartitionEvery: 10, PartitionBurst: 3})
+	var got []uint64
+	for n := uint64(0); n < 25; n++ {
+		if i.DropAppend(1, n) {
+			got = append(got, n)
+		}
+	}
+	want := []uint64{0, 1, 2, 10, 11, 12, 20, 21, 22}
+	if len(got) != len(want) {
+		t.Fatalf("dropped %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("dropped %v, want %v", got, want)
+		}
+	}
+	if c := i.Counts(); c.DroppedAppends != uint64(len(want)) {
+		t.Fatalf("DroppedAppends = %d, want %d", c.DroppedAppends, len(want))
+	}
+	// Replay decides identically.
+	for _, n := range want {
+		if !i.DropAppend(1, n) {
+			t.Fatalf("attempt %d not dropped on replay", n)
+		}
+	}
+}
+
+// TestChaosSlowAppendPeriod: the slow-follower fault fires on the
+// expected attempts and counts.
+func TestChaosSlowAppendPeriod(t *testing.T) {
+	i := New(Plan{SlowFollowerEvery: 4, SlowFollowerDelay: time.Microsecond})
+	for n := uint64(0); n < 12; n++ {
+		i.SlowAppend(0, n)
+	}
+	if c := i.Counts(); c.SlowAppends != 3 {
+		t.Fatalf("SlowAppends = %d, want 3", c.SlowAppends)
+	}
+}

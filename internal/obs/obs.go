@@ -83,6 +83,9 @@ const (
 	// KindRestart: a crashed server goroutine was relaunched. Arg is the
 	// restart ordinal.
 	KindRestart
+	// KindFailover: a replica group promoted a follower to leader after
+	// the previous leader died. Slot is -1; Arg is the new term.
+	KindFailover
 
 	numKinds
 )
@@ -99,6 +102,7 @@ var kindNames = [numKinds]string{
 	KindWake:            "server-wake",
 	KindCrash:           "server-crash",
 	KindRestart:         "server-restart",
+	KindFailover:        "replica-failover",
 }
 
 // String returns the kind's stable external name.
@@ -315,7 +319,7 @@ func (t *TraceSink) Event(k Kind, slot int32, arg uint64) {
 			return
 		}
 		t.clients[slot].record(ev)
-	case KindRestart:
+	case KindRestart, KindFailover:
 		t.ctrlMu.Lock()
 		if len(t.ctrl) < ctrlCap {
 			t.ctrl = append(t.ctrl, ev)

@@ -1,0 +1,514 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ffwd/internal/obs"
+)
+
+// GroupConfig configures a replica group.
+type GroupConfig struct {
+	// Replicas is the total member count including the leader. Quorum is
+	// Replicas/2+1; 3 is the intended production shape, 1 degenerates to
+	// unreplicated delegation.
+	Replicas int
+	// SnapshotEvery is how many applied entries a replica accumulates
+	// beyond its snapshot boundary before taking a new snapshot and
+	// truncating the log prefix. 0 means 64.
+	SnapshotEvery uint64
+	// NewMachine builds one member's state machine instance. Called once
+	// per member at construction and again when a wiped member restarts.
+	NewMachine func() StateMachine
+	// Hooks injects replication faults (partitions, slow followers).
+	// Nil disables injection.
+	Hooks Hooks
+	// Trace receives KindFailover events on promotion. Nil disables.
+	Trace obs.Tracer
+}
+
+// Stats is a point-in-time counter snapshot of a group.
+type Stats struct {
+	Term          uint64
+	Epoch         uint64
+	LeaderID      int
+	Replicas      int
+	AliveReplicas int
+	CommitIndex   uint64
+	LastApplied   uint64
+	LogBase       uint64
+	LogLast       uint64
+
+	Proposals        uint64 // ops entering Propose
+	Commits          uint64 // ops acknowledged after quorum commit
+	LedgerHits       uint64 // retries answered from the replicated ledger
+	ApplyDups        uint64 // duplicate entries fenced at apply time
+	NoQuorum         uint64 // proposals that could not commit
+	AppendAttempts   uint64 // leader→follower append RPC equivalents
+	AppendDrops      uint64 // appends dropped by partition injection
+	Snapshots        uint64 // snapshots taken across all members
+	SnapshotInstalls uint64 // snapshot transfers into lagging members
+	EntriesTruncated uint64 // log entries dropped by prefix truncation
+	Failovers        uint64 // successful promotions
+	Restarts         uint64 // wiped members revived
+}
+
+// Group is a replica set for one delegation shard. One mutex guards all
+// member state; it is held only inside proposes (which are already
+// serialized by the leader's server goroutine) and failover-time
+// operations, so it sees essentially no contention in steady state.
+type Group struct {
+	cfg GroupConfig
+
+	mu       sync.Mutex
+	members  []*Replica
+	nextIndex []uint64 // leader's view: next log index to send to each member
+
+	// leaderID/term/epoch are also mirrored in atomics so leader-local
+	// reads and handle rebuilds can check leadership without the lock.
+	leaderID atomic.Int32
+	term     atomic.Uint64
+	epoch    atomic.Uint64
+
+	appendAttempts atomic.Uint64
+
+	nProposals        uint64
+	nCommits          uint64
+	nLedgerHits       uint64
+	nApplyDups        uint64
+	nNoQuorum         uint64
+	nAppendDrops      uint64
+	nSnapshots        uint64
+	nSnapshotInstalls uint64
+	nTruncated        uint64
+	nFailovers        uint64
+	nRestarts         uint64
+}
+
+// NewGroup builds a group with cfg.Replicas members, member 0 leading at
+// term 1.
+func NewGroup(cfg GroupConfig) *Group {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 64
+	}
+	if cfg.NewMachine == nil {
+		panic("replica: GroupConfig.NewMachine is required")
+	}
+	g := &Group{cfg: cfg}
+	g.members = make([]*Replica, cfg.Replicas)
+	g.nextIndex = make([]uint64, cfg.Replicas)
+	for i := range g.members {
+		g.members[i] = &Replica{
+			id:     i,
+			sm:     cfg.NewMachine(),
+			ledger: make(map[uint64]Applied),
+		}
+		g.nextIndex[i] = 1
+	}
+	g.term.Store(1)
+	return g
+}
+
+// Quorum returns the commit threshold: a majority of the full membership
+// (dead members still count toward the denominator, as in raft).
+func (g *Group) Quorum() int { return g.cfg.Replicas/2 + 1 }
+
+// Members returns the member count.
+func (g *Group) Members() int { return g.cfg.Replicas }
+
+// Member returns member i. The pointer is stable for the group's life;
+// the state behind it is guarded by the group.
+func (g *Group) Member(i int) *Replica { return g.members[i] }
+
+// Leader returns the current leader replica and the leadership epoch.
+// The epoch increments on every promotion; callers compare it to decide
+// whether a cached handle is stale.
+func (g *Group) Leader() (*Replica, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members[g.leaderID.Load()], g.epoch.Load()
+}
+
+// IsLeader reports whether r currently leads, without taking the group
+// lock. Leadership only moves off a replica after it is dead, so a true
+// answer observed on r's own (live) server goroutine is stable.
+func (g *Group) IsLeader(r *Replica) bool {
+	return int(g.leaderID.Load()) == r.id
+}
+
+// Term returns the current leadership term.
+func (g *Group) Term() uint64 { return g.term.Load() }
+
+// Epoch returns the promotion epoch (0 until the first failover).
+func (g *Group) Epoch() uint64 { return g.epoch.Load() }
+
+// Propose runs one write through the replicated log on behalf of leader
+// r: dedup against the replicated ledger, append, replicate to a quorum,
+// commit, apply, and return the applied result. It must be called from
+// the delegated function executing on r's server goroutine, so proposals
+// are naturally serialized.
+func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint64) (uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r.dead || g.members[g.leaderID.Load()] != r {
+		return 0, ErrNotLeader
+	}
+	g.nProposals++
+	// Exactly-once across promotion and retry: a client re-delegating a
+	// seq that already committed is answered from the replicated ledger
+	// without re-execution.
+	if a, ok := r.ledger[clientID]; ok && a.Seq == seq {
+		g.nLedgerHits++
+		return a.Ret, nil
+	}
+	e := Entry{
+		Index:    r.log.Last() + 1,
+		Term:     g.term.Load(),
+		ClientID: clientID,
+		Seq:      seq,
+		Kind:     kind,
+		Key:      key,
+		Val:      val,
+	}
+	r.log.Append(e)
+	acks := 1 // the leader's own append
+	for _, f := range g.members {
+		if f == r || f.dead {
+			continue
+		}
+		if g.appendTo(r, f) {
+			acks++
+		}
+	}
+	if acks < g.Quorum() {
+		// The entry stays in the log and may commit once a quorum heals;
+		// the client retries, and apply-time fencing plus the ledger
+		// keep the retry exactly-once either way.
+		g.nNoQuorum++
+		return 0, ErrNoQuorum
+	}
+	r.commitIndex = e.Index
+	g.applyCommitted(r)
+	// Push the new commit index to fully caught-up followers right away
+	// so a promoted follower has already applied every acknowledged
+	// write — promotion then never needs a catch-up round of its own.
+	for _, f := range g.members {
+		if f == r || f.dead {
+			continue
+		}
+		if g.nextIndex[f.id] == r.log.Last()+1 {
+			if lc := minU64(r.commitIndex, f.log.Last()); lc > f.commitIndex {
+				f.commitIndex = lc
+				g.applyCommitted(f)
+			}
+		}
+	}
+	a, ok := r.ledger[clientID]
+	if !ok || a.Seq < seq {
+		return 0, fmt.Errorf("replica: committed entry %d not applied", e.Index)
+	}
+	g.nCommits++
+	return a.Ret, nil
+}
+
+// appendTo brings follower f up to date with leader l's log, returning
+// whether f holds every leader entry afterwards. It runs the raft
+// consistency check (previous index/term) with truncate-on-conflict and
+// falls back to snapshot installation when f needs truncated history.
+func (g *Group) appendTo(l, f *Replica) bool {
+	n := g.appendAttempts.Add(1)
+	if h := g.cfg.Hooks; h != nil {
+		if h.DropAppend(f.id, n) {
+			g.nAppendDrops++
+			return false
+		}
+		h.SlowAppend(f.id, n)
+	}
+	ni := g.nextIndex[f.id]
+	if ni == 0 {
+		ni = 1
+	}
+	for {
+		if ni <= l.log.Base() {
+			// The suffix f needs starts inside the leader's truncated
+			// prefix: fast-forward f from the snapshot, then ship the
+			// remaining live suffix.
+			g.installSnapshot(f, l.snap)
+			ni = l.snap.LastIndex + 1
+		}
+		prev := ni - 1
+		prevTerm, ok := l.log.TermAt(prev)
+		if !ok {
+			panic("replica: leader lost term for its own log prefix")
+		}
+		match, hint := g.followerAppend(f, prev, prevTerm, l.log.From(ni), l.commitIndex)
+		if match {
+			g.nextIndex[f.id] = l.log.Last() + 1
+			return true
+		}
+		ni = hint + 1
+	}
+}
+
+// followerAppend is the follower half of an append: consistency-check
+// prev, truncate conflicts, append the new suffix, and advance the
+// follower's commit cursor. It returns (matched, hint) where hint is the
+// highest index the follower can vouch for when matched is false.
+func (g *Group) followerAppend(f *Replica, prevIndex, prevTerm uint64, ents []Entry, leaderCommit uint64) (bool, uint64) {
+	if prevIndex > f.log.Last() {
+		return false, f.log.Last()
+	}
+	if prevIndex < f.log.Base() {
+		// f's snapshot already covers prev; everything at or below the
+		// base is committed state, so report the base as matched.
+		return false, f.log.Base()
+	}
+	if prevIndex > f.log.Base() {
+		if t, _ := f.log.TermAt(prevIndex); t != prevTerm {
+			f.log.TruncateSuffix(prevIndex)
+			return false, f.log.Last()
+		}
+	}
+	for _, e := range ents {
+		if e.Index <= f.log.Base() {
+			continue
+		}
+		if e.Index <= f.log.Last() {
+			if t, _ := f.log.TermAt(e.Index); t == e.Term {
+				continue
+			}
+			f.log.TruncateSuffix(e.Index)
+		}
+		f.log.Append(e)
+	}
+	if lc := minU64(leaderCommit, f.log.Last()); lc > f.commitIndex {
+		f.commitIndex = lc
+		g.applyCommitted(f)
+	}
+	return true, f.log.Last()
+}
+
+// applyCommitted applies r's committed-but-unapplied suffix, fencing
+// duplicate (ClientID, Seq) entries so a retried op that snuck into the
+// log twice executes exactly once, then takes a snapshot if due.
+func (g *Group) applyCommitted(r *Replica) {
+	for r.lastApplied < r.commitIndex {
+		i := r.lastApplied + 1
+		e, ok := r.log.At(i)
+		if !ok {
+			panic(fmt.Sprintf("replica: committed index %d missing from log [%d,%d]", i, r.log.Base(), r.log.Last()))
+		}
+		if a, ok := r.ledger[e.ClientID]; ok && a.Seq >= e.Seq {
+			g.nApplyDups++
+		} else {
+			ret := r.sm.Apply(e)
+			r.ledger[e.ClientID] = Applied{Seq: e.Seq, Ret: ret}
+		}
+		r.lastApplied = i
+	}
+	g.maybeSnapshot(r)
+}
+
+// maybeSnapshot takes a snapshot of r and truncates the applied log
+// prefix once SnapshotEvery entries have accumulated past the previous
+// snapshot boundary.
+func (g *Group) maybeSnapshot(r *Replica) {
+	if r.lastApplied-r.log.Base() < g.cfg.SnapshotEvery {
+		return
+	}
+	led := make(map[uint64]Applied, len(r.ledger))
+	for k, v := range r.ledger {
+		led[k] = v
+	}
+	lt, ok := r.log.TermAt(r.lastApplied)
+	if !ok {
+		panic("replica: snapshot boundary missing from log")
+	}
+	r.snap = &Snapshot{
+		LastIndex: r.lastApplied,
+		LastTerm:  lt,
+		State:     r.sm.Snapshot(),
+		Ledger:    led,
+	}
+	g.nSnapshots++
+	g.nTruncated += uint64(r.log.TruncatePrefix(r.lastApplied, lt))
+}
+
+// installSnapshot fast-forwards f to snap: state machine, ledger, log
+// boundary, and cursors all jump to the snapshot point. Snapshots are
+// immutable once taken, so f can share the byte slice and keep the
+// pointer as its own latest snapshot.
+func (g *Group) installSnapshot(f *Replica, snap *Snapshot) {
+	if snap == nil {
+		panic("replica: snapshot install with no snapshot taken")
+	}
+	f.sm.Restore(snap.State)
+	f.ledger = make(map[uint64]Applied, len(snap.Ledger))
+	for k, v := range snap.Ledger {
+		f.ledger[k] = v
+	}
+	f.log.Reset(snap.LastIndex, snap.LastTerm)
+	f.lastApplied = snap.LastIndex
+	if f.commitIndex < snap.LastIndex {
+		f.commitIndex = snap.LastIndex
+	}
+	f.snap = snap
+	g.nSnapshotInstalls++
+}
+
+// KillReplica marks member id dead: appends skip it and it cannot be
+// promoted until revived with Restart. Killing the current leader is the
+// first half of a failover; Promote is the second.
+func (g *Group) KillReplica(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members[id].dead = true
+}
+
+// Promote elects a new leader after the current one died: the most
+// up-to-date live member by (last log term, last log index) wins, the
+// term and epoch advance, and the winner applies any committed backlog
+// before serving. It fails with ErrNoQuorum when fewer than a quorum of
+// members are alive. Promote is idempotent: re-invoking it after a
+// failed attempt (e.g. once a member was revived) retries the election.
+func (g *Group) Promote() (*Replica, uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.members[g.leaderID.Load()]
+	old.dead = true // the caller observed the leader's death
+	var cand *Replica
+	alive := 0
+	for _, m := range g.members {
+		if m.dead {
+			continue
+		}
+		alive++
+		if cand == nil || moreUpToDate(m, cand) {
+			cand = m
+		}
+	}
+	if cand == nil || alive < g.Quorum() {
+		return nil, 0, ErrNoQuorum
+	}
+	g.term.Add(1)
+	g.leaderID.Store(int32(cand.id))
+	// Every acknowledged write was commit-pushed to caught-up followers
+	// before the client saw the ack, so the most up-to-date live member
+	// has it at or below its commit index; applying the backlog makes
+	// the new leader's ledger authoritative for retry dedup.
+	g.applyCommitted(cand)
+	for i := range g.nextIndex {
+		g.nextIndex[i] = cand.log.Last() + 1
+	}
+	ep := g.epoch.Add(1)
+	g.nFailovers++
+	if tr := g.cfg.Trace; tr != nil {
+		tr.Event(obs.KindFailover, -1, g.term.Load())
+	}
+	return cand, ep, nil
+}
+
+// Restart revives dead member id with wiped state (the restarted-process
+// model): an empty state machine, log, and ledger. The member catches up
+// lazily on the next append — via snapshot-then-suffix when the leader
+// has truncated history, via plain log replay otherwise. Restarting the
+// member that still holds leadership is an error; promote first.
+func (g *Group) Restart(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.members[id]
+	if !r.dead {
+		return fmt.Errorf("replica: member %d is alive", id)
+	}
+	if int32(id) == g.leaderID.Load() {
+		return fmt.Errorf("replica: member %d still holds leadership; promote first", id)
+	}
+	r.sm = g.cfg.NewMachine()
+	r.log = Log{}
+	r.ledger = make(map[uint64]Applied)
+	r.snap = nil
+	r.commitIndex, r.lastApplied = 0, 0
+	r.dead = false
+	g.nextIndex[id] = 1
+	g.nRestarts++
+	return nil
+}
+
+// Sync synchronously brings member id up to date from the current
+// leader, outside any propose — the explicit catch-up used by tests and
+// by operators after a Restart. It returns whether the member now holds
+// the leader's full log. Injected faults (partitions, slow links) apply.
+func (g *Group) Sync(id int) (bool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead := g.members[g.leaderID.Load()]
+	if lead.dead {
+		return false, ErrNotLeader
+	}
+	f := g.members[id]
+	if f == lead {
+		return true, nil
+	}
+	if f.dead {
+		return false, ErrDead
+	}
+	return g.appendTo(lead, f), nil
+}
+
+// Stats returns a counter snapshot.
+func (g *Group) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead := g.members[g.leaderID.Load()]
+	alive := 0
+	for _, m := range g.members {
+		if !m.dead {
+			alive++
+		}
+	}
+	return Stats{
+		Term:             g.term.Load(),
+		Epoch:            g.epoch.Load(),
+		LeaderID:         lead.id,
+		Replicas:         g.cfg.Replicas,
+		AliveReplicas:    alive,
+		CommitIndex:      lead.commitIndex,
+		LastApplied:      lead.lastApplied,
+		LogBase:          lead.log.Base(),
+		LogLast:          lead.log.Last(),
+		Proposals:        g.nProposals,
+		Commits:          g.nCommits,
+		LedgerHits:       g.nLedgerHits,
+		ApplyDups:        g.nApplyDups,
+		NoQuorum:         g.nNoQuorum,
+		AppendAttempts:   g.appendAttempts.Load(),
+		AppendDrops:      g.nAppendDrops,
+		Snapshots:        g.nSnapshots,
+		SnapshotInstalls: g.nSnapshotInstalls,
+		EntriesTruncated: g.nTruncated,
+		Failovers:        g.nFailovers,
+		Restarts:         g.nRestarts,
+	}
+}
+
+// moreUpToDate is raft's log-recency order: higher last term wins, then
+// higher last index.
+func moreUpToDate(a, b *Replica) bool {
+	at, _ := a.log.TermAt(a.log.Last())
+	bt, _ := b.log.TermAt(b.log.Last())
+	if at != bt {
+		return at > bt
+	}
+	return a.log.Last() > b.log.Last()
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

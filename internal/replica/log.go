@@ -1,0 +1,116 @@
+package replica
+
+// Op identifies a replicated state-machine operation. The replica layer
+// is agnostic to what the codes mean; the state machine interprets them.
+type Op uint8
+
+const (
+	// OpSet stores Val under Key.
+	OpSet Op = 1
+	// OpDel removes Key; the applied return is 1 if it was present.
+	OpDel Op = 2
+)
+
+// Entry is one applied-log record: the operation plus the (ClientID,
+// Seq) identity that makes replay and promotion exactly-once. Index is
+// 1-based and dense; Term is the leadership term that appended it.
+type Entry struct {
+	Index    uint64
+	Term     uint64
+	ClientID uint64
+	Seq      uint64
+	Kind     Op
+	Key      uint64
+	Val      uint64
+}
+
+// Log is a replica's suffix of the applied log: entries with indices
+// base+1..base+len(entries). Everything at or below base has been folded
+// into a snapshot and truncated away.
+type Log struct {
+	base     uint64 // index covered by the latest snapshot (0 = none)
+	baseTerm uint64 // term of the entry at base
+	entries  []Entry
+}
+
+// Base returns the highest index folded into a snapshot.
+func (l *Log) Base() uint64 { return l.base }
+
+// Last returns the highest index present (snapshot or live entry).
+func (l *Log) Last() uint64 { return l.base + uint64(len(l.entries)) }
+
+// Len returns the number of live (non-truncated) entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// At returns the entry at index i, which must lie in (base, last].
+func (l *Log) At(i uint64) (Entry, bool) {
+	if i <= l.base || i > l.Last() {
+		return Entry{}, false
+	}
+	return l.entries[i-l.base-1], true
+}
+
+// TermAt returns the term of index i. i == base answers from the
+// snapshot boundary; i == 0 is the empty log's sentinel term 0.
+func (l *Log) TermAt(i uint64) (uint64, bool) {
+	if i == l.base {
+		return l.baseTerm, true
+	}
+	e, ok := l.At(i)
+	return e.Term, ok
+}
+
+// Append adds e, which must carry index Last()+1.
+func (l *Log) Append(e Entry) {
+	if e.Index != l.Last()+1 {
+		panic("replica: non-contiguous log append")
+	}
+	l.entries = append(l.entries, e)
+}
+
+// From returns the live entries with index >= i (aliased, not copied;
+// callers must not retain across mutation).
+func (l *Log) From(i uint64) []Entry {
+	if i <= l.base {
+		i = l.base + 1
+	}
+	if i > l.Last() {
+		return nil
+	}
+	return l.entries[i-l.base-1:]
+}
+
+// TruncatePrefix drops every entry at or below index i (they are covered
+// by a snapshot) and returns how many entries were dropped.
+func (l *Log) TruncatePrefix(i uint64, term uint64) int {
+	if i <= l.base {
+		return 0
+	}
+	if i > l.Last() {
+		panic("replica: prefix truncation past log end")
+	}
+	n := int(i - l.base)
+	l.entries = append(l.entries[:0], l.entries[n:]...)
+	l.base = i
+	l.baseTerm = term
+	return n
+}
+
+// TruncateSuffix drops every entry at or above index i — the conflict
+// resolution path when a follower's tail disagrees with the leader's.
+func (l *Log) TruncateSuffix(i uint64) {
+	if i <= l.base {
+		panic("replica: suffix truncation into snapshotted prefix")
+	}
+	if i > l.Last() {
+		return
+	}
+	l.entries = l.entries[:i-l.base-1]
+}
+
+// Reset discards the whole log and restarts it at the given snapshot
+// boundary — the receiving side of an InstallSnapshot.
+func (l *Log) Reset(index, term uint64) {
+	l.base, l.baseTerm = index, term
+	l.entries = l.entries[:0]
+}
