@@ -3,15 +3,15 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare check chaos replica-chaos linear trace figures ablations coverage clean
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare check chaos replica-chaos proc-chaos linear trace figures ablations coverage clean
 
 all: build vet test
 
 # The pre-merge gate: vet, full build, race-enabled tests of the hot-path
 # packages, the linearizability suite (single-server and replicated), the
-# trace pipeline end to end, and one full-iteration pass of the core
-# microbenches (bench-hot).
-check: linear replica-chaos trace
+# multi-process kill -9 matrix, the trace pipeline end to end, and one
+# full-iteration pass of the core microbenches (bench-hot).
+check: linear replica-chaos proc-chaos trace
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
@@ -47,6 +47,19 @@ replica-chaos:
 	@set -e; for s in $(REPLICA_SEEDS); do \
 		echo "== replica chaos seed $$s =="; \
 		FFWD_CHAOS_SEED=$$s $(GO) test -race -count=1 -run 'Replica' ./internal/apps/; \
+	done
+
+# Process-kill chaos: spawn a durable pinned leader plus two follower
+# processes from the real ffwdserve binary, SIGKILL them mid-commit-burst
+# (randomized per seed, plus deterministic torn-WAL-write and
+# mid-snapshot-install crash points), restart from the surviving on-disk
+# state, and check every recorded client history for linearizability.
+# Failed runs preserve their process logs and WAL/snapshot dirs under
+# FFWD_PROC_ARTIFACTS (or the system temp dir) for postmortem.
+proc-chaos:
+	@set -e; for s in $(REPLICA_SEEDS); do \
+		echo "== proc chaos seed $$s =="; \
+		FFWD_CHAOS_SEED=$$s $(GO) test -race -count=1 -run TestProc -v ./internal/procchaos/; \
 	done
 
 # Linearizability: record real histories of the delegated KV/stack/queue

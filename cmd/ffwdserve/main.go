@@ -92,6 +92,7 @@ import (
 	"ffwd/internal/fault"
 	"ffwd/internal/obs"
 	"ffwd/internal/replica"
+	"ffwd/internal/replog"
 )
 
 // mgetMax bounds the number of keys per mget so one command line cannot
@@ -262,8 +263,18 @@ func main() {
 		shedWait  = flag.Duration("shed-timeout", 100*time.Millisecond, "how long a command waits for a pooled delegation client before BUSY (ffwd backend; 0 = forever)")
 		statsAddr = flag.String("stats-addr", "", "expose serving stats over HTTP at this address: /metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /debug/delegation-trace (empty = off)")
 		tracePath = flag.String("trace", "", "capture the delegation lifecycle trace and write it as Chrome trace JSON here on shutdown (ffwd backend)")
+		dataDir   = flag.String("data-dir", "", "durable replication: WAL + snapshot directory; selects pinned-leader mode with -peers (or a follower store with -replica-member)")
+		fsyncPol  = flag.String("fsync", "always", "WAL sync policy with -data-dir: always, batch, or none")
+		peersCSV  = flag.String("peers", "", "comma-separated follower transport addresses (host:port) for durable pinned-leader mode")
+		snapEvery = flag.Uint64("snapshot-every", 0, "applied-entry cadence of replica snapshots (0 = library default; replicated modes)")
+		memberAt  = flag.String("replica-member", "", "run as a durable replication follower listening on this address (requires -data-dir); serves no client protocol")
 	)
 	flag.Parse()
+
+	if *memberAt != "" {
+		runReplicaMember(*memberAt, *dataDir, *fsyncPol, *capacity)
+		return
+	}
 
 	var (
 		b    backend
@@ -276,13 +287,21 @@ func main() {
 	)
 	switch *kind {
 	case "ffwd":
-		if *replicas > 1 {
+		if *replicas > 1 || *dataDir != "" {
 			cfg := core.Config{MaxClients: *clients, IdleParkAfter: *parkAfter}
 			rcfg := apps.ReplicatedConfig{
-				Replicas: *replicas,
+				Replicas:      *replicas,
+				SnapshotEvery: *snapEvery,
 				// The supervisor cadence mirrors the unreplicated path:
 				// crash repair within ~5ms, near-zero idle cost.
 				Supervisor: core.SupervisorConfig{Interval: 5 * time.Millisecond, KickAfter: 20},
+				// Durable pinned-leader mode: -data-dir selects it, -peers
+				// names the follower processes, -fsync the WAL policy.
+				DataDir: *dataDir,
+				Fsync:   *fsyncPol,
+			}
+			if *peersCSV != "" {
+				rcfg.Peers = strings.Split(*peersCSV, ",")
 			}
 			if *chaosSeed != 0 {
 				inj := fault.ReplicaFromSeed(*chaosSeed)
@@ -295,9 +314,18 @@ func main() {
 				cfg.Trace = sink
 			}
 			rcfg.Core = cfg
-			rkv = apps.NewReplicatedKV(*capacity, rcfg)
+			var rerr error
+			rkv, rerr = apps.NewReplicatedKV(*capacity, rcfg)
+			if rerr != nil {
+				log.Fatal(rerr)
+			}
 			if err := rkv.Start(); err != nil {
 				log.Fatal(err)
+			}
+			if *dataDir != "" {
+				ws := rkv.Store().Stats()
+				log.Printf("ffwdserve: durable pinned leader: dir=%s fsync=%s peers=%v term=%d torn=%d/%dB",
+					*dataDir, *fsyncPol, rcfg.Peers, rkv.Group().Stats().Term, ws.TornRecords, ws.TornBytes)
 			}
 			rb = newRepBackendPool(rkv, *clients)
 			rb.shedAfter = *shedWait
@@ -394,6 +422,10 @@ func main() {
 				m["replicas_alive"] = uint64(gs.AliveReplicas)
 				m["replica_failovers"] = gs.Failovers
 				m["replica_ledger_hits"] = gs.LedgerHits
+				m["replica_apply_dups"] = gs.ApplyDups
+				m["replica_append_drops"] = gs.AppendDrops
+				m["replica_snapshots"] = gs.Snapshots
+				m["replica_log_truncated"] = gs.EntriesTruncated
 			}
 			return m
 		}))
@@ -591,6 +623,32 @@ func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *ap
 		reg.CounterFunc("ffwd_replica_log_truncated_total",
 			"Log entries dropped by snapshot-backed prefix truncation.",
 			gstat(func(s replica.Stats) float64 { return float64(s.EntriesTruncated) }))
+		reg.CounterFunc("ffwd_replica_apply_dups_total",
+			"Duplicate log entries fenced at apply time by the replicated ledger.",
+			gstat(func(s replica.Stats) float64 { return float64(s.ApplyDups) }))
+		reg.CounterFunc("ffwd_replica_append_drops_total",
+			"Leader-to-follower appends dropped by partition injection.",
+			gstat(func(s replica.Stats) float64 { return float64(s.AppendDrops) }))
+		reg.CounterFunc("ffwd_replica_snapshots_total",
+			"Snapshots taken across all group members.",
+			gstat(func(s replica.Stats) float64 { return float64(s.Snapshots) }))
+		if st := rkv.Store(); st != nil {
+			wstat := func(field func(replog.Stats) uint64) func() float64 {
+				return func() float64 { return float64(field(st.Stats())) }
+			}
+			reg.CounterFunc("ffwd_wal_appends_total",
+				"Entry records appended to the durable WAL.",
+				wstat(func(s replog.Stats) uint64 { return s.Appends }))
+			reg.CounterFunc("ffwd_wal_syncs_total",
+				"fsyncs issued for WAL record durability.",
+				wstat(func(s replog.Stats) uint64 { return s.Syncs }))
+			reg.CounterFunc("ffwd_wal_torn_records_total",
+				"Torn tail records truncated away during recovery.",
+				wstat(func(s replog.Stats) uint64 { return s.TornRecords }))
+			reg.CounterFunc("ffwd_wal_compactions_total",
+				"Snapshot-driven WAL prefix truncations.",
+				wstat(func(s replog.Stats) uint64 { return s.Compactions }))
+		}
 		// The leader's delegation server changes identity across
 		// failovers, so its request counter is sampled through the
 		// group-aware accessor (0 while the shard is down).

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ffwd/internal/apps"
+	"ffwd/internal/replica"
+	"ffwd/internal/replog"
+	"ffwd/internal/reptrans"
+)
+
+// runReplicaMember is ffwdserve's follower mode: no client protocol, no
+// delegation server — just a durable replication endpoint. It recovers
+// its state from -data-dir (torn WAL tails truncated, snapshot
+// restored), serves the leader's session over -replica-member's listen
+// address, fsyncs every accepted append before acking, and exits on
+// SIGINT/SIGTERM. The process-kill chaos harness SIGKILLs it at will;
+// FFWD_CRASH_POINT arms deterministic self-kills inside WAL writes and
+// snapshot installs for the torn-write legs.
+func runReplicaMember(listenAddr, dataDir, fsyncPol string, capacity int) {
+	if dataDir == "" {
+		log.Fatal("ffwdserve: -replica-member requires -data-dir")
+	}
+	pol, err := replog.ParseSyncPolicy(fsyncPol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crash, err := replog.CrashFromEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, rec, err := replog.Open(dataDir, replog.Options{Sync: pol, Crash: crash})
+	if err != nil {
+		log.Fatalf("ffwdserve: open member store: %v", err)
+	}
+	m := replica.NewMember(apps.NewKVMachine(capacity), 0, st)
+	if err := m.Recover(rec.Snap, rec.Entries); err != nil {
+		log.Fatalf("ffwdserve: recover member state: %v", err)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := reptrans.NewServer(ln, reptrans.ServerConfig{Member: m, Store: st, Logf: log.Printf})
+	// The harness parses this line for the bound port, so it must carry
+	// the resolved address even when listenAddr asked for :0.
+	log.Printf("ffwdserve: replica member listening on %s (dir=%s fsync=%s boots=%d log=%d torn=%d/%dB)",
+		srv.Addr(), dataDir, fsyncPol, rec.Meta.Boots, m.LastIndex(), rec.TornRecords, rec.TornBytes)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	last, commit, applied := srv.MemberState()
+	sst := srv.Stats()
+	log.Printf("ffwdserve: replica member %v: log=%d commit=%d applied=%d sessions=%d appends=%d nacks=%d snap_installs=%d",
+		sig, last, commit, applied, sst.Sessions, sst.Appends, sst.AppendNacks, sst.SnapInstalls)
+	srv.Close()
+	if err := st.Close(); err != nil {
+		log.Printf("ffwdserve: close member store: %v", err)
+	}
+	log.Print("ffwdserve: replica member shutdown complete")
+}

@@ -165,9 +165,10 @@ func (rb *repBackend) dispatch(c *repConn, line string) string {
 		})
 	case op == "stats" && len(args) == 0:
 		st := rb.r.Group().Stats()
-		return fmt.Sprintf("STATS term=%d leader=%d alive=%d/%d commit_index=%d commits=%d ledger_hits=%d failovers=%d snapshot_installs=%d log_truncated=%d",
+		return fmt.Sprintf("STATS term=%d leader=%d alive=%d/%d commit_index=%d commits=%d ledger_hits=%d apply_dups=%d append_drops=%d failovers=%d snapshots=%d snapshot_installs=%d log_truncated=%d remote_acks=%d remote_nacks=%d",
 			st.Term, st.LeaderID, st.AliveReplicas, st.Replicas, st.CommitIndex,
-			st.Commits, st.LedgerHits, st.Failovers, st.SnapshotInstalls, st.EntriesTruncated)
+			st.Commits, st.LedgerHits, st.ApplyDups, st.AppendDrops, st.Failovers,
+			st.Snapshots, st.SnapshotInstalls, st.EntriesTruncated, st.RemoteAcks, st.RemoteNacks)
 	default:
 		return usageMsg
 	}

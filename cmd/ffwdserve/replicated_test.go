@@ -13,11 +13,14 @@ import (
 
 func newRepBackend(t *testing.T, capacity, clients int, hooks core.Hooks) *repBackend {
 	t.Helper()
-	r := apps.NewReplicatedKV(capacity, apps.ReplicatedConfig{
+	r, err := apps.NewReplicatedKV(capacity, apps.ReplicatedConfig{
 		Replicas:   3,
 		Core:       core.Config{MaxClients: clients, Hooks: hooks},
 		Supervisor: core.SupervisorConfig{Interval: 200 * time.Microsecond},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}

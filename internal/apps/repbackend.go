@@ -21,10 +21,13 @@ func init() {
 		Doc:  "ffwd delegation with raft-style 3-replica quorum replication of writes",
 		KV: func(cfg backend.Config) (*backend.Instance[backend.KV], error) {
 			cfg = cfg.WithDefaults()
-			r := NewReplicatedKV(int(cfg.KeySpace), ReplicatedConfig{
+			r, err := NewReplicatedKV(int(cfg.KeySpace), ReplicatedConfig{
 				Replicas: 3,
 				Core:     core.Config{MaxClients: cfg.Goroutines, Trace: cfg.Trace},
 			})
+			if err != nil {
+				return nil, err
+			}
 			if err := r.Start(); err != nil {
 				return nil, err
 			}

@@ -64,13 +64,16 @@ func TestReplicaChaosLinearizable(t *testing.T) {
 		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
 			inj := fault.ReplicaFromSeed(seed)
 			t.Logf("plan: %v", inj)
-			r := NewReplicatedKV(1024, ReplicatedConfig{
+			r, err := NewReplicatedKV(1024, ReplicatedConfig{
 				Replicas:      3,
 				SnapshotEvery: 16,
 				Core:          core.Config{MaxClients: workers, Hooks: inj},
 				Supervisor:    core.SupervisorConfig{Interval: 200 * time.Microsecond, KickAfter: 2},
 				Hooks:         inj,
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := r.Start(); err != nil {
 				t.Fatal(err)
 			}

@@ -9,6 +9,8 @@ import (
 
 	"ffwd/internal/core"
 	"ffwd/internal/replica"
+	"ffwd/internal/replog"
+	"ffwd/internal/reptrans"
 )
 
 // This file is the replicated flavor of the memcached port: a KVStore
@@ -101,6 +103,13 @@ func (m *kvMachine) Apply(e replica.Entry) uint64 {
 func (m *kvMachine) Snapshot() []byte    { return m.s.EncodeState() }
 func (m *kvMachine) Restore(data []byte) { m.s.RestoreState(data) }
 
+// NewKVMachine builds the replicated-KV state machine over a fresh
+// KVStore. Follower processes (ffwdserve -replica-member) use it so the
+// machine applying shipped entries is byte-identical to the leader's.
+func NewKVMachine(capacity int) replica.StateMachine {
+	return &kvMachine{s: NewKVStore(capacity)}
+}
+
 // Response sentinels for the replicated delegated functions. They share
 // the top of the value space with kvMissSentinel, so replicated stores
 // confine values to < ^uint64(2).
@@ -140,6 +149,19 @@ type ReplicatedConfig struct {
 	Supervisor core.SupervisorConfig
 	// Hooks injects replication faults (partitions, slow followers).
 	Hooks replica.Hooks
+
+	// DataDir, when set, selects durable pinned-leader mode: the leader
+	// logs through a replog store in this directory and replicates to
+	// the remote follower processes named by Peers. In-process replicas
+	// are forced to 1 (the leader itself); quorum spans the leader plus
+	// the remote followers.
+	DataDir string
+	// Fsync is the WAL sync policy in durable mode: "always" (default),
+	// "batch", or "none".
+	Fsync string
+	// Peers are follower transport addresses (host:port) dialed with
+	// reconnect/backoff in durable mode.
+	Peers []string
 }
 
 // ReplicatedKV is a replica group of KVStores fronted by a delegation
@@ -152,6 +174,13 @@ type ReplicatedKV struct {
 	g   *replica.Group
 	cfg ReplicatedConfig
 
+	// Durable pinned-leader mode (cfg.DataDir set): the WAL/snapshot
+	// store, the remote follower peers, and the pinned flag that routes
+	// failover to a same-leader rebuild instead of promotion.
+	pinned bool
+	store  *replog.Store
+	peers  []*reptrans.Peer
+
 	// mu guards the leader generation (srv/sv/epoch) across failover
 	// rebuilds and Stop.
 	mu     sync.Mutex
@@ -160,17 +189,31 @@ type ReplicatedKV struct {
 	epoch  uint64
 	closed bool
 
+	// closeCh is closed by Stop so client retry backoffs unblock
+	// promptly instead of sleeping out their budget against a shard
+	// that is gone for good.
+	closeCh chan struct{}
+
 	nextClientID atomic.Uint64
 }
 
 // NewReplicatedKV builds the group (capacity entries per replica) and
 // its first leader generation; call Start to begin serving.
-func NewReplicatedKV(capacity int, cfg ReplicatedConfig) *ReplicatedKV {
+//
+// With cfg.DataDir set the group runs in durable pinned-leader mode:
+// the leader recovers its log and snapshot from disk, its term is the
+// persisted boot counter, and quorum spans the leader plus the remote
+// followers in cfg.Peers. Leadership is pinned — a delegation-server
+// crash rebuilds on the same (only) local replica rather than promoting.
+func NewReplicatedKV(capacity int, cfg ReplicatedConfig) (*ReplicatedKV, error) {
+	if cfg.DataDir != "" {
+		return newDurableKV(capacity, cfg)
+	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 3
 	}
-	r := &ReplicatedKV{cfg: cfg}
-	r.g = replica.NewGroup(replica.GroupConfig{
+	r := &ReplicatedKV{cfg: cfg, closeCh: make(chan struct{})}
+	g, err := replica.NewGroup(replica.GroupConfig{
 		Replicas:      cfg.Replicas,
 		SnapshotEvery: cfg.SnapshotEvery,
 		Hooks:         cfg.Hooks,
@@ -179,7 +222,82 @@ func NewReplicatedKV(capacity int, cfg ReplicatedConfig) *ReplicatedKV {
 			return &kvMachine{s: NewKVStore(capacity)}
 		},
 	})
-	return r
+	if err != nil {
+		return nil, err
+	}
+	r.g = g
+	return r, nil
+}
+
+// newDurableKV opens the on-disk store, builds transport peers for the
+// remote followers against a late-bound leader reference, and
+// constructs a single-local-replica group whose term is the persisted
+// boot counter. The boot counter was already bumped by replog.Open, so
+// every process lifetime is a distinct term and followers fence stale
+// sessions from a previous incarnation.
+func newDurableKV(capacity int, cfg ReplicatedConfig) (*ReplicatedKV, error) {
+	if cfg.Fsync == "" {
+		cfg.Fsync = "always"
+	}
+	pol, err := replog.ParseSyncPolicy(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	// The kill-9 chaos harness arms deterministic crash points through
+	// the environment; they fire on the leader's own WAL writes and
+	// snapshot installs exactly as on a follower's.
+	crash, err := replog.CrashFromEnv()
+	if err != nil {
+		return nil, err
+	}
+	st, rec, err := replog.Open(cfg.DataDir, replog.Options{Sync: pol, Crash: crash})
+	if err != nil {
+		return nil, err
+	}
+	r := &ReplicatedKV{cfg: cfg, pinned: true, store: st, closeCh: make(chan struct{})}
+	// Client IDs key the replicated exactly-once ledger, and the ledger
+	// is recovered from disk: if a restarted process handed out the same
+	// IDs as its previous incarnation, a new client's first writes would
+	// collide with the dead client's recovered seqs and be fenced as
+	// duplicates at apply time — acked writes silently dropped. Seeding
+	// the allocator with the boot counter puts every process lifetime in
+	// its own client-ID namespace.
+	r.nextClientID.Store(rec.Meta.Boots << 32)
+	ref := &reptrans.LeaderRef{InitialTerm: rec.Meta.Boots}
+	remotes := make([]replica.Remote, 0, len(cfg.Peers))
+	for i, addr := range cfg.Peers {
+		p := reptrans.NewPeer(reptrans.PeerConfig{
+			ID:     100 + i,
+			Addr:   addr,
+			Leader: ref,
+			Seed:   uint64(i + 1),
+		})
+		r.peers = append(r.peers, p)
+		remotes = append(remotes, p)
+	}
+	g, err := replica.NewGroup(replica.GroupConfig{
+		Replicas:      1,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Hooks:         cfg.Hooks,
+		Trace:         cfg.Core.Trace,
+		NewMachine: func() replica.StateMachine {
+			return &kvMachine{s: NewKVStore(capacity)}
+		},
+		Storage:   st,
+		Recovered: &replica.RecoveredLeader{Snap: rec.Snap, Entries: rec.Entries},
+		Term:      rec.Meta.Boots,
+		Remotes:   remotes,
+	})
+	if err != nil {
+		for _, p := range r.peers {
+			p.Close()
+		}
+		st.Close()
+		return nil, err
+	}
+	r.g = g
+	ref.Set(g)
+	return r, nil
 }
 
 // Start builds and launches the first leader generation.
@@ -262,6 +380,17 @@ func (r *ReplicatedKV) failover(fromEpoch uint64) bool {
 		// generation; nothing for this watcher to do.
 		return true
 	}
+	if r.pinned {
+		// Pinned leadership: the durable log and the remote quorum live
+		// under this process, so a delegation-server crash rebuilds a
+		// fresh generation on the same (only) local replica. The epoch
+		// still advances so clients re-resolve their handles.
+		lead, _ := r.g.Leader()
+		if err := r.buildLeaderLocked(lead, r.epoch+1); err != nil {
+			r.srv, r.sv = nil, nil
+		}
+		return true
+	}
 	cand, ep, err := r.g.Promote()
 	if err != nil {
 		r.srv, r.sv = nil, nil
@@ -284,7 +413,15 @@ func (r *ReplicatedKV) Reopen() error {
 	if r.closed || r.srv != nil {
 		return nil
 	}
-	cand, ep, err := r.g.Promote()
+	if r.pinned {
+		lead, _ := r.g.Leader()
+		return r.buildLeaderLocked(lead, r.epoch+1)
+	}
+	// Reelect, not Promote: after a failed election took the shard down,
+	// the deposed leader's replica state is still intact in this process
+	// and may hold the only copy of acknowledged writes. The operator's
+	// re-run must let it stand for election.
+	cand, ep, err := r.g.Reelect()
 	if err != nil {
 		return err
 	}
@@ -302,6 +439,12 @@ func (r *ReplicatedKV) leaderGen() (*core.Server, uint64) {
 // Group exposes the replica group for stats, chaos drivers, and tests.
 func (r *ReplicatedKV) Group() *replica.Group { return r.g }
 
+// Peers exposes the durable-mode transport peers (nil otherwise).
+func (r *ReplicatedKV) Peers() []*reptrans.Peer { return r.peers }
+
+// Store exposes the durable-mode WAL/snapshot store (nil otherwise).
+func (r *ReplicatedKV) Store() *replog.Store { return r.store }
+
 // Server exposes the current generation's delegation server (for stats;
 // may be nil when the shard is down after quorum loss).
 func (r *ReplicatedKV) Server() *core.Server {
@@ -311,10 +454,17 @@ func (r *ReplicatedKV) Server() *core.Server {
 
 // Stop tears down the current generation. Safe against a concurrent
 // failover: closed is published under the generation lock first, so no
-// new generation can be built afterwards.
+// new generation can be built afterwards. In durable mode the transport
+// peers and the on-disk store close after the server, so the final
+// entries are flushed and the directory is reopenable.
 func (r *ReplicatedKV) Stop() {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
 	r.closed = true
+	close(r.closeCh)
 	sv, srv := r.sv, r.srv
 	r.sv, r.srv = nil, nil
 	r.mu.Unlock()
@@ -323,6 +473,12 @@ func (r *ReplicatedKV) Stop() {
 	}
 	if srv != nil {
 		srv.Stop()
+	}
+	for _, p := range r.peers {
+		p.Close()
+	}
+	if r.store != nil {
+		r.store.Close()
 	}
 }
 
@@ -370,6 +526,11 @@ type RKVClient struct {
 	epoch  uint64
 	c      *core.Client
 	policy RKVPolicy
+
+	// cancel interrupts a retry backoff in flight when the handle is
+	// closed from another goroutine.
+	cancel     chan struct{}
+	cancelOnce sync.Once
 }
 
 // NewClient returns a handle with the default retry policy.
@@ -379,11 +540,19 @@ func (r *ReplicatedKV) NewClient() *RKVClient {
 
 // NewClientPolicy returns a handle with an explicit retry policy.
 func (r *ReplicatedKV) NewClientPolicy(p RKVPolicy) *RKVClient {
-	return &RKVClient{r: r, id: r.nextClientID.Add(1), policy: p.withDefaults()}
+	return &RKVClient{
+		r:      r,
+		id:     r.nextClientID.Add(1),
+		policy: p.withDefaults(),
+		cancel: make(chan struct{}),
+	}
 }
 
-// Close releases the handle's delegation slot (if bound).
+// Close releases the handle's delegation slot (if bound) and interrupts
+// any retry backoff the handle is sleeping through on another
+// goroutine.
 func (k *RKVClient) Close() {
+	k.cancelOnce.Do(func() { close(k.cancel) })
 	if k.c != nil {
 		k.c.Close()
 		k.c = nil
@@ -416,13 +585,25 @@ func (k *RKVClient) ensure() error {
 
 // do drives one op to a committed answer: bind to the leader, delegate
 // with a bounded wait, and retry across timeouts, crashes, failovers,
-// and leadership sentinels with capped backoff.
+// and leadership sentinels with capped backoff. The backoff sleep is
+// interruptible: closing the handle or stopping the shard returns
+// ErrReplicatedDown immediately instead of sleeping out the remaining
+// retry budget (at default policy, up to ~0.8s per stuck op).
 func (k *RKVClient) do(fid core.FuncID, a0, a1, a2, a3 uint64, nargs int) (uint64, error) {
 	var lastErr error = ErrReplicatedDown
 	d := k.policy.BaseDelay
 	for attempt := 0; attempt < k.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(d)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-k.r.closeCh:
+				t.Stop()
+				return 0, ErrReplicatedDown
+			case <-k.cancel:
+				t.Stop()
+				return 0, ErrReplicatedDown
+			}
 			if d *= 2; d > k.policy.MaxDelay {
 				d = k.policy.MaxDelay
 			}

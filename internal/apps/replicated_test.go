@@ -36,7 +36,10 @@ func rkvStores(r *ReplicatedKV) []*KVStore {
 // like the plain delegated one — and every write lands on every member
 // before the client's ack returns.
 func TestReplicatedKVBasic(t *testing.T) {
-	r := NewReplicatedKV(64, ReplicatedConfig{Replicas: 3})
+	r, err := NewReplicatedKV(64, ReplicatedConfig{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +103,14 @@ func TestReplicatedFailoverLedgerAnswersRetry(t *testing.T) {
 		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
 			killAt := 3 + seed%5 // every op below is a Set, so the kill lands on Set #killAt
 			inj := fault.New(fault.Plan{Seed: seed, KillAtOp: killAt})
-			r := NewReplicatedKV(64, ReplicatedConfig{
+			r, err := NewReplicatedKV(64, ReplicatedConfig{
 				Replicas:   3,
 				Core:       core.Config{MaxClients: 1, Hooks: inj},
 				Supervisor: core.SupervisorConfig{Interval: 200 * time.Microsecond},
 			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := r.Start(); err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +163,10 @@ func TestReplicatedFailoverLedgerAnswersRetry(t *testing.T) {
 // snapshot-then-suffix; afterwards its store matches the leader's byte
 // for byte, LRU order included.
 func TestReplicatedSnapshotCatchUp(t *testing.T) {
-	r := NewReplicatedKV(256, ReplicatedConfig{Replicas: 3, SnapshotEvery: 8})
+	r, err := NewReplicatedKV(256, ReplicatedConfig{Replicas: 3, SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,351 @@
+// Package procchaos is the multi-process kill -9 chaos harness: it
+// builds the real ffwdserve binary, spawns a durable pinned leader and
+// its follower processes, SIGKILLs them mid-commit-burst (including at
+// deterministic crash points inside WAL writes and snapshot installs,
+// via FFWD_CRASH_POINT), restarts them from their surviving on-disk
+// state, and checks the full recorded client history for
+// linearizability. Where the in-process chaos suites model crashes by
+// killing goroutines, this harness loses entire OS processes — page
+// cache, socket state and all — which is the failure the WAL's fsync
+// discipline actually defends against.
+//
+// Run the full matrix with `make proc-chaos`; on failure each test
+// preserves its run directory (process logs + every member's WAL and
+// snapshot files) and logs the path. Set FFWD_PROC_ARTIFACTS to choose
+// where preserved runs land (CI uploads that directory).
+package procchaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// bin is the ffwdserve binary under test, built once in TestMain.
+var bin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "procchaos-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	bin = filepath.Join(dir, "ffwdserve")
+	// The harness exercises the real binary, so build it from the repo
+	// root exactly as a release would.
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/ffwdserve")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "procchaos: build ffwdserve: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runDir allocates this test's artifact directory: every process log
+// and data directory lives under it. It is removed on success and
+// preserved (with a logged path) on failure, so a CI job can upload the
+// surviving WAL/snapshot state of exactly the runs that broke.
+func runDir(t *testing.T) string {
+	base := os.Getenv("FFWD_PROC_ARTIFACTS")
+	if base != "" {
+		if err := os.MkdirAll(base, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name := strings.NewReplacer("/", "_", "=", "_").Replace(t.Name())
+	dir, err := os.MkdirTemp(base, "procchaos-"+name+"-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("procchaos: artifacts preserved at %s", dir)
+			return
+		}
+		os.RemoveAll(dir)
+	})
+	return dir
+}
+
+// proc is one spawned ffwdserve process (leader or replica member) with
+// its combined output captured to a log file the harness can scan.
+type proc struct {
+	t       *testing.T
+	name    string
+	cmd     *exec.Cmd
+	logPath string
+	done    chan struct{} // closed once cmd.Wait has reaped the process
+}
+
+// spawn starts the binary with the given args, teeing output to
+// <dir>/<name>.log. extraEnv entries are appended to the inherited
+// environment (e.g. FFWD_CRASH_POINT=wal-record:12:9).
+func spawn(t *testing.T, dir, name string, extraEnv []string, args ...string) *proc {
+	t.Helper()
+	logPath := filepath.Join(dir, name+".log")
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	cmd.Env = append(os.Environ(), extraEnv...)
+	if err := cmd.Start(); err != nil {
+		f.Close()
+		t.Fatalf("spawn %s: %v", name, err)
+	}
+	f.Close() // the child holds its own descriptor
+	p := &proc{t: t, name: name, cmd: cmd, logPath: logPath, done: make(chan struct{})}
+	// Closing (rather than sending on) done lets both waitExit and the
+	// cleanup below wait for the same exit without stealing it from each
+	// other.
+	go func() { cmd.Wait(); close(p.done) }()
+	t.Cleanup(func() { p.kill9(); <-p.done })
+	return p
+}
+
+// kill9 delivers SIGKILL; safe to call on an already-dead process.
+func (p *proc) kill9() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+// sigterm asks for a graceful shutdown.
+func (p *proc) sigterm() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+}
+
+// waitExit blocks until the process exits (however that happens).
+func (p *proc) waitExit(timeout time.Duration) {
+	p.t.Helper()
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		p.t.Fatalf("%s: did not exit within %v", p.name, timeout)
+	}
+}
+
+// waitLog polls the process log until re matches, returning the first
+// capture group (or the whole match). The scan restarts from the top
+// each poll: logs here are a few KB.
+func (p *proc) waitLog(re *regexp.Regexp, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		b, _ := os.ReadFile(p.logPath)
+		if m := re.FindSubmatch(b); m != nil {
+			if len(m) > 1 {
+				return string(m[1])
+			}
+			return string(m[0])
+		}
+		if time.Now().After(deadline) {
+			p.t.Fatalf("%s: log never matched %v; log so far:\n%s", p.name, re, b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var (
+	reMemberAddr = regexp.MustCompile(`replica member listening on ([0-9.]+:[0-9]+)`)
+	reLeaderAddr = regexp.MustCompile(`backend listening on ([0-9.]+:[0-9]+)`)
+	reApplied    = regexp.MustCompile(`applied=([0-9]+)`)
+	reSnapInst   = regexp.MustCompile(`snap_installs=([0-9]+)`)
+)
+
+// regexp1 matches a literal string, for pinning exact log fragments
+// like torn=1/9B.
+func regexp1(lit string) *regexp.Regexp { return regexp.MustCompile(regexp.QuoteMeta(lit)) }
+
+// freePort reserves a loopback address by binding an ephemeral port and
+// immediately releasing it. Kill-and-restart legs need processes to come
+// back on the same address (the leader's -peers list and the clients'
+// dial target are fixed for the whole run), so ports are picked up front.
+// The close-to-rebind window is racy in principle; in practice nothing
+// else on a CI box grabs a just-released ephemeral port in the gap.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// member spawns a follower process serving addr from dataDir (a name
+// under the run dir, so restarts reuse the surviving files) and waits
+// for it to report its bound address.
+func member(t *testing.T, dir, name, dataDir, addr string, extraEnv []string) *proc {
+	t.Helper()
+	p := spawn(t, dir, name, extraEnv,
+		"-replica-member", addr, "-data-dir", filepath.Join(dir, dataDir))
+	p.waitLog(reMemberAddr, 10*time.Second)
+	return p
+}
+
+// leader spawns the durable pinned-leader process on addr, replicating
+// to peers from the run dir's "leader" data directory.
+func leader(t *testing.T, dir, name, addr string, peers []string, extraEnv []string, extraArgs ...string) *proc {
+	t.Helper()
+	args := []string{
+		"-addr", addr,
+		"-data-dir", filepath.Join(dir, "leader"),
+		"-peers", strings.Join(peers, ","),
+		"-clients", "8",
+	}
+	args = append(args, extraArgs...)
+	p := spawn(t, dir, name, extraEnv, args...)
+	p.waitLog(reLeaderAddr, 10*time.Second)
+	return p
+}
+
+// client is one text-protocol connection with redial-on-error: a failed
+// command drops the connection and the next command dials fresh, which
+// is how it rides out a leader restart.
+type client struct {
+	addr string
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func (c *client) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// ensure dials if no connection is up. A dial failure proves the server
+// never saw the next op, so workers call this BEFORE recording an
+// invocation: ops that fail here need not enter the history as pending,
+// which keeps the linearizability search tractable across the long
+// dial-refused stretch while a killed process restarts.
+func (c *client) ensure() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, time.Second)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	return nil
+}
+
+// do sends one command line and reads one response line.
+func (c *client) do(line string) (string, error) {
+	if err := c.ensure(); err != nil {
+		return "", err
+	}
+	c.conn.SetDeadline(time.Now().Add(15 * time.Second))
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		c.drop()
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		c.drop()
+		return "", err
+	}
+	resp = strings.TrimSpace(resp)
+	if strings.HasPrefix(resp, "BUSY") || strings.HasPrefix(resp, "ERROR") {
+		return "", fmt.Errorf("%s -> %s", line, resp)
+	}
+	return resp, nil
+}
+
+// mustDo retries a command until it succeeds — for ops whose fate must
+// be certain (final verification reads after the cluster is healthy).
+func (c *client) mustDo(t *testing.T, line string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.do(line)
+		if err == nil {
+			return resp
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%q never succeeded: %v", line, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// parseValue decodes "VALUE <v>" / "NOT_FOUND" into (v, found).
+func parseValue(t *testing.T, resp string) (uint64, bool) {
+	t.Helper()
+	if resp == "NOT_FOUND" {
+		return 0, false
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(resp, "VALUE %d", &v); err != nil {
+		t.Fatalf("bad get response %q", resp)
+	}
+	return v, true
+}
+
+// statsField extracts one k=v field from a STATS response. Ratio-shaped
+// values like alive=2/3 yield the numerator.
+func statsField(t *testing.T, resp, key string) uint64 {
+	t.Helper()
+	for _, f := range strings.Fields(resp) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			v, _, _ = strings.Cut(v, "/")
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				t.Fatalf("bad stats field %q", f)
+			}
+			return n
+		}
+	}
+	t.Fatalf("stats response %q missing %s", resp, key)
+	return 0
+}
+
+// waitAlive polls the leader's stats until alive reports want members.
+func waitAlive(t *testing.T, c *client, want uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := c.do("stats")
+		if err == nil {
+			alive := statsField(t, resp, "alive")
+			if alive == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never reached alive=%d/...", want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

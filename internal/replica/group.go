@@ -4,15 +4,53 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ffwd/internal/obs"
 )
 
+// Remote is a cross-process follower as the leader sees it, satisfied
+// structurally by reptrans.Peer. Implementations own their replication
+// progress (next/match index, reconnect, retries); the Group only asks
+// for outcomes.
+type Remote interface {
+	// ID returns the remote's stable member id (disjoint from in-process
+	// member indices by convention; used only for reporting).
+	ID() int
+	// Replicate asks the remote to hold the leader's log durably through
+	// index, carrying the current commit cursor. Exactly one RemoteAck is
+	// delivered to done — OK when the remote durably matched at least
+	// index, not-OK when it definitively cannot right now (disconnected,
+	// timed out). A nil done is fire-and-forget: best-effort shipping of
+	// new entries or a commit bump, no ack wanted.
+	Replicate(index, commit uint64, done chan<- RemoteAck)
+	// Healthy reports whether the link is currently usable (connected
+	// and inside its heartbeat window). Stats only; Replicate is the
+	// authority on whether an append lands.
+	Healthy() bool
+}
+
+// RemoteAck is a remote follower's answer to one Replicate call.
+type RemoteAck struct {
+	ID    int
+	Index uint64 // highest durably matched index; valid when OK
+	OK    bool
+}
+
+// RecoveredLeader is the durable image a pinned leader resumes from
+// (what replog.Open recovered, minus the storage-specific fields).
+type RecoveredLeader struct {
+	Snap    *Snapshot
+	Entries []Entry
+}
+
 // GroupConfig configures a replica group.
 type GroupConfig struct {
-	// Replicas is the total member count including the leader. Quorum is
-	// Replicas/2+1; 3 is the intended production shape, 1 degenerates to
-	// unreplicated delegation.
+	// Replicas is the in-process member count including the leader.
+	// Quorum is a majority of Replicas+len(Remotes); 3 in-process members
+	// is the original single-process shape, 1 plus two Remotes the
+	// cross-process one, and a bare 1 degenerates to unreplicated
+	// delegation.
 	Replicas int
 	// SnapshotEvery is how many applied entries a replica accumulates
 	// beyond its snapshot boundary before taking a new snapshot and
@@ -26,6 +64,27 @@ type GroupConfig struct {
 	Hooks Hooks
 	// Trace receives KindFailover events on promotion. Nil disables.
 	Trace obs.Tracer
+
+	// Storage, when non-nil, durably backs the leader member (member 0),
+	// which then runs in pinned-leader mode: it recovers from Recovered,
+	// commits its entire durable log (safe — leadership is pinned to this
+	// process, so no conflicting entry can ever have committed anywhere
+	// else), and never cedes leadership to an in-process member.
+	Storage Storage
+	// Recovered is the durable image to resume the leader from. Only
+	// read when Storage is set.
+	Recovered *RecoveredLeader
+	// Term forces the initial term. Pinned-leader mode passes the
+	// persisted boot counter so every process lifetime is a fresh term
+	// and stale followers from the previous life are fenced. 0 means 1.
+	Term uint64
+	// Remotes are cross-process followers counted toward quorum.
+	Remotes []Remote
+	// AckTimeout bounds how long a propose waits for remote quorum acks
+	// (default 2s). On expiry the propose fails with ErrNoQuorum; the
+	// entry stays in the log and may commit later, exactly like an
+	// in-process quorum failure.
+	AckTimeout time.Duration
 }
 
 // Stats is a point-in-time counter snapshot of a group.
@@ -33,8 +92,8 @@ type Stats struct {
 	Term          uint64
 	Epoch         uint64
 	LeaderID      int
-	Replicas      int
-	AliveReplicas int
+	Replicas      int // total membership: in-process + remote
+	AliveReplicas int // live in-process members + healthy remotes
 	CommitIndex   uint64
 	LastApplied   uint64
 	LogBase       uint64
@@ -52,6 +111,8 @@ type Stats struct {
 	EntriesTruncated uint64 // log entries dropped by prefix truncation
 	Failovers        uint64 // successful promotions
 	Restarts         uint64 // wiped members revived
+	RemoteAcks       uint64 // remote appends acked in time
+	RemoteNacks      uint64 // remote appends refused or timed out
 }
 
 // Group is a replica set for one delegation shard. One mutex guards all
@@ -59,10 +120,11 @@ type Stats struct {
 // serialized by the leader's server goroutine) and failover-time
 // operations, so it sees essentially no contention in steady state.
 type Group struct {
-	cfg GroupConfig
+	cfg        GroupConfig
+	ackTimeout time.Duration
 
-	mu       sync.Mutex
-	members  []*Replica
+	mu        sync.Mutex
+	members   []*Replica
 	nextIndex []uint64 // leader's view: next log index to send to each member
 
 	// leaderID/term/epoch are also mirrored in atomics so leader-local
@@ -73,22 +135,21 @@ type Group struct {
 
 	appendAttempts atomic.Uint64
 
-	nProposals        uint64
-	nCommits          uint64
-	nLedgerHits       uint64
-	nApplyDups        uint64
-	nNoQuorum         uint64
-	nAppendDrops      uint64
-	nSnapshots        uint64
-	nSnapshotInstalls uint64
-	nTruncated        uint64
-	nFailovers        uint64
-	nRestarts         uint64
+	nProposals   uint64
+	nCommits     uint64
+	nLedgerHits  uint64
+	nNoQuorum    uint64
+	nAppendDrops uint64
+	nFailovers   uint64
+	nRestarts    uint64
+	nRemoteAcks  atomic.Uint64
+	nRemoteNacks atomic.Uint64
 }
 
-// NewGroup builds a group with cfg.Replicas members, member 0 leading at
-// term 1.
-func NewGroup(cfg GroupConfig) *Group {
+// NewGroup builds a group with cfg.Replicas in-process members, member 0
+// leading. With cfg.Storage set, member 0 resumes from cfg.Recovered and
+// commits its recovered log (pinned-leader mode).
+func NewGroup(cfg GroupConfig) (*Group, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 3
 	}
@@ -98,30 +159,62 @@ func NewGroup(cfg GroupConfig) *Group {
 	if cfg.NewMachine == nil {
 		panic("replica: GroupConfig.NewMachine is required")
 	}
-	g := &Group{cfg: cfg}
+	g := &Group{cfg: cfg, ackTimeout: cfg.AckTimeout}
+	if g.ackTimeout <= 0 {
+		g.ackTimeout = 2 * time.Second
+	}
 	g.members = make([]*Replica, cfg.Replicas)
 	g.nextIndex = make([]uint64, cfg.Replicas)
 	for i := range g.members {
 		g.members[i] = &Replica{
-			id:     i,
-			sm:     cfg.NewMachine(),
-			ledger: make(map[uint64]Applied),
+			id: i,
+			Member: Member{
+				sm:            cfg.NewMachine(),
+				ledger:        make(map[uint64]Applied),
+				snapshotEvery: cfg.SnapshotEvery,
+			},
 		}
 		g.nextIndex[i] = 1
 	}
-	g.term.Store(1)
-	return g
+	if cfg.Term > 0 {
+		g.term.Store(cfg.Term)
+	} else {
+		g.term.Store(1)
+	}
+	if cfg.Storage != nil {
+		lead := g.members[0]
+		lead.store = cfg.Storage
+		if rec := cfg.Recovered; rec != nil {
+			if err := lead.Recover(rec.Snap, rec.Entries); err != nil {
+				return nil, err
+			}
+			// Pinned leadership makes the whole durable log committable:
+			// no other process can ever have led this shard, so nothing
+			// conflicting was ever acknowledged elsewhere.
+			if err := lead.CommitTo(lead.log.Last()); err != nil {
+				return nil, err
+			}
+		}
+		if err := cfg.Storage.SaveTerm(g.term.Load()); err != nil {
+			return nil, err
+		}
+		for i := range g.nextIndex {
+			g.nextIndex[i] = lead.log.Last() + 1
+		}
+	}
+	return g, nil
 }
 
 // Quorum returns the commit threshold: a majority of the full membership
-// (dead members still count toward the denominator, as in raft).
-func (g *Group) Quorum() int { return g.cfg.Replicas/2 + 1 }
+// — in-process and remote, dead members still counting toward the
+// denominator, as in raft.
+func (g *Group) Quorum() int { return (g.cfg.Replicas+len(g.cfg.Remotes))/2 + 1 }
 
-// Members returns the member count.
+// Members returns the in-process member count.
 func (g *Group) Members() int { return g.cfg.Replicas }
 
-// Member returns member i. The pointer is stable for the group's life;
-// the state behind it is guarded by the group.
+// Member returns in-process member i. The pointer is stable for the
+// group's life; the state behind it is guarded by the group.
 func (g *Group) Member(i int) *Replica { return g.members[i] }
 
 // Leader returns the current leader replica and the leadership epoch.
@@ -147,10 +240,11 @@ func (g *Group) Term() uint64 { return g.term.Load() }
 func (g *Group) Epoch() uint64 { return g.epoch.Load() }
 
 // Propose runs one write through the replicated log on behalf of leader
-// r: dedup against the replicated ledger, append, replicate to a quorum,
-// commit, apply, and return the applied result. It must be called from
-// the delegated function executing on r's server goroutine, so proposals
-// are naturally serialized.
+// r: dedup against the replicated ledger, append durably, replicate to a
+// quorum (in-process appends synchronously, remote members by waiting
+// for their durable acks), commit, apply, and return the applied result.
+// It must be called from the delegated function executing on r's server
+// goroutine, so proposals are naturally serialized.
 func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint64) (uint64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -174,7 +268,13 @@ func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint
 		Key:      key,
 		Val:      val,
 	}
-	r.log.Append(e)
+	// The leader's own copy is durable (fsynced per policy) before any
+	// follower sees the entry: followers' logs then never run ahead of
+	// the leader's durable log, which is what lets a recovered pinned
+	// leader treat its WAL as authoritative.
+	if err := r.AppendLeader(e); err != nil {
+		return 0, err
+	}
 	acks := 1 // the leader's own append
 	for _, f := range g.members {
 		if f == r || f.dead {
@@ -184,7 +284,11 @@ func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint
 			acks++
 		}
 	}
-	if acks < g.Quorum() {
+	needed := g.Quorum()
+	if acks < needed && len(g.cfg.Remotes) > 0 {
+		acks += g.awaitRemotes(r, e.Index, needed-acks)
+	}
+	if acks < needed {
 		// The entry stays in the log and may commit once a quorum heals;
 		// the client retries, and apply-time fencing plus the ledger
 		// keep the retry exactly-once either way.
@@ -192,7 +296,9 @@ func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint
 		return 0, ErrNoQuorum
 	}
 	r.commitIndex = e.Index
-	g.applyCommitted(r)
+	if err := r.applyCommitted(); err != nil {
+		return 0, err
+	}
 	// Push the new commit index to fully caught-up followers right away
 	// so a promoted follower has already applied every acknowledged
 	// write — promotion then never needs a catch-up round of its own.
@@ -203,9 +309,17 @@ func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint
 		if g.nextIndex[f.id] == r.log.Last()+1 {
 			if lc := minU64(r.commitIndex, f.log.Last()); lc > f.commitIndex {
 				f.commitIndex = lc
-				g.applyCommitted(f)
+				if err := f.applyCommitted(); err != nil {
+					return 0, err
+				}
 			}
 		}
+	}
+	// Same push for remotes, fire-and-forget: the committed index rides
+	// the next append frame so a restarted follower converges without
+	// waiting for new writes.
+	for _, p := range g.cfg.Remotes {
+		p.Replicate(e.Index, r.commitIndex, nil)
 	}
 	a, ok := r.ledger[clientID]
 	if !ok || a.Seq < seq {
@@ -213,6 +327,85 @@ func (g *Group) Propose(r *Replica, clientID, seq uint64, kind Op, key, val uint
 	}
 	g.nCommits++
 	return a.Ret, nil
+}
+
+// awaitRemotes asks every remote follower to durably hold the log
+// through index and waits — with the group lock released, since remotes
+// pull log suffixes through FrameFor — until `need` of them ack or the
+// ack timeout expires. It returns the number of acks received in time.
+func (g *Group) awaitRemotes(r *Replica, index uint64, need int) int {
+	remotes := g.cfg.Remotes
+	commit := r.commitIndex
+	done := make(chan RemoteAck, len(remotes))
+	for _, p := range remotes {
+		p.Replicate(index, commit, done)
+	}
+	g.mu.Unlock()
+	acks := 0
+	pending := len(remotes)
+	timer := time.NewTimer(g.ackTimeout)
+	for acks < need && pending > 0 {
+		select {
+		case a := <-done:
+			pending--
+			if a.OK && a.Index >= index {
+				acks++
+				g.nRemoteAcks.Add(1)
+			} else {
+				g.nRemoteNacks.Add(1)
+			}
+		case <-timer.C:
+			g.nRemoteNacks.Add(uint64(pending))
+			pending = 0
+		}
+	}
+	timer.Stop()
+	g.mu.Lock()
+	// Single-writer: no other propose can have run while unlocked, and
+	// pinned leadership cannot have moved (KillReplica in tests is the
+	// only mutator, and a dead leader fails the next propose anyway).
+	return acks
+}
+
+// LeaderFrame is one append RPC's worth of leader state for a remote
+// follower at a given next-index: the consistency-check point, the
+// entry suffix (copied — safe to retain), the snapshot instead when the
+// suffix starts inside truncated history, and the commit cursor.
+type LeaderFrame struct {
+	Term      uint64
+	PrevIndex uint64
+	PrevTerm  uint64
+	Entries   []Entry
+	Snap      *Snapshot // non-nil: install this first, then Entries follow it
+	Commit    uint64
+}
+
+// FrameFor builds the frame a remote follower needs given that its next
+// expected index is ni. Remote transports call this from their own
+// goroutines; it takes the group lock.
+func (g *Group) FrameFor(ni uint64) LeaderFrame {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lead := g.members[g.leaderID.Load()]
+	if ni == 0 {
+		ni = 1
+	}
+	fr := LeaderFrame{Term: g.term.Load(), Commit: lead.commitIndex}
+	if ni <= lead.log.Base() {
+		// The suffix starts inside truncated history: ship the snapshot,
+		// then everything after it.
+		fr.Snap = lead.snap
+		ni = lead.snap.LastIndex + 1
+	}
+	fr.PrevIndex = ni - 1
+	if t, ok := lead.log.TermAt(fr.PrevIndex); ok {
+		fr.PrevTerm = t
+	}
+	// Copy: Log.TruncatePrefix shifts the backing array in place, so an
+	// aliased suffix handed to another goroutine would be corrupted by
+	// the next snapshot cycle.
+	fr.Entries = append([]Entry(nil), lead.log.From(ni)...)
+	return fr
 }
 
 // appendTo brings follower f up to date with leader l's log, returning
@@ -237,7 +430,9 @@ func (g *Group) appendTo(l, f *Replica) bool {
 			// The suffix f needs starts inside the leader's truncated
 			// prefix: fast-forward f from the snapshot, then ship the
 			// remaining live suffix.
-			g.installSnapshot(f, l.snap)
+			if err := f.InstallSnap(l.snap); err != nil {
+				return false
+			}
 			ni = l.snap.LastIndex + 1
 		}
 		prev := ni - 1
@@ -245,119 +440,16 @@ func (g *Group) appendTo(l, f *Replica) bool {
 		if !ok {
 			panic("replica: leader lost term for its own log prefix")
 		}
-		match, hint := g.followerAppend(f, prev, prevTerm, l.log.From(ni), l.commitIndex)
+		match, hint, err := f.HandleAppend(prev, prevTerm, l.log.From(ni), l.commitIndex)
+		if err != nil {
+			return false
+		}
 		if match {
 			g.nextIndex[f.id] = l.log.Last() + 1
 			return true
 		}
 		ni = hint + 1
 	}
-}
-
-// followerAppend is the follower half of an append: consistency-check
-// prev, truncate conflicts, append the new suffix, and advance the
-// follower's commit cursor. It returns (matched, hint) where hint is the
-// highest index the follower can vouch for when matched is false.
-func (g *Group) followerAppend(f *Replica, prevIndex, prevTerm uint64, ents []Entry, leaderCommit uint64) (bool, uint64) {
-	if prevIndex > f.log.Last() {
-		return false, f.log.Last()
-	}
-	if prevIndex < f.log.Base() {
-		// f's snapshot already covers prev; everything at or below the
-		// base is committed state, so report the base as matched.
-		return false, f.log.Base()
-	}
-	if prevIndex > f.log.Base() {
-		if t, _ := f.log.TermAt(prevIndex); t != prevTerm {
-			f.log.TruncateSuffix(prevIndex)
-			return false, f.log.Last()
-		}
-	}
-	for _, e := range ents {
-		if e.Index <= f.log.Base() {
-			continue
-		}
-		if e.Index <= f.log.Last() {
-			if t, _ := f.log.TermAt(e.Index); t == e.Term {
-				continue
-			}
-			f.log.TruncateSuffix(e.Index)
-		}
-		f.log.Append(e)
-	}
-	if lc := minU64(leaderCommit, f.log.Last()); lc > f.commitIndex {
-		f.commitIndex = lc
-		g.applyCommitted(f)
-	}
-	return true, f.log.Last()
-}
-
-// applyCommitted applies r's committed-but-unapplied suffix, fencing
-// duplicate (ClientID, Seq) entries so a retried op that snuck into the
-// log twice executes exactly once, then takes a snapshot if due.
-func (g *Group) applyCommitted(r *Replica) {
-	for r.lastApplied < r.commitIndex {
-		i := r.lastApplied + 1
-		e, ok := r.log.At(i)
-		if !ok {
-			panic(fmt.Sprintf("replica: committed index %d missing from log [%d,%d]", i, r.log.Base(), r.log.Last()))
-		}
-		if a, ok := r.ledger[e.ClientID]; ok && a.Seq >= e.Seq {
-			g.nApplyDups++
-		} else {
-			ret := r.sm.Apply(e)
-			r.ledger[e.ClientID] = Applied{Seq: e.Seq, Ret: ret}
-		}
-		r.lastApplied = i
-	}
-	g.maybeSnapshot(r)
-}
-
-// maybeSnapshot takes a snapshot of r and truncates the applied log
-// prefix once SnapshotEvery entries have accumulated past the previous
-// snapshot boundary.
-func (g *Group) maybeSnapshot(r *Replica) {
-	if r.lastApplied-r.log.Base() < g.cfg.SnapshotEvery {
-		return
-	}
-	led := make(map[uint64]Applied, len(r.ledger))
-	for k, v := range r.ledger {
-		led[k] = v
-	}
-	lt, ok := r.log.TermAt(r.lastApplied)
-	if !ok {
-		panic("replica: snapshot boundary missing from log")
-	}
-	r.snap = &Snapshot{
-		LastIndex: r.lastApplied,
-		LastTerm:  lt,
-		State:     r.sm.Snapshot(),
-		Ledger:    led,
-	}
-	g.nSnapshots++
-	g.nTruncated += uint64(r.log.TruncatePrefix(r.lastApplied, lt))
-}
-
-// installSnapshot fast-forwards f to snap: state machine, ledger, log
-// boundary, and cursors all jump to the snapshot point. Snapshots are
-// immutable once taken, so f can share the byte slice and keep the
-// pointer as its own latest snapshot.
-func (g *Group) installSnapshot(f *Replica, snap *Snapshot) {
-	if snap == nil {
-		panic("replica: snapshot install with no snapshot taken")
-	}
-	f.sm.Restore(snap.State)
-	f.ledger = make(map[uint64]Applied, len(snap.Ledger))
-	for k, v := range snap.Ledger {
-		f.ledger[k] = v
-	}
-	f.log.Reset(snap.LastIndex, snap.LastTerm)
-	f.lastApplied = snap.LastIndex
-	if f.commitIndex < snap.LastIndex {
-		f.commitIndex = snap.LastIndex
-	}
-	f.snap = snap
-	g.nSnapshotInstalls++
 }
 
 // KillReplica marks member id dead: appends skip it and it cannot be
@@ -400,7 +492,54 @@ func (g *Group) Promote() (*Replica, uint64, error) {
 	// before the client saw the ack, so the most up-to-date live member
 	// has it at or below its commit index; applying the backlog makes
 	// the new leader's ledger authoritative for retry dedup.
-	g.applyCommitted(cand)
+	if err := cand.applyCommitted(); err != nil {
+		return nil, 0, err
+	}
+	for i := range g.nextIndex {
+		g.nextIndex[i] = cand.log.Last() + 1
+	}
+	ep := g.epoch.Add(1)
+	g.nFailovers++
+	if tr := g.cfg.Trace; tr != nil {
+		tr.Event(obs.KindFailover, -1, g.term.Load())
+	}
+	return cand, ep, nil
+}
+
+// Reelect re-runs a failed election with the deposed leader back on the
+// ballot. Promote models the supervisor's view — the leader's server
+// died, prefer a live follower — but an in-process member's replica
+// state outlives its delegation server (state is lost only through
+// Restart's wipe). So when promotion failed for lack of quorum and an
+// operator has since revived members, the deposed leader's intact log
+// may be the only copy of acknowledged writes; Reelect lets it win and
+// revives it in place. The usual rules hold: most up-to-date member by
+// (last log term, last log index) wins, term and epoch advance, quorum
+// of candidates required.
+func (g *Group) Reelect() (*Replica, uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.members[g.leaderID.Load()]
+	var cand *Replica
+	alive := 0
+	for _, m := range g.members {
+		if m.dead && m != old {
+			continue
+		}
+		alive++
+		if cand == nil || moreUpToDate(m, cand) {
+			cand = m
+		}
+	}
+	if cand == nil || alive < g.Quorum() {
+		return nil, 0, ErrNoQuorum
+	}
+	cand.dead = false
+	g.term.Add(1)
+	g.leaderID.Store(int32(cand.id))
+	if err := cand.applyCommitted(); err != nil {
+		return nil, 0, err
+	}
 	for i := range g.nextIndex {
 		g.nextIndex[i] = cand.log.Last() + 1
 	}
@@ -427,11 +566,11 @@ func (g *Group) Restart(id int) error {
 	if int32(id) == g.leaderID.Load() {
 		return fmt.Errorf("replica: member %d still holds leadership; promote first", id)
 	}
-	r.sm = g.cfg.NewMachine()
-	r.log = Log{}
-	r.ledger = make(map[uint64]Applied)
-	r.snap = nil
-	r.commitIndex, r.lastApplied = 0, 0
+	r.Member = Member{
+		sm:            g.cfg.NewMachine(),
+		ledger:        make(map[uint64]Applied),
+		snapshotEvery: g.cfg.SnapshotEvery,
+	}
 	r.dead = false
 	g.nextIndex[id] = 1
 	g.nRestarts++
@@ -465,8 +604,18 @@ func (g *Group) Stats() Stats {
 	defer g.mu.Unlock()
 	lead := g.members[g.leaderID.Load()]
 	alive := 0
+	var dups, snaps, installs, truncated uint64
 	for _, m := range g.members {
 		if !m.dead {
+			alive++
+		}
+		dups += m.counters.applyDups
+		snaps += m.counters.snapshots
+		installs += m.counters.snapshotInstalls
+		truncated += m.counters.truncated
+	}
+	for _, p := range g.cfg.Remotes {
+		if p.Healthy() {
 			alive++
 		}
 	}
@@ -474,7 +623,7 @@ func (g *Group) Stats() Stats {
 		Term:             g.term.Load(),
 		Epoch:            g.epoch.Load(),
 		LeaderID:         lead.id,
-		Replicas:         g.cfg.Replicas,
+		Replicas:         g.cfg.Replicas + len(g.cfg.Remotes),
 		AliveReplicas:    alive,
 		CommitIndex:      lead.commitIndex,
 		LastApplied:      lead.lastApplied,
@@ -483,15 +632,17 @@ func (g *Group) Stats() Stats {
 		Proposals:        g.nProposals,
 		Commits:          g.nCommits,
 		LedgerHits:       g.nLedgerHits,
-		ApplyDups:        g.nApplyDups,
+		ApplyDups:        dups,
 		NoQuorum:         g.nNoQuorum,
 		AppendAttempts:   g.appendAttempts.Load(),
 		AppendDrops:      g.nAppendDrops,
-		Snapshots:        g.nSnapshots,
-		SnapshotInstalls: g.nSnapshotInstalls,
-		EntriesTruncated: g.nTruncated,
+		Snapshots:        snaps,
+		SnapshotInstalls: installs,
+		EntriesTruncated: truncated,
 		Failovers:        g.nFailovers,
 		Restarts:         g.nRestarts,
+		RemoteAcks:       g.nRemoteAcks.Load(),
+		RemoteNacks:      g.nRemoteNacks.Load(),
 	}
 }
 

@@ -71,28 +71,18 @@ type Hooks interface {
 	SlowAppend(follower int, n uint64)
 }
 
-// Replica is one group member: a state machine plus its log suffix,
-// replicated ledger, and apply cursors. All fields are guarded by the
-// owning Group's mutex.
+// Replica is one in-process group member: a Member (the follower half —
+// state machine, log suffix, replicated ledger, apply cursors) plus the
+// group bookkeeping that only makes sense inside a Group. All fields
+// are guarded by the owning Group's mutex.
 type Replica struct {
-	id          int
-	sm          StateMachine
-	log         Log
-	ledger      map[uint64]Applied
-	snap        *Snapshot // latest local snapshot; nil before the first
-	commitIndex uint64
-	lastApplied uint64
-	dead        bool
+	Member
+	id   int
+	dead bool
 }
 
 // ID returns the replica's stable member index within its group.
 func (r *Replica) ID() int { return r.id }
-
-// SM returns the replica's state machine instance. Callers may only
-// touch it from contexts the group already serializes: the leader's
-// server goroutine while this replica is leader, or test code with the
-// group quiesced.
-func (r *Replica) SM() StateMachine { return r.sm }
 
 var (
 	// ErrNotLeader rejects a propose on a deposed or dead replica.

@@ -63,7 +63,7 @@ func (s *mapMachine) Restore(data []byte) {
 func newTestGroup(t *testing.T, replicas int, snapEvery uint64, hooks Hooks) (*Group, []*mapMachine) {
 	t.Helper()
 	var machines []*mapMachine
-	g := NewGroup(GroupConfig{
+	g, err := NewGroup(GroupConfig{
 		Replicas:      replicas,
 		SnapshotEvery: snapEvery,
 		Hooks:         hooks,
@@ -73,6 +73,9 @@ func newTestGroup(t *testing.T, replicas int, snapEvery uint64, hooks Hooks) (*G
 			return m
 		},
 	})
+	if err != nil {
+		t.Fatalf("NewGroup: %v", err)
+	}
 	return g, machines
 }
 

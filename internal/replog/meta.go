@@ -1,0 +1,60 @@
+package replog
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// meta.bin records the durable scalars that are not log entries: the
+// highest replication term this member has accepted and how many times
+// the process has booted from this directory (the boot counter salts
+// client identities so a restarted leader never reissues one).
+// Rewritten whole via temp+rename; a torn or missing file reads as
+// zeros, which is always safe — terms only fence *stale* peers, and a
+// lost term bump is re-learned from the next Hello.
+const (
+	metaFile  = "meta.bin"
+	metaMagic = uint64(0x314154454d445746) // "FWDMETA1" little-endian
+	metaLen   = 8*3 + 4
+)
+
+// Meta is the decoded meta.bin contents.
+type Meta struct {
+	Term  uint64
+	Boots uint64
+}
+
+func encodeMeta(m Meta) []byte {
+	buf := make([]byte, metaLen)
+	binary.LittleEndian.PutUint64(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint64(buf[8:], m.Term)
+	binary.LittleEndian.PutUint64(buf[16:], m.Boots)
+	binary.LittleEndian.PutUint32(buf[24:], crc32.Checksum(buf[:24], castagnoli))
+	return buf
+}
+
+// loadMeta reads dir's meta.bin; a missing, short, or corrupt file is
+// the zero Meta.
+func loadMeta(dir string) Meta {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil || len(data) != metaLen {
+		return Meta{}
+	}
+	if crc32.Checksum(data[:24], castagnoli) != binary.LittleEndian.Uint32(data[24:]) {
+		return Meta{}
+	}
+	if binary.LittleEndian.Uint64(data[0:]) != metaMagic {
+		return Meta{}
+	}
+	return Meta{
+		Term:  binary.LittleEndian.Uint64(data[8:]),
+		Boots: binary.LittleEndian.Uint64(data[16:]),
+	}
+}
+
+// saveMeta atomically rewrites dir's meta.bin.
+func saveMeta(dir string, m Meta) error {
+	return writeFileAtomic(filepath.Join(dir, metaFile), encodeMeta(m))
+}

@@ -1,0 +1,218 @@
+package replog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ffwd/internal/replica"
+)
+
+// Snapshot files: snap-%016x.snap (hex = LastIndex), written whole via
+// temp+rename so installation is atomic. Layout, little-endian:
+//
+//	magic u64 | lastIndex u64 | lastTerm u64
+//	stateLen u32 | state bytes
+//	ledgerLen u32 | (clientID u64, seq u64, ret u64) * ledgerLen
+//	crc u32   — CRC32-C over everything before it
+const (
+	snapMagic  = uint64(0x3150414e53445746) // "FWDSNAP1" little-endian
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	// maxSnapshotLen bounds a snapshot file so a corrupt header cannot
+	// drive an absurd allocation at load.
+	maxSnapshotLen = 1 << 30
+)
+
+func snapName(last uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, last, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// EncodeSnapshot serializes s (CRC included), the wire and disk format
+// shared by replog and reptrans.
+func EncodeSnapshot(s *replica.Snapshot) []byte {
+	buf := make([]byte, 0, 8*3+4+len(s.State)+4+24*len(s.Ledger)+4)
+	var b [8]byte
+	p64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	p32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		buf = append(buf, b[:4]...)
+	}
+	p64(snapMagic)
+	p64(s.LastIndex)
+	p64(s.LastTerm)
+	p32(uint32(len(s.State)))
+	buf = append(buf, s.State...)
+	p32(uint32(len(s.Ledger)))
+	// Deterministic order so identical snapshots encode identically.
+	ids := make([]uint64, 0, len(s.Ledger))
+	for id := range s.Ledger {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := s.Ledger[id]
+		p64(id)
+		p64(a.Seq)
+		p64(a.Ret)
+	}
+	p32(crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+// DecodeSnapshot parses and CRC-validates an EncodeSnapshot image.
+func DecodeSnapshot(buf []byte) (*replica.Snapshot, error) {
+	if len(buf) < 8*3+4+4+4 {
+		return nil, fmt.Errorf("replog: snapshot too short (%d bytes)", len(buf))
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("replog: snapshot CRC mismatch")
+	}
+	if binary.LittleEndian.Uint64(body[0:]) != snapMagic {
+		return nil, fmt.Errorf("replog: snapshot bad magic")
+	}
+	s := &replica.Snapshot{
+		LastIndex: binary.LittleEndian.Uint64(body[8:]),
+		LastTerm:  binary.LittleEndian.Uint64(body[16:]),
+	}
+	off := 24
+	stateLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if stateLen < 0 || off+stateLen > len(body) {
+		return nil, fmt.Errorf("replog: snapshot state length %d overruns", stateLen)
+	}
+	s.State = append([]byte(nil), body[off:off+stateLen]...)
+	off += stateLen
+	if off+4 > len(body) {
+		return nil, fmt.Errorf("replog: snapshot ledger header missing")
+	}
+	n := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if n < 0 || off+24*n != len(body) {
+		return nil, fmt.Errorf("replog: snapshot ledger length %d inconsistent", n)
+	}
+	s.Ledger = make(map[uint64]replica.Applied, n)
+	for i := 0; i < n; i++ {
+		id := binary.LittleEndian.Uint64(body[off:])
+		s.Ledger[id] = replica.Applied{
+			Seq: binary.LittleEndian.Uint64(body[off+8:]),
+			Ret: binary.LittleEndian.Uint64(body[off+16:]),
+		}
+		off += 24
+	}
+	return s, nil
+}
+
+// saveSnapshot persists s into dir atomically and garbage-collects
+// older snapshot files and stray temps. crash arms the chaos harness's
+// mid-install kill (temp written, never renamed).
+func saveSnapshot(dir string, s *replica.Snapshot, crash *CrashPoint) (int, error) {
+	data := EncodeSnapshot(s)
+	path := filepath.Join(dir, snapName(s.LastIndex))
+	if crash.onSnapshot() {
+		// Write the temp in full — the realistic worst case: everything
+		// but the rename happened — then die.
+		tmp, err := os.CreateTemp(dir, snapName(s.LastIndex)+".tmp-*")
+		if err == nil {
+			tmp.Write(data)
+			tmp.Sync()
+		}
+		crash.kill()
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return 0, err
+	}
+	// GC: everything but the file just written. A failure here is
+	// ignorable clutter, not lost data, but we report it anyway.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return len(data), err
+	}
+	for _, de := range des {
+		name := de.Name()
+		if name == snapName(s.LastIndex) {
+			continue
+		}
+		_, isSnap := parseSnapName(name)
+		if isSnap || (strings.HasPrefix(name, snapPrefix) && strings.Contains(name, ".tmp-")) {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return len(data), err
+			}
+		}
+	}
+	return len(data), syncDir(dir)
+}
+
+// loadSnapshot returns the newest valid snapshot in dir (nil if none)
+// and removes stray temp files from interrupted installs. Invalid
+// snapshot files are skipped, not deleted: recovery should not destroy
+// evidence.
+func loadSnapshot(dir string) (*replica.Snapshot, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var idxs []uint64
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, snapPrefix) && strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if idx, ok := parseSnapName(name); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] > idxs[j] })
+	for _, idx := range idxs {
+		path := filepath.Join(dir, snapName(idx))
+		if uint64(fileSize(path)) > maxSnapshotLen {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		s, derr := DecodeSnapshot(data)
+		if derr != nil {
+			continue // torn or corrupt: fall back to the previous one
+		}
+		return s, nil
+	}
+	return nil, nil
+}
+
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
