@@ -3,15 +3,16 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare check chaos replica-chaos proc-chaos linear trace figures ablations coverage clean
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare bench-frontend check chaos replica-chaos proc-chaos linear loadtest fuzz trace figures ablations coverage clean
 
 all: build vet test
 
 # The pre-merge gate: vet, full build, race-enabled tests of the hot-path
 # packages, the linearizability suite (single-server and replicated), the
-# multi-process kill -9 matrix, the trace pipeline end to end, and one
-# full-iteration pass of the core microbenches (bench-hot).
-check: linear replica-chaos proc-chaos trace
+# multi-process kill -9 matrix, the trace pipeline end to end, the serving
+# loadtest smoke, and one full-iteration pass of the core microbenches
+# (bench-hot).
+check: linear replica-chaos proc-chaos trace loadtest
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
@@ -69,6 +70,30 @@ proc-chaos:
 linear:
 	FFWD_CHAOS_SEED=3 $(GO) test -race -count=1 ./internal/linear/
 	FFWD_CHAOS_SEED=11 $(GO) test -race -count=1 ./internal/linear/
+
+# Serving-path loadtest smoke: build the real ffwdserve binary, serve
+# both protocols, and drive each with the open-loop coordinated-omission-
+# safe generator. Fails if either frontend completes zero ops or records
+# no tail latency, and exercises the real ffwdload binary's exit-code
+# contract.
+loadtest:
+	$(GO) test -count=1 -run 'TestLoad' -v ./cmd/ffwdload/
+
+# Frontend A/B benchmark: a same-window closed-loop comparison of the
+# binary dataplane against the text frontend at equal connection count.
+# Regenerates BENCH_frontend.json and fails if the binary frontend is
+# under 2x the text frontend's throughput.
+bench-frontend:
+	FFWD_LOADTEST_AB=1 $(GO) test -count=1 -run TestFrontendAB -v ./cmd/ffwdload/
+
+# Fuzz the two text/binary protocol surfaces for a bounded while: the
+# text command dispatcher and the binary frame decoder (Split +
+# DecodeRequest/DecodeResponse). Not part of check; run before protocol
+# changes.
+FUZZ_TIME ?= 15s
+fuzz:
+	$(GO) test -run=none -fuzz FuzzDispatch -fuzztime $(FUZZ_TIME) ./cmd/ffwdserve/
+	$(GO) test -run=none -fuzz FuzzWireDecode -fuzztime $(FUZZ_TIME) ./internal/wireproto/
 
 # Observability smoke: capture a delegation lifecycle trace from a real
 # traced workload under the race detector, then run ffwdtrace over it and

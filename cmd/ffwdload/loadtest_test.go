@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// This file is the loadtest smoke harness behind `make loadtest`: it
+// builds the real ffwdserve binary, serves both protocols on ephemeral
+// ports, and drives them with the in-process load core plus the real
+// ffwdload binary. The env-gated A/B test is also the producer of
+// BENCH_frontend.json.
+
+var (
+	serveBin string
+	loadBin  string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ffwdload-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	serveBin = filepath.Join(dir, "ffwdserve")
+	loadBin = filepath.Join(dir, "ffwdload")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/ffwdserve", loadBin: "./cmd/ffwdload"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: build %s: %v\n%s", pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+var (
+	textAddrRE = regexp.MustCompile(`backend listening on (\S+)`)
+	binAddrRE  = regexp.MustCompile(`binary frontend listening on (\S+)`)
+)
+
+// startServer runs ffwdserve -proto both on ephemeral ports and returns
+// the two resolved addresses scraped from its startup log.
+func startServer(t *testing.T, extra ...string) (textAddr, binAddr string) {
+	t.Helper()
+	args := append([]string{
+		"-proto", "both",
+		"-addr", "127.0.0.1:0",
+		"-binary-addr", "127.0.0.1:0",
+	}, extra...)
+	cmd := exec.Command(serveBin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	for textAddr == "" || binAddr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("ffwdserve exited before announcing listeners (text=%q bin=%q)", textAddr, binAddr)
+			}
+			if m := textAddrRE.FindStringSubmatch(line); m != nil {
+				textAddr = m[1]
+			}
+			if m := binAddrRE.FindStringSubmatch(line); m != nil {
+				binAddr = m[1]
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for ffwdserve listeners")
+		}
+	}
+	// Keep draining stderr so the server never blocks on a full pipe.
+	go func() {
+		for range lines {
+		}
+	}()
+	return textAddr, binAddr
+}
+
+// TestLoadSmoke is the `make loadtest` gate: a short open-loop run
+// against each frontend must complete operations and attribute tail
+// latency, or the serving path is broken.
+func TestLoadSmoke(t *testing.T) {
+	textAddr, binAddr := startServer(t)
+	for _, tc := range []struct {
+		proto, addr string
+	}{
+		{"binary", binAddr},
+		{"text", textAddr},
+	} {
+		t.Run(tc.proto, func(t *testing.T) {
+			res, err := runLoad(loadConfig{
+				addr:        tc.addr,
+				proto:       tc.proto,
+				conns:       2,
+				rate:        4000,
+				duration:    1200 * time.Millisecond,
+				warmup:      200 * time.Millisecond,
+				getPct:      90,
+				keys:        1024,
+				outstanding: 32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("zero operations completed")
+			}
+			if res.Hist.Count() == 0 {
+				t.Fatal("no latencies recorded: p99 unattributed")
+			}
+			if p99 := res.quantileUS(0.99); p99 <= 0 {
+				t.Fatalf("p99 = %v µs, want > 0", p99)
+			}
+			t.Logf("%s: %.0f ops/s p50=%.1fµs p99=%.1fµs (ops=%d errors=%d stalls=%d)",
+				tc.proto, res.OpsPerSec, res.quantileUS(0.5), res.quantileUS(0.99),
+				res.Ops, res.Errors, res.Stalls)
+		})
+	}
+}
+
+// TestLoadBinarySmoke runs the real ffwdload binary end to end: exit 0
+// with a parseable report against a live server, nonzero against a dead
+// port.
+func TestLoadBinarySmoke(t *testing.T) {
+	_, binAddr := startServer(t)
+	out, err := exec.Command(loadBin,
+		"-addr", binAddr,
+		"-conns", "1",
+		"-rate", "2000",
+		"-duration", "1s",
+		"-warmup", "200ms",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ffwdload failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ops/s") {
+		t.Fatalf("report missing throughput:\n%s", out)
+	}
+
+	if out, err := exec.Command(loadBin,
+		"-addr", "127.0.0.1:1", "-duration", "1s", "-warmup", "1ms",
+	).CombinedOutput(); err == nil {
+		t.Fatalf("ffwdload against a dead port exited zero:\n%s", out)
+	}
+}
+
+// TestFrontendAB is the producer of BENCH_frontend.json: a same-window
+// closed-loop A/B of the binary dataplane against the text frontend at
+// equal connection count. Gated behind FFWD_LOADTEST_AB=1 because it is
+// a multi-second saturation benchmark, not a correctness test; the
+// acceptance bar (binary ≥ 2x text ops/s) is asserted when it runs.
+func TestFrontendAB(t *testing.T) {
+	if os.Getenv("FFWD_LOADTEST_AB") == "" {
+		t.Skip("set FFWD_LOADTEST_AB=1 to run the frontend A/B benchmark")
+	}
+	textAddr, binAddr := startServer(t)
+	outPath := filepath.Join("..", "..", "BENCH_frontend.json")
+	out, err := exec.Command(loadBin,
+		"-addr", binAddr,
+		"-ab-text-addr", textAddr,
+		"-conns", "2",
+		"-duration", "5s",
+		"-warmup", "1s",
+		"-outstanding", "64",
+		"-format", "json",
+		"-out", outPath,
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ffwdload A/B failed: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`throughput ratio: ([0-9.]+)x`).FindStringSubmatch(string(out))
+	if m == nil {
+		t.Fatalf("no throughput ratio in output:\n%s", out)
+	}
+	var ratio float64
+	fmt.Sscanf(m[1], "%f", &ratio)
+	t.Logf("binary/text throughput ratio: %.2fx", ratio)
+	if ratio < 2.0 {
+		t.Fatalf("binary frontend is %.2fx text, want >= 2x", ratio)
+	}
+}

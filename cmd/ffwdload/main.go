@@ -1,0 +1,175 @@
+// Command ffwdload is an open-loop, coordinated-omission-safe load
+// generator for ffwdserve. It drives either protocol — the binary
+// dataplane (-proto binary) or the newline text protocol (-proto text)
+// — with a fixed-rate schedule: requests are issued on their scheduled
+// instants (next = next + interval), never skipped, and every latency
+// is measured from the *scheduled* send time. A server that stalls
+// therefore inflates the recorded tail instead of quietly receiving
+// less load, which is what a closed-loop "send, wait, send" client gets
+// wrong.
+//
+// With -rate 0 the generator runs a closed loop bounded only by
+// -outstanding, which measures peak throughput rather than latency
+// under a fixed offered load.
+//
+// The workload is a uniform key-space GET/SET mix (-get percent GETs,
+// -keys keys), deterministic per connection, so two phases against two
+// frontends issue statistically identical traffic.
+//
+// -ab-text-addr runs a second, identically configured phase against a
+// text-protocol listener after the main binary phase — the same-window
+// A/B behind BENCH_frontend.json. The report is a bench.Figure: one
+// series per frontend, points at X=1..4 for ops/s, p50, p99, and p99.9
+// (µs, see XLabel).
+//
+// ffwdload exits nonzero when a phase completes zero operations or
+// records no latencies — a smoke run that "passes" without measuring
+// anything is a failure.
+//
+// Usage:
+//
+//	ffwdserve -proto binary -addr :11212 &
+//	ffwdload -addr :11212 -rate 20000 -duration 10s
+//
+//	ffwdserve -proto both -addr :11211 -binary-addr :11212 &
+//	ffwdload -addr :11212 -ab-text-addr :11211 -format json -out BENCH_frontend.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ffwd/internal/bench"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:11212", "target address (binary frontend by default)")
+		proto       = flag.String("proto", "binary", "protocol to speak: binary or text")
+		conns       = flag.Int("conns", 4, "concurrent connections")
+		rate        = flag.Float64("rate", 0, "total offered ops/s across connections (0 = closed loop at -outstanding depth)")
+		duration    = flag.Duration("duration", 10*time.Second, "measurement phase length, warmup included")
+		warmup      = flag.Duration("warmup", 1*time.Second, "initial slice excluded from the recorded window")
+		getPct      = flag.Int("get", 90, "percent of ops that are GETs (rest are SETs)")
+		keys        = flag.Uint64("keys", 4096, "uniform key-space size")
+		outstanding = flag.Int("outstanding", 64, "per-connection in-flight cap")
+		crc         = flag.Bool("crc", false, "request CRC-framed responses (binary protocol)")
+		format      = flag.String("format", "text", "report format: text or json (bench.Figure)")
+		out         = flag.String("out", "", "write the report here instead of stdout")
+		abTextAddr  = flag.String("ab-text-addr", "", "after the main phase, run an identical phase against this text-protocol address and report both")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	if *getPct < 0 || *getPct > 100 {
+		log.Fatal("ffwdload: -get must be 0..100")
+	}
+	if *keys == 0 {
+		log.Fatal("ffwdload: -keys must be positive")
+	}
+	if *warmup >= *duration {
+		log.Fatal("ffwdload: -warmup must be shorter than -duration")
+	}
+	cfg := loadConfig{
+		addr:        *addr,
+		proto:       *proto,
+		conns:       *conns,
+		rate:        *rate,
+		duration:    *duration,
+		warmup:      *warmup,
+		getPct:      *getPct,
+		keys:        *keys,
+		outstanding: *outstanding,
+		crc:         *crc,
+	}
+
+	type phase struct {
+		label string
+		res   *loadResult
+	}
+	var phases []phase
+
+	log.Printf("ffwdload: %s phase: %s addr=%s conns=%d rate=%s duration=%v",
+		cfg.proto, describeRate(cfg.rate), cfg.addr, cfg.conns, describeRate(cfg.rate), cfg.duration)
+	res, err := runLoad(cfg)
+	if err != nil {
+		log.Fatalf("ffwdload: %v", err)
+	}
+	phases = append(phases, phase{cfg.proto, res})
+
+	if *abTextAddr != "" {
+		tcfg := cfg
+		tcfg.addr = *abTextAddr
+		tcfg.proto = "text"
+		tcfg.crc = false
+		log.Printf("ffwdload: text phase: addr=%s conns=%d rate=%s duration=%v",
+			tcfg.addr, tcfg.conns, describeRate(tcfg.rate), tcfg.duration)
+		tres, terr := runLoad(tcfg)
+		if terr != nil {
+			log.Fatalf("ffwdload: text phase: %v", terr)
+		}
+		phases = append(phases, phase{"text", tres})
+	}
+
+	// Validation: a run that measured nothing must not look like a pass.
+	exitCode := 0
+	for _, p := range phases {
+		if p.res.Ops == 0 {
+			log.Printf("ffwdload: FAIL: %s phase completed zero operations", p.label)
+			exitCode = 1
+		} else if p.res.Hist.Count() == 0 {
+			log.Printf("ffwdload: FAIL: %s phase recorded no latencies (p99 unattributed)", p.label)
+			exitCode = 1
+		}
+	}
+
+	fig := bench.Figure{
+		ID:     "frontend-load",
+		Title:  "ffwdserve frontend load: throughput and CO-safe latency",
+		XLabel: "metric (1=ops/s, 2=p50 µs, 3=p99 µs, 4=p99.9 µs)",
+		YLabel: "value",
+	}
+	for _, p := range phases {
+		fig.Series = append(fig.Series, bench.Series{Label: p.label, Points: []bench.Point{
+			{X: 1, Y: p.res.OpsPerSec},
+			{X: 2, Y: p.res.quantileUS(0.50)},
+			{X: 3, Y: p.res.quantileUS(0.99)},
+			{X: 4, Y: p.res.quantileUS(0.999)},
+		}})
+	}
+
+	var report string
+	if *format == "json" {
+		report = bench.FormatJSON(fig)
+	} else {
+		for _, p := range phases {
+			report += fmt.Sprintf("%-8s %12.0f ops/s  p50=%8.1fµs  p99=%8.1fµs  p99.9=%8.1fµs  ops=%d errors=%d stalls=%d\n",
+				p.label, p.res.OpsPerSec, p.res.quantileUS(0.50), p.res.quantileUS(0.99),
+				p.res.quantileUS(0.999), p.res.Ops, p.res.Errors, p.res.Stalls)
+		}
+	}
+	if len(phases) == 2 && phases[1].res.OpsPerSec > 0 {
+		log.Printf("ffwdload: binary/text throughput ratio: %.2fx",
+			phases[0].res.OpsPerSec/phases[1].res.OpsPerSec)
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			log.Fatalf("ffwdload: %v", err)
+		}
+		log.Printf("ffwdload: wrote %s", *out)
+	} else {
+		fmt.Print(report)
+	}
+	os.Exit(exitCode)
+}
+
+func describeRate(r float64) string {
+	if r <= 0 {
+		return "closed-loop"
+	}
+	return fmt.Sprintf("%.0f ops/s", r)
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ffwd/internal/apps"
+)
+
+// This file is the protocol-independent core of ffwdserve: the backend
+// abstraction over the two store configurations, the pooled delegation
+// handles, and the text command dispatcher both the text frontend and
+// the parity tests share. The wire frontends (textfront.go,
+// binaryfront.go) sit on top of it.
+
+// mgetMax bounds the number of keys per mget so one command line cannot
+// monopolize the pooled pipeline client. It equals wireproto.MGetMax so
+// the two frontends admit identical batches (pinned by test).
+const mgetMax = 64
+
+// backend abstracts the two store configurations.
+type backend interface {
+	handle(line string) string
+}
+
+// ffwdConn is one pooled delegation handle: a synchronous channel for
+// single-key commands plus a pipelined window for mget.
+type ffwdConn struct {
+	kv   *apps.KVClient
+	pipe *apps.KVPipeClient
+	// mget scratch, reused so a command allocates only the response
+	// string.
+	vals  []uint64
+	found []bool
+}
+
+type ffwdBackend struct {
+	d *apps.DelegatedKV
+	// Delegation client slots are a bounded resource, so they live in a
+	// fixed channel-based pool: a command borrows one and returns it.
+	// (sync.Pool is wrong here — it may drop items, leaking slots.)
+	clients chan *ffwdConn
+
+	// shedAfter bounds how long a command waits for a pooled handle when
+	// the pool is saturated before being answered BUSY (0 = wait
+	// forever). sheds counts the commands shed that way.
+	shedAfter time.Duration
+	sheds     atomic.Uint64
+}
+
+// newFFWDBackendPool preallocates every client slot: n pooled handles,
+// each owning one synchronous channel and a pipeline of depth pipeDepth.
+func newFFWDBackendPool(d *apps.DelegatedKV, n, pipeDepth int) (*ffwdBackend, error) {
+	fb := &ffwdBackend{d: d, clients: make(chan *ffwdConn, n)}
+	for i := 0; i < n; i++ {
+		kv, err := d.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := d.NewPipelinedClient(pipeDepth)
+		if err != nil {
+			return nil, err
+		}
+		fb.clients <- &ffwdConn{
+			kv:    kv,
+			pipe:  pipe,
+			vals:  make([]uint64, mgetMax),
+			found: make([]bool, mgetMax),
+		}
+	}
+	return fb, nil
+}
+
+type mutexBackend struct {
+	kv *apps.LockedKV
+}
+
+func (f *ffwdBackend) handle(line string) string {
+	var c *ffwdConn
+	if f.shedAfter <= 0 {
+		c = <-f.clients
+	} else {
+		select {
+		case c = <-f.clients:
+		default:
+			// Saturated pool: wait a bounded while for a handle, then
+			// shed the command rather than queue without limit.
+			t := time.NewTimer(f.shedAfter)
+			select {
+			case c = <-f.clients:
+				t.Stop()
+			case <-t.C:
+				f.sheds.Add(1)
+				return "BUSY delegation pool saturated"
+			}
+		}
+	}
+	defer func() { f.clients <- c }()
+	return dispatchStats(line,
+		func(k uint64) (uint64, bool) { return c.kv.Get(k) },
+		func(k, v uint64) { c.kv.Set(k, v) },
+		func(k uint64) bool { return c.kv.Delete(k) },
+		func() int { return c.kv.Len() },
+		c.kv.Stats,
+		func(keys []uint64) ([]uint64, []bool) {
+			c.pipe.MultiGet(keys, c.vals, c.found)
+			return c.vals[:len(keys)], c.found[:len(keys)]
+		},
+	)
+}
+
+func (m *mutexBackend) handle(line string) string {
+	return dispatchStats(line, m.kv.Get, m.kv.Set, m.kv.Delete, m.kv.Len, m.kv.Stats,
+		func(keys []uint64) ([]uint64, []bool) {
+			// No pipelining behind a lock: the multi-get is just a loop.
+			vals := make([]uint64, len(keys))
+			found := make([]bool, len(keys))
+			for i, k := range keys {
+				vals[i], found[i] = m.kv.Get(k)
+			}
+			return vals, found
+		})
+}
+
+// parse splits a command into op and numeric arguments.
+func parse(line string) (op string, args []uint64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil, fmt.Errorf("empty command")
+	}
+	op = strings.ToLower(fields[0])
+	for _, f := range fields[1:] {
+		v, perr := strconv.ParseUint(f, 10, 64)
+		if perr != nil {
+			return "", nil, fmt.Errorf("bad number %q", f)
+		}
+		args = append(args, v)
+	}
+	return op, args, nil
+}
+
+const usageMsg = "ERROR usage: get k | mget k... | set k v | del k | len | stats | quit"
+
+// statsLine formats the stats reply. Both frontends answer the stats
+// command through this one formatter so their fields can never drift
+// (pinned by the parity test).
+func statsLine(h, m, e uint64) string {
+	return fmt.Sprintf("STATS hits=%d misses=%d evictions=%d", h, m, e)
+}
+
+func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64, uint64),
+	del func(uint64) bool, length func() int, stats func() (h, m, e uint64),
+	mget func([]uint64) ([]uint64, []bool)) string {
+	op, args, err := parse(line)
+	if err != nil {
+		return "ERROR " + err.Error()
+	}
+	switch {
+	case op == "get" && len(args) == 1:
+		if v, ok := get(args[0]); ok {
+			return fmt.Sprintf("VALUE %d", v)
+		}
+		return "NOT_FOUND"
+	case op == "mget" && len(args) >= 1 && mget != nil:
+		if len(args) > mgetMax {
+			return fmt.Sprintf("ERROR mget limited to %d keys", mgetMax)
+		}
+		vals, found := mget(args)
+		var sb strings.Builder
+		sb.WriteString("VALUES")
+		for i := range args {
+			if found[i] {
+				fmt.Fprintf(&sb, " %d", vals[i])
+			} else {
+				sb.WriteString(" -")
+			}
+		}
+		return sb.String()
+	case op == "set" && len(args) == 2:
+		if args[1] == ^uint64(0) {
+			return "ERROR value reserved"
+		}
+		set(args[0], args[1])
+		return "STORED"
+	case op == "del" && len(args) == 1:
+		if del(args[0]) {
+			return "DELETED"
+		}
+		return "NOT_FOUND"
+	case op == "len" && len(args) == 0:
+		return fmt.Sprintf("LEN %d", length())
+	case op == "stats" && len(args) == 0 && stats != nil:
+		h, m, e := stats()
+		return statsLine(h, m, e)
+	default:
+		return usageMsg
+	}
+}

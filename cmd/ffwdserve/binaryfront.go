@@ -1,0 +1,194 @@
+package main
+
+import (
+	"ffwd/internal/apps"
+	"ffwd/internal/frontend"
+	"ffwd/internal/wireproto"
+)
+
+// This file adapts the two store configurations to the binary dataplane
+// (internal/frontend): each shard executor owns its own delegation
+// handles — a KVBatchClient window for pipelined singles, a
+// KVPipeClient for mget, a KVClient for the synchronous stats reads —
+// all against the one shared DelegatedKV, so the store stays globally
+// consistent across shards while every executor pipelines
+// independently.
+
+// ffwdExec executes one shard's batches against the delegated KV.
+// Singles flow through the batch client's async window; mget and stats
+// are synchronous, so pending singles are flushed first to preserve
+// within-shard submission order.
+type ffwdExec struct {
+	batch *apps.KVBatchClient
+	pipe  *apps.KVPipeClient
+	kv    *apps.KVClient
+
+	// pend maps the batch client's completion seq to the op index of
+	// the in-progress batch; curOps/curResults alias ExecBatch's
+	// arguments so the completion callback is allocation-free.
+	pend       []int
+	curOps     []frontend.Op
+	curResults []frontend.Result
+	found      [wireproto.MGetMax]bool
+}
+
+// ffwdExecWindow is each shard's pipelined-singles depth: deep enough
+// to overlap a full executor batch through the delegation server's
+// sweeps, small enough that per-shard slot cost stays trivial.
+const ffwdExecWindow = 16
+
+// newFFWDExecs builds one executor per shard. Slot budget per shard:
+// ffwdExecWindow async + 1 synchronous + pipeDepth pipelined.
+func newFFWDExecs(d *apps.DelegatedKV, shards, pipeDepth int) ([]frontend.Exec, error) {
+	execs := make([]frontend.Exec, 0, shards)
+	for i := 0; i < shards; i++ {
+		batch, err := d.NewBatchClient(ffwdExecWindow)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := d.NewPipelinedClient(pipeDepth)
+		if err != nil {
+			return nil, err
+		}
+		kv, err := d.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		e := &ffwdExec{batch: batch, pipe: pipe, kv: kv, pend: make([]int, 0, 256)}
+		batch.OnDone(e.onDone)
+		execs = append(execs, e)
+	}
+	return execs, nil
+}
+
+// ffwdExecSlots is the delegation-slot budget newFFWDExecs consumes,
+// for sizing core.Config.MaxClients.
+func ffwdExecSlots(shards, pipeDepth int) int {
+	return shards * (ffwdExecWindow + 1 + pipeDepth)
+}
+
+// onDone maps one completed single back to its result slot. ret is the
+// delegated function's raw return word; the op kind decodes it.
+func (e *ffwdExec) onDone(seq int, ret uint64) {
+	i := e.pend[seq]
+	res := &e.curResults[i]
+	switch e.curOps[i].Kind {
+	case wireproto.OpGet:
+		if ret == wireproto.MissValue {
+			res.Status = wireproto.RespNotFound
+		} else {
+			res.Status, res.Val = wireproto.RespValue, ret
+		}
+	case wireproto.OpSet:
+		res.Status = wireproto.RespStored
+	case wireproto.OpDel:
+		if ret == 1 {
+			res.Status = wireproto.RespDeleted
+		} else {
+			res.Status = wireproto.RespNotFound
+		}
+	case wireproto.OpLen:
+		res.Status, res.Val = wireproto.RespLen, ret
+	}
+}
+
+func (e *ffwdExec) flushPend() {
+	if len(e.pend) == 0 {
+		return
+	}
+	e.batch.Flush()
+	e.pend = e.pend[:0]
+}
+
+func (e *ffwdExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
+	e.curOps, e.curResults = ops, results
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case wireproto.OpGet:
+			e.pend = append(e.pend, i)
+			e.batch.Get(op.Key)
+		case wireproto.OpSet:
+			e.pend = append(e.pend, i)
+			e.batch.Set(op.Key, op.Val)
+		case wireproto.OpDel:
+			e.pend = append(e.pend, i)
+			e.batch.Del(op.Key)
+		case wireproto.OpLen:
+			e.pend = append(e.pend, i)
+			e.batch.Len()
+		case wireproto.OpMGet:
+			// Synchronous op: drain the async window first so a
+			// pipelined set on this shard lands before the multi-get
+			// reads.
+			e.flushPend()
+			e.pipe.MultiGet(op.Keys, results[i].Vals, e.found[:len(op.Keys)])
+			for j := range op.Keys {
+				if !e.found[j] {
+					results[i].Vals[j] = wireproto.MissValue
+				}
+			}
+			results[i].Status = wireproto.RespValues
+		case wireproto.OpStats:
+			e.flushPend()
+			h, m, ev := e.kv.Stats()
+			results[i].Status = wireproto.RespStats
+			results[i].Hits, results[i].Misses, results[i].Evictions = h, m, ev
+		}
+	}
+	e.flushPend()
+	e.curOps, e.curResults = nil, nil
+}
+
+// mutexExec is the global-lock baseline behind the binary frontend:
+// every shard funnels into the one LockedKV, so the binary A/B against
+// -backend mutex measures the frontend and the lock separately.
+type mutexExec struct {
+	kv *apps.LockedKV
+}
+
+func newMutexExecs(kv *apps.LockedKV, shards int) []frontend.Exec {
+	execs := make([]frontend.Exec, shards)
+	for i := range execs {
+		execs[i] = &mutexExec{kv: kv}
+	}
+	return execs
+}
+
+func (e *mutexExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
+	for i := range ops {
+		op, res := &ops[i], &results[i]
+		switch op.Kind {
+		case wireproto.OpGet:
+			if v, ok := e.kv.Get(op.Key); ok {
+				res.Status, res.Val = wireproto.RespValue, v
+			} else {
+				res.Status = wireproto.RespNotFound
+			}
+		case wireproto.OpSet:
+			e.kv.Set(op.Key, op.Val)
+			res.Status = wireproto.RespStored
+		case wireproto.OpDel:
+			if e.kv.Delete(op.Key) {
+				res.Status = wireproto.RespDeleted
+			} else {
+				res.Status = wireproto.RespNotFound
+			}
+		case wireproto.OpMGet:
+			for j, k := range op.Keys {
+				if v, ok := e.kv.Get(k); ok {
+					res.Vals[j] = v
+				} else {
+					res.Vals[j] = wireproto.MissValue
+				}
+			}
+			res.Status = wireproto.RespValues
+		case wireproto.OpLen:
+			res.Status, res.Val = wireproto.RespLen, uint64(e.kv.Len())
+		case wireproto.OpStats:
+			h, m, ev := e.kv.Stats()
+			res.Status = wireproto.RespStats
+			res.Hits, res.Misses, res.Evictions = h, m, ev
+		}
+	}
+}

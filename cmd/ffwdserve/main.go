@@ -3,7 +3,9 @@
 // demonstration that a real network service can put its entire shared
 // state behind delegation.
 //
-// Protocol (text, one command per line):
+// The server speaks two protocols over TCP, selected with -proto:
+//
+// Text protocol (-proto text, one command per line):
 //
 //	set <key> <value>   → STORED
 //	get <key>           → VALUE <v> | NOT_FOUND
@@ -13,26 +15,38 @@
 //	stats               → STATS hits=<h> misses=<m> evictions=<e>
 //	quit                → closes the connection
 //
+// Binary protocol (-proto binary): the length-prefixed frame format of
+// internal/wireproto, served by the event-loop dataplane of
+// internal/frontend — a fixed pool of epoll readers batch-decodes
+// frames into per-shard queues, shard executors pipeline each batch
+// through the delegation server, and responses are flushed with one
+// write per connection per batch. Requests carry IDs and may complete
+// out of order, so a pipelining client is never head-of-line-blocked by
+// a slow operation on another shard. -proto both serves text on -addr
+// and binary on -binary-addr.
+//
 // Keys and values are unsigned 64-bit integers (value 2^64-1 is reserved).
 // Malformed input never kills a connection silently: unknown commands,
 // bad numbers, over-limit mget lines, and lines longer than the 4 KiB
-// bound all get an ERROR reply and the connection stays usable.
+// bound all get an ERROR reply and the connection stays usable. (The
+// binary protocol is stricter: a malformed frame loses the framing, so
+// it draws a typed error response and a close.)
 //
-// The server protects itself under overload and abuse:
+// Both frontends share one protection model under overload and abuse:
 //
 //   - -max-conns caps concurrent connections; beyond it, new arrivals get
-//     "BUSY max connections" and are closed immediately.
+//     "BUSY max connections" (text) or a BUSY frame (binary) and are
+//     closed immediately.
 //   - -read-timeout bounds how long a connection may sit idle between
-//     commands (slowloris/forgotten-client protection): a stalled
-//     connection gets "ERROR idle timeout" and is dropped.
+//     commands (slowloris/forgotten-client protection).
 //   - -write-timeout bounds response flushes so a non-reading peer cannot
 //     wedge a serving goroutine.
-//   - When every pooled delegation client is borrowed, a command waits up
-//     to -shed-timeout and is then answered "BUSY delegation pool
-//     saturated" instead of queueing without bound.
-//   - -stats-addr exposes the serving counters and the delegation
-//     server's stats (including exactly-once ledger replays) as expvar
-//     JSON at /debug/vars.
+//   - Saturation sheds instead of queueing without bound: the text path
+//     waits up to -shed-timeout for a pooled delegation client, the
+//     binary path answers BUSY when a shard queue is full.
+//   - -stats-addr exposes the serving counters, the delegation server's
+//     stats, and the binary frontend's queue/batch gauges at /metrics
+//     and /debug/vars.
 //
 // The delegation server uses the adaptive idle policy: at zero load it
 // parks instead of spinning, so an idle ffwdserve burns no core; the first
@@ -56,208 +70,76 @@
 // and the shutdown report separates in-flight replicated writes from
 // leader-local reads. With -chaos-seed, replicated mode injects the
 // replication fault mix (leader kills, partition bursts, slow
-// followers) instead of the single-server mix.
+// followers) instead of the single-server mix. Replicated modes speak
+// the text protocol only.
 //
 // Usage:
 //
 //	ffwdserve -addr :11211 -capacity 65536 -backend ffwd
-//	ffwdserve -backend mutex     # global-lock baseline, for comparison
-//	ffwdserve -chaos-seed 7      # fault-injected resilience run
-//	ffwdserve -replicas 3        # replicated shard with failover
+//	ffwdserve -proto binary              # binary dataplane on -addr
+//	ffwdserve -proto both                # text on -addr, binary on -binary-addr
+//	ffwdserve -backend mutex             # global-lock baseline, for comparison
+//	ffwdserve -chaos-seed 7              # fault-injected resilience run
+//	ffwdserve -replicas 3                # replicated shard with failover
 //	ffwdserve -max-conns 128 -read-timeout 30s -stats-addr :8080
 package main
 
 import (
-	"bufio"
-	"errors"
 	"expvar"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
+	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ffwd/internal/apps"
 	"ffwd/internal/core"
 	"ffwd/internal/fault"
+	"ffwd/internal/frontend"
 	"ffwd/internal/obs"
 	"ffwd/internal/replica"
 	"ffwd/internal/replog"
 )
 
-// mgetMax bounds the number of keys per mget so one command line cannot
-// monopolize the pooled pipeline client.
-const mgetMax = 64
-
-// maxLine bounds one command line (bytes, newline included). Longer
-// lines are drained and answered with an ERROR instead of truncated or
-// silently dropped.
-const maxLine = 4096
-
-// errLineTooLong reports a command line over maxLine; the offending line
-// has been consumed, so the connection can keep serving.
-var errLineTooLong = errors.New("line too long")
-
-// backend abstracts the two store configurations.
-type backend interface {
-	handle(line string) string
-}
-
-// ffwdConn is one pooled delegation handle: a synchronous channel for
-// single-key commands plus a pipelined window for mget.
-type ffwdConn struct {
-	kv   *apps.KVClient
-	pipe *apps.KVPipeClient
-	// mget scratch, reused so a command allocates only the response
-	// string.
-	vals  []uint64
-	found []bool
-}
-
-type ffwdBackend struct {
-	d *apps.DelegatedKV
-	// Delegation client slots are a bounded resource, so they live in a
-	// fixed channel-based pool: a command borrows one and returns it.
-	// (sync.Pool is wrong here — it may drop items, leaking slots.)
-	clients chan *ffwdConn
-
-	// shedAfter bounds how long a command waits for a pooled handle when
-	// the pool is saturated before being answered BUSY (0 = wait
-	// forever). sheds counts the commands shed that way.
-	shedAfter time.Duration
-	sheds     atomic.Uint64
-}
-
-// newFFWDBackendPool preallocates every client slot: n pooled handles,
-// each owning one synchronous channel and a pipeline of depth pipeDepth.
-func newFFWDBackendPool(d *apps.DelegatedKV, n, pipeDepth int) (*ffwdBackend, error) {
-	fb := &ffwdBackend{d: d, clients: make(chan *ffwdConn, n)}
-	for i := 0; i < n; i++ {
-		kv, err := d.NewClient()
-		if err != nil {
-			return nil, err
-		}
-		pipe, err := d.NewPipelinedClient(pipeDepth)
-		if err != nil {
-			return nil, err
-		}
-		fb.clients <- &ffwdConn{
-			kv:    kv,
-			pipe:  pipe,
-			vals:  make([]uint64, mgetMax),
-			found: make([]bool, mgetMax),
-		}
+// defaultShards picks the binary frontend's shard count: one executor
+// per two cores, bounded so shard queues stay busy enough to batch. On
+// a single-core host one shard is right — the win comes from pipelined
+// delegation and write combining, not parallel executors.
+func defaultShards() int {
+	n := runtime.NumCPU() / 2
+	if n < 1 {
+		n = 1
 	}
-	return fb, nil
-}
-
-type mutexBackend struct {
-	kv *apps.LockedKV
-}
-
-// serveStats aggregates connection-level counters across the frontend;
-// all fields are atomics so serving goroutines update them lock-free.
-type serveStats struct {
-	accepted     atomic.Uint64 // connections accepted off the listener
-	rejected     atomic.Uint64 // closed at admission: over -max-conns
-	active       atomic.Int64  // currently serving
-	readTimeouts atomic.Uint64 // connections dropped by the idle deadline
-	longLines    atomic.Uint64 // over-maxLine command lines rejected
-}
-
-// frontend is the connection-facing half of ffwdserve: it owns admission
-// control, per-connection deadlines, the bounded-line protocol loop, and
-// the in-flight connection set the graceful drain closes.
-type frontend struct {
-	b            backend
-	maxConns     int           // admission cap (0 = unlimited)
-	readTimeout  time.Duration // per-command idle bound (0 = none)
-	writeTimeout time.Duration // per-flush bound (0 = none)
-	stats        serveStats
-
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	wg    sync.WaitGroup
-}
-
-func newFrontend(b backend) *frontend {
-	return &frontend{b: b, conns: make(map[net.Conn]struct{})}
-}
-
-// acceptLoop accepts until the listener closes, applying the -max-conns
-// admission check before a connection gets a serving goroutine.
-func (fe *frontend) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		fe.stats.accepted.Add(1)
-		if fe.maxConns > 0 && fe.stats.active.Load() >= int64(fe.maxConns) {
-			fe.stats.rejected.Add(1)
-			conn.SetWriteDeadline(time.Now().Add(time.Second))
-			fmt.Fprintf(conn, "BUSY max connections\n")
-			conn.Close()
-			continue
-		}
-		fe.stats.active.Add(1)
-		fe.mu.Lock()
-		fe.conns[conn] = struct{}{}
-		fe.mu.Unlock()
-		fe.wg.Add(1)
-		go func() {
-			defer fe.wg.Done()
-			defer fe.stats.active.Add(-1)
-			fe.serve(conn)
-			fe.mu.Lock()
-			delete(fe.conns, conn)
-			fe.mu.Unlock()
-		}()
+	if n > 8 {
+		n = 8
 	}
-}
-
-// drain waits up to timeout for in-flight connections to finish, then
-// force-closes the stragglers; it returns how many it had to force.
-func (fe *frontend) drain(timeout time.Duration) int {
-	done := make(chan struct{})
-	go func() { fe.wg.Wait(); close(done) }()
-	select {
-	case <-done:
-		return 0
-	case <-time.After(timeout):
-	}
-	fe.mu.Lock()
-	n := len(fe.conns)
-	for c := range fe.conns {
-		c.Close()
-	}
-	fe.mu.Unlock()
-	<-done
 	return n
 }
 
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:11211", "listen address")
+		proto     = flag.String("proto", "text", "serving protocol: text, binary, or both (text on -addr, binary on -binary-addr)")
+		binAddr   = flag.String("binary-addr", "127.0.0.1:11212", "binary frontend listen address for -proto both")
+		shards    = flag.Int("shards", 0, "binary frontend shard executors (0 = one per two cores)")
+		queueLen  = flag.Int("frontend-queue", 0, "binary frontend per-shard queue depth (0 = default 1024)")
+		batchMax  = flag.Int("frontend-batch", 0, "binary frontend max ops per executor batch (0 = default 64)")
 		capacity  = flag.Int("capacity", 1<<16, "store capacity (entries)")
 		kind      = flag.String("backend", "ffwd", "ffwd or mutex")
-		clients   = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend)")
+		clients   = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend, text frontend)")
 		replicas  = flag.Int("replicas", 1, "replica group size for the ffwd backend; >1 quorum-replicates writes with failover")
 		pipeDepth = flag.Int("pipeline", 8, "pipelined requests in flight per mget (ffwd backend)")
 		parkAfter = flag.Int("idle-park-after", 0, "empty sweeps before the idle server parks (0 = default, negative = never park)")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "inject a seed-derived fault mix into the delegation server (0 = off; ffwd backend)")
 		drainWait = flag.Duration("drain-timeout", 2*time.Second, "grace period for in-flight connections on SIGINT/SIGTERM")
-		maxConns  = flag.Int("max-conns", 256, "max concurrent connections; beyond it new arrivals are rejected BUSY (0 = unlimited)")
+		maxConns  = flag.Int("max-conns", 256, "max concurrent connections per frontend; beyond it new arrivals are rejected BUSY (0 = unlimited)")
 		readWait  = flag.Duration("read-timeout", 2*time.Minute, "idle bound between commands before a connection is dropped (0 = none)")
 		writeWait = flag.Duration("write-timeout", 10*time.Second, "bound on flushing one response (0 = none)")
 		shedWait  = flag.Duration("shed-timeout", 100*time.Millisecond, "how long a command waits for a pooled delegation client before BUSY (ffwd backend; 0 = forever)")
@@ -276,18 +158,33 @@ func main() {
 		return
 	}
 
+	needText := *proto == "text" || *proto == "both"
+	needBin := *proto == "binary" || *proto == "both"
+	if !needText && !needBin {
+		log.Fatalf("unknown -proto %q (want text, binary, or both)", *proto)
+	}
+	replicated := *replicas > 1 || *dataDir != ""
+	if needBin && replicated {
+		log.Fatal("the binary frontend does not serve replicated modes yet; use -proto text with -replicas/-data-dir")
+	}
+	if *shards <= 0 {
+		*shards = defaultShards()
+	}
+
 	var (
-		b    backend
-		d    *apps.DelegatedKV
-		fb   *ffwdBackend
-		rkv  *apps.ReplicatedKV
-		rb   *repBackend
-		sv   *core.Supervisor
-		sink *obs.TraceSink
+		b     backend
+		d     *apps.DelegatedKV
+		fb    *ffwdBackend
+		lkv   *apps.LockedKV
+		rkv   *apps.ReplicatedKV
+		rb    *repBackend
+		sv    *core.Supervisor
+		sink  *obs.TraceSink
+		execs []frontend.Exec
 	)
 	switch *kind {
 	case "ffwd":
-		if *replicas > 1 || *dataDir != "" {
+		if replicated {
 			cfg := core.Config{MaxClients: *clients, IdleParkAfter: *parkAfter}
 			rcfg := apps.ReplicatedConfig{
 				Replicas:      *replicas,
@@ -335,10 +232,18 @@ func main() {
 		if *pipeDepth < 1 {
 			*pipeDepth = 1
 		}
+		// Slot budget: each text pooled handle owns 1 synchronous slot +
+		// pipeDepth pipelined slots; each binary shard executor owns its
+		// async window + 1 synchronous + pipeDepth pipelined.
+		slots := 0
+		if needText {
+			slots += *clients * (1 + *pipeDepth)
+		}
+		if needBin {
+			slots += ffwdExecSlots(*shards, *pipeDepth)
+		}
 		cfg := core.Config{
-			// Each pooled handle owns 1 synchronous slot + pipeDepth
-			// pipelined slots.
-			MaxClients:    *clients * (1 + *pipeDepth),
+			MaxClients:    slots,
 			IdleParkAfter: *parkAfter,
 		}
 		if *chaosSeed != 0 {
@@ -360,13 +265,22 @@ func main() {
 		if err := d.Start(); err != nil {
 			log.Fatal(err)
 		}
-		var err error
-		fb, err = newFFWDBackendPool(d, *clients, *pipeDepth)
-		if err != nil {
-			log.Fatal(err)
+		if needText {
+			var err error
+			fb, err = newFFWDBackendPool(d, *clients, *pipeDepth)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fb.shedAfter = *shedWait
+			b = fb
 		}
-		fb.shedAfter = *shedWait
-		b = fb
+		if needBin {
+			var err error
+			execs, err = newFFWDExecs(d, *shards, *pipeDepth)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		// Supervise the delegation server: restart it if it crashes
 		// (mandatory under chaos injection, cheap insurance without).
 		// The cadence is gentler than the library default: a rescue
@@ -380,27 +294,63 @@ func main() {
 		})
 		sv.Start()
 	case "mutex":
-		b = &mutexBackend{kv: apps.NewLockedKV(*capacity, func() sync.Locker { return &sync.Mutex{} })}
+		lkv = apps.NewLockedKV(*capacity, func() sync.Locker { return &sync.Mutex{} })
+		if needText {
+			b = &mutexBackend{kv: lkv}
+		}
+		if needBin {
+			execs = newMutexExecs(lkv, *shards)
+		}
 	default:
 		log.Fatalf("unknown backend %q", *kind)
 	}
 
-	fe := newFrontend(b)
-	fe.maxConns = *maxConns
-	fe.readTimeout = *readWait
-	fe.writeTimeout = *writeWait
+	var fe *textFrontend
+	if needText {
+		fe = newTextFrontend(b)
+		fe.maxConns = *maxConns
+		fe.readTimeout = *readWait
+		fe.writeTimeout = *writeWait
+	}
+
+	var bsrv *frontend.Server
+	if needBin {
+		var err error
+		bsrv, err = frontend.NewServer(frontend.Config{
+			Execs:        execs,
+			QueueDepth:   *queueLen,
+			MaxBatch:     *batchMax,
+			MaxConns:     *maxConns,
+			IdleTimeout:  *readWait,
+			WriteTimeout: *writeWait,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *statsAddr != "" {
 		expvar.Publish("ffwdserve", expvar.Func(func() any {
-			m := map[string]uint64{
-				"accepted":      fe.stats.accepted.Load(),
-				"rejected":      fe.stats.rejected.Load(),
-				"active":        uint64(fe.stats.active.Load()),
-				"read_timeouts": fe.stats.readTimeouts.Load(),
-				"long_lines":    fe.stats.longLines.Load(),
+			m := map[string]uint64{}
+			if fe != nil {
+				m["accepted"] = fe.stats.accepted.Load()
+				m["rejected"] = fe.stats.rejected.Load()
+				m["active"] = uint64(fe.stats.active.Load())
+				m["read_timeouts"] = fe.stats.readTimeouts.Load()
+				m["long_lines"] = fe.stats.longLines.Load()
 			}
 			if fb != nil {
 				m["busy_sheds"] = fb.sheds.Load()
+			}
+			if bsrv != nil {
+				bm := bsrv.Metrics()
+				m["bin_accepted"] = bm.Accepted.Load()
+				m["bin_rejected"] = bm.Rejected.Load()
+				m["bin_active"] = uint64(bm.Active.Load())
+				m["bin_frames"] = bm.FramesIn.Load()
+				m["bin_queue_sheds"] = bm.QueueSheds.Load()
+				m["bin_batches"] = bm.Batches.Load()
+				m["bin_flushes"] = bm.Flushes.Load()
 			}
 			if d != nil {
 				st := d.Server().Stats()
@@ -438,7 +388,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/metrics", metricsRegistry(fe, fb, d, rkv, rb).Handler())
+		mux.Handle("/metrics", metricsRegistry(fe, fb, d, rkv, rb, bsrv).Handler())
 		if sink != nil {
 			// Live capture download: the snapshot is race-free against
 			// the serving hot path, so this works on a loaded server.
@@ -455,11 +405,27 @@ func main() {
 		}()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
+	var tln, bln net.Listener
+	if fe != nil {
+		var err error
+		tln, err = net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ffwdserve: %s backend listening on %s", *kind, tln.Addr())
 	}
-	log.Printf("ffwdserve: %s backend listening on %s", *kind, ln.Addr())
+	if bsrv != nil {
+		listenAt := *binAddr
+		if *proto == "binary" {
+			listenAt = *addr
+		}
+		var err error
+		bln, err = net.Listen("tcp", listenAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("ffwdserve: binary frontend listening on %s (%d shards)", bln.Addr(), bsrv.Shards())
+	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, give in-flight
 	// connections a grace period to drain, then force-close stragglers
@@ -469,13 +435,37 @@ func main() {
 	go func() {
 		sig := <-sigc
 		log.Printf("ffwdserve: %v: stopped accepting, draining connections (up to %v)", sig, *drainWait)
-		ln.Close()
+		if tln != nil {
+			tln.Close()
+		}
+		if bln != nil {
+			bln.Close()
+		}
 	}()
 
-	fe.acceptLoop(ln)
+	if fe != nil {
+		if bsrv != nil {
+			go bsrv.Serve(bln)
+		}
+		fe.acceptLoop(tln)
+	} else {
+		bsrv.Serve(bln)
+	}
 
-	if n := fe.drain(*drainWait); n > 0 {
-		log.Printf("ffwdserve: drain timeout: force-closed %d connection(s)", n)
+	if fe != nil {
+		if n := fe.drain(*drainWait); n > 0 {
+			log.Printf("ffwdserve: drain timeout: force-closed %d connection(s)", n)
+		}
+	}
+	if bsrv != nil {
+		if n := bsrv.Drain(*drainWait); n > 0 {
+			log.Printf("ffwdserve: binary drain timeout: force-closed %d connection(s)", n)
+		}
+		bm := bsrv.Metrics()
+		log.Printf("ffwdserve: binary stats: accepted=%d rejected=%d frames=%d batches=%d flushes=%d queue-sheds=%d decode-errors=%d idle-reaps=%d",
+			bm.Accepted.Load(), bm.Rejected.Load(), bm.FramesIn.Load(),
+			bm.Batches.Load(), bm.Flushes.Load(), bm.QueueSheds.Load(),
+			bm.DecodeErrors.Load(), bm.IdleReaps.Load())
 	}
 
 	if sv != nil {
@@ -488,9 +478,11 @@ func main() {
 	if rb != nil {
 		sheds = rb.sheds.Load()
 	}
-	log.Printf("ffwdserve: conn stats: accepted=%d rejected=%d read-timeouts=%d long-lines=%d busy-sheds=%d",
-		fe.stats.accepted.Load(), fe.stats.rejected.Load(),
-		fe.stats.readTimeouts.Load(), fe.stats.longLines.Load(), sheds)
+	if fe != nil {
+		log.Printf("ffwdserve: conn stats: accepted=%d rejected=%d read-timeouts=%d long-lines=%d busy-sheds=%d",
+			fe.stats.accepted.Load(), fe.stats.rejected.Load(),
+			fe.stats.readTimeouts.Load(), fe.stats.longLines.Load(), sheds)
+	}
 	if rb != nil {
 		// The drain report keeps replicated writes separate from
 		// leader-local reads: an in-flight replicated op at this point
@@ -557,22 +549,27 @@ func writeTrace(path string, sink *obs.TraceSink) {
 // server's stats into a Prometheus /metrics endpoint. Everything is a
 // scrape-time sampling func: the counters already exist as atomics and
 // core.Stats is a consistent snapshot, so the registry owns no state.
-func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *apps.ReplicatedKV, rb *repBackend) *obs.Registry {
+func metricsRegistry(fe *textFrontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *apps.ReplicatedKV, rb *repBackend, bsrv *frontend.Server) *obs.Registry {
 	reg := obs.NewRegistry()
 	u := func(load func() uint64) func() float64 {
 		return func() float64 { return float64(load()) }
 	}
-	reg.CounterFunc("ffwdserve_connections_accepted_total",
-		"Connections accepted off the listener.", u(fe.stats.accepted.Load))
-	reg.CounterFunc("ffwdserve_connections_rejected_total",
-		"Connections rejected at admission (over -max-conns).", u(fe.stats.rejected.Load))
-	reg.GaugeFunc("ffwdserve_connections_active",
-		"Connections currently being served.",
-		func() float64 { return float64(fe.stats.active.Load()) })
-	reg.CounterFunc("ffwdserve_read_timeouts_total",
-		"Connections dropped by the idle read deadline.", u(fe.stats.readTimeouts.Load))
-	reg.CounterFunc("ffwdserve_long_lines_total",
-		"Over-limit command lines rejected.", u(fe.stats.longLines.Load))
+	if fe != nil {
+		reg.CounterFunc("ffwdserve_connections_accepted_total",
+			"Connections accepted off the listener.", u(fe.stats.accepted.Load))
+		reg.CounterFunc("ffwdserve_connections_rejected_total",
+			"Connections rejected at admission (over -max-conns).", u(fe.stats.rejected.Load))
+		reg.GaugeFunc("ffwdserve_connections_active",
+			"Connections currently being served.",
+			func() float64 { return float64(fe.stats.active.Load()) })
+		reg.CounterFunc("ffwdserve_read_timeouts_total",
+			"Connections dropped by the idle read deadline.", u(fe.stats.readTimeouts.Load))
+		reg.CounterFunc("ffwdserve_long_lines_total",
+			"Over-limit command lines rejected.", u(fe.stats.longLines.Load))
+	}
+	if bsrv != nil {
+		bsrv.RegisterMetrics(reg)
+	}
 	if fb != nil {
 		reg.CounterFunc("ffwdserve_busy_sheds_total",
 			"Commands shed BUSY waiting for a pooled delegation client.", u(fb.sheds.Load))
@@ -676,198 +673,4 @@ func metricsRegistry(fe *frontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *ap
 			func() float64 { return float64(rb.repInFlight.Load()) })
 	}
 	return reg
-}
-
-// serve runs the protocol loop for one connection: bounded line reads
-// under the idle deadline, one reply per line under the write deadline.
-func (fe *frontend) serve(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReaderSize(conn, maxLine)
-	w := bufio.NewWriter(conn)
-	for {
-		if fe.readTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(fe.readTimeout))
-		}
-		line, err := readLine(r)
-		if err != nil {
-			if errors.Is(err, errLineTooLong) {
-				fe.stats.longLines.Add(1)
-				if !fe.reply(conn, w, "ERROR line too long") {
-					return
-				}
-				continue
-			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				// A quit-less idle client: tell it why (best effort)
-				// and drop the connection rather than leak it.
-				fe.stats.readTimeouts.Add(1)
-				fe.reply(conn, w, "ERROR idle timeout")
-			}
-			return
-		}
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		if strings.EqualFold(line, "quit") {
-			return
-		}
-		if !fe.reply(conn, w, fe.b.handle(line)) {
-			return
-		}
-	}
-}
-
-// readLine reads one newline-terminated line of at most maxLine bytes
-// (the reader's buffer size). An overlong line is consumed through its
-// newline and reported as errLineTooLong, so the protocol loop can
-// answer with an ERROR and keep the connection — where a Scanner would
-// kill it silently.
-func readLine(r *bufio.Reader) (string, error) {
-	s, err := r.ReadSlice('\n')
-	switch {
-	case err == nil:
-		return string(s), nil
-	case errors.Is(err, bufio.ErrBufferFull):
-		for {
-			_, err = r.ReadSlice('\n')
-			if err == nil {
-				return "", errLineTooLong
-			}
-			if !errors.Is(err, bufio.ErrBufferFull) {
-				return "", err
-			}
-		}
-	case len(s) > 0 && errors.Is(err, io.EOF):
-		// A final line without a newline is still a command.
-		return string(s), nil
-	default:
-		return "", err
-	}
-}
-
-// reply writes one response line under the write deadline; false means
-// the connection is gone.
-func (fe *frontend) reply(conn net.Conn, w *bufio.Writer, resp string) bool {
-	if fe.writeTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(fe.writeTimeout))
-	}
-	fmt.Fprintln(w, resp)
-	return w.Flush() == nil
-}
-
-// parse splits a command into op and numeric arguments.
-func parse(line string) (op string, args []uint64, err error) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "", nil, fmt.Errorf("empty command")
-	}
-	op = strings.ToLower(fields[0])
-	for _, f := range fields[1:] {
-		v, perr := strconv.ParseUint(f, 10, 64)
-		if perr != nil {
-			return "", nil, fmt.Errorf("bad number %q", f)
-		}
-		args = append(args, v)
-	}
-	return op, args, nil
-}
-
-func (f *ffwdBackend) handle(line string) string {
-	var c *ffwdConn
-	if f.shedAfter <= 0 {
-		c = <-f.clients
-	} else {
-		select {
-		case c = <-f.clients:
-		default:
-			// Saturated pool: wait a bounded while for a handle, then
-			// shed the command rather than queue without limit.
-			t := time.NewTimer(f.shedAfter)
-			select {
-			case c = <-f.clients:
-				t.Stop()
-			case <-t.C:
-				f.sheds.Add(1)
-				return "BUSY delegation pool saturated"
-			}
-		}
-	}
-	defer func() { f.clients <- c }()
-	return dispatchStats(line,
-		func(k uint64) (uint64, bool) { return c.kv.Get(k) },
-		func(k, v uint64) { c.kv.Set(k, v) },
-		func(k uint64) bool { return c.kv.Delete(k) },
-		func() int { return c.kv.Len() },
-		c.kv.Stats,
-		func(keys []uint64) ([]uint64, []bool) {
-			c.pipe.MultiGet(keys, c.vals, c.found)
-			return c.vals[:len(keys)], c.found[:len(keys)]
-		},
-	)
-}
-
-func (m *mutexBackend) handle(line string) string {
-	return dispatchStats(line, m.kv.Get, m.kv.Set, m.kv.Delete, m.kv.Len, m.kv.Stats,
-		func(keys []uint64) ([]uint64, []bool) {
-			// No pipelining behind a lock: the multi-get is just a loop.
-			vals := make([]uint64, len(keys))
-			found := make([]bool, len(keys))
-			for i, k := range keys {
-				vals[i], found[i] = m.kv.Get(k)
-			}
-			return vals, found
-		})
-}
-
-const usageMsg = "ERROR usage: get k | mget k... | set k v | del k | len | stats | quit"
-
-func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64, uint64),
-	del func(uint64) bool, length func() int, stats func() (h, m, e uint64),
-	mget func([]uint64) ([]uint64, []bool)) string {
-	op, args, err := parse(line)
-	if err != nil {
-		return "ERROR " + err.Error()
-	}
-	switch {
-	case op == "get" && len(args) == 1:
-		if v, ok := get(args[0]); ok {
-			return fmt.Sprintf("VALUE %d", v)
-		}
-		return "NOT_FOUND"
-	case op == "mget" && len(args) >= 1 && mget != nil:
-		if len(args) > mgetMax {
-			return fmt.Sprintf("ERROR mget limited to %d keys", mgetMax)
-		}
-		vals, found := mget(args)
-		var sb strings.Builder
-		sb.WriteString("VALUES")
-		for i := range args {
-			if found[i] {
-				fmt.Fprintf(&sb, " %d", vals[i])
-			} else {
-				sb.WriteString(" -")
-			}
-		}
-		return sb.String()
-	case op == "set" && len(args) == 2:
-		if args[1] == ^uint64(0) {
-			return "ERROR value reserved"
-		}
-		set(args[0], args[1])
-		return "STORED"
-	case op == "del" && len(args) == 1:
-		if del(args[0]) {
-			return "DELETED"
-		}
-		return "NOT_FOUND"
-	case op == "len" && len(args) == 0:
-		return fmt.Sprintf("LEN %d", length())
-	case op == "stats" && len(args) == 0 && stats != nil:
-		h, m, e := stats()
-		return fmt.Sprintf("STATS hits=%d misses=%d evictions=%d", h, m, e)
-	default:
-		return usageMsg
-	}
 }

@@ -82,7 +82,7 @@ func TestDispatchProtocol(t *testing.T) {
 
 // listen starts fe accepting on an ephemeral port and returns its
 // address.
-func listen(t *testing.T, fe *frontend) string {
+func listen(t *testing.T, fe *textFrontend) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -95,7 +95,7 @@ func listen(t *testing.T, fe *frontend) string {
 
 func TestServeOverTCP(t *testing.T) {
 	b := newFFWDBackend(t, 1024, 8)
-	addr := listen(t, newFrontend(b))
+	addr := listen(t, newTextFrontend(b))
 
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -130,7 +130,7 @@ func TestServeOverTCP(t *testing.T) {
 
 func TestServeConcurrentConnections(t *testing.T) {
 	b := newFFWDBackend(t, 1<<12, 16)
-	addr := listen(t, newFrontend(b))
+	addr := listen(t, newTextFrontend(b))
 
 	const conns, opsEach = 8, 200
 	var wg sync.WaitGroup

@@ -39,7 +39,7 @@ func dialText(t *testing.T, addr string) (net.Conn, *bufio.Reader, func(cmd stri
 // silent disconnect.
 func TestProtocolRobustness(t *testing.T) {
 	b := newFFWDBackend(t, 1024, 4)
-	addr := listen(t, newFrontend(b))
+	addr := listen(t, newTextFrontend(b))
 	_, _, send := dialText(t, addr)
 
 	long := "set 1 " + strings.Repeat("9", maxLine+100)
@@ -74,7 +74,7 @@ func TestProtocolRobustness(t *testing.T) {
 // fresh connections afterwards.
 func TestStalledConnectionHitsReadDeadline(t *testing.T) {
 	b := newFFWDBackend(t, 64, 2)
-	fe := newFrontend(b)
+	fe := newTextFrontend(b)
 	fe.readTimeout = 50 * time.Millisecond
 	addr := listen(t, fe)
 
@@ -106,7 +106,7 @@ func TestStalledConnectionHitsReadDeadline(t *testing.T) {
 // resumes.
 func TestMaxConnsAdmission(t *testing.T) {
 	b := newFFWDBackend(t, 64, 2)
-	fe := newFrontend(b)
+	fe := newTextFrontend(b)
 	fe.maxConns = 1
 	addr := listen(t, fe)
 

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ffwd/internal/apps"
+	"ffwd/internal/frontend"
+	"ffwd/internal/wireproto"
+)
+
+// binParityClient speaks the binary protocol one request at a time and
+// renders each response in the text protocol's reply format, so the
+// parity test can compare the two frontends verbatim.
+type binParityClient struct {
+	t    *testing.T
+	c    net.Conn
+	rbuf []byte
+	rlen int
+	id   uint64
+}
+
+func dialBinary(t *testing.T, addr string) *binParityClient {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &binParityClient{t: t, c: c, rbuf: make([]byte, 4096)}
+}
+
+func (b *binParityClient) roundTrip(req *wireproto.Request) wireproto.Response {
+	b.t.Helper()
+	b.id++
+	req.ID = b.id
+	frame := wireproto.AppendRequest(nil, req)
+	if _, err := b.c.Write(frame); err != nil {
+		b.t.Fatal(err)
+	}
+	b.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		body, n, err := wireproto.Split(b.rbuf[:b.rlen])
+		if err == nil {
+			var resp wireproto.Response
+			if derr := wireproto.DecodeResponse(body, &resp); derr != nil {
+				b.t.Fatalf("decode response: %v", derr)
+			}
+			if resp.ID != req.ID {
+				b.t.Fatalf("response ID = %d, want %d", resp.ID, req.ID)
+			}
+			vals := append([]uint64(nil), resp.Vals...)
+			resp.Vals = vals
+			b.rlen = copy(b.rbuf, b.rbuf[n:b.rlen])
+			return resp
+		}
+		if !errors.Is(err, wireproto.ErrShort) {
+			b.t.Fatalf("split: %v", err)
+		}
+		m, rerr := b.c.Read(b.rbuf[b.rlen:])
+		if rerr != nil {
+			b.t.Fatalf("read: %v", rerr)
+		}
+		b.rlen += m
+	}
+}
+
+// handle runs one text-protocol command through the binary frontend and
+// renders the reply in the text reply format. Formatting the stats
+// response through statsLine is the point: the parity test fails if the
+// binary frontend's stats fields could not reproduce the text reply.
+func (b *binParityClient) handle(line string) string {
+	b.t.Helper()
+	op, args, err := parse(line)
+	if err != nil {
+		b.t.Fatalf("parse(%q): %v", line, err)
+	}
+	var req wireproto.Request
+	switch op {
+	case "get":
+		req.Op, req.Key = wireproto.OpGet, args[0]
+	case "set":
+		req.Op, req.Key, req.Val = wireproto.OpSet, args[0], args[1]
+	case "del":
+		req.Op, req.Key = wireproto.OpDel, args[0]
+	case "mget":
+		req.Op, req.Keys = wireproto.OpMGet, args
+	case "len":
+		req.Op = wireproto.OpLen
+	case "stats":
+		req.Op = wireproto.OpStats
+	default:
+		b.t.Fatalf("no binary equivalent for %q", op)
+	}
+	resp := b.roundTrip(&req)
+	switch resp.Type {
+	case wireproto.RespValue:
+		return fmt.Sprintf("VALUE %d", resp.Val)
+	case wireproto.RespNotFound:
+		return "NOT_FOUND"
+	case wireproto.RespStored:
+		return "STORED"
+	case wireproto.RespDeleted:
+		return "DELETED"
+	case wireproto.RespLen:
+		return fmt.Sprintf("LEN %d", resp.Val)
+	case wireproto.RespStats:
+		return statsLine(resp.Hits, resp.Misses, resp.Evictions)
+	case wireproto.RespValues:
+		var sb strings.Builder
+		sb.WriteString("VALUES")
+		for _, v := range resp.Vals {
+			if v == wireproto.MissValue {
+				sb.WriteString(" -")
+			} else {
+				fmt.Fprintf(&sb, " %d", v)
+			}
+		}
+		return sb.String()
+	case wireproto.RespError:
+		if resp.Code == wireproto.CodeValueReserved {
+			return "ERROR value reserved"
+		}
+		return fmt.Sprintf("ERROR code %d", resp.Code)
+	default:
+		b.t.Fatalf("unexpected response type 0x%02x", resp.Type)
+		return ""
+	}
+}
+
+// TestFrontendParity runs one op sequence through both frontends over
+// TCP — the text protocol against a textFrontend, the binary protocol
+// against the internal/frontend dataplane — each over its own
+// identically configured delegated store, and requires every reply to
+// match verbatim once the binary responses are rendered in text form.
+// The stats step pins the regression the shared statsLine formatter
+// exists for: both frontends must report identical stats fields.
+func TestFrontendParity(t *testing.T) {
+	const (
+		capacity = 1024
+		shards   = 2
+		depth    = 4
+	)
+
+	// Text frontend over its own store.
+	tb := newFFWDBackend(t, capacity, 4)
+	taddr := listen(t, newTextFrontend(tb))
+	tconn, err := net.Dial("tcp", taddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tconn.Close()
+	trd := make([]byte, 0, 4096)
+	textHandle := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(tconn, line); err != nil {
+			t.Fatal(err)
+		}
+		tconn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		for {
+			if i := strings.IndexByte(string(trd), '\n'); i >= 0 {
+				line := strings.TrimRight(string(trd[:i]), "\r\n")
+				trd = append(trd[:0], trd[i+1:]...)
+				return line
+			}
+			var buf [512]byte
+			n, err := tconn.Read(buf[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			trd = append(trd, buf[:n]...)
+		}
+	}
+
+	// Binary frontend over a second store with the same capacity.
+	d := apps.NewDelegatedKV(capacity, ffwdExecSlots(shards, depth))
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	execs, err := newFFWDExecs(d, shards, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsrv, err := frontend.NewServer(frontend.Config{Execs: execs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bsrv.Close)
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bln.Close() })
+	go bsrv.Serve(bln)
+	bc := dialBinary(t, bln.Addr().String())
+
+	steps := []string{
+		"get 1",
+		"set 1 42",
+		"get 1",
+		"set 1 43",
+		"get 1",
+		"len",
+		"del 1",
+		"del 1",
+		"get 1",
+		"set 2 18446744073709551615",
+		"set 10 100",
+		"set 12 120",
+		"mget 10 11 12",
+		"get 10",
+		"get 11",
+		"len",
+		"stats",
+	}
+	for _, cmd := range steps {
+		want := textHandle(cmd)
+		got := bc.handle(cmd)
+		if got != want {
+			t.Fatalf("parity break on %q: text=%q binary=%q", cmd, want, got)
+		}
+	}
+}

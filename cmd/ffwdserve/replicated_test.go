@@ -33,7 +33,7 @@ func newRepBackend(t *testing.T, capacity, clients int, hooks core.Hooks) *repBa
 // replication counters.
 func TestReplicatedServeOverTCP(t *testing.T) {
 	rb := newRepBackend(t, 1024, 4, nil)
-	addr := listen(t, newFrontend(rb))
+	addr := listen(t, newTextFrontend(rb))
 	_, _, send := dialText(t, addr)
 
 	if got := send("set 7 700"); got != "STORED" {
@@ -89,7 +89,7 @@ func TestReplicatedServeOverTCP(t *testing.T) {
 func TestReplicatedServeFailover(t *testing.T) {
 	inj := fault.New(fault.Plan{KillAtOp: 4})
 	rb := newRepBackend(t, 1024, 2, inj)
-	addr := listen(t, newFrontend(rb))
+	addr := listen(t, newTextFrontend(rb))
 	_, _, send := dialText(t, addr)
 
 	for i := 1; i <= 6; i++ {

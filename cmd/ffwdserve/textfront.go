@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the text-protocol frontend: goroutine-per-connection,
+// newline-framed commands, one reply line per command. It shares the
+// backend, admission, and drain semantics with the binary frontend
+// (binaryfront.go); only the wire format and concurrency shape differ.
+
+// maxLine bounds one command line (bytes, newline included). Longer
+// lines are drained and answered with an ERROR instead of truncated or
+// silently dropped.
+const maxLine = 4096
+
+// errLineTooLong reports a command line over maxLine; the offending line
+// has been consumed, so the connection can keep serving.
+var errLineTooLong = errors.New("line too long")
+
+// serveStats aggregates connection-level counters across the frontend;
+// all fields are atomics so serving goroutines update them lock-free.
+type serveStats struct {
+	accepted     atomic.Uint64 // connections accepted off the listener
+	rejected     atomic.Uint64 // closed at admission: over -max-conns
+	active       atomic.Int64  // currently serving
+	readTimeouts atomic.Uint64 // connections dropped by the idle deadline
+	longLines    atomic.Uint64 // over-maxLine command lines rejected
+}
+
+// textFrontend is the connection-facing half of the text protocol: it
+// owns admission control, per-connection deadlines, the bounded-line
+// protocol loop, and the in-flight connection set the graceful drain
+// closes.
+type textFrontend struct {
+	b            backend
+	maxConns     int           // admission cap (0 = unlimited)
+	readTimeout  time.Duration // per-command idle bound (0 = none)
+	writeTimeout time.Duration // per-flush bound (0 = none)
+	stats        serveStats
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func newTextFrontend(b backend) *textFrontend {
+	return &textFrontend{b: b, conns: make(map[net.Conn]struct{})}
+}
+
+// acceptLoop accepts until the listener closes, applying the -max-conns
+// admission check before a connection gets a serving goroutine.
+func (fe *textFrontend) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		fe.stats.accepted.Add(1)
+		if fe.maxConns > 0 && fe.stats.active.Load() >= int64(fe.maxConns) {
+			fe.stats.rejected.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintf(conn, "BUSY max connections\n")
+			conn.Close()
+			continue
+		}
+		fe.stats.active.Add(1)
+		fe.mu.Lock()
+		fe.conns[conn] = struct{}{}
+		fe.mu.Unlock()
+		fe.wg.Add(1)
+		go func() {
+			defer fe.wg.Done()
+			defer fe.stats.active.Add(-1)
+			fe.serve(conn)
+			fe.mu.Lock()
+			delete(fe.conns, conn)
+			fe.mu.Unlock()
+		}()
+	}
+}
+
+// drain waits up to timeout for in-flight connections to finish, then
+// force-closes the stragglers; it returns how many it had to force.
+func (fe *textFrontend) drain(timeout time.Duration) int {
+	done := make(chan struct{})
+	go func() { fe.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return 0
+	case <-time.After(timeout):
+	}
+	fe.mu.Lock()
+	n := len(fe.conns)
+	for c := range fe.conns {
+		c.Close()
+	}
+	fe.mu.Unlock()
+	<-done
+	return n
+}
+
+// serve runs the protocol loop for one connection: bounded line reads
+// under the idle deadline, write-combined replies under the write
+// deadline.
+func (fe *textFrontend) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, maxLine)
+	w := bufio.NewWriter(conn)
+	for {
+		if fe.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(fe.readTimeout))
+		}
+		line, err := readLine(r)
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				fe.stats.longLines.Add(1)
+				if !fe.reply(conn, r, w, "ERROR line too long") {
+					return
+				}
+				continue
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// A quit-less idle client: tell it why (best effort)
+				// and drop the connection rather than leak it.
+				fe.stats.readTimeouts.Add(1)
+				fe.reply(conn, r, w, "ERROR idle timeout")
+			}
+			return
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			// Flush replies to commands pipelined ahead of the quit.
+			w.Flush()
+			return
+		}
+		if !fe.reply(conn, r, w, fe.b.handle(line)) {
+			return
+		}
+	}
+}
+
+// readLine reads one newline-terminated line of at most maxLine bytes
+// (the reader's buffer size). An overlong line is consumed through its
+// newline and reported as errLineTooLong, so the protocol loop can
+// answer with an ERROR and keep the connection — where a Scanner would
+// kill it silently.
+func readLine(r *bufio.Reader) (string, error) {
+	s, err := r.ReadSlice('\n')
+	switch {
+	case err == nil:
+		return string(s), nil
+	case errors.Is(err, bufio.ErrBufferFull):
+		for {
+			_, err = r.ReadSlice('\n')
+			if err == nil {
+				return "", errLineTooLong
+			}
+			if !errors.Is(err, bufio.ErrBufferFull) {
+				return "", err
+			}
+		}
+	case len(s) > 0 && errors.Is(err, io.EOF):
+		// A final line without a newline is still a command.
+		return string(s), nil
+	default:
+		return "", err
+	}
+}
+
+// reply buffers one response line under the write deadline; false means
+// the connection is gone. The flush is write-combined: when the read
+// buffer already holds another complete command — a pipelining client —
+// the reply rides along with the next one instead of paying its own
+// write syscall. The skip is safe against trickling clients because it
+// only happens when a full newline-terminated command is already
+// buffered, which guarantees another reply (and flush check) follows.
+func (fe *textFrontend) reply(conn net.Conn, r *bufio.Reader, w *bufio.Writer, resp string) bool {
+	if fe.writeTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(fe.writeTimeout))
+	}
+	if _, err := fmt.Fprintln(w, resp); err != nil {
+		return false
+	}
+	if cmdBuffered(r) {
+		return true
+	}
+	return w.Flush() == nil
+}
+
+// cmdBuffered reports whether r already holds a complete command line.
+func cmdBuffered(r *bufio.Reader) bool {
+	n := r.Buffered()
+	if n == 0 {
+		return false
+	}
+	peek, _ := r.Peek(n)
+	return bytes.IndexByte(peek, '\n') >= 0
+}

@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"testing"
+
+	"ffwd/internal/wireproto"
+)
+
+func newBatchKV(t *testing.T, window int) (*DelegatedKV, *KVBatchClient) {
+	t.Helper()
+	d := NewDelegatedKV(1024, window+2)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	b, err := d.NewBatchClient(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return d, b
+}
+
+// TestBatchClientOrderAndValues pins that completions arrive in submit
+// order with per-kind return words, across batches larger than the
+// window.
+func TestBatchClientOrderAndValues(t *testing.T) {
+	_, b := newBatchKV(t, 4)
+
+	type op struct {
+		kind byte // 'g', 's', 'd', 'l'
+		key  uint64
+		val  uint64
+		want uint64
+	}
+	miss := ^uint64(0)
+	ops := []op{
+		{'g', 1, 0, miss}, // miss
+		{'s', 1, 100, 0},  // store
+		{'g', 1, 0, 100},  // hit
+		{'s', 2, 200, 0},
+		{'d', 3, 0, 0},    // delete absent
+		{'d', 1, 0, 1},    // delete present
+		{'g', 1, 0, miss}, // miss again
+		{'l', 0, 0, 1},    // only key 2 remains
+		{'g', 2, 0, 200},
+		{'s', 4, 400, 0},
+		{'g', 4, 0, 400},
+		{'d', 2, 0, 1},
+	}
+
+	got := make([]uint64, 0, len(ops))
+	seqs := make([]int, 0, len(ops))
+	b.OnDone(func(seq int, ret uint64) {
+		seqs = append(seqs, seq)
+		got = append(got, ret)
+	})
+	for _, o := range ops {
+		switch o.kind {
+		case 'g':
+			b.Get(o.key)
+		case 's':
+			b.Set(o.key, o.val)
+		case 'd':
+			b.Del(o.key)
+		case 'l':
+			b.Len()
+		}
+	}
+	b.Flush()
+	if b.InFlight() != 0 {
+		t.Fatalf("in flight after flush: %d", b.InFlight())
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("completions: %d, want %d", len(got), len(ops))
+	}
+	for i, o := range ops {
+		if seqs[i] != i {
+			t.Fatalf("seq[%d] = %d", i, seqs[i])
+		}
+		if got[i] != o.want {
+			t.Fatalf("op %d (%c key=%d): ret %d, want %d", i, o.kind, o.key, got[i], o.want)
+		}
+	}
+
+	// Seq numbering resets across Flush.
+	b.Get(4)
+	b.Flush()
+	if seqs[len(seqs)-1] != 0 {
+		t.Fatalf("seq after flush = %d, want 0", seqs[len(seqs)-1])
+	}
+	if got[len(got)-1] != 400 {
+		t.Fatalf("value after flush = %d", got[len(got)-1])
+	}
+}
+
+// TestBatchClientAllocFree pins the submit/flush cycle at zero
+// allocations per batch.
+func TestBatchClientAllocFree(t *testing.T) {
+	_, b := newBatchKV(t, 8)
+	var sink uint64
+	b.OnDone(func(_ int, ret uint64) { sink += ret })
+	n := testing.AllocsPerRun(100, func() {
+		for k := uint64(0); k < 32; k++ {
+			b.Set(k, k+1)
+			b.Get(k)
+		}
+		b.Flush()
+	})
+	if n != 0 {
+		t.Fatalf("batch cycle allocates %.1f allocs/op, want 0", n)
+	}
+	_ = sink
+}
+
+// TestBatchClientWindowOne degenerates to synchronous delegation.
+func TestBatchClientWindowOne(t *testing.T) {
+	_, b := newBatchKV(t, 1)
+	var rets []uint64
+	b.OnDone(func(_ int, ret uint64) { rets = append(rets, ret) })
+	b.Set(9, 90)
+	b.Get(9)
+	b.Flush()
+	if len(rets) != 2 || rets[1] != 90 {
+		t.Fatalf("rets = %v", rets)
+	}
+}
+
+// The miss sentinel the delegated KV uses is the same reserved value the
+// wire protocol names; the frontend depends on this equality to encode
+// misses without translation.
+func TestMissSentinelMatchesWireProto(t *testing.T) {
+	if kvMissSentinel != wireproto.MissValue {
+		t.Fatalf("kvMissSentinel %x != wireproto.MissValue %x", uint64(kvMissSentinel), wireproto.MissValue)
+	}
+}

@@ -1,0 +1,168 @@
+package frontend
+
+import "ffwd/internal/wireproto"
+
+// Op is one request handed to an Exec. Kind is a wireproto op constant.
+// For OpMGet, Keys holds the key list and Key/Val are zero; for the
+// single-key ops, Key/Val carry the operands.
+type Op struct {
+	Kind uint8
+	Key  uint64
+	Val  uint64
+	Keys []uint64
+}
+
+// Result is the executor's answer to the Op at the same index. Status
+// is a wireproto response type; leaving it zero is an executor bug and
+// encodes as RespError/CodeInternal. For OpMGet, Vals arrives pre-sized
+// to len(Keys) with caller-owned backing — the exec fills values in
+// place, writing wireproto.MissValue for absent keys, and must not
+// retain the slice past the call.
+type Result struct {
+	Status uint8
+	Val    uint64
+	Code   uint16
+
+	Hits, Misses, Evictions uint64 // RespStats
+
+	Vals []uint64
+}
+
+// Exec executes one batch of decoded requests: ops[i] answers into
+// results[i]. One goroutine per shard calls it, so implementations need
+// no internal synchronization and are free to pipeline the whole batch
+// through a delegation window before completing any of it.
+type Exec interface {
+	ExecBatch(ops []Op, results []Result)
+}
+
+// task is one queued request. It travels by value through the shard
+// channel; mg (mget keys only) cycles through the server's buffer pool.
+type task struct {
+	c     *conn
+	op    uint8
+	flags uint8
+	id    uint64
+	key   uint64
+	val   uint64
+	mg    *mgetBuf
+}
+
+// shard is one executor loop: drain up to MaxBatch tasks, run them as a
+// single Exec batch, encode every response, flush each touched
+// connection exactly once.
+type shard struct {
+	s    *Server
+	exec Exec
+	q    chan task
+
+	tasks   []task
+	ops     []Op
+	results []Result
+	valBack [][]uint64
+	touched []*conn
+	resp    wireproto.Response
+}
+
+func newShard(s *Server, e Exec, depth, maxBatch int) *shard {
+	sh := &shard{
+		s:       s,
+		exec:    e,
+		q:       make(chan task, depth),
+		tasks:   make([]task, maxBatch),
+		ops:     make([]Op, maxBatch),
+		results: make([]Result, maxBatch),
+		valBack: make([][]uint64, maxBatch),
+		touched: make([]*conn, maxBatch),
+	}
+	for i := range sh.valBack {
+		sh.valBack[i] = make([]uint64, wireproto.MGetMax)
+	}
+	return sh
+}
+
+func (sh *shard) run() {
+	defer sh.s.execWG.Done()
+	for t := range sh.q {
+		sh.tasks[0] = t
+		n := 1
+	drain:
+		for n < len(sh.tasks) {
+			select {
+			case t2, ok := <-sh.q:
+				if !ok {
+					break drain
+				}
+				sh.tasks[n] = t2
+				n++
+			default:
+				break drain
+			}
+		}
+		sh.process(n)
+	}
+}
+
+func (sh *shard) process(n int) {
+	for i := 0; i < n; i++ {
+		t := &sh.tasks[i]
+		op := &sh.ops[i]
+		res := &sh.results[i]
+		op.Kind, op.Key, op.Val = t.op, t.key, t.val
+		op.Keys = nil
+		*res = Result{}
+		if t.op == wireproto.OpMGet {
+			op.Keys = t.mg.keys[:t.mg.n]
+			res.Vals = sh.valBack[i][:t.mg.n]
+		}
+	}
+
+	sh.exec.ExecBatch(sh.ops[:n], sh.results[:n])
+	sh.s.met.observeBatch(n)
+
+	nt := 0
+	for i := 0; i < n; i++ {
+		t := &sh.tasks[i]
+		if t.mg != nil {
+			sh.s.putMG(t.mg)
+			t.mg = nil
+		}
+		c := t.c
+		t.c = nil
+		if c.dead.Load() {
+			continue
+		}
+		res := &sh.results[i]
+		st, code := res.Status, res.Code
+		if st == 0 {
+			st, code = wireproto.RespError, wireproto.CodeInternal
+		}
+		sh.resp = wireproto.Response{
+			Type:      st,
+			Flags:     t.flags & wireproto.FlagCRC,
+			ID:        t.id,
+			Val:       res.Val,
+			Code:      code,
+			Hits:      res.Hits,
+			Misses:    res.Misses,
+			Evictions: res.Evictions,
+			Vals:      res.Vals,
+		}
+		c.appendResp(&sh.resp)
+		dup := false
+		for j := 0; j < nt; j++ {
+			if sh.touched[j] == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sh.touched[nt] = c
+			nt++
+		}
+	}
+	for j := 0; j < nt; j++ {
+		sh.touched[j].flush()
+		sh.touched[j] = nil
+	}
+}

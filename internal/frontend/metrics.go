@@ -1,0 +1,78 @@
+package frontend
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ffwd/internal/obs"
+	"ffwd/internal/stats"
+)
+
+// Metrics is the frontend's counter set. Everything is lock-free on the
+// hot path except the batch-size histogram, which takes a mutex once
+// per executor batch (not per operation).
+type Metrics struct {
+	Accepted atomic.Uint64 // connections accepted (including rejected)
+	Rejected atomic.Uint64 // connections refused by MaxConns admission
+	Active   atomic.Int64  // currently open connections
+
+	FramesIn atomic.Uint64 // request frames decoded
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64
+
+	DecodeErrors atomic.Uint64 // malformed frames (connection dropped)
+	QueueSheds   atomic.Uint64 // requests answered RespBusy: shard queue full
+	IdleReaps    atomic.Uint64 // connections closed by IdleTimeout
+
+	Batches  atomic.Uint64 // executor batches run
+	BatchOps atomic.Uint64 // operations across all batches
+	Flushes  atomic.Uint64 // response writes (one syscall each)
+
+	mu        sync.Mutex
+	batchHist stats.Histogram
+}
+
+func (m *Metrics) observeBatch(n int) {
+	m.Batches.Add(1)
+	m.BatchOps.Add(uint64(n))
+	m.mu.Lock()
+	m.batchHist.Record(uint64(n))
+	m.mu.Unlock()
+}
+
+// BatchQuantile reports the q-quantile of executor batch sizes.
+func (m *Metrics) BatchQuantile(q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batchHist.Quantile(q)
+}
+
+// RegisterMetrics exposes the frontend's counters and gauges on reg
+// under the ffwd_frontend_ prefix.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	m := &s.met
+	ctr := func(name, help string, v *atomic.Uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	ctr("ffwd_frontend_accepted_total", "binary frontend connections accepted", &m.Accepted)
+	ctr("ffwd_frontend_rejected_total", "binary frontend connections refused by admission", &m.Rejected)
+	ctr("ffwd_frontend_frames_in_total", "request frames decoded", &m.FramesIn)
+	ctr("ffwd_frontend_bytes_in_total", "bytes read from clients", &m.BytesIn)
+	ctr("ffwd_frontend_bytes_out_total", "bytes written to clients", &m.BytesOut)
+	ctr("ffwd_frontend_decode_errors_total", "malformed frames (connection dropped)", &m.DecodeErrors)
+	ctr("ffwd_frontend_queue_sheds_total", "requests shed with BUSY: shard queue full", &m.QueueSheds)
+	ctr("ffwd_frontend_idle_reaps_total", "connections reaped by idle timeout", &m.IdleReaps)
+	ctr("ffwd_frontend_batches_total", "executor batches run", &m.Batches)
+	ctr("ffwd_frontend_batch_ops_total", "operations executed across batches", &m.BatchOps)
+	ctr("ffwd_frontend_flushes_total", "response flushes (one write syscall each)", &m.Flushes)
+	reg.GaugeFunc("ffwd_frontend_active_conns", "currently open binary frontend connections",
+		func() float64 { return float64(m.Active.Load()) })
+	reg.GaugeFunc("ffwd_frontend_queue_depth", "queued requests across shard executors",
+		func() float64 { d, _ := s.QueueDepth(); return float64(d) })
+	reg.GaugeFunc("ffwd_frontend_queue_capacity", "aggregate shard queue capacity",
+		func() float64 { _, c := s.QueueDepth(); return float64(c) })
+	reg.GaugeFunc("ffwd_frontend_batch_p50", "median executor batch size",
+		func() float64 { return m.BatchQuantile(0.50) })
+	reg.GaugeFunc("ffwd_frontend_batch_p99", "p99 executor batch size",
+		func() float64 { return m.BatchQuantile(0.99) })
+}

@@ -1,0 +1,256 @@
+//go:build linux
+
+package frontend
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// reader is one event-loop goroutine multiplexing many connections over
+// a single epoll instance. Reads happen as raw nonblocking syscalls on
+// the connection's fd; writes stay on net.Conn (the runtime handles
+// partial writes and deadlines), so the reader owns only the inbound
+// half plus the connection's lifetime.
+//
+// Lifetime discipline: the fd is borrowed from the runtime's netFD (no
+// dup), so exactly one place may close the connection — this reader.
+// Other goroutines call conn.kill(), which flags the conn dead and
+// writes to the reader's wake pipe; the reader reaps it on the next
+// loop turn, deregistering from epoll before nc.Close() so a reused fd
+// number can never alias a stale registration.
+type reader struct {
+	s *Server
+
+	ep    int // epoll fd
+	wakeR int // wake pipe, read end (in epoll set)
+
+	wakeMu sync.Mutex
+	wakeW  int // wake pipe, write end; -1 after cleanup
+
+	mu      sync.Mutex
+	pending []*conn
+
+	conns    map[int]*conn // owned by run()
+	stopFlag atomic.Bool
+}
+
+var errNotSyscallConn = errors.New("frontend: connection does not expose a file descriptor")
+
+// epollTickMS bounds how long the loop sleeps with no events, which is
+// also the granularity of idle reaping.
+const epollTickMS = 200
+
+func newReader(s *Server) (*reader, error) {
+	ep, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var p [2]int
+	if err := syscall.Pipe(p[:]); err != nil {
+		syscall.Close(ep)
+		return nil, err
+	}
+	syscall.SetNonblock(p[0], true)
+	syscall.SetNonblock(p[1], true)
+	r := &reader{s: s, ep: ep, wakeR: p[0], wakeW: p[1], conns: make(map[int]*conn)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p[0])}
+	if err := syscall.EpollCtl(ep, syscall.EPOLL_CTL_ADD, p[0], &ev); err != nil {
+		syscall.Close(ep)
+		syscall.Close(p[0])
+		syscall.Close(p[1])
+		return nil, err
+	}
+	return r, nil
+}
+
+// add hands a freshly accepted connection to this reader. Registration
+// happens on the reader goroutine so the conns map stays single-owner.
+func (r *reader) add(c *conn) error {
+	sc, ok := c.nc.(syscall.Conn)
+	if !ok {
+		return errNotSyscallConn
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	fd := -1
+	if err := raw.Control(func(u uintptr) { fd = int(u) }); err != nil {
+		return err
+	}
+	c.fd = fd
+	c.rd = r
+	r.mu.Lock()
+	stopped := r.stopFlag.Load()
+	if !stopped {
+		r.pending = append(r.pending, c)
+	}
+	r.mu.Unlock()
+	if stopped {
+		return errors.New("frontend: reader stopped")
+	}
+	r.wake()
+	return nil
+}
+
+// notifyDead is called by any goroutine after marking c dead.
+func (r *reader) notifyDead(*conn) { r.wake() }
+
+func (r *reader) wake() {
+	var b [1]byte
+	r.wakeMu.Lock()
+	if r.wakeW >= 0 {
+		syscall.Write(r.wakeW, b[:])
+	}
+	r.wakeMu.Unlock()
+}
+
+func (r *reader) stop() {
+	r.stopFlag.Store(true)
+	r.wake()
+}
+
+func (r *reader) run() {
+	defer r.s.readerWG.Done()
+	defer r.cleanup()
+	evs := make([]syscall.EpollEvent, 128)
+	var wakeBuf [64]byte
+	for {
+		n, err := syscall.EpollWait(r.ep, evs, epollTickMS)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		if r.stopFlag.Load() {
+			return
+		}
+		r.drainPending()
+		for i := 0; i < n; i++ {
+			fd := int(evs[i].Fd)
+			if fd == r.wakeR {
+				for {
+					wn, _ := syscall.Read(r.wakeR, wakeBuf[:])
+					if wn < len(wakeBuf) {
+						break
+					}
+				}
+				continue
+			}
+			c := r.conns[fd]
+			if c == nil {
+				continue
+			}
+			if c.dead.Load() {
+				r.closeConn(c)
+				continue
+			}
+			r.readConn(c)
+		}
+		r.sweep(nowNS())
+	}
+}
+
+// drainPending registers newly added connections with epoll.
+func (r *reader) drainPending() {
+	r.mu.Lock()
+	pend := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	for _, c := range pend {
+		ev := syscall.EpollEvent{Events: syscall.EPOLLIN | syscall.EPOLLRDHUP, Fd: int32(c.fd)}
+		if err := syscall.EpollCtl(r.ep, syscall.EPOLL_CTL_ADD, c.fd, &ev); err != nil {
+			c.dead.Store(true)
+			c.nc.Close()
+			r.s.met.Active.Add(-1)
+			continue
+		}
+		r.conns[c.fd] = c
+	}
+}
+
+// readConn performs one read pass on a readable connection. Level-
+// triggered epoll re-arms automatically, so one read per event keeps
+// connections fair without starving the loop.
+func (r *reader) readConn(c *conn) {
+	for {
+		if c.rlen == len(c.rbuf) {
+			// decodeConn grows the buffer up to the protocol bound; a
+			// still-full buffer here means a frame Split will reject.
+			if !r.s.decodeConn(c) || c.rlen == len(c.rbuf) {
+				r.closeConn(c)
+				return
+			}
+		}
+		n, err := syscall.Read(c.fd, c.rbuf[c.rlen:])
+		if n > 0 {
+			c.rlen += n
+			c.lastRead.Store(nowNS())
+			r.s.met.BytesIn.Add(uint64(n))
+			if !r.s.decodeConn(c) {
+				r.closeConn(c)
+			}
+			return
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			return
+		}
+		// EOF (n == 0) or a hard error.
+		r.closeConn(c)
+		return
+	}
+}
+
+// closeConn deregisters and closes a connection. Only run() calls it.
+func (r *reader) closeConn(c *conn) {
+	if _, ok := r.conns[c.fd]; !ok {
+		return
+	}
+	delete(r.conns, c.fd)
+	c.dead.Store(true)
+	syscall.EpollCtl(r.ep, syscall.EPOLL_CTL_DEL, c.fd, nil)
+	c.nc.Close()
+	r.s.met.Active.Add(-1)
+}
+
+// sweep reaps dead and idle connections. Ranging the map is fine: Go
+// permits deletion during iteration.
+func (r *reader) sweep(now int64) {
+	idle := int64(r.s.cfg.IdleTimeout)
+	for _, c := range r.conns {
+		if c.dead.Load() {
+			r.closeConn(c)
+		} else if idle > 0 && now-c.lastRead.Load() > idle {
+			r.s.met.IdleReaps.Add(1)
+			r.closeConn(c)
+		}
+	}
+}
+
+func (r *reader) cleanup() {
+	r.mu.Lock()
+	pend := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	for _, c := range pend {
+		c.dead.Store(true)
+		c.nc.Close()
+		r.s.met.Active.Add(-1)
+	}
+	for _, c := range r.conns {
+		r.closeConn(c)
+	}
+	r.wakeMu.Lock()
+	syscall.Close(r.wakeW)
+	r.wakeW = -1
+	r.wakeMu.Unlock()
+	syscall.Close(r.wakeR)
+	syscall.Close(r.ep)
+}

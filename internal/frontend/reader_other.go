@@ -1,0 +1,102 @@
+//go:build !linux
+
+package frontend
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// reader on non-linux platforms falls back to one blocking-read
+// goroutine per connection feeding the same decode path and shard
+// queues. The epoll loop is a linux-only optimization; the protocol,
+// batching, and executor layers are identical.
+type reader struct {
+	s        *Server
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	stopFlag atomic.Bool
+	wg       sync.WaitGroup
+	done     chan struct{}
+}
+
+func newReader(s *Server) (*reader, error) {
+	return &reader{s: s, conns: make(map[*conn]struct{}), done: make(chan struct{})}, nil
+}
+
+func (r *reader) add(c *conn) error {
+	c.rd = r
+	r.mu.Lock()
+	if r.stopFlag.Load() {
+		r.mu.Unlock()
+		c.dead.Store(true)
+		c.nc.Close()
+		r.s.met.Active.Add(-1)
+		return nil
+	}
+	r.conns[c] = struct{}{}
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.serveConn(c)
+	return nil
+}
+
+// notifyDead unblocks the connection's read so serveConn exits.
+func (r *reader) notifyDead(c *conn) { c.nc.Close() }
+
+func (r *reader) stop() {
+	r.stopFlag.Store(true)
+	r.mu.Lock()
+	for c := range r.conns {
+		c.dead.Store(true)
+		c.nc.Close()
+	}
+	r.mu.Unlock()
+	close(r.done)
+}
+
+func (r *reader) run() {
+	defer r.s.readerWG.Done()
+	<-r.done
+	r.wg.Wait()
+}
+
+func (r *reader) serveConn(c *conn) {
+	defer r.wg.Done()
+	defer func() {
+		c.dead.Store(true)
+		c.nc.Close()
+		r.mu.Lock()
+		delete(r.conns, c)
+		r.mu.Unlock()
+		r.s.met.Active.Add(-1)
+	}()
+	idle := r.s.cfg.IdleTimeout
+	for !c.dead.Load() {
+		if c.rlen == len(c.rbuf) {
+			if !r.s.decodeConn(c) || c.rlen == len(c.rbuf) {
+				return
+			}
+		}
+		if idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
+		n, err := c.nc.Read(c.rbuf[c.rlen:])
+		if n > 0 {
+			c.rlen += n
+			c.lastRead.Store(nowNS())
+			r.s.met.BytesIn.Add(uint64(n))
+			if !r.s.decodeConn(c) {
+				return
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				r.s.met.IdleReaps.Add(1)
+			}
+			return
+		}
+	}
+}

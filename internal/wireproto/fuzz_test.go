@@ -1,0 +1,95 @@
+package wireproto
+
+import (
+	"errors"
+	"testing"
+)
+
+// decodeErrs are the only errors a malformed frame may produce; anything
+// else (or a panic, or an over-read) is a protocol bug.
+var decodeErrs = []error{ErrShort, ErrTooLarge, ErrCRC, ErrBadOp, ErrBadPayload, ErrBadFlags}
+
+func typedError(t *testing.T, err error, what string, data []byte) {
+	t.Helper()
+	for _, want := range decodeErrs {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Fatalf("%s returned untyped error %v for %q", what, err, data)
+}
+
+// FuzzWireDecode throws arbitrary bytes at the full streaming decode
+// path: Split + DecodeRequest + DecodeResponse must never panic, never
+// over-read past the declared frame, and classify every failure with a
+// typed error. Valid frames seed the corpus so mutations explore the
+// near-valid space.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add(AppendRequest(nil, &Request{Op: OpGet, ID: 1, Key: 42}))
+	f.Add(AppendRequest(nil, &Request{Op: OpSet, ID: 2, Key: 7, Val: 700, Flags: FlagCRC}))
+	f.Add(AppendRequest(nil, &Request{Op: OpDel, ID: 3, Key: 9}))
+	f.Add(AppendRequest(nil, &Request{Op: OpMGet, ID: 4, Keys: []uint64{1, 2, 3}}))
+	f.Add(AppendRequest(nil, &Request{Op: OpMGet, ID: 5, Keys: mkKeys(MGetMax), Flags: FlagCRC}))
+	f.Add(AppendRequest(nil, &Request{Op: OpLen, ID: 6}))
+	f.Add(AppendRequest(nil, &Request{Op: OpStats, ID: 7, Flags: FlagCRC}))
+	f.Add(AppendResponse(nil, &Response{Type: RespValue, ID: 1, Val: 9}))
+	f.Add(AppendResponse(nil, &Response{Type: RespValues, ID: 2, Vals: []uint64{1, MissValue}}))
+	f.Add(AppendResponse(nil, &Response{Type: RespStats, ID: 3, Hits: 1, Misses: 2, Evictions: 3, Flags: FlagCRC}))
+	f.Add(AppendResponse(nil, &Response{Type: RespError, ID: 4, Code: CodeMalformed}))
+	// Two frames back to back: stream decoding must hold across frames.
+	two := AppendRequest(nil, &Request{Op: OpGet, ID: 8, Key: 1})
+	f.Add(AppendRequest(two, &Request{Op: OpDel, ID: 9, Key: 2}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		req.Keys = make([]uint64, 0, MGetMax)
+		var resp Response
+		resp.Vals = make([]uint64, 0, MGetMax)
+
+		// Walk the buffer as a stream, the way the frontend reader does.
+		off := 0
+		for off <= len(data) {
+			body, n, err := Split(data[off:])
+			if err != nil {
+				typedError(t, err, "Split", data)
+				break
+			}
+			if n <= 0 || off+n > len(data) {
+				t.Fatalf("Split over-read: consumed %d at %d of %d", n, off, len(data))
+			}
+			if len(body) > MaxFrame {
+				t.Fatalf("Split returned %d-byte body past MaxFrame", len(body))
+			}
+			if err := DecodeRequest(body, &req); err != nil {
+				typedError(t, err, "DecodeRequest", data)
+			} else {
+				if req.Op == OpMGet && (len(req.Keys) < 1 || len(req.Keys) > MGetMax) {
+					t.Fatalf("decoded mget with %d keys", len(req.Keys))
+				}
+				// A valid request re-encodes to an equivalent frame.
+				re := AppendRequest(nil, &Request{Op: req.Op, Flags: req.Flags, ID: req.ID, Key: req.Key, Val: req.Val, Keys: req.Keys})
+				rbody, _, rerr := Split(re)
+				if rerr != nil {
+					t.Fatalf("re-encoded request does not split: %v", rerr)
+				}
+				var req2 Request
+				req2.Keys = make([]uint64, 0, MGetMax)
+				if err := DecodeRequest(rbody, &req2); err != nil {
+					t.Fatalf("re-encoded request does not decode: %v", err)
+				}
+				if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key || req2.Val != req.Val {
+					t.Fatalf("request round-trip drift: %+v vs %+v", req, req2)
+				}
+			}
+			if err := DecodeResponse(body, &resp); err != nil {
+				typedError(t, err, "DecodeResponse", data)
+			} else if len(resp.Vals) > MGetMax {
+				t.Fatalf("decoded values list of %d", len(resp.Vals))
+			}
+			off += n
+		}
+	})
+}

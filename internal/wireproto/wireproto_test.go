@@ -1,0 +1,315 @@
+package wireproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, in Request) Request {
+	t.Helper()
+	buf := AppendRequest(nil, &in)
+	body, consumed, err := Split(buf)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if consumed != len(buf) {
+		t.Fatalf("Split consumed %d of %d", consumed, len(buf))
+	}
+	var out Request
+	out.Keys = make([]uint64, 0, MGetMax)
+	if err := DecodeRequest(body, &out); err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return out
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, in := range []Request{
+		{Op: OpGet, ID: 1, Key: 42},
+		{Op: OpGet, ID: ^uint64(0), Key: ^uint64(0), Flags: FlagCRC},
+		{Op: OpSet, ID: 2, Key: 7, Val: 700},
+		{Op: OpSet, ID: 3, Key: 0, Val: MissValue - 1, Flags: FlagCRC},
+		{Op: OpDel, ID: 4, Key: 9},
+		{Op: OpMGet, ID: 5, Keys: []uint64{1}},
+		{Op: OpMGet, ID: 6, Keys: mkKeys(MGetMax), Flags: FlagCRC},
+		{Op: OpLen, ID: 7},
+		{Op: OpStats, ID: 8, Flags: FlagCRC},
+	} {
+		out := roundTripRequest(t, in)
+		if out.Op != in.Op || out.ID != in.ID || out.Key != in.Key || out.Val != in.Val || out.Flags != in.Flags {
+			t.Fatalf("round trip %+v -> %+v", in, out)
+		}
+		if len(out.Keys) != len(in.Keys) {
+			t.Fatalf("keys %d -> %d", len(in.Keys), len(out.Keys))
+		}
+		for i := range in.Keys {
+			if out.Keys[i] != in.Keys[i] {
+				t.Fatalf("key %d: %d -> %d", i, in.Keys[i], out.Keys[i])
+			}
+		}
+	}
+}
+
+func mkKeys(n int) []uint64 {
+	ks := make([]uint64, n)
+	for i := range ks {
+		ks[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	return ks
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, in := range []Response{
+		{Type: RespValue, ID: 1, Val: 99},
+		{Type: RespNotFound, ID: 2, Flags: FlagCRC},
+		{Type: RespStored, ID: 3},
+		{Type: RespDeleted, ID: 4},
+		{Type: RespValues, ID: 5, Vals: []uint64{1, MissValue, 3}},
+		{Type: RespValues, ID: 6, Vals: mkKeys(MGetMax), Flags: FlagCRC},
+		{Type: RespLen, ID: 7, Val: 12345},
+		{Type: RespStats, ID: 8, Hits: 1, Misses: 2, Evictions: 3},
+		{Type: RespError, ID: 9, Code: CodeValueReserved},
+		{Type: RespBusy, ID: 10, Flags: FlagCRC},
+	} {
+		buf := AppendResponse(nil, &in)
+		body, _, err := Split(buf)
+		if err != nil {
+			t.Fatalf("Split: %v", err)
+		}
+		var out Response
+		out.Vals = make([]uint64, 0, MGetMax)
+		if err := DecodeResponse(body, &out); err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", in, err)
+		}
+		if out.Type != in.Type || out.ID != in.ID || out.Val != in.Val ||
+			out.Code != in.Code || out.Hits != in.Hits || out.Misses != in.Misses ||
+			out.Evictions != in.Evictions || out.Flags != in.Flags {
+			t.Fatalf("round trip %+v -> %+v", in, out)
+		}
+		if len(out.Vals) != len(in.Vals) {
+			t.Fatalf("vals %d -> %d", len(in.Vals), len(out.Vals))
+		}
+		for i := range in.Vals {
+			if out.Vals[i] != in.Vals[i] {
+				t.Fatalf("val %d: %d -> %d", i, in.Vals[i], out.Vals[i])
+			}
+		}
+	}
+}
+
+// TestSplitStream decodes several concatenated frames plus a trailing
+// partial frame, the streaming shape the frontend reader sees.
+func TestSplitStream(t *testing.T) {
+	var buf []byte
+	for i := uint64(0); i < 5; i++ {
+		buf = AppendRequest(buf, &Request{Op: OpGet, ID: i, Key: i * 10})
+	}
+	partial := AppendRequest(nil, &Request{Op: OpSet, ID: 5, Key: 1, Val: 2})
+	buf = append(buf, partial[:7]...)
+
+	var req Request
+	req.Keys = make([]uint64, 0, MGetMax)
+	off := 0
+	for i := uint64(0); i < 5; i++ {
+		body, n, err := Split(buf[off:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if err := DecodeRequest(body, &req); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if req.ID != i || req.Key != i*10 {
+			t.Fatalf("frame %d: got id=%d key=%d", i, req.ID, req.Key)
+		}
+		off += n
+	}
+	if _, _, err := Split(buf[off:]); !errors.Is(err, ErrShort) {
+		t.Fatalf("partial tail: got %v, want ErrShort", err)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	// Incomplete prefix.
+	if _, _, err := Split([]byte{1, 2}); !errors.Is(err, ErrShort) {
+		t.Fatalf("short prefix: %v", err)
+	}
+	// Oversized declared length rejected from the prefix alone.
+	var over [4]byte
+	binary.LittleEndian.PutUint32(over[:], MaxFrame+1)
+	if _, _, err := Split(over[:]); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize: %v", err)
+	}
+	// Undersized (below the fixed header): equally unrecoverable.
+	binary.LittleEndian.PutUint32(over[:], headerLen-1)
+	if _, _, err := Split(over[:]); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("undersize: %v", err)
+	}
+	// Zero length.
+	binary.LittleEndian.PutUint32(over[:], 0)
+	if _, _, err := Split(over[:]); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("zero length: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	full := func(r Request) []byte {
+		b := AppendRequest(nil, &r)
+		body, _, err := Split(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	var req Request
+	req.Keys = make([]uint64, 0, MGetMax)
+
+	// Truncated payload.
+	body := full(Request{Op: OpSet, ID: 1, Key: 2, Val: 3})
+	if err := DecodeRequest(body[:len(body)-1], &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("truncated set: %v", err)
+	}
+	// Unknown op.
+	body = full(Request{Op: OpGet, ID: 1, Key: 2})
+	body[0] = 0x7F
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("unknown op: %v", err)
+	}
+	// Unknown flags.
+	body = full(Request{Op: OpGet, ID: 1, Key: 2})
+	body[1] = 0x80
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("unknown flags: %v", err)
+	}
+	// Corrupt CRC.
+	body = full(Request{Op: OpGet, ID: 1, Key: 2, Flags: FlagCRC})
+	body[len(body)-1] ^= 0xFF
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrCRC) {
+		t.Fatalf("bad crc: %v", err)
+	}
+	// Flipped payload byte under CRC.
+	body = full(Request{Op: OpSet, ID: 9, Key: 8, Val: 7, Flags: FlagCRC})
+	body[headerLen] ^= 0x01
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupt payload: %v", err)
+	}
+	// MGet with zero keys.
+	body = full(Request{Op: OpMGet, ID: 1, Keys: []uint64{1}})
+	body[headerLen] = 0
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("mget zero: %v", err)
+	}
+	// MGet count inconsistent with length.
+	body = full(Request{Op: OpMGet, ID: 1, Keys: []uint64{1, 2}})
+	body[headerLen] = 3
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("mget count mismatch: %v", err)
+	}
+	// MGet over the key bound.
+	var mg Request
+	mg.Op, mg.ID, mg.Keys = OpMGet, 1, mkKeys(MGetMax+1)
+	raw := AppendRequest(nil, &mg)
+	body, _, err := Split(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequest(body, &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("mget over bound: %v", err)
+	}
+
+	// Response-side: truncated stats.
+	rb := AppendResponse(nil, &Response{Type: RespStats, ID: 1, Hits: 1})
+	body, _, err = Split(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := DecodeResponse(body[:len(body)-1], &resp); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("truncated stats: %v", err)
+	}
+	// Request op fed to the response decoder: unknown type.
+	body = full(Request{Op: OpGet, ID: 1, Key: 2})
+	if err := DecodeResponse(body, &resp); !errors.Is(err, ErrBadOp) {
+		t.Fatalf("request into response decoder: %v", err)
+	}
+}
+
+// TestEncodeDecodeAllocFree pins the hot path at zero allocations per
+// op once buffers are warm: encode into a reused buffer, split, decode
+// into reused scratch.
+func TestEncodeDecodeAllocFree(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	var req Request
+	req.Keys = make([]uint64, 0, MGetMax)
+	var resp Response
+	resp.Vals = make([]uint64, 0, MGetMax)
+	keys := mkKeys(8)
+	in := Request{Op: OpMGet, ID: 1, Keys: keys, Flags: FlagCRC}
+	out := Response{Type: RespValues, ID: 1, Vals: keys}
+
+	n := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		buf = AppendRequest(buf, &in)
+		buf = AppendRequest(buf, &Request{Op: OpSet, ID: 2, Key: 3, Val: 4})
+		buf = AppendResponse(buf, &out)
+		off := 0
+		body, n, err := Split(buf[off:])
+		if err != nil || DecodeRequest(body, &req) != nil {
+			t.Fatal("decode 1")
+		}
+		off += n
+		body, n, err = Split(buf[off:])
+		if err != nil || DecodeRequest(body, &req) != nil {
+			t.Fatal("decode 2")
+		}
+		off += n
+		body, _, err = Split(buf[off:])
+		if err != nil || DecodeResponse(body, &resp) != nil {
+			t.Fatal("decode 3")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("encode/decode allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestNoOverRead pins that decoding consumes exactly the declared frame
+// and leaves trailing bytes untouched.
+func TestNoOverRead(t *testing.T) {
+	frame := AppendRequest(nil, &Request{Op: OpGet, ID: 1, Key: 2})
+	tail := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	buf := append(append([]byte{}, frame...), tail...)
+	body, consumed, err := Split(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(frame) {
+		t.Fatalf("consumed %d, frame is %d", consumed, len(frame))
+	}
+	if !bytes.Equal(buf[consumed:], tail) {
+		t.Fatal("trailing bytes disturbed")
+	}
+	var req Request
+	if err := DecodeRequest(body, &req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendDecodeGet(b *testing.B) {
+	buf := make([]byte, 0, 64)
+	var req Request
+	req.Keys = make([]uint64, 0, MGetMax)
+	in := Request{Op: OpGet, ID: 1, Key: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRequest(buf[:0], &in)
+		body, _, err := Split(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := DecodeRequest(body, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
