@@ -3,7 +3,7 @@
 GO ?= go
 CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare bench-frontend check chaos replica-chaos proc-chaos linear loadtest fuzz trace figures ablations coverage clean
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-compare bench-frontend check chaos replica-chaos proc-chaos linear expiry loadtest fuzz trace figures ablations coverage clean
 
 all: build vet test
 
@@ -12,7 +12,7 @@ all: build vet test
 # multi-process kill -9 matrix, the trace pipeline end to end, the serving
 # loadtest smoke, and one full-iteration pass of the core microbenches
 # (bench-hot).
-check: linear replica-chaos proc-chaos trace loadtest
+check: linear expiry replica-chaos proc-chaos trace loadtest
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/core/... ./internal/delegated/...
@@ -70,6 +70,16 @@ proc-chaos:
 linear:
 	FFWD_CHAOS_SEED=3 $(GO) test -race -count=1 ./internal/linear/
 	FFWD_CHAOS_SEED=11 $(GO) test -race -count=1 ./internal/linear/
+
+# Server-owned time: the chaos-seeded expiry storm — fault-injected kills
+# while workers write short TTLs, jump the logical clock, and read back —
+# checked against the sequential KV-with-TTL model under the race
+# detector, plus the wheel-vs-sweep A/B (wheel-driven server expiry must
+# sustain at least the read throughput of the client-driven SweepExpired
+# baseline).
+expiry:
+	FFWD_CHAOS_SEED=3 $(GO) test -race -count=1 -run 'TestChaosKVTTL|TestRunExpiry' ./internal/linear/ ./internal/runtimebench/
+	FFWD_EXPIRY_AB=1 $(GO) test -count=1 -run TestExpiryStormAB -v ./internal/runtimebench/
 
 # Serving-path loadtest smoke: build the real ffwdserve binary, serve
 # both protocols, and drive each with the open-loop coordinated-omission-

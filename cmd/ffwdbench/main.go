@@ -12,6 +12,13 @@
 //	ffwdbench -layer sim -exp grid -structures counter,set
 //	ffwdbench -layer runtime -format json
 //	ffwdbench -layer runtime -backends ffwd,rcl,lock-mcs -goroutines 1,2,4,8
+//	ffwdbench -layer expiry -scenarios expiry-storm -goroutines 2,4
+//	ffwdbench -layer expiry -modes wheel,sweep -capacity 4096 -format json
+//
+// The expiry layer sweeps the TTL/eviction scenarios (expiry storm,
+// hot-key skew under eviction pressure, scan-heavy mix) against the
+// delegated KV store, comparing wheel-driven server expiry with the
+// client-driven SweepExpired baseline.
 //
 // Output is one aligned text table per experiment (the same rows/series
 // the paper plots), CSV, an ASCII plot, or JSON.
@@ -33,7 +40,7 @@ import (
 
 func main() {
 	var (
-		layer    = flag.String("layer", "sim", "measurement layer: sim (modelled machines) or runtime (this host)")
+		layer    = flag.String("layer", "sim", "measurement layer: sim (modelled machines), runtime (this host), or expiry (TTL/eviction scenarios on this host)")
 		exp      = flag.String("exp", "", "experiment id (table1, fig1..fig18, grid, or 'all'); runtime layer always runs the grid")
 		machine  = flag.String("machine", "broadwell", "machine model: broadwell, westmere, sandybridge, abudhabi")
 		duration = flag.Float64("duration", 1e6, "simulated nanoseconds per configuration")
@@ -53,6 +60,13 @@ func main() {
 		skew       = flag.Float64("skew", 1.2, "zipf skew when -dist zipf")
 		delay      = flag.Int("delay", 0, "inter-operation delay in PAUSE iterations")
 		traceDir   = flag.String("trace-dir", "", "runtime layer: capture per-cell delegation traces (Chrome JSON) into this directory")
+
+		// Expiry-layer options.
+		scenarios  = flag.String("scenarios", "", "expiry layer: comma-separated scenarios (expiry-storm,hot-key-skew,scan-heavy; default all)")
+		modes      = flag.String("modes", "", "expiry layer: comma-separated reclaim modes (wheel,sweep; default both)")
+		capacity   = flag.Int("capacity", 1024, "expiry layer: store max-entries bound")
+		ttlTicks   = flag.Uint64("ttl-ticks", 20, "expiry layer: base TTL in 100µs clock ticks")
+		sweepEvery = flag.Int("sweep-every", 16, "expiry layer: ops between client-driven sweeps in sweep mode")
 	)
 	flag.Parse()
 
@@ -110,6 +124,23 @@ func main() {
 	}
 
 	switch *layer {
+	case "expiry":
+		rep, err := runtimebench.RunExpiry(runtimebench.ExpiryOptions{
+			Scenarios:  splitList(*scenarios),
+			Modes:      splitList(*modes),
+			Goroutines: parseInts(*goroutines),
+			Duration:   *measure,
+			Warmup:     *warmup,
+			Capacity:   *capacity,
+			TTLTicks:   *ttlTicks,
+			SweepEvery: *sweepEvery,
+			Seed:       int64(*seed),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emitReport(rep, *format)
 	case "runtime":
 		rep, err := runtimebench.Run(gridOpts)
 		if err != nil {
@@ -141,7 +172,7 @@ func main() {
 			emitFigure(f, *format)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -layer %q (want sim or runtime)\n", *layer)
+		fmt.Fprintf(os.Stderr, "unknown -layer %q (want sim, runtime or expiry)\n", *layer)
 		os.Exit(2)
 	}
 }

@@ -133,7 +133,10 @@ func TestLoadSmoke(t *testing.T) {
 				rate:        4000,
 				duration:    1200 * time.Millisecond,
 				warmup:      200 * time.Millisecond,
-				getPct:      90,
+				getPct:      80,
+				ttlSetPct:   10,
+				touchPct:    5,
+				ttl:         60000,
 				keys:        1024,
 				outstanding: 32,
 			})

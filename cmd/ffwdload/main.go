@@ -14,7 +14,10 @@
 //
 // The workload is a uniform key-space GET/SET mix (-get percent GETs,
 // -keys keys), deterministic per connection, so two phases against two
-// frontends issue statistically identical traffic.
+// frontends issue statistically identical traffic. -ttl-set and -touch
+// carve TTL SETs (setx) and TOUCHes out of the non-GET budget, each
+// carrying the -ttl-ms relative TTL — the deterministic TTL mix for
+// exercising server-owned expiry under load.
 //
 // -ab-text-addr runs a second, identically configured phase against a
 // text-protocol listener after the main binary phase — the same-window
@@ -54,6 +57,9 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "measurement phase length, warmup included")
 		warmup      = flag.Duration("warmup", 1*time.Second, "initial slice excluded from the recorded window")
 		getPct      = flag.Int("get", 90, "percent of ops that are GETs (rest are SETs)")
+		ttlSetPct   = flag.Int("ttl-set", 0, "percent of ops that are TTL SETs (setx), taken from the SET budget")
+		touchPct    = flag.Int("touch", 0, "percent of ops that are TOUCHes, taken from the SET budget")
+		ttlMS       = flag.Uint64("ttl-ms", 60000, "relative TTL carried by setx/touch ops, in server ticks (ms)")
 		keys        = flag.Uint64("keys", 4096, "uniform key-space size")
 		outstanding = flag.Int("outstanding", 64, "per-connection in-flight cap")
 		crc         = flag.Bool("crc", false, "request CRC-framed responses (binary protocol)")
@@ -66,6 +72,9 @@ func main() {
 
 	if *getPct < 0 || *getPct > 100 {
 		log.Fatal("ffwdload: -get must be 0..100")
+	}
+	if *ttlSetPct < 0 || *touchPct < 0 || *getPct+*ttlSetPct+*touchPct > 100 {
+		log.Fatal("ffwdload: -get + -ttl-set + -touch must not exceed 100")
 	}
 	if *keys == 0 {
 		log.Fatal("ffwdload: -keys must be positive")
@@ -81,6 +90,9 @@ func main() {
 		duration:    *duration,
 		warmup:      *warmup,
 		getPct:      *getPct,
+		ttlSetPct:   *ttlSetPct,
+		touchPct:    *touchPct,
+		ttl:         *ttlMS,
 		keys:        *keys,
 		outstanding: *outstanding,
 		crc:         *crc,

@@ -31,6 +31,9 @@ type loadConfig struct {
 	duration    time.Duration
 	warmup      time.Duration
 	getPct      int
+	ttlSetPct   int    // percent of ops that are TTL SETs (setx)
+	touchPct    int    // percent of ops that are TOUCHes
+	ttl         uint64 // TTL attached to setx/touch, in server ticks (ms)
 	keys        uint64
 	outstanding int // per-conn in-flight cap
 	crc         bool
@@ -132,12 +135,31 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 	return total, nil
 }
 
-// genOp picks the next op from the workload mix: true = GET.
-func genOp(rng *xorshift, cfg *loadConfig) (get bool, key, val uint64) {
+// Workload op kinds produced by genOp.
+const (
+	opGet = iota
+	opSet
+	opSetTTL
+	opTouch
+)
+
+// genOp picks the next op from the workload mix. A single r%100 draw is
+// partitioned get | setx | touch | set, so the mix is deterministic per
+// seed and two phases with equal flags issue identical op sequences.
+func genOp(rng *xorshift, cfg *loadConfig) (kind int, key, val uint64) {
 	r := rng.next()
 	key = (r >> 32) % cfg.keys
-	get = int(r%100) < cfg.getPct
-	return get, key, key + 1
+	c := int(r % 100)
+	switch {
+	case c < cfg.getPct:
+		return opGet, key, 0
+	case c < cfg.getPct+cfg.ttlSetPct:
+		return opSetTTL, key, key + 1
+	case c < cfg.getPct+cfg.ttlSetPct+cfg.touchPct:
+		return opTouch, key, 0
+	default:
+		return opSet, key, key + 1
+	}
 }
 
 // runBinaryConn drives one binary-protocol connection: pipelined
@@ -245,11 +267,17 @@ func runBinaryConn(cfg loadConfig, interval time.Duration, seed uint64, res *loa
 				sem <- struct{}{}
 			}
 			id++
-			get, key, val := genOp(&rng, &cfg)
+			kind, key, val := genOp(&rng, &cfg)
 			req.ID = id
-			if get {
+			req.Val, req.TTL = 0, 0
+			switch kind {
+			case opGet:
 				req.Op, req.Key = wireproto.OpGet, key
-			} else {
+			case opSetTTL:
+				req.Op, req.Key, req.Val, req.TTL = wireproto.OpSetTTL, key, val, cfg.ttl
+			case opTouch:
+				req.Op, req.Key, req.TTL = wireproto.OpTouch, key, cfg.ttl
+			default:
 				req.Op, req.Key, req.Val = wireproto.OpSet, key, val
 			}
 			sched.put(id, next.UnixNano())
@@ -348,11 +376,24 @@ func runTextConn(cfg loadConfig, interval time.Duration, seed uint64, res *loadR
 			} else {
 				next = now
 			}
-			get, key, val := genOp(&rng, &cfg)
-			if get {
+			kind, key, val := genOp(&rng, &cfg)
+			switch kind {
+			case opGet:
 				line = append(line[:0], "get "...)
 				line = appendUint(line, key)
-			} else {
+			case opSetTTL:
+				line = append(line[:0], "setx "...)
+				line = appendUint(line, key)
+				line = append(line, ' ')
+				line = appendUint(line, val)
+				line = append(line, ' ')
+				line = appendUint(line, cfg.ttl)
+			case opTouch:
+				line = append(line[:0], "touch "...)
+				line = appendUint(line, key)
+				line = append(line, ' ')
+				line = appendUint(line, cfg.ttl)
+			default:
 				line = append(line[:0], "set "...)
 				line = appendUint(line, key)
 				line = append(line, ' ')

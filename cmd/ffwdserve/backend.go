@@ -49,6 +49,10 @@ type ffwdBackend struct {
 	// forever). sheds counts the commands shed that way.
 	shedAfter time.Duration
 	sheds     atomic.Uint64
+
+	// defaultTTL, when nonzero, is applied to plain set commands (ticks
+	// from the server clock at apply time) — the -default-ttl flag.
+	defaultTTL uint64
 }
 
 // newFFWDBackendPool preallocates every client slot: n pooled handles,
@@ -76,6 +80,11 @@ func newFFWDBackendPool(d *apps.DelegatedKV, n, pipeDepth int) (*ffwdBackend, er
 
 type mutexBackend struct {
 	kv *apps.LockedKV
+	// tick is the logical clock source for TTL commands; nil freezes the
+	// clock (TTL'd entries then only die by capacity eviction).
+	tick func() uint64
+	// defaultTTL mirrors ffwdBackend.defaultTTL for plain sets.
+	defaultTTL uint64
 }
 
 func (f *ffwdBackend) handle(line string) string {
@@ -101,7 +110,13 @@ func (f *ffwdBackend) handle(line string) string {
 	defer func() { f.clients <- c }()
 	return dispatchStats(line,
 		func(k uint64) (uint64, bool) { return c.kv.Get(k) },
-		func(k, v uint64) { c.kv.Set(k, v) },
+		func(k, v uint64) {
+			if f.defaultTTL > 0 {
+				c.kv.SetTTLNow(k, v, f.defaultTTL)
+			} else {
+				c.kv.Set(k, v)
+			}
+		},
 		func(k uint64) bool { return c.kv.Delete(k) },
 		func() int { return c.kv.Len() },
 		c.kv.Stats,
@@ -109,20 +124,46 @@ func (f *ffwdBackend) handle(line string) string {
 			c.pipe.MultiGet(keys, c.vals, c.found)
 			return c.vals[:len(keys)], c.found[:len(keys)]
 		},
+		func(k, v, ttl uint64) { c.kv.SetTTLNow(k, v, ttl) },
+		func(k, ttl uint64) bool { return c.kv.Touch(k, ttl) },
 	)
 }
 
 func (m *mutexBackend) handle(line string) string {
-	return dispatchStats(line, m.kv.Get, m.kv.Set, m.kv.Delete, m.kv.Len, m.kv.Stats,
+	// The lock-based store has no owning goroutine to advance its clock,
+	// so the command path does it: every TTL-bearing command samples the
+	// tick source and sweeps due entries inline (the client-driven expiry
+	// model the server-owned wheel replaces on the ffwd backend).
+	tickNow := func() uint64 {
+		if m.tick == nil {
+			return m.kv.Clock()
+		}
+		return m.kv.AdvanceClock(m.tick())
+	}
+	// Reads carry a tick too: with no owning goroutine, a pure-read
+	// workload would otherwise never advance the clock and TTL'd entries
+	// would read back forever. GetAt advances+reads under one lock
+	// acquisition.
+	get := m.kv.Get
+	if m.tick != nil {
+		get = func(k uint64) (uint64, bool) { return m.kv.GetAt(k, m.tick()) }
+	}
+	set := m.kv.Set
+	if m.defaultTTL > 0 {
+		set = func(k, v uint64) { m.kv.SetTTL(k, v, tickNow(), m.defaultTTL) }
+	}
+	return dispatchStats(line, get, set, m.kv.Delete, m.kv.Len, m.kv.Stats,
 		func(keys []uint64) ([]uint64, []bool) {
 			// No pipelining behind a lock: the multi-get is just a loop.
 			vals := make([]uint64, len(keys))
 			found := make([]bool, len(keys))
 			for i, k := range keys {
-				vals[i], found[i] = m.kv.Get(k)
+				vals[i], found[i] = get(k)
 			}
 			return vals, found
-		})
+		},
+		func(k, v, ttl uint64) { m.kv.SetTTL(k, v, tickNow(), ttl) },
+		func(k, ttl uint64) bool { return m.kv.Touch(k, tickNow(), ttl) })
 }
 
 // parse splits a command into op and numeric arguments.
@@ -142,18 +183,19 @@ func parse(line string) (op string, args []uint64, err error) {
 	return op, args, nil
 }
 
-const usageMsg = "ERROR usage: get k | mget k... | set k v | del k | len | stats | quit"
+const usageMsg = "ERROR usage: get k | mget k... | set k v | setx k v ttl | touch k ttl | del k | len | stats | quit"
 
 // statsLine formats the stats reply. Both frontends answer the stats
 // command through this one formatter so their fields can never drift
 // (pinned by the parity test).
-func statsLine(h, m, e uint64) string {
-	return fmt.Sprintf("STATS hits=%d misses=%d evictions=%d", h, m, e)
+func statsLine(h, m, e, exp uint64) string {
+	return fmt.Sprintf("STATS hits=%d misses=%d evictions=%d expired=%d", h, m, e, exp)
 }
 
 func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64, uint64),
-	del func(uint64) bool, length func() int, stats func() (h, m, e uint64),
-	mget func([]uint64) ([]uint64, []bool)) string {
+	del func(uint64) bool, length func() int, stats func() (h, m, e, exp uint64),
+	mget func([]uint64) ([]uint64, []bool),
+	setTTL func(k, v, ttl uint64), touch func(k, ttl uint64) bool) string {
 	op, args, err := parse(line)
 	if err != nil {
 		return "ERROR " + err.Error()
@@ -185,6 +227,17 @@ func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64
 		}
 		set(args[0], args[1])
 		return "STORED"
+	case op == "setx" && len(args) == 3 && setTTL != nil:
+		if args[1] == ^uint64(0) {
+			return "ERROR value reserved"
+		}
+		setTTL(args[0], args[1], args[2])
+		return "STORED"
+	case op == "touch" && len(args) == 2 && touch != nil:
+		if touch(args[0], args[1]) {
+			return "TOUCHED"
+		}
+		return "NOT_FOUND"
 	case op == "del" && len(args) == 1:
 		if del(args[0]) {
 			return "DELETED"
@@ -193,8 +246,8 @@ func dispatchStats(line string, get func(uint64) (uint64, bool), set func(uint64
 	case op == "len" && len(args) == 0:
 		return fmt.Sprintf("LEN %d", length())
 	case op == "stats" && len(args) == 0 && stats != nil:
-		h, m, e := stats()
-		return statsLine(h, m, e)
+		h, m, e, exp := stats()
+		return statsLine(h, m, e, exp)
 	default:
 		return usageMsg
 	}

@@ -23,6 +23,10 @@ type ffwdExec struct {
 	pipe  *apps.KVPipeClient
 	kv    *apps.KVClient
 
+	// defTTL, when nonzero, turns plain OpSet into a TTL'd store (the
+	// -default-ttl flag, in server clock ticks).
+	defTTL uint64
+
 	// pend maps the batch client's completion seq to the op index of
 	// the in-progress batch; curOps/curResults alias ExecBatch's
 	// arguments so the completion callback is allocation-free.
@@ -39,7 +43,7 @@ const ffwdExecWindow = 16
 
 // newFFWDExecs builds one executor per shard. Slot budget per shard:
 // ffwdExecWindow async + 1 synchronous + pipeDepth pipelined.
-func newFFWDExecs(d *apps.DelegatedKV, shards, pipeDepth int) ([]frontend.Exec, error) {
+func newFFWDExecs(d *apps.DelegatedKV, shards, pipeDepth int, defTTL uint64) ([]frontend.Exec, error) {
 	execs := make([]frontend.Exec, 0, shards)
 	for i := 0; i < shards; i++ {
 		batch, err := d.NewBatchClient(ffwdExecWindow)
@@ -54,7 +58,7 @@ func newFFWDExecs(d *apps.DelegatedKV, shards, pipeDepth int) ([]frontend.Exec, 
 		if err != nil {
 			return nil, err
 		}
-		e := &ffwdExec{batch: batch, pipe: pipe, kv: kv, pend: make([]int, 0, 256)}
+		e := &ffwdExec{batch: batch, pipe: pipe, kv: kv, defTTL: defTTL, pend: make([]int, 0, 256)}
 		batch.OnDone(e.onDone)
 		execs = append(execs, e)
 	}
@@ -79,11 +83,17 @@ func (e *ffwdExec) onDone(seq int, ret uint64) {
 		} else {
 			res.Status, res.Val = wireproto.RespValue, ret
 		}
-	case wireproto.OpSet:
+	case wireproto.OpSet, wireproto.OpSetTTL:
 		res.Status = wireproto.RespStored
 	case wireproto.OpDel:
 		if ret == 1 {
 			res.Status = wireproto.RespDeleted
+		} else {
+			res.Status = wireproto.RespNotFound
+		}
+	case wireproto.OpTouch:
+		if ret == 1 {
+			res.Status = wireproto.RespTouched
 		} else {
 			res.Status = wireproto.RespNotFound
 		}
@@ -110,7 +120,17 @@ func (e *ffwdExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
 			e.batch.Get(op.Key)
 		case wireproto.OpSet:
 			e.pend = append(e.pend, i)
-			e.batch.Set(op.Key, op.Val)
+			if e.defTTL > 0 {
+				e.batch.SetTTL(op.Key, op.Val, e.defTTL)
+			} else {
+				e.batch.Set(op.Key, op.Val)
+			}
+		case wireproto.OpSetTTL:
+			e.pend = append(e.pend, i)
+			e.batch.SetTTL(op.Key, op.Val, op.TTL)
+		case wireproto.OpTouch:
+			e.pend = append(e.pend, i)
+			e.batch.Touch(op.Key, op.TTL)
 		case wireproto.OpDel:
 			e.pend = append(e.pend, i)
 			e.batch.Del(op.Key)
@@ -131,9 +151,9 @@ func (e *ffwdExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
 			results[i].Status = wireproto.RespValues
 		case wireproto.OpStats:
 			e.flushPend()
-			h, m, ev := e.kv.Stats()
+			h, m, ev, exp := e.kv.Stats()
 			results[i].Status = wireproto.RespStats
-			results[i].Hits, results[i].Misses, results[i].Evictions = h, m, ev
+			results[i].Hits, results[i].Misses, results[i].Evictions, results[i].Expired = h, m, ev, exp
 		}
 	}
 	e.flushPend()
@@ -145,14 +165,38 @@ func (e *ffwdExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
 // -backend mutex measures the frontend and the lock separately.
 type mutexExec struct {
 	kv *apps.LockedKV
+	// tick supplies the logical clock for TTL ops; the executor advances
+	// the store clock (sweeping due entries inline) because no server
+	// goroutine owns the lock-based store's time. nil freezes the clock.
+	tick func() uint64
+	// defTTL mirrors ffwdExec.defTTL for plain OpSet.
+	defTTL uint64
 }
 
-func newMutexExecs(kv *apps.LockedKV, shards int) []frontend.Exec {
+func newMutexExecs(kv *apps.LockedKV, shards int, tick func() uint64, defTTL uint64) []frontend.Exec {
 	execs := make([]frontend.Exec, shards)
 	for i := range execs {
-		execs[i] = &mutexExec{kv: kv}
+		execs[i] = &mutexExec{kv: kv, tick: tick, defTTL: defTTL}
 	}
 	return execs
+}
+
+func (e *mutexExec) now() uint64 {
+	if e.tick == nil {
+		return e.kv.Clock()
+	}
+	return e.kv.AdvanceClock(e.tick())
+}
+
+// get reads key, advancing the clock first when a tick source exists:
+// without it a pure-read workload never moves time forward and TTL'd
+// entries read back forever (GetAt does both under one lock
+// acquisition).
+func (e *mutexExec) get(k uint64) (uint64, bool) {
+	if e.tick == nil {
+		return e.kv.Get(k)
+	}
+	return e.kv.GetAt(k, e.tick())
 }
 
 func (e *mutexExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
@@ -160,14 +204,27 @@ func (e *mutexExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
 		op, res := &ops[i], &results[i]
 		switch op.Kind {
 		case wireproto.OpGet:
-			if v, ok := e.kv.Get(op.Key); ok {
+			if v, ok := e.get(op.Key); ok {
 				res.Status, res.Val = wireproto.RespValue, v
 			} else {
 				res.Status = wireproto.RespNotFound
 			}
 		case wireproto.OpSet:
-			e.kv.Set(op.Key, op.Val)
+			if e.defTTL > 0 {
+				e.kv.SetTTL(op.Key, op.Val, e.now(), e.defTTL)
+			} else {
+				e.kv.Set(op.Key, op.Val)
+			}
 			res.Status = wireproto.RespStored
+		case wireproto.OpSetTTL:
+			e.kv.SetTTL(op.Key, op.Val, e.now(), op.TTL)
+			res.Status = wireproto.RespStored
+		case wireproto.OpTouch:
+			if e.kv.Touch(op.Key, e.now(), op.TTL) {
+				res.Status = wireproto.RespTouched
+			} else {
+				res.Status = wireproto.RespNotFound
+			}
 		case wireproto.OpDel:
 			if e.kv.Delete(op.Key) {
 				res.Status = wireproto.RespDeleted
@@ -176,7 +233,7 @@ func (e *mutexExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
 			}
 		case wireproto.OpMGet:
 			for j, k := range op.Keys {
-				if v, ok := e.kv.Get(k); ok {
+				if v, ok := e.get(k); ok {
 					res.Vals[j] = v
 				} else {
 					res.Vals[j] = wireproto.MissValue
@@ -186,9 +243,9 @@ func (e *mutexExec) ExecBatch(ops []frontend.Op, results []frontend.Result) {
 		case wireproto.OpLen:
 			res.Status, res.Val = wireproto.RespLen, uint64(e.kv.Len())
 		case wireproto.OpStats:
-			h, m, ev := e.kv.Stats()
+			h, m, ev, exp := e.kv.Stats()
 			res.Status = wireproto.RespStats
-			res.Hits, res.Misses, res.Evictions = h, m, ev
+			res.Hits, res.Misses, res.Evictions, res.Expired = h, m, ev, exp
 		}
 	}
 }

@@ -7,13 +7,25 @@
 //
 // Text protocol (-proto text, one command per line):
 //
-//	set <key> <value>   → STORED
-//	get <key>           → VALUE <v> | NOT_FOUND
-//	mget <k1> <k2> ...  → VALUES <v|-> <v|-> ...   (pipelined multi-get)
-//	del <key>           → DELETED | NOT_FOUND
-//	len                 → LEN <n>
-//	stats               → STATS hits=<h> misses=<m> evictions=<e>
-//	quit                → closes the connection
+//	set <key> <value>         → STORED
+//	setx <key> <value> <ttl>  → STORED            (expires ttl ms after apply)
+//	touch <key> <ttl>         → TOUCHED | NOT_FOUND (refresh expiry; 0 clears)
+//	get <key>                 → VALUE <v> | NOT_FOUND
+//	mget <k1> <k2> ...        → VALUES <v|-> <v|-> ...   (pipelined multi-get)
+//	del <key>                 → DELETED | NOT_FOUND
+//	len                       → LEN <n>
+//	stats                     → STATS hits=<h> misses=<m> evictions=<e> expired=<x>
+//	quit                      → closes the connection
+//
+// TTLs are relative (milliseconds of server time); the server computes
+// the absolute deadline when the operation applies, so clients never
+// need a synchronized clock. On the ffwd backend expiry is server-owned:
+// the delegation server's background hook advances the store clock and
+// drains the timer wheel between request sweeps — no client ever scans
+// for dead entries. The mutex baseline has no owning goroutine, so its
+// TTL commands advance the clock inline (the client-driven model the
+// wheel replaces). -default-ttl applies an expiry to plain sets;
+// -max-entries caps resident entries (scan-resistant eviction beyond it).
 //
 // Binary protocol (-proto binary): the length-prefixed frame format of
 // internal/wireproto, served by the event-loop dataplane of
@@ -132,6 +144,8 @@ func main() {
 		queueLen  = flag.Int("frontend-queue", 0, "binary frontend per-shard queue depth (0 = default 1024)")
 		batchMax  = flag.Int("frontend-batch", 0, "binary frontend max ops per executor batch (0 = default 64)")
 		capacity  = flag.Int("capacity", 1<<16, "store capacity (entries)")
+		maxEnts   = flag.Int("max-entries", 0, "cap on resident entries before scan-resistant eviction kicks in (0 = -capacity); overrides -capacity when set")
+		defTTLDur = flag.Duration("default-ttl", 0, "expiry applied to plain set commands, rounded to ms ticks (0 = never expire)")
 		kind      = flag.String("backend", "ffwd", "ffwd or mutex")
 		clients   = flag.Int("clients", 64, "max concurrent delegation clients (ffwd backend, text frontend)")
 		replicas  = flag.Int("replicas", 1, "replica group size for the ffwd backend; >1 quorum-replicates writes with failover")
@@ -152,6 +166,18 @@ func main() {
 		memberAt  = flag.String("replica-member", "", "run as a durable replication follower listening on this address (requires -data-dir); serves no client protocol")
 	)
 	flag.Parse()
+	if *maxEnts > 0 {
+		*capacity = *maxEnts
+	}
+	// Server time: one tick = 1ms since process start. The ffwd backend
+	// samples this from its background hook; the mutex baseline samples
+	// it inline on TTL-bearing commands.
+	startAt := time.Now()
+	tick := func() uint64 { return uint64(time.Since(startAt) / time.Millisecond) }
+	defTTL := uint64(*defTTLDur / time.Millisecond)
+	if *defTTLDur > 0 && defTTL == 0 {
+		defTTL = 1 // sub-millisecond -default-ttl still expires
+	}
 
 	if *memberAt != "" {
 		runReplicaMember(*memberAt, *dataDir, *fsyncPol, *capacity)
@@ -181,6 +207,11 @@ func main() {
 		sv    *core.Supervisor
 		sink  *obs.TraceSink
 		execs []frontend.Exec
+		// storeStats samples the store's hit/miss/eviction/expiry counters
+		// for /metrics and /debug/vars. On the ffwd backend it goes through
+		// a dedicated delegation client (scrapes are requests like any
+		// other); on mutex it reads under the lock.
+		storeStats func() (h, m, e, exp uint64)
 	)
 	switch *kind {
 	case "ffwd":
@@ -242,6 +273,9 @@ func main() {
 		if needBin {
 			slots += ffwdExecSlots(*shards, *pipeDepth)
 		}
+		if *statsAddr != "" {
+			slots++ // the metrics scrape client
+		}
 		cfg := core.Config{
 			MaxClients:    slots,
 			IdleParkAfter: *parkAfter,
@@ -262,6 +296,10 @@ func main() {
 			}
 		}
 		d = apps.NewDelegatedKVConfig(*capacity, cfg)
+		// Server-owned time: the delegation server's background hook
+		// samples this source, advances the store clock, and drains due
+		// expiries between request sweeps.
+		d.SetTickSource(tick)
 		if err := d.Start(); err != nil {
 			log.Fatal(err)
 		}
@@ -272,13 +310,26 @@ func main() {
 				log.Fatal(err)
 			}
 			fb.shedAfter = *shedWait
+			fb.defaultTTL = defTTL
 			b = fb
 		}
 		if needBin {
 			var err error
-			execs, err = newFFWDExecs(d, *shards, *pipeDepth)
+			execs, err = newFFWDExecs(d, *shards, *pipeDepth, defTTL)
 			if err != nil {
 				log.Fatal(err)
+			}
+		}
+		if *statsAddr != "" {
+			mc, err := d.NewClient()
+			if err != nil {
+				log.Fatal(err)
+			}
+			var mu sync.Mutex
+			storeStats = func() (uint64, uint64, uint64, uint64) {
+				mu.Lock()
+				defer mu.Unlock()
+				return mc.Stats()
 			}
 		}
 		// Supervise the delegation server: restart it if it crashes
@@ -296,11 +347,12 @@ func main() {
 	case "mutex":
 		lkv = apps.NewLockedKV(*capacity, func() sync.Locker { return &sync.Mutex{} })
 		if needText {
-			b = &mutexBackend{kv: lkv}
+			b = &mutexBackend{kv: lkv, tick: tick, defaultTTL: defTTL}
 		}
 		if needBin {
-			execs = newMutexExecs(lkv, *shards)
+			execs = newMutexExecs(lkv, *shards, tick, defTTL)
 		}
+		storeStats = lkv.Stats
 	default:
 		log.Fatalf("unknown backend %q", *kind)
 	}
@@ -361,6 +413,15 @@ func main() {
 				m["restarts"] = st.Restarts
 				m["ledger_skips"] = st.LedgerSkips
 				m["retry_waits"] = st.RetryWaits
+				m["maintain_runs"] = st.BackgroundRuns
+				m["maintain_units"] = st.BackgroundUnits
+			}
+			if storeStats != nil {
+				h, mi, ev, exp := storeStats()
+				m["store_hits"] = h
+				m["store_misses"] = mi
+				m["store_evictions"] = ev
+				m["store_expired"] = exp
 			}
 			if rb != nil {
 				m["busy_sheds"] = rb.sheds.Load()
@@ -388,7 +449,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/metrics", metricsRegistry(fe, fb, d, rkv, rb, bsrv).Handler())
+		mux.Handle("/metrics", metricsRegistry(fe, fb, d, rkv, rb, bsrv, storeStats).Handler())
 		if sink != nil {
 			// Live capture download: the snapshot is race-free against
 			// the serving hot path, so this works on a loaded server.
@@ -549,7 +610,7 @@ func writeTrace(path string, sink *obs.TraceSink) {
 // server's stats into a Prometheus /metrics endpoint. Everything is a
 // scrape-time sampling func: the counters already exist as atomics and
 // core.Stats is a consistent snapshot, so the registry owns no state.
-func metricsRegistry(fe *textFrontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *apps.ReplicatedKV, rb *repBackend, bsrv *frontend.Server) *obs.Registry {
+func metricsRegistry(fe *textFrontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv *apps.ReplicatedKV, rb *repBackend, bsrv *frontend.Server, storeStats func() (h, m, e, exp uint64)) *obs.Registry {
 	reg := obs.NewRegistry()
 	u := func(load func() uint64) func() float64 {
 		return func() float64 { return float64(load()) }
@@ -593,6 +654,20 @@ func metricsRegistry(fe *textFrontend, fb *ffwdBackend, d *apps.DelegatedKV, rkv
 			"Duplicate requests skipped by the exactly-once ledger.", stat(func(s core.Stats) uint64 { return s.LedgerSkips }))
 		reg.CounterFunc("ffwd_retry_waits_total",
 			"Client waits that spanned a server restart.", stat(func(s core.Stats) uint64 { return s.RetryWaits }))
+		reg.CounterFunc("ffwd_maintain_runs_total",
+			"Background maintenance runs between request sweeps (clock advance + wheel drain).",
+			stat(func(s core.Stats) uint64 { return s.BackgroundRuns }))
+		reg.CounterFunc("ffwd_maintain_units_total",
+			"Maintenance work units (expiries fired + wheel cascades) done in the background hook.",
+			stat(func(s core.Stats) uint64 { return s.BackgroundUnits }))
+	}
+	if storeStats != nil {
+		reg.CounterFunc("ffwd_expiry_expired_total",
+			"Entries reclaimed because their TTL deadline passed.",
+			func() float64 { _, _, _, exp := storeStats(); return float64(exp) })
+		reg.CounterFunc("ffwd_evict_evictions_total",
+			"Entries evicted at capacity by the scan-resistant policy.",
+			func() float64 { _, _, ev, _ := storeStats(); return float64(ev) })
 	}
 	if rkv != nil {
 		g := rkv.Group()

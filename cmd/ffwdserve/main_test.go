@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ffwd/internal/apps"
@@ -69,7 +71,14 @@ func TestDispatchProtocol(t *testing.T) {
 				{"set 12 120", "STORED"},
 				{"mget 10 11 12", "VALUES 100 - 120"},
 				{"mget", usageMsg},
-				{"stats", "STATS hits=4 misses=3 evictions=0"},
+				{"setx 20 200 1000000", "STORED"},
+				{"setx 21 18446744073709551615 5", "ERROR value reserved"},
+				{"get 20", "VALUE 200"},
+				{"touch 20 2000000", "TOUCHED"},
+				{"touch 21 5", "NOT_FOUND"},
+				{"setx 20 200", usageMsg},
+				{"touch 20", usageMsg},
+				{"stats", "STATS hits=6 misses=4 evictions=0 expired=0"},
 			}
 			for _, s := range steps {
 				if got := tc.b.handle(s.in); got != s.want {
@@ -77,6 +86,36 @@ func TestDispatchProtocol(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// Regression: the mutex backend's reads must carry a tick too. With a
+// tick source wired, a setx'd key has to stop reading back once its TTL
+// elapses even when no further TTL-bearing command runs — the clock used
+// to advance only on setx/touch, so pure-read workloads never expired
+// anything.
+func TestMutexBackendReadExpiry(t *testing.T) {
+	var now atomic.Uint64
+	b := &mutexBackend{
+		kv:   apps.NewLockedKV(128, func() sync.Locker { return &sync.Mutex{} }),
+		tick: now.Load,
+	}
+	if got := b.handle("setx 1 10 5"); got != "STORED" {
+		t.Fatalf("setx = %q", got)
+	}
+	if got := b.handle("get 1"); got != "VALUE 10" {
+		t.Fatalf("get before expiry = %q", got)
+	}
+	now.Store(6)
+	// Pure reads from here on: only get/mget may advance the clock.
+	if got := b.handle("get 1"); got != "NOT_FOUND" {
+		t.Fatalf("get after expiry = %q", got)
+	}
+	if got := b.handle("mget 1 2"); got != "VALUES - -" {
+		t.Fatalf("mget after expiry = %q", got)
+	}
+	if got := b.handle("stats"); !strings.Contains(got, "expired=1") {
+		t.Fatalf("stats = %q, want expired=1", got)
 	}
 }
 

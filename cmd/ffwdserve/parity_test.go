@@ -85,6 +85,10 @@ func (b *binParityClient) handle(line string) string {
 		req.Op, req.Key = wireproto.OpGet, args[0]
 	case "set":
 		req.Op, req.Key, req.Val = wireproto.OpSet, args[0], args[1]
+	case "setx":
+		req.Op, req.Key, req.Val, req.TTL = wireproto.OpSetTTL, args[0], args[1], args[2]
+	case "touch":
+		req.Op, req.Key, req.TTL = wireproto.OpTouch, args[0], args[1]
 	case "del":
 		req.Op, req.Key = wireproto.OpDel, args[0]
 	case "mget":
@@ -106,10 +110,12 @@ func (b *binParityClient) handle(line string) string {
 		return "STORED"
 	case wireproto.RespDeleted:
 		return "DELETED"
+	case wireproto.RespTouched:
+		return "TOUCHED"
 	case wireproto.RespLen:
 		return fmt.Sprintf("LEN %d", resp.Val)
 	case wireproto.RespStats:
-		return statsLine(resp.Hits, resp.Misses, resp.Evictions)
+		return statsLine(resp.Hits, resp.Misses, resp.Evictions, resp.Expired)
 	case wireproto.RespValues:
 		var sb strings.Builder
 		sb.WriteString("VALUES")
@@ -182,7 +188,7 @@ func TestFrontendParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(d.Stop)
-	execs, err := newFFWDExecs(d, shards, depth)
+	execs, err := newFFWDExecs(d, shards, depth, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,6 +216,11 @@ func TestFrontendParity(t *testing.T) {
 		"del 1",
 		"get 1",
 		"set 2 18446744073709551615",
+		"setx 2 18446744073709551615 5",
+		"setx 20 200 1000000",
+		"get 20",
+		"touch 20 2000000",
+		"touch 21 5",
 		"set 10 100",
 		"set 12 120",
 		"mget 10 11 12",

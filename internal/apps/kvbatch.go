@@ -86,6 +86,20 @@ func (b *KVBatchClient) Del(key uint64) {
 	b.reap(b.g.Submit1(b.d.fidDelete, key))
 }
 
+// SetTTL submits a store expiring ttl ticks after the server's clock as
+// of the apply (server-owned time; ttl 0 means no expiry). The sentinel
+// caveat of Set applies.
+func (b *KVBatchClient) SetTTL(key, value, ttl uint64) {
+	b.reap(b.g.Submit3(b.d.fidSetTTLNow, key, value, ttl))
+}
+
+// Touch submits an expiry refresh to ttl ticks after the server's clock;
+// the completion's ret is 1 when the key was present and live, 0
+// otherwise.
+func (b *KVBatchClient) Touch(key, ttl uint64) {
+	b.reap(b.g.Submit2(b.d.fidTouch, key, ttl))
+}
+
 // Len submits a size query; the completion's ret is the store size.
 func (b *KVBatchClient) Len() {
 	b.reap(b.g.Submit0(b.d.fidLen))

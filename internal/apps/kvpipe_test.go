@@ -43,7 +43,7 @@ func TestKVMultiGet(t *testing.T) {
 		}
 	}
 	// Misses count in the store statistics exactly once per missed key.
-	_, misses, _ := c.Stats()
+	_, misses, _, _ := c.Stats()
 	if misses != 50 {
 		t.Fatalf("store misses = %d, want 50", misses)
 	}

@@ -5,127 +5,156 @@ import (
 	"time"
 
 	"ffwd/internal/core"
+	"ffwd/internal/expiry"
 )
 
 // KVStore is the memcached-analog: a fixed-capacity hash table of word
-// keys and values with LRU eviction and hit/miss statistics. The sequential
-// core has no synchronization — wrap it in a LockedKV or serve it through
-// a DelegatedKV.
+// keys and values with scan-resistant segmented-LRU eviction, TTL expiry
+// indexed by a hierarchical timer wheel, and hit/miss statistics. The
+// sequential core has no synchronization — wrap it in a LockedKV or serve
+// it through a DelegatedKV, whose server owns the store's logical clock
+// and amortizes expiry into its idle sweeps (server-owned time).
 type KVStore struct {
 	capacity int
 	table    map[uint64]*kvEntry
-	// LRU list: head = most recent, tail = least recent.
-	head, tail *kvEntry
+	// lru is the eviction policy: new entries are probationary, a second
+	// hit promotes to the protected segment, victims come from the
+	// probationary tail first — a scan of one-shot keys cannot flush the
+	// hot set.
+	lru expiry.SegLRU
+	// wheel indexes every entry that carries an expiry deadline; entries
+	// are intrusive (kvEntry embeds the node), so scheduling allocates
+	// nothing. Advancing the wheel to the clock reclaims due entries in
+	// O(due), replacing the old O(n) full-scan sweep.
+	wheel expiry.Wheel
+	// clock is the store's logical time in ticks; the owner advances it
+	// (AdvanceClock) and everything else — lazy expiry, deadline
+	// computation, wheel advances — reads it.
+	clock uint64
+
 	hits       uint64
 	misses     uint64
 	evictions  uint64
 	expired    uint64
+	wheelFired uint64
+
+	// fireFn is the wheel's fire callback, bound once so Maintain and
+	// SweepExpired allocate nothing.
+	fireFn func(*expiry.Node)
 }
 
 type kvEntry struct {
-	key   uint64
+	// node carries the key, the wheel scheduling state (its deadline is
+	// the entry's expiry tick; 0 = no expiry) and the LRU links.
+	node  expiry.Node
 	value uint64
-	// expiresAt is the logical expiry tick; 0 means no expiry.
-	expiresAt  uint64
-	prev, next *kvEntry
 }
+
+// kvEntryCost approximates one entry's resident bytes (struct + table
+// slot) for the policy's byte accounting.
+const kvEntryCost = 96
 
 // NewKVStore returns a store bounded to capacity entries (≥1).
 func NewKVStore(capacity int) *KVStore {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &KVStore{capacity: capacity, table: make(map[uint64]*kvEntry, capacity)}
+	s := &KVStore{capacity: capacity, table: make(map[uint64]*kvEntry, capacity)}
+	// Protect at most ~80% of capacity so the probationary segment always
+	// has churn room under scan pressure.
+	protCap := capacity * 4 / 5
+	if protCap < 1 {
+		protCap = 1
+	}
+	s.lru.Init(protCap)
+	s.fireFn = s.fireExpired
+	return s
 }
 
-// Get looks up key, promoting it in the LRU order.
+// Get looks up key at the store's clock, reclaiming it if expired and
+// promoting it in the LRU order otherwise.
 func (s *KVStore) Get(key uint64) (uint64, bool) {
+	s.expireIfDue(key, s.clock)
 	e, ok := s.table[key]
 	if !ok {
 		s.misses++
 		return 0, false
 	}
 	s.hits++
-	s.promote(e)
+	s.lru.Touch(&e.node)
 	return e.value, true
 }
 
-// Set inserts or updates key, evicting the LRU entry at capacity.
+// Set inserts or updates key, evicting at capacity. An update keeps a
+// live entry's existing expiry; a dead-but-unreclaimed entry is expired
+// first, so the outcome never depends on how far the wheel has drained.
 func (s *KVStore) Set(key, value uint64) {
+	s.expireIfDue(key, s.clock)
 	if e, ok := s.table[key]; ok {
 		e.value = value
-		s.promote(e)
+		s.lru.Touch(&e.node)
 		return
 	}
-	if len(s.table) >= s.capacity {
-		s.evictLRU()
-	}
-	e := &kvEntry{key: key, value: value}
-	s.table[key] = e
-	s.pushFront(e)
+	s.insert(key, value, 0)
 }
 
-// Delete removes key; it reports whether it was present.
+// Delete removes key; it reports whether it was present and live (an
+// expired entry reads as absent regardless of wheel progress).
 func (s *KVStore) Delete(key uint64) bool {
+	s.expireIfDue(key, s.clock)
 	e, ok := s.table[key]
 	if !ok {
 		return false
 	}
-	s.unlink(e)
-	delete(s.table, key)
+	s.removeNode(&e.node)
 	return true
 }
 
 // Len returns the number of stored entries.
 func (s *KVStore) Len() int { return len(s.table) }
 
+// Bytes returns the policy's byte accounting for the resident entries.
+func (s *KVStore) Bytes() uint64 { return s.lru.Bytes() }
+
 // Stats returns hits, misses and evictions so far.
 func (s *KVStore) Stats() (hits, misses, evictions uint64) {
 	return s.hits, s.misses, s.evictions
 }
 
-func (s *KVStore) pushFront(e *kvEntry) {
-	e.prev = nil
-	e.next = s.head
-	if s.head != nil {
-		s.head.prev = e
+// insert adds a new entry (caller has established key is absent), making
+// room first and scheduling its expiry if it has one.
+func (s *KVStore) insert(key, value, deadline uint64) {
+	for len(s.table) >= s.capacity {
+		if !s.evictOne() {
+			break
+		}
 	}
-	s.head = e
-	if s.tail == nil {
-		s.tail = e
+	e := &kvEntry{value: value}
+	e.node.Key = key
+	e.node.Cost = kvEntryCost
+	s.table[key] = e
+	s.lru.Insert(&e.node)
+	if deadline != 0 {
+		s.wheel.Schedule(&e.node, deadline)
 	}
 }
 
-func (s *KVStore) unlink(e *kvEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else {
-		s.head = e.next
+// evictOne removes the policy's victim (probationary tail first), O(1).
+func (s *KVStore) evictOne() bool {
+	n := s.lru.Victim()
+	if n == nil {
+		return false
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else {
-		s.tail = e.prev
-	}
-	e.prev, e.next = nil, nil
-}
-
-func (s *KVStore) promote(e *kvEntry) {
-	if s.head == e {
-		return
-	}
-	s.unlink(e)
-	s.pushFront(e)
-}
-
-func (s *KVStore) evictLRU() {
-	if s.tail == nil {
-		return
-	}
-	victim := s.tail
-	s.unlink(victim)
-	delete(s.table, victim.key)
+	s.removeNode(n)
 	s.evictions++
+	return true
+}
+
+// removeNode unlinks an entry from the policy, the wheel and the table.
+func (s *KVStore) removeNode(n *expiry.Node) {
+	s.lru.Remove(n)
+	s.wheel.Cancel(n)
+	delete(s.table, n.Key)
 }
 
 // KV is the common interface of the synchronized store variants.
@@ -168,11 +197,58 @@ func (l *LockedKV) Delete(key uint64) bool {
 	return l.s.Delete(key)
 }
 
-// Stats reads the counters under the lock.
-func (l *LockedKV) Stats() (hits, misses, evictions uint64) {
+// SetTTL stores key with expiry at now+ttl under the lock.
+func (l *LockedKV) SetTTL(key, value, now, ttl uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.s.Stats()
+	l.s.SetTTL(key, value, now, ttl)
+}
+
+// Touch refreshes key's expiry under the lock.
+func (l *LockedKV) Touch(key, now, ttl uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Touch(key, now, ttl)
+}
+
+// AdvanceClock moves the store clock forward under the lock and drains
+// every newly due wheel entry (the caller IS the sweeper here — there is
+// no owning server goroutine to do it). Returns the clock after the
+// advance, which never goes backwards.
+func (l *LockedKV) AdvanceClock(now uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.AdvanceClock(now)
+	l.s.Maintain(0)
+	return l.s.Clock()
+}
+
+// GetAt advances the store clock to now and looks up key, under one
+// lock acquisition. This is the client-driven model's read path: with
+// no owning goroutine to advance time, every read carries its own tick,
+// so TTL'd entries expire even for pure-read workloads. Reclaim of
+// other due entries stays lazy (the next AdvanceClock drains them);
+// only the read key's liveness is decided here.
+func (l *LockedKV) GetAt(key, now uint64) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.AdvanceClock(now)
+	return l.s.Get(key)
+}
+
+// Clock reads the store clock under the lock.
+func (l *LockedKV) Clock() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.s.Clock()
+}
+
+// Stats reads the counters under the lock.
+func (l *LockedKV) Stats() (hits, misses, evictions, expired uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, m, e := l.s.Stats()
+	return h, m, e, l.s.Expired()
 }
 
 // Len returns the number of stored entries, under the lock.
@@ -184,14 +260,23 @@ func (l *LockedKV) Len() int {
 
 // DelegatedKV serves a KVStore through a ffwd delegation server: the
 // paper's memcached port, where every access to the delegated structure
-// is delegated.
+// is delegated. The server also owns the store's time: its background
+// maintenance hook advances the logical clock (when a tick source is
+// installed) and drains the timer wheel between request sweeps, so expiry
+// and eviction are server-side work that rides the idle ladder instead of
+// contended client scans.
 type DelegatedKV struct {
 	srv *core.Server
 	s   *KVStore
 
+	// tick, if set before Start, supplies the current logical tick to the
+	// background maintenance hook. Read only on the server goroutine.
+	tick func() uint64
+
 	fidGet, fidSet, fidDelete, fidLen core.FuncID
 	fidGetAt, fidSetTTL, fidSweep     core.FuncID
-	fidStats                          [3]core.FuncID
+	fidSetTTLNow, fidTouch, fidTick   core.FuncID
+	fidStats                          [4]core.FuncID
 }
 
 // NewDelegatedKV builds the store and its server (not yet started).
@@ -200,12 +285,16 @@ func NewDelegatedKV(capacity, maxClients int) *DelegatedKV {
 }
 
 // NewDelegatedKVConfig is NewDelegatedKV with full control of the
-// delegation server configuration (idle policy, group size, ...).
+// delegation server configuration (idle policy, group size, ...). Unless
+// the caller supplies its own Background hook, the store's maintenance
+// (clock advance + wheel drain) is installed as the server's background
+// work.
 func NewDelegatedKVConfig(capacity int, cfg core.Config) *DelegatedKV {
-	d := &DelegatedKV{
-		srv: core.NewServer(cfg),
-		s:   NewKVStore(capacity),
+	d := &DelegatedKV{s: NewKVStore(capacity)}
+	if cfg.Background == nil {
+		cfg.Background = d.maintain
 	}
+	d.srv = core.NewServer(cfg)
 	d.fidGet = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
 		v, ok := d.s.Get(a[0])
 		if !ok {
@@ -240,11 +329,47 @@ func NewDelegatedKVConfig(capacity int, cfg core.Config) *DelegatedKV {
 	d.fidSweep = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
 		return uint64(d.s.SweepExpired(a[0]))
 	})
+	// Server-owned-time variants: the deadline is computed from the
+	// store's clock at apply time, so wire clients never ship absolute
+	// ticks (and the linearization point fixes the deadline).
+	d.fidSetTTLNow = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.s.SetTTL(a[0], a[1], d.s.Clock(), a[2])
+		return 0
+	})
+	d.fidTouch = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		if d.s.Touch(a[0], d.s.Clock(), a[1]) {
+			return 1
+		}
+		return 0
+	})
+	d.fidTick = d.srv.Register(func(a *[core.MaxArgs]uint64) uint64 {
+		d.s.AdvanceClock(a[0])
+		return d.s.Clock()
+	})
 	d.fidStats[0] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.hits })
 	d.fidStats[1] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.misses })
 	d.fidStats[2] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.evictions })
+	d.fidStats[3] = d.srv.Register(func(*[core.MaxArgs]uint64) uint64 { return d.s.expired })
 	return d
 }
+
+// maintain is the server's background hook: sample the tick source into
+// the clock, then drain the wheel toward it within budget. Runs on the
+// server goroutine, so it touches the store without synchronization.
+func (d *DelegatedKV) maintain(budget int) int {
+	if d.tick != nil {
+		d.s.AdvanceClock(d.tick())
+	}
+	return d.s.Maintain(budget)
+}
+
+// SetTickSource installs the clock sampler the background hook uses.
+// Must be called before Start.
+func (d *DelegatedKV) SetTickSource(tick func() uint64) { d.tick = tick }
+
+// Store exposes the underlying sequential store. Only safe to touch while
+// the server is stopped (tests, drain reports).
+func (d *DelegatedKV) Store() *KVStore { return d.s }
 
 // kvMissSentinel marks a missing key in the one-word response channel;
 // values equal to it cannot be stored via the delegated client.
@@ -311,12 +436,35 @@ func (k *KVClient) GetAt(key, now uint64) (uint64, bool) {
 }
 
 // SetTTL stores value under key with expiry at tick now+ttl (ttl 0 means
-// no expiry).
+// no expiry), with a caller-supplied clock.
 func (k *KVClient) SetTTL(key, value, now, ttl uint64) {
 	if value == kvMissSentinel {
 		panic("apps: KVClient.SetTTL of the sentinel value")
 	}
 	k.c.Delegate(k.d.fidSetTTL, key, value, now, ttl)
+}
+
+// SetTTLNow stores value under key expiring ttl ticks after the server's
+// clock as of the apply (server-owned time; ttl 0 means no expiry).
+func (k *KVClient) SetTTLNow(key, value, ttl uint64) {
+	if value == kvMissSentinel {
+		panic("apps: KVClient.SetTTLNow of the sentinel value")
+	}
+	k.c.Delegate(k.d.fidSetTTLNow, key, value, ttl)
+}
+
+// Touch refreshes key's expiry to ttl ticks after the server's clock
+// (ttl 0 clears the expiry), promoting it like a hit. It reports whether
+// the key was present and live.
+func (k *KVClient) Touch(key, ttl uint64) bool {
+	return k.c.Delegate2(k.d.fidTouch, key, ttl) == 1
+}
+
+// AdvanceClock moves the store's logical clock forward (monotone) and
+// returns the clock after the advance. The delegated apply is the
+// linearization point recorded by the TTL chaos suites.
+func (k *KVClient) AdvanceClock(now uint64) uint64 {
+	return k.c.Delegate1(k.d.fidTick, now)
 }
 
 // SweepExpired reclaims every entry due at now, atomically, as one
@@ -350,6 +498,29 @@ func (k *KVClient) SetRetry(p core.RetryPolicy, perTry time.Duration, key, value
 	return err
 }
 
+// SetTTLNowRetry is SetTTLNow under a retry policy.
+func (k *KVClient) SetTTLNowRetry(p core.RetryPolicy, perTry time.Duration, key, value, ttl uint64) error {
+	if value == kvMissSentinel {
+		panic("apps: KVClient.SetTTLNowRetry of the sentinel value")
+	}
+	_, err := k.c.DelegateRetry(p, perTry, k.d.fidSetTTLNow, key, value, ttl)
+	return err
+}
+
+// TouchRetry is Touch under a retry policy.
+func (k *KVClient) TouchRetry(p core.RetryPolicy, perTry time.Duration, key, ttl uint64) (bool, error) {
+	v, err := k.c.DelegateRetry(p, perTry, k.d.fidTouch, key, ttl)
+	if err != nil {
+		return false, err
+	}
+	return v == 1, nil
+}
+
+// AdvanceClockRetry is AdvanceClock under a retry policy.
+func (k *KVClient) AdvanceClockRetry(p core.RetryPolicy, perTry time.Duration, now uint64) (uint64, error) {
+	return k.c.DelegateRetry(p, perTry, k.d.fidTick, now)
+}
+
 // DeleteRetry is Delete under a retry policy. The reported presence is
 // the first (only) application's answer — a crash-induced re-delivery is
 // answered from the server's ledger, so a successful delete is never
@@ -362,13 +533,14 @@ func (k *KVClient) DeleteRetry(p core.RetryPolicy, perTry time.Duration, key uin
 	return v == 1, nil
 }
 
-// Stats reads the hit/miss/eviction counters (three single-word requests;
-// a consistent snapshot needs a quiescent store, as with any sharded
-// metric read).
-func (k *KVClient) Stats() (hits, misses, evictions uint64) {
+// Stats reads the hit/miss/eviction/expiry counters (four single-word
+// requests; a consistent snapshot needs a quiescent store, as with any
+// sharded metric read).
+func (k *KVClient) Stats() (hits, misses, evictions, expired uint64) {
 	return k.c.Delegate0(k.d.fidStats[0]),
 		k.c.Delegate0(k.d.fidStats[1]),
-		k.c.Delegate0(k.d.fidStats[2])
+		k.c.Delegate0(k.d.fidStats[2]),
+		k.c.Delegate0(k.d.fidStats[3])
 }
 
 // KVPipeClient is a pipelined handle to a DelegatedKV: it keeps up to its

@@ -1,24 +1,72 @@
 package apps
 
-// TTL (expiry) support for KVStore — the memcached feature that makes Get
-// misses on expired keys. Expiry is lazy, as in memcached: an expired
-// entry is reclaimed when an access touches it (plus whatever LRU eviction
-// reclaims). Time is a logical tick supplied by the caller, which keeps
-// the store deterministic and delegation-friendly (the server owns the
-// clock word; no time syscalls in delegated functions).
+import "ffwd/internal/expiry"
 
-// SetTTL inserts or updates key with an expiry at tick now+ttl. A ttl of
-// zero means no expiry (like Set).
+// TTL (expiry) support for KVStore — the memcached feature that makes Get
+// misses on expired keys. Time is a logical tick clock owned by the store
+// (the delegation server advances it; no time syscalls in delegated
+// functions). Every entry with a deadline is indexed in a hierarchical
+// timer wheel, so reclaiming due entries is O(due) wheel work — run
+// incrementally by the server's background hook (Maintain) — rather than
+// the old O(n) full scan. Lazy per-access expiry is retained as the
+// correctness backstop: a parked server runs no maintenance, but an
+// access can never observe a due entry.
+
+// maxExpiry is the largest representable deadline: now+ttl sums that
+// overflow clamp here ("effectively never") instead of wrapping around
+// into the past — or worse, onto 0, the no-expiry sentinel.
+const maxExpiry = ^uint64(0) - 1
+
+// expiryDeadline computes now+ttl with the overflow clamp; ttl 0 means no
+// expiry (deadline 0).
+func expiryDeadline(now, ttl uint64) uint64 {
+	if ttl == 0 {
+		return 0
+	}
+	d := now + ttl
+	if d < now || d > maxExpiry {
+		return maxExpiry
+	}
+	return d
+}
+
+// SetTTL inserts or updates key with an expiry at tick now+ttl (clamped
+// to maxExpiry on overflow). A ttl of zero means no expiry (like Set,
+// but clearing any previous deadline).
 func (s *KVStore) SetTTL(key, value uint64, now, ttl uint64) {
 	s.expireIfDue(key, now)
-	s.Set(key, value)
+	deadline := expiryDeadline(now, ttl)
 	if e, ok := s.table[key]; ok {
-		if ttl == 0 {
-			e.expiresAt = 0
+		e.value = value
+		s.lru.Touch(&e.node)
+		if deadline == 0 {
+			s.wheel.Cancel(&e.node)
 		} else {
-			e.expiresAt = now + ttl
+			s.wheel.Schedule(&e.node, deadline)
 		}
+		return
 	}
+	s.insert(key, value, deadline)
+}
+
+// Touch refreshes key's expiry to now+ttl (ttl 0 clears it), promoting it
+// in the LRU order like a hit. It reports whether the key was present and
+// live — the memcached TOUCH verb.
+func (s *KVStore) Touch(key uint64, now, ttl uint64) bool {
+	s.expireIfDue(key, now)
+	e, ok := s.table[key]
+	if !ok {
+		s.misses++
+		return false
+	}
+	s.hits++
+	s.lru.Touch(&e.node)
+	if d := expiryDeadline(now, ttl); d == 0 {
+		s.wheel.Cancel(&e.node)
+	} else {
+		s.wheel.Schedule(&e.node, d)
+	}
+	return true
 }
 
 // GetAt looks up key at logical time now, reclaiming it if expired.
@@ -27,31 +75,78 @@ func (s *KVStore) GetAt(key, now uint64) (uint64, bool) {
 	return s.Get(key)
 }
 
-// expireIfDue reclaims key if its expiry has passed.
-func (s *KVStore) expireIfDue(key, now uint64) {
-	e, ok := s.table[key]
-	if !ok || e.expiresAt == 0 || now < e.expiresAt {
+// AdvanceClock moves the store's logical clock forward to now (monotone:
+// earlier ticks are ignored).
+func (s *KVStore) AdvanceClock(now uint64) {
+	if now > s.clock {
+		s.clock = now
+	}
+}
+
+// Clock returns the store's logical time.
+func (s *KVStore) Clock() uint64 { return s.clock }
+
+// Maintain advances the timer wheel toward the clock, reclaiming every
+// entry whose deadline has passed, spending at most budget units (fired
+// entries + cascade relinks; budget <= 0 means unbounded). It returns the
+// units spent; 0 means the wheel is fully caught up. This is the
+// delegation server's background work: expiry rides otherwise-empty
+// sweeps instead of being a contended client scan.
+func (s *KVStore) Maintain(budget int) int {
+	if s.wheel.Now() >= s.clock {
+		return 0
+	}
+	return s.wheel.Advance(s.clock, budget, s.fireFn)
+}
+
+// PendingExpiry returns the number of entries with a scheduled deadline.
+func (s *KVStore) PendingExpiry() int { return s.wheel.Len() }
+
+// fireExpired reclaims an entry whose wheel deadline has passed. The node
+// is already unscheduled when the wheel fires it.
+func (s *KVStore) fireExpired(n *expiry.Node) {
+	e, ok := s.table[n.Key]
+	if !ok || &e.node != n {
+		// Stale fire: the entry was replaced since scheduling. Cannot
+		// happen while deletes/updates cancel correctly; tolerated.
 		return
 	}
-	s.unlink(e)
-	delete(s.table, key)
+	s.lru.Remove(n)
+	delete(s.table, n.Key)
+	s.expired++
+	s.wheelFired++
+}
+
+// expireIfDue reclaims key if its expiry has passed as of now.
+func (s *KVStore) expireIfDue(key, now uint64) {
+	e, ok := s.table[key]
+	if !ok {
+		return
+	}
+	d := e.node.Deadline()
+	if d == 0 || now < d {
+		return
+	}
+	s.removeNode(&e.node)
 	s.expired++
 }
 
-// Expired returns how many entries lazy expiry has reclaimed.
+// Expired returns how many entries expiry has reclaimed (lazy + wheel).
 func (s *KVStore) Expired() uint64 { return s.expired }
 
-// SweepExpired scans the whole store and reclaims every entry due at now.
-// It is O(n); delegation makes it trivially safe to run as one atomic
-// request (the composite-operation advantage).
+// WheelExpired returns how many of those the background wheel reclaimed.
+func (s *KVStore) WheelExpired() uint64 { return s.wheelFired }
+
+// SweepExpired reclaims every entry due at now and returns the number
+// reclaimed.
+//
+// Deprecated: this is the pre-wheel API, retained as a compatibility
+// wrapper; it now advances the clock to now and drains the wheel — O(due)
+// rather than the old O(n) full scan. Server-owned stores should rely on
+// Maintain (the background hook) instead of delegating sweeps.
 func (s *KVStore) SweepExpired(now uint64) (reclaimed int) {
-	for key, e := range s.table {
-		if e.expiresAt != 0 && now >= e.expiresAt {
-			s.unlink(e)
-			delete(s.table, key)
-			s.expired++
-			reclaimed++
-		}
-	}
-	return reclaimed
+	s.AdvanceClock(now)
+	before := s.expired
+	s.wheel.Advance(s.clock, 0, s.fireFn)
+	return int(s.expired - before)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ffwd/internal/core"
+	"ffwd/internal/expiry"
 	"ffwd/internal/replica"
 	"ffwd/internal/replog"
 	"ffwd/internal/reptrans"
@@ -37,22 +38,30 @@ func (s *KVStore) Peek(key uint64) (uint64, bool) {
 }
 
 // EncodeState serializes the store for a replica snapshot: an entry
-// count followed by (key, value, expiresAt) triples in LRU order from
-// least to most recent, so RestoreState rebuilds not just the map but
-// the exact eviction order.
+// count and the logical clock, followed by (key, value, expiresAt, seg)
+// quadruples — probationary segment first, then protected, each from
+// least to most recent — so RestoreState rebuilds not just the map but
+// the exact eviction order, segment membership, and timer-wheel index.
 func (s *KVStore) EncodeState() []byte {
-	buf := make([]byte, 0, 8+24*len(s.table))
+	buf := make([]byte, 0, 16+32*len(s.table))
 	var b [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(b[:], v)
 		buf = append(buf, b[:]...)
 	}
 	put(uint64(len(s.table)))
-	for e := s.tail; e != nil; e = e.prev {
-		put(e.key)
+	put(s.clock)
+	s.lru.Each(func(n *expiry.Node, protected bool) {
+		e := s.table[n.Key]
+		put(n.Key)
 		put(e.value)
-		put(e.expiresAt)
-	}
+		put(n.Deadline())
+		if protected {
+			put(1)
+		} else {
+			put(0)
+		}
+	})
 	return buf
 }
 
@@ -60,23 +69,37 @@ func (s *KVStore) EncodeState() []byte {
 // The observability counters (hits/misses/evictions/expired) reset: they
 // are per-replica local color, not replicated state.
 func (s *KVStore) RestoreState(data []byte) {
-	s.table = make(map[uint64]*kvEntry, s.capacity)
-	s.head, s.tail = nil, nil
-	s.hits, s.misses, s.evictions, s.expired = 0, 0, 0, 0
-	if len(data) < 8 {
+	fresh := NewKVStore(s.capacity)
+	s.table = fresh.table
+	s.lru = fresh.lru
+	s.wheel = fresh.wheel
+	s.clock = 0
+	s.hits, s.misses, s.evictions, s.expired, s.wheelFired = 0, 0, 0, 0, 0
+	if len(data) < 16 {
 		return
 	}
 	n := binary.LittleEndian.Uint64(data)
-	off := 8
-	for i := uint64(0); i < n && off+24 <= len(data); i++ {
-		e := &kvEntry{
-			key:       binary.LittleEndian.Uint64(data[off:]),
-			value:     binary.LittleEndian.Uint64(data[off+8:]),
-			expiresAt: binary.LittleEndian.Uint64(data[off+16:]),
+	s.clock = binary.LittleEndian.Uint64(data[8:])
+	off := 16
+	for i := uint64(0); i < n && off+32 <= len(data); i++ {
+		key := binary.LittleEndian.Uint64(data[off:])
+		val := binary.LittleEndian.Uint64(data[off+8:])
+		deadline := binary.LittleEndian.Uint64(data[off+16:])
+		protected := binary.LittleEndian.Uint64(data[off+24:]) == 1
+		off += 32
+		e := &kvEntry{value: val}
+		e.node.Key = key
+		e.node.Cost = kvEntryCost
+		s.table[key] = e
+		s.lru.Insert(&e.node)
+		if protected {
+			// Encoded LRU→MRU, so touching in encode order reproduces
+			// the protected segment's exact recency order.
+			s.lru.Touch(&e.node)
 		}
-		off += 24
-		s.table[e.key] = e
-		s.pushFront(e) // encoded oldest-first: head ends most recent
+		if deadline != 0 {
+			s.wheel.Schedule(&e.node, deadline)
+		}
 	}
 }
 

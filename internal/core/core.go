@@ -126,6 +126,12 @@ const (
 // server stops consuming its processor within microseconds.
 const defaultIdleParkAfter = 64
 
+// defaultBackgroundBudget is the per-empty-sweep cap on Background-hook
+// work units. Small enough that a request arriving mid-maintenance waits
+// at most a few dozen pointer relinks; large enough that an expiry storm
+// drains in a handful of otherwise-wasted idle sweeps.
+const defaultBackgroundBudget = 32
+
 // Func is a delegated function: it receives up to MaxArgs argument words
 // and returns one word. It runs on the server goroutine and must not
 // block — exactly the paper's contract ("any non-blocking C function").
@@ -233,6 +239,20 @@ type Config struct {
 	// nil (the default) costs the hot paths one predictable branch per
 	// event site and nothing else.
 	Trace obs.Tracer
+	// Background, if non-nil, is the server's bounded maintenance hook:
+	// after every *empty* sweep — before the idle-ladder decision — the
+	// server calls Background(budget) on its own goroutine, so the hook
+	// may touch delegated structures without synchronization. It must do
+	// at most budget units of work and return the units actually done; a
+	// return equal to budget means work remains, and the server stays
+	// hot (the idle counter resets) instead of descending toward a park.
+	// A parked server runs no maintenance until the next wake, so owners
+	// must keep a lazy correctness backstop (e.g. per-Get expiry checks).
+	Background func(budget int) int
+	// BackgroundBudget caps the units one empty sweep may spend in the
+	// Background hook. 0 selects the default (32); a negative value
+	// disables the hook entirely.
+	BackgroundBudget int
 }
 
 // Stats is a snapshot of server activity counters.
@@ -289,6 +309,12 @@ type Stats struct {
 	// client-side retry policies (DelegateRetry and friends) while
 	// waiting out timeouts, crashes, and restarts.
 	RetryWaits uint64
+	// BackgroundRuns is the number of empty sweeps on which the
+	// Background maintenance hook did nonzero work.
+	BackgroundRuns uint64
+	// BackgroundUnits is the total units of work the Background hook has
+	// reported (fired timers, cascade relinks, evictions, ...).
+	BackgroundUnits uint64
 	// LastPanic is the most recent panic record (delegated-call panic or
 	// server crash), or nil if none has occurred.
 	LastPanic *PanicRecord
@@ -402,6 +428,13 @@ type Server struct {
 	nAbandoned     padded.Uint64
 	nLedgerSkips   padded.Uint64
 	nRetryWaits    padded.Uint64
+	nBgRuns        padded.Uint64
+	nBgUnits       padded.Uint64
+
+	// background/bgBudget mirror cfg (resolved defaults); only the server
+	// goroutine calls the hook.
+	background func(budget int) int
+	bgBudget   int
 }
 
 // ledgerEntry is one slot's last-applied record: the sequence number of
@@ -445,6 +478,13 @@ func NewServer(cfg Config) *Server {
 	}
 	if bt, ok := cfg.Trace.(obs.BatchTracer); ok {
 		s.traceBatch = bt
+	}
+	if cfg.BackgroundBudget >= 0 {
+		s.background = cfg.Background
+		s.bgBudget = cfg.BackgroundBudget
+		if s.bgBudget == 0 {
+			s.bgBudget = defaultBackgroundBudget
+		}
 	}
 	close(s.done) // a never-started server is already "stopped"
 	empty := make([]Func, 0, 16)
@@ -731,6 +771,8 @@ func (s *Server) Stats() Stats {
 		AbandonedSlots:  s.nAbandoned.Load(),
 		LedgerSkips:     s.nLedgerSkips.Load(),
 		RetryWaits:      s.nRetryWaits.Load(),
+		BackgroundRuns:  s.nBgRuns.Load(),
+		BackgroundUnits: s.nBgUnits.Load(),
 		LastPanic:       s.lastPanic.Load(),
 	}
 }
@@ -790,6 +832,31 @@ func (s *Server) run(done chan struct{}) {
 		if served := s.sweep(gs, &retBuf, &seqBuf, &args, &evBuf); served > 0 {
 			idleSweeps = 0
 			continue
+		}
+		// The sweep found nothing: spend the otherwise-wasted pass on
+		// bounded background maintenance (timer-wheel advance, expiry)
+		// before deciding how far to descend the idle ladder. A full
+		// budget spent means more maintenance is pending — stay hot so
+		// the backlog drains across consecutive sweeps instead of
+		// stalling behind a park.
+		if bg := s.background; bg != nil {
+			if units := bg(s.bgBudget); units > 0 {
+				s.nBgRuns.Add(1)
+				s.nBgUnits.Add(uint64(units))
+				if tr := s.trace; tr != nil {
+					tr.Event(obs.KindMaintain, -1, uint64(units))
+				}
+				if units >= s.bgBudget {
+					// Skip the park descent, but still yield: at
+					// GOMAXPROCS=1 clients never run (and never
+					// produce work) unless the hot server gives up
+					// the processor between maintenance slices.
+					idleSweeps = 0
+					s.nIdleYields.Add(1)
+					runtime.Gosched()
+					continue
+				}
+			}
 		}
 		idleSweeps++
 		if parkAfter > 0 && idleSweeps >= parkAfter {

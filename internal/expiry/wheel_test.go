@@ -1,0 +1,292 @@
+package expiry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// collect drains due nodes into a slice of keys.
+type collector struct{ keys []uint64 }
+
+func (c *collector) fire(n *Node) { c.keys = append(c.keys, n.Key) }
+
+func TestWheelFiresAtExactTicks(t *testing.T) {
+	var w Wheel
+	nodes := make([]Node, 5)
+	deadlines := []uint64{1, 2, 63, 64, 65}
+	for i, d := range deadlines {
+		nodes[i].Key = d
+		w.Schedule(&nodes[i], d)
+	}
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", w.Len())
+	}
+	var c collector
+	for tick := uint64(1); tick <= 70; tick++ {
+		before := len(c.keys)
+		w.Advance(tick, 0, c.fire)
+		for _, k := range c.keys[before:] {
+			if k != tick {
+				t.Fatalf("tick %d fired key %d", tick, k)
+			}
+		}
+	}
+	if len(c.keys) != 5 {
+		t.Fatalf("fired %d, want 5 (%v)", len(c.keys), c.keys)
+	}
+	if w.Len() != 0 || w.Now() != 70 {
+		t.Fatalf("Len=%d Now=%d after drain", w.Len(), w.Now())
+	}
+}
+
+// Cascades across every level boundary: deadlines placed just before and
+// just after each level's span edge must still fire exactly on time.
+func TestWheelCascadeAcrossLevelBoundaries(t *testing.T) {
+	spans := []uint64{1 << slotBits, 1 << (2 * slotBits), 1 << (3 * slotBits), horizon}
+	for _, span := range spans {
+		for _, off := range []uint64{0, 1, slotMask, span - 1, span, span + 1} {
+			d := span + off
+			var w Wheel
+			var n Node
+			n.Key = d
+			w.Schedule(&n, d)
+			var c collector
+			// Jump to just before the deadline, then step over it.
+			w.Advance(d-1, 0, c.fire)
+			if len(c.keys) != 0 {
+				t.Fatalf("deadline %d fired early at %d", d, w.Now())
+			}
+			w.Advance(d, 0, c.fire)
+			if len(c.keys) != 1 || c.keys[0] != d {
+				t.Fatalf("deadline %d: fired %v", d, c.keys)
+			}
+			if n.Deadline() != 0 {
+				t.Fatalf("fired node still scheduled at %d", n.Deadline())
+			}
+		}
+	}
+}
+
+func TestWheelOverflowBeyondHorizon(t *testing.T) {
+	var w Wheel
+	var far, near Node
+	far.Key, near.Key = 1, 2
+	w.Schedule(&far, horizon+5) // beyond the indexed horizon: overflow list
+	w.Schedule(&near, 3)
+	var c collector
+	w.Advance(horizon, 0, c.fire) // top-level wrap drains overflow back in
+	if len(c.keys) != 1 || c.keys[0] != 2 {
+		t.Fatalf("pre-wrap fired %v, want [2]", c.keys)
+	}
+	w.Advance(horizon+5, 0, c.fire)
+	if len(c.keys) != 2 || c.keys[1] != 1 {
+		t.Fatalf("overflow node: fired %v", c.keys)
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	var w Wheel
+	var a, b Node
+	a.Key, b.Key = 1, 2
+	w.Schedule(&a, 10)
+	w.Schedule(&b, 10)
+	if !w.Cancel(&a) || w.Cancel(&a) {
+		t.Fatal("Cancel not idempotent-reporting")
+	}
+	var c collector
+	w.Advance(20, 0, c.fire)
+	if len(c.keys) != 1 || c.keys[0] != 2 {
+		t.Fatalf("fired %v, want [2]", c.keys)
+	}
+	// Reschedule moves, not duplicates.
+	w.Schedule(&a, 25)
+	w.Schedule(&a, 30)
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d after reschedule, want 1", w.Len())
+	}
+	w.Advance(40, 0, c.fire)
+	if len(c.keys) != 2 || c.keys[1] != 1 {
+		t.Fatalf("rescheduled fire %v", c.keys)
+	}
+}
+
+// Budgeted advances must resume exactly where they stopped: a partially
+// drained tick is completed by the next call, nothing fires twice, and
+// Now never moves past unfired work.
+func TestWheelAdvanceBudgetResumes(t *testing.T) {
+	var w Wheel
+	const n = 100
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i].Key = uint64(i)
+		// All on tick 100 plus a few cascading from level 1 at tick 128.
+		d := uint64(100)
+		if i%5 == 0 {
+			d = 128
+		}
+		w.Schedule(&nodes[i], d)
+	}
+	var c collector
+	calls := 0
+	for w.Now() < 200 {
+		w.Advance(200, 3, c.fire)
+		calls++
+		if calls > 1000 {
+			t.Fatal("budgeted advance not terminating")
+		}
+	}
+	if len(c.keys) != n {
+		t.Fatalf("fired %d, want %d", len(c.keys), n)
+	}
+	seen := map[uint64]bool{}
+	for _, k := range c.keys {
+		if seen[k] {
+			t.Fatalf("key %d fired twice", k)
+		}
+		seen[k] = true
+	}
+	if calls < n/3 {
+		t.Fatalf("only %d calls for %d fires at budget 3 — budget not honored", calls, n)
+	}
+}
+
+// Randomized cross-check against a sorted-slice reference: schedules,
+// cancels, reschedules, and jumpy advances must fire the same sets at the
+// same ticks.
+func TestWheelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var w Wheel
+	const nn = 400
+	nodes := make([]Node, nn)
+	ref := map[uint64]uint64{} // key -> deadline
+	now := uint64(0)
+	fired := map[uint64]uint64{} // key -> tick observed
+	fire := func(n *Node) { fired[n.Key] = n.Key }
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // schedule / reschedule
+			i := rng.Intn(nn)
+			d := now + 1 + uint64(rng.Intn(1<<uint(3+rng.Intn(18))))
+			w.Schedule(&nodes[i], d)
+			nodes[i].Key = uint64(i)
+			ref[uint64(i)] = d
+		case 2: // cancel
+			i := rng.Intn(nn)
+			got := w.Cancel(&nodes[i])
+			_, want := ref[uint64(i)]
+			if got != want {
+				t.Fatalf("step %d: Cancel(%d) = %v, ref %v", step, i, got, want)
+			}
+			delete(ref, uint64(i))
+		case 3: // advance by a possibly large jump
+			jump := uint64(1 + rng.Intn(1<<uint(1+rng.Intn(16))))
+			target := now + jump
+			before := len(fired)
+			w.Advance(target, 0, fire)
+			_ = before
+			// Reference: everything with deadline <= target fires.
+			var due []uint64
+			for k, d := range ref {
+				if d <= target {
+					due = append(due, k)
+				}
+			}
+			sort.Slice(due, func(a, b int) bool { return due[a] < due[b] })
+			for _, k := range due {
+				if _, ok := fired[k]; !ok {
+					t.Fatalf("step %d: key %d (deadline %d ≤ %d) not fired", step, k, ref[k], target)
+				}
+				delete(ref, k)
+				delete(fired, k)
+			}
+			if len(fired) != 0 {
+				t.Fatalf("step %d: unexpected fires %v (now=%d target=%d)", step, fired, now, target)
+			}
+			now = target
+		}
+		if w.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d ref=%d", step, w.Len(), len(ref))
+		}
+	}
+}
+
+// The fire callback may reschedule other nodes (the store does this for
+// defensive re-arms); make sure reentrant scheduling during a drain stays
+// consistent.
+func TestWheelRescheduleDuringFire(t *testing.T) {
+	var w Wheel
+	var a, b Node
+	a.Key, b.Key = 1, 2
+	w.Schedule(&a, 10)
+	w.Schedule(&b, 12)
+	var got []uint64
+	w.Advance(20, 0, func(n *Node) {
+		got = append(got, n.Key)
+		if n.Key == 1 {
+			w.Schedule(&b, 15) // push the sibling out mid-drain
+		}
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after drain", w.Len())
+	}
+}
+
+func TestWheelScheduleInPastClamps(t *testing.T) {
+	var w Wheel
+	var c collector
+	w.Advance(50, 0, c.fire)
+	var n Node
+	n.Key = 9
+	w.Schedule(&n, 7) // before Now: clamps to Now+1
+	w.Advance(51, 0, c.fire)
+	if len(c.keys) != 1 || c.keys[0] != 9 {
+		t.Fatalf("past-deadline schedule fired %v", c.keys)
+	}
+}
+
+// Schedule, Cancel and a caught-up Advance must not allocate: the wheel
+// sits on the delegation server's sweep path.
+func TestWheelHotPathAllocs(t *testing.T) {
+	var w Wheel
+	nodes := make([]Node, 64)
+	fire := func(*Node) {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := range nodes {
+			w.Schedule(&nodes[i], w.Now()+uint64(i%37)+1)
+		}
+		w.Advance(w.Now()+40, 0, fire)
+		for i := range nodes {
+			w.Cancel(&nodes[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/advance/cancel allocated %.1f/run, want 0", allocs)
+	}
+}
+
+func BenchmarkWheelScheduleCancel(b *testing.B) {
+	var w Wheel
+	var n Node
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Schedule(&n, w.Now()+uint64(i&1023)+1)
+		w.Cancel(&n)
+	}
+}
+
+func BenchmarkWheelAdvanceSparse(b *testing.B) {
+	var w Wheel
+	nodes := make([]Node, 128)
+	fire := func(n *Node) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range nodes {
+			w.Schedule(&nodes[j], w.Now()+uint64(j)+1)
+		}
+		w.Advance(w.Now()+256, 0, fire)
+	}
+}

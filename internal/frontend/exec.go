@@ -4,11 +4,14 @@ import "ffwd/internal/wireproto"
 
 // Op is one request handed to an Exec. Kind is a wireproto op constant.
 // For OpMGet, Keys holds the key list and Key/Val are zero; for the
-// single-key ops, Key/Val carry the operands.
+// single-key ops, Key/Val carry the operands. TTL is the relative
+// expiry for OpSetTTL/OpTouch (ticks from the server clock at apply;
+// 0 = no expiry) and zero for every other op.
 type Op struct {
 	Kind uint8
 	Key  uint64
 	Val  uint64
+	TTL  uint64
 	Keys []uint64
 }
 
@@ -23,7 +26,7 @@ type Result struct {
 	Val    uint64
 	Code   uint16
 
-	Hits, Misses, Evictions uint64 // RespStats
+	Hits, Misses, Evictions, Expired uint64 // RespStats
 
 	Vals []uint64
 }
@@ -45,6 +48,7 @@ type task struct {
 	id    uint64
 	key   uint64
 	val   uint64
+	ttl   uint64
 	mg    *mgetBuf
 }
 
@@ -108,7 +112,7 @@ func (sh *shard) process(n int) {
 		t := &sh.tasks[i]
 		op := &sh.ops[i]
 		res := &sh.results[i]
-		op.Kind, op.Key, op.Val = t.op, t.key, t.val
+		op.Kind, op.Key, op.Val, op.TTL = t.op, t.key, t.val, t.ttl
 		op.Keys = nil
 		*res = Result{}
 		if t.op == wireproto.OpMGet {
@@ -146,6 +150,7 @@ func (sh *shard) process(n int) {
 			Hits:      res.Hits,
 			Misses:    res.Misses,
 			Evictions: res.Evictions,
+			Expired:   res.Expired,
 			Vals:      res.Vals,
 		}
 		c.appendResp(&sh.resp)

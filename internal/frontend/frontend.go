@@ -352,11 +352,11 @@ func (s *Server) decodeConn(c *conn) bool {
 // RespBusy when the queue is full and pre-answering requests no executor
 // should see.
 func (s *Server) dispatch(c *conn, r *wireproto.Request) {
-	t := task{c: c, op: r.Op, flags: r.Flags, id: r.ID, key: r.Key, val: r.Val}
+	t := task{c: c, op: r.Op, flags: r.Flags, id: r.ID, key: r.Key, val: r.Val, ttl: r.TTL}
 	var sh *shard
 	switch r.Op {
-	case wireproto.OpGet, wireproto.OpSet, wireproto.OpDel:
-		if r.Op == wireproto.OpSet && r.Val == wireproto.MissValue {
+	case wireproto.OpGet, wireproto.OpSet, wireproto.OpDel, wireproto.OpSetTTL, wireproto.OpTouch:
+		if (r.Op == wireproto.OpSet || r.Op == wireproto.OpSetTTL) && r.Val == wireproto.MissValue {
 			c.sendError(r.ID, r.Flags, wireproto.CodeValueReserved)
 			return
 		}

@@ -1,0 +1,169 @@
+package linear
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ffwd/internal/apps"
+	"ffwd/internal/core"
+	"ffwd/internal/fault"
+)
+
+// TestChaosKVTTLLinearizable drives the real delegated KV store — timer
+// wheel, scan-resistant LRU, server-owned clock — through an expiry
+// storm with the fault mix killing the server mid-storm: workers write
+// short-TTL keys, jump the logical clock (each jump expires a batch),
+// touch and read concurrently, all with exactly-once retries. The
+// recorded history must satisfy the KV-with-TTL sequential model: no
+// read may observe a key past its deadline, no touch may resurrect one,
+// no crash/restart/replay may double-apply a write or lose an expiry.
+func TestChaosKVTTLLinearizable(t *testing.T) {
+	const workers, opsEach, keys = 3, 70, 5
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatUint(seed, 10), func(t *testing.T) {
+			plan := fault.FromSeed(seed + 3000).Plan()
+			plan.KillAtOp = 15 + seed%20
+			plan.KillEvery = 60 + seed%50
+			inj := fault.New(plan)
+			t.Logf("plan: %v", inj)
+			d := apps.NewDelegatedKVConfig(1<<12, core.Config{
+				MaxClients: workers + 1,
+				Hooks:      inj,
+			})
+			if err := d.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(d.Stop)
+			sv := core.NewSupervisor(d.Server(), core.SupervisorConfig{Interval: time.Millisecond, KickAfter: 2})
+			sv.Start()
+			t.Cleanup(sv.Stop)
+
+			// The clock only moves through recorded KVTick ops, so the
+			// checker sees every advance. Proposals grow monotonically
+			// across workers; each jump strands a batch of short TTLs
+			// behind the clock — the storm the wheel has to drain.
+			var clockHigh atomic.Uint64
+			rec := NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				rng := seed<<32 | uint64(w)
+				w := w
+				go func() {
+					defer wg.Done()
+					c, err := d.NewClient()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for i := 0; i < opsEach; i++ {
+						k := splitmix(&rng) % keys
+						v := uint64(w+1)<<32 | uint64(i+1)
+						switch splitmix(&rng) % 10 {
+						case 0, 1, 2: // short-TTL write: storm fodder
+							ttl := 1 + splitmix(&rng)%16
+							idx := rec.Invoke3(w, KVSetTTL, k, v, ttl)
+							if err := c.SetTTLNowRetry(retryPolicy, 5*time.Millisecond, k, v, ttl); err != nil {
+								if isInjectedPanic(err) {
+									continue
+								}
+								t.Errorf("worker %d setttl: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, false)
+						case 3: // immortal write
+							idx := rec.Invoke(w, KVSet, k, v)
+							if err := c.SetRetry(retryPolicy, 5*time.Millisecond, k, v); err != nil {
+								if isInjectedPanic(err) {
+									continue
+								}
+								t.Errorf("worker %d set: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, false)
+						case 4: // touch
+							ttl := splitmix(&rng) % 24 // 0 sometimes: clears expiry
+							idx := rec.Invoke3(w, KVTouch, k, 0, ttl)
+							ok, err := c.TouchRetry(retryPolicy, 5*time.Millisecond, k, ttl)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue
+								}
+								t.Errorf("worker %d touch: %v", w, err)
+								return
+							}
+							rec.Complete(idx, 0, ok)
+						case 5, 6: // clock jump: expires a batch at once
+							now := clockHigh.Add(1 + splitmix(&rng)%8)
+							idx := rec.Invoke(w, KVTick, now, 0)
+							got, err := c.AdvanceClockRetry(retryPolicy, 5*time.Millisecond, now)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue
+								}
+								t.Errorf("worker %d tick: %v", w, err)
+								return
+							}
+							rec.Complete(idx, got, true)
+						default: // get
+							idx := rec.Invoke(w, KVGet, k, 0)
+							v, ok, err := c.GetRetry(retryPolicy, 5*time.Millisecond, k)
+							if err != nil {
+								if isInjectedPanic(err) {
+									continue
+								}
+								t.Errorf("worker %d get: %v", w, err)
+								return
+							}
+							rec.Complete(idx, v, ok)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			hh := rec.History()
+			if p := FailingPartition(KVTTLModel(), hh); p >= 0 {
+				t.Fatalf("chaos KV-TTL history not linearizable (partition %d of %d ops)", p, len(hh))
+			}
+			c, err := d.NewClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, _, expired := c.Stats()
+			st := d.Server().Stats()
+			t.Logf("kv-ttl: %d ops, expired=%d crashes=%d restarts=%d ledger-skips=%d maintain-runs=%d maintain-units=%d",
+				len(hh), expired, st.ServerCrashes, st.Restarts, st.LedgerSkips,
+				st.BackgroundRuns, st.BackgroundUnits)
+			if st.ServerCrashes == 0 || st.LedgerSkips == 0 {
+				t.Fatalf("run exercised crashes=%d ledger-skips=%d; the kill threshold missed the workload",
+					st.ServerCrashes, st.LedgerSkips)
+			}
+			if expired == 0 {
+				t.Fatal("no entry ever expired; this was no expiry storm")
+			}
+
+			// Mutant leg: a read that claims to see a value past its
+			// deadline must be rejected, proving the TTL dimension of the
+			// checker bites on real histories.
+			mutant := make([]Op, len(hh))
+			copy(mutant, hh)
+			mutated := false
+			for i := range mutant {
+				if mutant[i].Kind == KVGet && !mutant[i].Pending && !mutant[i].OutOK {
+					mutant[i].Out, mutant[i].OutOK = 0xdead0000dead, true
+					mutated = true
+					break
+				}
+			}
+			if !mutated {
+				t.Fatal("no successful miss recorded; widen the workload")
+			}
+			if Check(KVTTLModel(), mutant) {
+				t.Fatal("mutated real history accepted: the TTL checker is vacuous")
+			}
+		})
+	}
+}

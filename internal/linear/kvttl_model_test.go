@@ -1,0 +1,120 @@
+package linear
+
+import "testing"
+
+// seqOps builds a sequential (non-overlapping) history from compact op
+// descriptors — each op's interval strictly follows the previous one.
+func seqOps(t *testing.T, descs []Op) []Op {
+	t.Helper()
+	ops := make([]Op, len(descs))
+	for i, d := range descs {
+		d.Call = int64(2*i + 1)
+		d.Ret = int64(2*i + 2)
+		ops[i] = d
+	}
+	return ops
+}
+
+func TestKVTTLModelSequential(t *testing.T) {
+	m := KVTTLModel()
+	// A legal life of one key: born with TTL 10 at clock 0, read alive at
+	// clock 5, touched to 5+20, still alive at 24, dead at 25.
+	good := seqOps(t, []Op{
+		{Kind: KVSetTTL, Arg: 1, Arg2: 100, Arg3: 10},
+		{Kind: KVTick, Arg: 5, Out: 5, OutOK: true},
+		{Kind: KVGet, Arg: 1, Out: 100, OutOK: true},
+		{Kind: KVTouch, Arg: 1, Arg3: 20, OutOK: true},
+		{Kind: KVTick, Arg: 24, Out: 24, OutOK: true},
+		{Kind: KVGet, Arg: 1, Out: 100, OutOK: true},
+		{Kind: KVTick, Arg: 25, Out: 25, OutOK: true},
+		{Kind: KVGet, Arg: 1, OutOK: false},
+		{Kind: KVTouch, Arg: 1, Arg3: 99, OutOK: false},
+	})
+	if !Check(m, good) {
+		t.Fatal("legal TTL history rejected")
+	}
+	// The same history with the post-deadline read claiming a hit must be
+	// rejected: expiry is part of the specification.
+	bad := append([]Op(nil), good...)
+	bad[7].Out, bad[7].OutOK = 100, true
+	if Check(m, bad) {
+		t.Fatal("read of an expired key accepted")
+	}
+	// A touch that resurrects a dead key must be rejected too.
+	bad = append([]Op(nil), good...)
+	bad[8].OutOK = true
+	if Check(m, bad) {
+		t.Fatal("touch of an expired key accepted")
+	}
+}
+
+func TestKVTTLModelClockRules(t *testing.T) {
+	m := KVTTLModel()
+	// The clock is a monotone join: a stale tick returns the current
+	// clock, not its own proposal.
+	good := seqOps(t, []Op{
+		{Kind: KVTick, Arg: 50, Out: 50, OutOK: true},
+		{Kind: KVTick, Arg: 10, Out: 50, OutOK: true},
+		{Kind: KVSetTTL, Arg: 7, Arg2: 1, Arg3: ^uint64(0)}, // overflow clamp
+		{Kind: KVTick, Arg: 1 << 62, Out: 1 << 62, OutOK: true},
+		{Kind: KVGet, Arg: 7, Out: 1, OutOK: true}, // clamped, not wrapped dead
+	})
+	if !Check(m, good) {
+		t.Fatal("legal clock history rejected")
+	}
+	bad := append([]Op(nil), good...)
+	bad[1].Out = 10 // claims the clock went backwards
+	if Check(m, bad) {
+		t.Fatal("non-monotone tick output accepted")
+	}
+}
+
+func TestKVTTLModelSetSemantics(t *testing.T) {
+	m := KVTTLModel()
+	// Plain Set on a live TTL'd entry keeps the deadline; on a dead one it
+	// starts a fresh immortal entry.
+	good := seqOps(t, []Op{
+		{Kind: KVSetTTL, Arg: 1, Arg2: 5, Arg3: 10},
+		{Kind: KVSet, Arg: 1, Arg2: 6},
+		{Kind: KVTick, Arg: 10, Out: 10, OutOK: true},
+		{Kind: KVGet, Arg: 1, OutOK: false}, // update kept the deadline
+		{Kind: KVSetTTL, Arg: 2, Arg2: 7, Arg3: 5},
+		{Kind: KVTick, Arg: 100, Out: 100, OutOK: true},
+		{Kind: KVSet, Arg: 2, Arg2: 8}, // dead entry: fresh immortal insert
+		{Kind: KVTick, Arg: 1 << 40, Out: 1 << 40, OutOK: true},
+		{Kind: KVGet, Arg: 2, Out: 8, OutOK: true},
+		{Kind: KVDel, Arg: 1, OutOK: false}, // expired reads as absent
+	})
+	if !Check(m, good) {
+		t.Fatal("legal set-semantics history rejected")
+	}
+	bad := append([]Op(nil), good...)
+	bad[3].Out, bad[3].OutOK = 6, true // update must not shed the deadline
+	if Check(m, bad) {
+		t.Fatal("deadline-shedding update accepted")
+	}
+}
+
+// Concurrent intervals: a read overlapping the tick that kills its key
+// may legally land on either side of it.
+func TestKVTTLModelConcurrency(t *testing.T) {
+	m := KVTTLModel()
+	h := []Op{
+		{Kind: KVSetTTL, Arg: 1, Arg2: 9, Arg3: 10, Call: 1, Ret: 2},
+		{Kind: KVTick, Arg: 10, Out: 10, OutOK: true, Call: 3, Ret: 6},
+		{Kind: KVGet, Arg: 1, Out: 9, OutOK: true, Call: 4, Ret: 5}, // before the tick
+	}
+	if !Check(m, h) {
+		t.Fatal("read concurrent with killing tick (hit) rejected")
+	}
+	h[2].Out, h[2].OutOK = 0, false // after the tick
+	if !Check(m, h) {
+		t.Fatal("read concurrent with killing tick (miss) rejected")
+	}
+	// But once the tick has returned, a later read cannot still hit.
+	h[2].Call, h[2].Ret = 7, 8
+	h[2].Out, h[2].OutOK = 9, true
+	if Check(m, h) {
+		t.Fatal("stale read after completed tick accepted")
+	}
+}

@@ -44,6 +44,12 @@ const (
 	StackPop
 	QueueEnq
 	QueueDeq
+	// TTL alphabet (KVTTLModel): SetTTL and Touch carry a relative TTL in
+	// Arg3; Tick advances the store's logical clock (Arg = proposed time,
+	// Out = the resulting monotone clock).
+	KVSetTTL
+	KVTouch
+	KVTick
 )
 
 // Op is one recorded operation: its kind, arguments, output, and the
@@ -58,6 +64,9 @@ type Op struct {
 	Arg uint64
 	// Arg2 is the secondary argument: the value for KVSet.
 	Arg2 uint64
+	// Arg3 is the tertiary argument: the relative TTL for KVSetTTL and
+	// KVTouch (0 = no expiry).
+	Arg3 uint64
 	// Out is the output word: the value read by KVGet, popped by
 	// StackPop, dequeued by QueueDeq.
 	Out uint64
@@ -93,6 +102,18 @@ func (r *Recorder) Invoke(client int, kind uint8, arg, arg2 uint64) int {
 	defer r.mu.Unlock()
 	r.ops = append(r.ops, Op{
 		Client: client, Kind: kind, Arg: arg, Arg2: arg2,
+		Pending: true, Call: t, Ret: math.MaxInt64,
+	})
+	return len(r.ops) - 1
+}
+
+// Invoke3 is Invoke for three-argument operations (KVSetTTL, KVTouch).
+func (r *Recorder) Invoke3(client int, kind uint8, arg, arg2, arg3 uint64) int {
+	t := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{
+		Client: client, Kind: kind, Arg: arg, Arg2: arg2, Arg3: arg3,
 		Pending: true, Call: t, Ret: math.MaxInt64,
 	})
 	return len(r.ops) - 1
@@ -186,6 +207,149 @@ func KVModel() Model {
 			parts := make([][]Op, 0, len(keys))
 			for _, k := range keys {
 				parts = append(parts, byKey[k])
+			}
+			return parts
+		},
+	}
+}
+
+// ttlMaxExpiry mirrors the store's overflow clamp: clock+ttl sums that
+// would wrap land here instead ("effectively never", but not the
+// no-expiry sentinel 0).
+const ttlMaxExpiry = ^uint64(0) - 1
+
+// ttlDeadline mirrors the store's deadline computation: 0 TTL means no
+// expiry; an overflowing sum clamps to ttlMaxExpiry.
+func ttlDeadline(clock, ttl uint64) uint64 {
+	if ttl == 0 {
+		return 0
+	}
+	d := clock + ttl
+	if d < clock || d > ttlMaxExpiry {
+		return ttlMaxExpiry
+	}
+	return d
+}
+
+// encTTL encodes a KVTTLModel state: 8 bytes of clock, plus (value,
+// deadline) when the key is resident.
+func encTTL(clock uint64, present bool, value, deadline uint64) []byte {
+	n := 8
+	if present {
+		n = 24
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b[:8], clock)
+	if present {
+		binary.LittleEndian.PutUint64(b[8:16], value)
+		binary.LittleEndian.PutUint64(b[16:24], deadline)
+	}
+	return b
+}
+
+// KVTTLModel returns the per-key specification of the KV store with
+// server-owned time: KVGet/KVSet/KVDel plus KVSetTTL (deadline fixed at
+// the op's linearization point: clock+TTL), KVTouch (refresh, alive keys
+// only), and KVTick (monotone clock advance). A resident entry whose
+// deadline has passed reads as absent everywhere — the store guarantees
+// this independent of how far its timer wheel has drained, which is what
+// makes this sequential model deterministic.
+//
+// State per key: clock ‖ [value ‖ deadline]. Histories partition per
+// key; KVTick ops (which carry no key) are broadcast into every
+// partition. That stays sound — a global linearization induces a valid
+// per-key order including the ticks, so a real violation is never
+// masked — at the usual price of per-key checking being weaker than a
+// single global search.
+func KVTTLModel() Model {
+	return Model{
+		Name: "kv-ttl",
+		Init: func() []byte { return encTTL(0, false, 0, 0) },
+		Step: func(state []byte, op *Op) ([]byte, bool) {
+			clock := binary.LittleEndian.Uint64(state[:8])
+			present := len(state) == 24
+			var value, deadline uint64
+			if present {
+				value = binary.LittleEndian.Uint64(state[8:16])
+				deadline = binary.LittleEndian.Uint64(state[16:24])
+			}
+			alive := present && (deadline == 0 || clock < deadline)
+			switch op.Kind {
+			case KVTick:
+				next := clock
+				if op.Arg > next {
+					next = op.Arg
+				}
+				if !op.Pending && op.Out != next {
+					return nil, false
+				}
+				return encTTL(next, present, value, deadline), true
+			case KVSet:
+				if alive {
+					// Updating a live entry keeps its expiry.
+					return encTTL(clock, true, op.Arg2, deadline), true
+				}
+				return encTTL(clock, true, op.Arg2, 0), true
+			case KVSetTTL:
+				return encTTL(clock, true, op.Arg2, ttlDeadline(clock, op.Arg3)), true
+			case KVTouch:
+				if !op.Pending && op.OutOK != alive {
+					return nil, false
+				}
+				if !alive {
+					// A touch that found nothing (or a dead entry, which it
+					// reclaims) changes nothing observable.
+					return encTTL(clock, false, 0, 0), true
+				}
+				return encTTL(clock, true, value, ttlDeadline(clock, op.Arg3)), true
+			case KVGet:
+				if op.Pending {
+					return state, true
+				}
+				if op.OutOK != alive {
+					return nil, false
+				}
+				if alive && op.Out != value {
+					return nil, false
+				}
+				return state, true
+			case KVDel:
+				if !op.Pending && op.OutOK != alive {
+					return nil, false
+				}
+				return encTTL(clock, false, 0, 0), true
+			}
+			return nil, false
+		},
+		Partition: func(ops []Op) [][]Op {
+			var keys []uint64
+			seen := make(map[uint64]bool)
+			keyed := false
+			for _, op := range ops {
+				if op.Kind == KVTick {
+					continue
+				}
+				keyed = true
+				if !seen[op.Arg] {
+					seen[op.Arg] = true
+					keys = append(keys, op.Arg)
+				}
+			}
+			if !keyed {
+				if len(ops) == 0 {
+					return nil
+				}
+				return [][]Op{ops}
+			}
+			parts := make([][]Op, 0, len(keys))
+			for _, k := range keys {
+				var part []Op
+				for _, op := range ops {
+					if op.Kind == KVTick || op.Arg == k {
+						part = append(part, op)
+					}
+				}
+				parts = append(parts, part)
 			}
 			return parts
 		},

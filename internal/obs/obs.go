@@ -86,6 +86,10 @@ const (
 	// KindFailover: a replica group promoted a follower to leader after
 	// the previous leader died. Slot is -1; Arg is the new term.
 	KindFailover
+	// KindMaintain: the idle server ran bounded background maintenance
+	// (timer-wheel advance, expiry reclaim) between empty sweeps. Slot is
+	// -1; Arg is the units of work done.
+	KindMaintain
 
 	numKinds
 )
@@ -103,6 +107,7 @@ var kindNames = [numKinds]string{
 	KindCrash:           "server-crash",
 	KindRestart:         "server-restart",
 	KindFailover:        "replica-failover",
+	KindMaintain:        "server-maintain",
 }
 
 // String returns the kind's stable external name.

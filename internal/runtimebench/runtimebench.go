@@ -122,6 +122,11 @@ type Cell struct {
 	Ops uint64 `json:"ops"`
 	// Mops is throughput in million operations per second.
 	Mops float64 `json:"mops"`
+	// GetOps/GetMops isolate read throughput for the expiry/eviction
+	// scenarios (RunExpiry), where the acceptance metric is reads
+	// sustained while reclamation happens; zero for registry cells.
+	GetOps  uint64  `json:"get_ops,omitempty"`
+	GetMops float64 `json:"get_mops,omitempty"`
 	// Latency quantiles and moments, in nanoseconds, from sampled
 	// per-operation timings.
 	P50NS  float64 `json:"p50_ns"`

@@ -35,10 +35,15 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(AppendRequest(nil, &Request{Op: OpMGet, ID: 5, Keys: mkKeys(MGetMax), Flags: FlagCRC}))
 	f.Add(AppendRequest(nil, &Request{Op: OpLen, ID: 6}))
 	f.Add(AppendRequest(nil, &Request{Op: OpStats, ID: 7, Flags: FlagCRC}))
+	f.Add(AppendRequest(nil, &Request{Op: OpSetTTL, ID: 10, Key: 5, Val: 50, TTL: 1000}))
+	f.Add(AppendRequest(nil, &Request{Op: OpSetTTL, ID: 11, Key: 5, Val: 50, TTL: ^uint64(0), Flags: FlagCRC}))
+	f.Add(AppendRequest(nil, &Request{Op: OpTouch, ID: 12, Key: 5, TTL: 2000}))
+	f.Add(AppendRequest(nil, &Request{Op: OpTouch, ID: 13, Key: 5, TTL: 0, Flags: FlagCRC}))
 	f.Add(AppendResponse(nil, &Response{Type: RespValue, ID: 1, Val: 9}))
 	f.Add(AppendResponse(nil, &Response{Type: RespValues, ID: 2, Vals: []uint64{1, MissValue}}))
-	f.Add(AppendResponse(nil, &Response{Type: RespStats, ID: 3, Hits: 1, Misses: 2, Evictions: 3, Flags: FlagCRC}))
+	f.Add(AppendResponse(nil, &Response{Type: RespStats, ID: 3, Hits: 1, Misses: 2, Evictions: 3, Expired: 4, Flags: FlagCRC}))
 	f.Add(AppendResponse(nil, &Response{Type: RespError, ID: 4, Code: CodeMalformed}))
+	f.Add(AppendResponse(nil, &Response{Type: RespTouched, ID: 5}))
 	// Two frames back to back: stream decoding must hold across frames.
 	two := AppendRequest(nil, &Request{Op: OpGet, ID: 8, Key: 1})
 	f.Add(AppendRequest(two, &Request{Op: OpDel, ID: 9, Key: 2}))
@@ -70,7 +75,7 @@ func FuzzWireDecode(f *testing.F) {
 					t.Fatalf("decoded mget with %d keys", len(req.Keys))
 				}
 				// A valid request re-encodes to an equivalent frame.
-				re := AppendRequest(nil, &Request{Op: req.Op, Flags: req.Flags, ID: req.ID, Key: req.Key, Val: req.Val, Keys: req.Keys})
+				re := AppendRequest(nil, &Request{Op: req.Op, Flags: req.Flags, ID: req.ID, Key: req.Key, Val: req.Val, TTL: req.TTL, Keys: req.Keys})
 				rbody, _, rerr := Split(re)
 				if rerr != nil {
 					t.Fatalf("re-encoded request does not split: %v", rerr)
@@ -80,7 +85,7 @@ func FuzzWireDecode(f *testing.F) {
 				if err := DecodeRequest(rbody, &req2); err != nil {
 					t.Fatalf("re-encoded request does not decode: %v", err)
 				}
-				if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key || req2.Val != req.Val {
+				if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key || req2.Val != req.Val || req2.TTL != req.TTL {
 					t.Fatalf("request round-trip drift: %+v vs %+v", req, req2)
 				}
 			}

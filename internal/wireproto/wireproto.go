@@ -24,6 +24,12 @@
 //	OpMGet   n u16, n × key u64   (1 ≤ n ≤ MGetMax)
 //	OpLen    (empty)
 //	OpStats  (empty)
+//	OpSetTTL key u64, val u64, ttl u64
+//	OpTouch  key u64, ttl u64
+//
+// TTLs are relative tick counts; the server owns the clock and computes
+// the absolute deadline when it applies the operation (server-owned
+// time), so clients never ship wall-clock values. ttl 0 means no expiry.
 //
 // Response payloads:
 //
@@ -33,9 +39,11 @@
 //	RespDeleted   (empty)
 //	RespValues    n u16, n × val u64 (MissValue marks a missing key)
 //	RespLen       n u64
-//	RespStats     hits u64, misses u64, evictions u64
+//	RespStats     hits u64, misses u64, evictions u64, expired u64
 //	RespError     code u16
 //	RespBusy      (empty)
+//	RespTouched   (empty; OpTouch on an absent/expired key answers
+//	              RespNotFound)
 //
 // The request ID is an opaque u64 echoed verbatim in the response; the
 // server may answer requests from one connection in any order, so a
@@ -64,12 +72,14 @@ const (
 	// on the wire.
 	OpNop uint8 = 0
 
-	OpGet   uint8 = 0x01
-	OpSet   uint8 = 0x02
-	OpDel   uint8 = 0x03
-	OpMGet  uint8 = 0x04
-	OpLen   uint8 = 0x05
-	OpStats uint8 = 0x06
+	OpGet    uint8 = 0x01
+	OpSet    uint8 = 0x02
+	OpDel    uint8 = 0x03
+	OpMGet   uint8 = 0x04
+	OpLen    uint8 = 0x05
+	OpStats  uint8 = 0x06
+	OpSetTTL uint8 = 0x07
+	OpTouch  uint8 = 0x08
 
 	RespValue    uint8 = 0x81
 	RespNotFound uint8 = 0x82
@@ -80,6 +90,7 @@ const (
 	RespStats    uint8 = 0x87
 	RespError    uint8 = 0x88
 	RespBusy     uint8 = 0x89
+	RespTouched  uint8 = 0x8a
 )
 
 // FlagCRC marks a body that carries a trailing CRC32-C.
@@ -139,6 +150,9 @@ type Request struct {
 	ID    uint64
 	Key   uint64
 	Val   uint64
+	// TTL is the relative expiry tick count of OpSetTTL and OpTouch
+	// (0 = no expiry).
+	TTL uint64
 	// Keys holds the MGet key list. DecodeRequest fills it in place
 	// when its capacity suffices (pass a [MGetMax]uint64-backed slice
 	// for allocation-free decoding) and grows it otherwise.
@@ -153,6 +167,7 @@ type Response struct {
 	Val                     uint64 // RespValue, RespLen
 	Code                    uint16 // RespError
 	Hits, Misses, Evictions uint64 // RespStats
+	Expired                 uint64 // RespStats
 	// Vals holds the RespValues list (MissValue = absent). Like
 	// Request.Keys, it is filled in place when capacity suffices.
 	Vals []uint64
@@ -220,6 +235,13 @@ func AppendRequest(buf []byte, r *Request) []byte {
 	case OpSet:
 		buf = append64(buf, r.Key)
 		buf = append64(buf, r.Val)
+	case OpSetTTL:
+		buf = append64(buf, r.Key)
+		buf = append64(buf, r.Val)
+		buf = append64(buf, r.TTL)
+	case OpTouch:
+		buf = append64(buf, r.Key)
+		buf = append64(buf, r.TTL)
 	case OpMGet:
 		buf = append16(buf, uint16(len(r.Keys)))
 		for _, k := range r.Keys {
@@ -239,7 +261,7 @@ func AppendResponse(buf []byte, r *Response) []byte {
 	switch r.Type {
 	case RespValue, RespLen:
 		buf = append64(buf, r.Val)
-	case RespNotFound, RespStored, RespDeleted, RespBusy:
+	case RespNotFound, RespStored, RespDeleted, RespBusy, RespTouched:
 	case RespValues:
 		buf = append16(buf, uint16(len(r.Vals)))
 		for _, v := range r.Vals {
@@ -249,6 +271,7 @@ func AppendResponse(buf []byte, r *Response) []byte {
 		buf = append64(buf, r.Hits)
 		buf = append64(buf, r.Misses)
 		buf = append64(buf, r.Evictions)
+		buf = append64(buf, r.Expired)
 	case RespError:
 		buf = append16(buf, r.Code)
 	default:
@@ -301,7 +324,7 @@ func DecodeRequest(body []byte, req *Request) error {
 		return err
 	}
 	req.Op, req.Flags, req.ID = typ, flags, id
-	req.Key, req.Val = 0, 0
+	req.Key, req.Val, req.TTL = 0, 0, 0
 	req.Keys = req.Keys[:0]
 	switch typ {
 	case OpGet, OpDel:
@@ -315,6 +338,19 @@ func DecodeRequest(body []byte, req *Request) error {
 		}
 		req.Key = binary.LittleEndian.Uint64(p)
 		req.Val = binary.LittleEndian.Uint64(p[8:])
+	case OpSetTTL:
+		if len(p) != 24 {
+			return ErrBadPayload
+		}
+		req.Key = binary.LittleEndian.Uint64(p)
+		req.Val = binary.LittleEndian.Uint64(p[8:])
+		req.TTL = binary.LittleEndian.Uint64(p[16:])
+	case OpTouch:
+		if len(p) != 16 {
+			return ErrBadPayload
+		}
+		req.Key = binary.LittleEndian.Uint64(p)
+		req.TTL = binary.LittleEndian.Uint64(p[8:])
 	case OpMGet:
 		if len(p) < 2 {
 			return ErrBadPayload
@@ -350,7 +386,7 @@ func DecodeResponse(body []byte, resp *Response) error {
 	}
 	resp.Type, resp.Flags, resp.ID = typ, flags, id
 	resp.Val, resp.Code = 0, 0
-	resp.Hits, resp.Misses, resp.Evictions = 0, 0, 0
+	resp.Hits, resp.Misses, resp.Evictions, resp.Expired = 0, 0, 0, 0
 	resp.Vals = resp.Vals[:0]
 	switch typ {
 	case RespValue, RespLen:
@@ -358,7 +394,7 @@ func DecodeResponse(body []byte, resp *Response) error {
 			return ErrBadPayload
 		}
 		resp.Val = binary.LittleEndian.Uint64(p)
-	case RespNotFound, RespStored, RespDeleted, RespBusy:
+	case RespNotFound, RespStored, RespDeleted, RespBusy, RespTouched:
 		if len(p) != 0 {
 			return ErrBadPayload
 		}
@@ -375,12 +411,13 @@ func DecodeResponse(body []byte, resp *Response) error {
 			resp.Vals[i] = binary.LittleEndian.Uint64(p[2+8*i:])
 		}
 	case RespStats:
-		if len(p) != 24 {
+		if len(p) != 32 {
 			return ErrBadPayload
 		}
 		resp.Hits = binary.LittleEndian.Uint64(p)
 		resp.Misses = binary.LittleEndian.Uint64(p[8:])
 		resp.Evictions = binary.LittleEndian.Uint64(p[16:])
+		resp.Expired = binary.LittleEndian.Uint64(p[24:])
 	case RespError:
 		if len(p) != 2 {
 			return ErrBadPayload

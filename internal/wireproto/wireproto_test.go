@@ -36,9 +36,14 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpMGet, ID: 6, Keys: mkKeys(MGetMax), Flags: FlagCRC},
 		{Op: OpLen, ID: 7},
 		{Op: OpStats, ID: 8, Flags: FlagCRC},
+		{Op: OpSetTTL, ID: 9, Key: 5, Val: 50, TTL: 1000},
+		{Op: OpSetTTL, ID: 10, Key: ^uint64(0), Val: 1, TTL: ^uint64(0), Flags: FlagCRC},
+		{Op: OpTouch, ID: 11, Key: 5, TTL: 2000},
+		{Op: OpTouch, ID: 12, Key: 0, TTL: 0, Flags: FlagCRC},
 	} {
 		out := roundTripRequest(t, in)
-		if out.Op != in.Op || out.ID != in.ID || out.Key != in.Key || out.Val != in.Val || out.Flags != in.Flags {
+		if out.Op != in.Op || out.ID != in.ID || out.Key != in.Key || out.Val != in.Val ||
+			out.TTL != in.TTL || out.Flags != in.Flags {
 			t.Fatalf("round trip %+v -> %+v", in, out)
 		}
 		if len(out.Keys) != len(in.Keys) {
@@ -69,9 +74,11 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Type: RespValues, ID: 5, Vals: []uint64{1, MissValue, 3}},
 		{Type: RespValues, ID: 6, Vals: mkKeys(MGetMax), Flags: FlagCRC},
 		{Type: RespLen, ID: 7, Val: 12345},
-		{Type: RespStats, ID: 8, Hits: 1, Misses: 2, Evictions: 3},
+		{Type: RespStats, ID: 8, Hits: 1, Misses: 2, Evictions: 3, Expired: 4},
 		{Type: RespError, ID: 9, Code: CodeValueReserved},
 		{Type: RespBusy, ID: 10, Flags: FlagCRC},
+		{Type: RespTouched, ID: 11},
+		{Type: RespTouched, ID: 12, Flags: FlagCRC},
 	} {
 		buf := AppendResponse(nil, &in)
 		body, _, err := Split(buf)
@@ -85,7 +92,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		}
 		if out.Type != in.Type || out.ID != in.ID || out.Val != in.Val ||
 			out.Code != in.Code || out.Hits != in.Hits || out.Misses != in.Misses ||
-			out.Evictions != in.Evictions || out.Flags != in.Flags {
+			out.Evictions != in.Evictions || out.Expired != in.Expired || out.Flags != in.Flags {
 			t.Fatalf("round trip %+v -> %+v", in, out)
 		}
 		if len(out.Vals) != len(in.Vals) {
@@ -169,6 +176,15 @@ func TestDecodeErrors(t *testing.T) {
 	body := full(Request{Op: OpSet, ID: 1, Key: 2, Val: 3})
 	if err := DecodeRequest(body[:len(body)-1], &req); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("truncated set: %v", err)
+	}
+	// Truncated TTL ops: a setx cut to set size, a touch cut to get size.
+	body = full(Request{Op: OpSetTTL, ID: 1, Key: 2, Val: 3, TTL: 4})
+	if err := DecodeRequest(body[:len(body)-8], &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("truncated setttl: %v", err)
+	}
+	body = full(Request{Op: OpTouch, ID: 1, Key: 2, TTL: 3})
+	if err := DecodeRequest(body[:len(body)-8], &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("truncated touch: %v", err)
 	}
 	// Unknown op.
 	body = full(Request{Op: OpGet, ID: 1, Key: 2})
